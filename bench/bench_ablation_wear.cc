@@ -1,0 +1,89 @@
+// Ablation — NVM lifetime (write endurance).
+//
+// The paper motivates eliminating double writes partly by endurance:
+// "considering the limited write endurance of some NVM technologies, double
+// writes adversely affect the lifetime of NVM cache" (§1; Table 1 lists
+// PCM at 10^6–10^8 writes/cell).  This bench runs identical Fio work over
+// all three stacks and reports media-level line-write wear, plus a naive
+// lifetime projection for a PCM part rated at 10^7 writes per cell.
+#include <iostream>
+
+#include "backend/ubj_backend.h"
+#include "bench_util.h"
+#include "blockdev/latency_block_device.h"
+#include "blockdev/mem_block_device.h"
+#include "workloads/fio.h"
+
+using namespace tinca;
+using namespace tinca::bench;
+
+namespace {
+
+constexpr double kEnduranceWrites = 1e7;  // PCM, Table 1 midpoint
+
+struct WearRow {
+  std::uint64_t ops;
+  nvm::NvmDevice::WearReport wear;
+};
+
+WearRow run_stack(backend::StackKind kind) {
+  backend::Stack stack(scaled_stack(kind));
+  workloads::FioConfig cfg;
+  cfg.dataset_blocks = ScaledDefaults::kFioDatasetBlocks;
+  cfg.write_pct = 100;
+  const auto r =
+      workloads::run_fio(stack.backend(), stack.clock(), 8 * sim::kSec, cfg);
+  return WearRow{r.write_ops, stack.nvm().wear()};
+}
+
+WearRow run_ubj() {
+  sim::SimClock clock;
+  nvm::NvmDevice nvm(ScaledDefaults::kNvmBytes, pcm_profile(), clock);
+  blockdev::MemBlockDevice mem(1ull << 17);
+  blockdev::LatencyBlockDevice ssd(mem, ssd_profile(), clock,
+                                   blockdev::WritePolicy::kAsync);
+  auto be = backend::UbjBackend::format(nvm, ssd);
+  workloads::FioConfig cfg;
+  cfg.dataset_blocks = ScaledDefaults::kFioDatasetBlocks;
+  cfg.write_pct = 100;
+  const auto r = workloads::run_fio(*be, clock, 8 * sim::kSec, cfg);
+  return WearRow{r.write_ops, nvm.wear()};
+}
+
+void emit(Table& t, const char* name, const WearRow& row) {
+  const double writes_per_op =
+      static_cast<double>(row.wear.total_line_writes) /
+      static_cast<double>(row.ops);
+  // Naive projection: ops the mean cell survives, assuming this mix.
+  const double lifetime_ops =
+      kEnduranceWrites / (row.wear.mean_line_writes /
+                          static_cast<double>(row.ops));
+  t.add_row({name, Table::num(row.ops), Table::num(writes_per_op, 1),
+             Table::num(row.wear.mean_line_writes, 2),
+             Table::num(row.wear.max_line_writes),
+             Table::num(lifetime_ops / 1e9, 1) + "e9"});
+}
+
+}  // namespace
+
+int main() {
+  banner("Ablation: NVM wear (endurance)",
+         "Fio 100% random writes, identical virtual duration");
+
+  Table t({"stack", "write ops", "line writes/op", "mean wear/line",
+           "max wear/line", "ops before mean-cell death"});
+  emit(t, "Classic", run_stack(backend::StackKind::kClassic));
+  emit(t, "UBJ", run_ubj());
+  emit(t, "Tinca", run_stack(backend::StackKind::kTinca));
+  std::cout << t.render();
+  std::cout << "\nExpectation: Tinca's single-write commit cuts media wear"
+               " per operation to ~1/4 of Classic's (double writes +"
+               " metadata blocks), directly extending PCM lifetime (§1).\n";
+  std::cout << "\nCaveat surfaced by this reproduction: Tinca's *hottest*"
+               " line is its persistent Head pointer, written once per\n"
+               "committed block — orders of magnitude above any data line."
+               " A deployment on low-endurance media would need to\n"
+               "wear-level the Head/Tail lines (e.g. rotate them through a"
+               " line group), which the paper does not discuss.\n";
+  return 0;
+}

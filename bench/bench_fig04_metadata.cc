@@ -1,0 +1,47 @@
+// Fig 4 — the cost of synchronous block-format cache metadata (paper §3.2).
+//
+// Flashcache writes one 4 KB metadata block to the cache device for every
+// cached write.  The paper measures Fio random writes with metadata updating
+// waived: +45.2 % throughput on Ext4 with journaling, +65.5 % without.
+#include <iostream>
+
+#include "bench_util.h"
+#include "workloads/fio.h"
+
+using namespace tinca;
+using namespace tinca::bench;
+
+namespace {
+
+double fio_iops(bool journaling, bool sync_metadata) {
+  backend::StackConfig cfg = scaled_stack(journaling
+                                              ? backend::StackKind::kClassic
+                                              : backend::StackKind::kClassicNoJournal);
+  cfg.classic.cache.sync_metadata = sync_metadata;
+  backend::Stack stack(cfg);
+  workloads::FioConfig fio;
+  fio.dataset_blocks = ScaledDefaults::kFioDatasetBlocks;
+  fio.write_pct = 100;
+  const auto r =
+      workloads::run_fio(stack.backend(), stack.clock(), 10 * sim::kSec, fio);
+  return r.write_iops();
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 4", "impact of synchronously updating cache metadata");
+
+  Table t({"file system", "with metadata IOPS", "metadata waived IOPS",
+           "improvement"});
+  for (const bool journaling : {true, false}) {
+    const double with = fio_iops(journaling, true);
+    const double without = fio_iops(journaling, false);
+    t.add_row({journaling ? "Ext4 (journaling)" : "Ext4 (no journaling)",
+               Table::num(with, 0), Table::num(without, 0),
+               Table::num((without / with - 1.0) * 100.0, 1) + "%"});
+  }
+  std::cout << t.render()
+            << "Paper reference: +45.2% with journaling, +65.5% without.\n";
+  return 0;
+}

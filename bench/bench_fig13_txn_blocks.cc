@@ -1,0 +1,91 @@
+// Fig 13 — data blocks per committed transaction (paper §5.4.3).
+//
+// The paper monitors the number of blocks committed in one transaction while
+// running fileserver and webproxy, to bound the spatial overhead of COW
+// block writes: fileserver commits roughly twice the blocks of webproxy, and
+// even at ~8,000 blocks per transaction the worst-case extra space (every
+// block a write hit holding two versions) is ~0.4 % of the cache.
+#include <iostream>
+
+#include "backend/tinca_backend.h"
+#include "bench_util.h"
+#include "fs/minifs.h"
+#include "workloads/filebench.h"
+
+using namespace tinca;
+using namespace tinca::bench;
+
+namespace {
+
+struct Series {
+  Histogram blocks_per_txn;
+  std::vector<double> window_means;  // time series, one point per window
+  std::uint64_t cache_blocks = 0;
+};
+
+Series run_one(workloads::FilebenchKind kind) {
+  backend::Stack stack(scaled_stack(backend::StackKind::kTinca));
+  auto& be = dynamic_cast<backend::TincaBackend&>(stack.backend());
+  auto fsys = fs::MiniFs::mkfs(stack.backend());
+  workloads::FilebenchConfig wl;
+  wl.kind = kind;
+  wl.nfiles = 768;
+  wl.mean_file_bytes = 64 * 1024;
+  workloads::FilebenchWorkload bench(*fsys, wl);
+  bench.populate();
+
+  Series series;
+  Histogram warm = be.cache().stats().blocks_per_txn;  // populate traffic
+  for (int window = 0; window < 10; ++window) {
+    (void)bench.run(stack.clock(), sim::kSec);
+    const Histogram& h = be.cache().stats().blocks_per_txn;
+    const double blocks =
+        static_cast<double>(h.sum() - warm.sum());
+    const double txns = static_cast<double>(h.count() - warm.count());
+    series.window_means.push_back(txns == 0 ? 0.0 : blocks / txns);
+    warm = h;
+  }
+  series.blocks_per_txn = be.cache().stats().blocks_per_txn;
+  series.cache_blocks = be.cache().capacity_blocks();
+  return series;
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 13", "data blocks per committed transaction (Tinca local)");
+
+  const Series fileserver = run_one(workloads::FilebenchKind::kFileserver);
+  const Series webproxy = run_one(workloads::FilebenchKind::kWebproxy);
+
+  std::cout << "\nPer-window mean blocks/transaction (1 virtual second each):\n";
+  Table t({"window", "fileserver", "webproxy", "ratio"});
+  for (std::size_t w = 0; w < fileserver.window_means.size(); ++w) {
+    const double fsv = fileserver.window_means[w];
+    const double wpv = webproxy.window_means[w];
+    t.add_row({std::to_string(w + 1), Table::num(fsv, 1), Table::num(wpv, 1),
+               wpv == 0 ? "-" : Table::num(fsv / wpv, 2) + "x"});
+  }
+  std::cout << t.render();
+
+  const double fs_mean = fileserver.blocks_per_txn.mean();
+  const double wp_mean = webproxy.blocks_per_txn.mean();
+  std::cout << "\nOverall blocks/txn:  fileserver "
+            << Table::num(fs_mean, 1) << "  (p99 "
+            << Table::num(fileserver.blocks_per_txn.quantile(0.99)) << ")"
+            << "   webproxy " << Table::num(wp_mean, 1) << "  (p99 "
+            << Table::num(webproxy.blocks_per_txn.quantile(0.99)) << ")\n";
+
+  // §5.4.3's spatial-overhead argument at our scale.
+  const double worst_fraction =
+      static_cast<double>(fileserver.blocks_per_txn.max()) /
+      static_cast<double>(fileserver.cache_blocks) * 100.0;
+  std::cout << "Worst-case COW double-version overhead: "
+            << Table::num(fileserver.blocks_per_txn.max()) << " of "
+            << Table::num(fileserver.cache_blocks) << " cache blocks = "
+            << Table::num(worst_fraction, 2) << "% of cache capacity\n";
+  std::cout << "\nPaper reference: fileserver writes ~2x the blocks of"
+               " webproxy per transaction; worst-case COW overhead ~0.4% of"
+               " an 8 GB cache.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench binary regenerates one table/figure of the paper with the same
+// rows and series the figure plots.  Scales are reduced (DESIGN.md §2) but
+// the ratios the paper's effects depend on — dataset : cache size,
+// read : write mix, replica counts — are preserved, so the *shape* of each
+// result (who wins, by what factor) is comparable.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "backend/stack_builder.h"
+#include "common/table.h"
+
+namespace tinca::bench {
+
+/// Scaled default geometry: the paper used an 8 GB NVM cache over a 128 GB
+/// SSD with 20–32 GB datasets; we keep the same proportions at 1/128 scale.
+struct ScaledDefaults {
+  static constexpr std::uint64_t kNvmBytes = 64ull << 20;        // "8 GB"
+  static constexpr std::uint64_t kDiskBlocks = 256ull << 8;      // "128 GB"
+  static constexpr std::uint64_t kFioDatasetBlocks = 40960;      // "20 GB"
+  static constexpr std::uint64_t kTpccDatasetBlocks = 65536;     // "32 GB"
+  static constexpr std::uint64_t kJournalBlocks = 4096;          // "16 MB" jrnl
+};
+
+/// Build a StackConfig at the scaled defaults.
+inline backend::StackConfig scaled_stack(backend::StackKind kind,
+                                         const std::string& nvm = "pcm",
+                                         const std::string& disk = "ssd") {
+  backend::StackConfig cfg;
+  cfg.kind = kind;
+  cfg.nvm_bytes = ScaledDefaults::kNvmBytes;
+  cfg.disk_blocks = 1ull << 17;  // 512 MB address space
+  cfg.nvm_profile = nvm;
+  cfg.disk_profile = disk;
+  cfg.classic.journal_blocks = ScaledDefaults::kJournalBlocks;
+  cfg.tinca.ring_bytes = 1 << 20;  // the paper's 1 MB ring
+  return cfg;
+}
+
+/// Snapshot of the two per-op metrics every figure reports.
+struct MetricSnapshot {
+  std::uint64_t clflush = 0;
+  std::uint64_t disk_writes = 0;
+};
+
+inline MetricSnapshot snapshot(backend::Stack& stack) {
+  return {stack.clflush_count(), stack.disk_blocks_written()};
+}
+
+/// Per-op deltas between two snapshots.
+inline double per_op(std::uint64_t after, std::uint64_t before,
+                     std::uint64_t ops) {
+  return ops == 0 ? 0.0
+                  : static_cast<double>(after - before) /
+                        static_cast<double>(ops);
+}
+
+/// Uniform bench banner.
+inline void banner(const std::string& figure, const std::string& what) {
+  std::cout << "==========================================================\n"
+            << figure << " — " << what << "\n"
+            << "(virtual-time simulation at 1/128 scale; shapes and ratios\n"
+            << " are comparable to the paper, absolute values are not)\n"
+            << "==========================================================\n";
+}
+
+}  // namespace tinca::bench

@@ -1,0 +1,133 @@
+// Shared discrete-event TPC-C driver for the Fig 8 and Fig 12 benches.
+//
+// Model (DESIGN.md §5): N users alternate exponential think time with a
+// transaction.  A transaction costs
+//
+//     db_cpu + storage_service * convoy(N)
+//
+// where `storage_service` is *measured* by executing the transaction's page
+// reads and commit on the real stack under a cost probe, `db_cpu` models
+// MySQL's query-processing time per TPC-C transaction (lock-held parsing,
+// B-tree traversal, replication hooks — storage-independent), and
+// convoy(N) = 1 + α(N−1) models lock convoys lengthening effective service
+// as concurrency grows.  The whole path is serialized through one FIFO
+// resource, as InnoDB's log mutex + JBD2's commit path effectively are.
+#pragma once
+
+#include <functional>
+
+#include "backend/classic_backend.h"
+#include "backend/tinca_backend.h"
+#include "bench_util.h"
+#include "common/event_queue.h"
+#include "workloads/tpcc.h"
+
+namespace tinca::bench {
+
+struct TpccDesParams {
+  sim::Ns run_span = 15 * sim::kSec;
+  std::uint32_t users = 20;
+  double think_mean_ns = 0.5e6;   ///< 0.5 ms user think time
+  double convoy_alpha = 0.02;     ///< lock-convoy growth per extra user
+  double zipf_theta = 0.92;       ///< NURand-like hot-set skew
+  sim::Ns db_cpu_ns = 300 * sim::kUsec;  ///< MySQL processing per txn
+  std::uint64_t warmup_txns = 3000;
+};
+
+struct TpccDesResult {
+  double tpm = 0;
+  double clflush_per_txn = 0;
+  double disk_per_txn = 0;
+  double write_hit_rate = 0;  ///< percent, steady-state
+};
+
+/// Run TPC-C on a freshly formatted stack of `kind` over the given media.
+inline TpccDesResult run_tpcc_des(backend::StackKind kind,
+                                  const std::string& nvm_profile,
+                                  const std::string& disk_profile,
+                                  const TpccDesParams& p) {
+  backend::Stack stack(scaled_stack(kind, nvm_profile, disk_profile));
+  workloads::TpccConfig cfg;
+  cfg.dataset_blocks = ScaledDefaults::kTpccDatasetBlocks;
+  cfg.zipf_theta = p.zipf_theta;
+  workloads::TpccWorkload tpcc(stack.backend(), cfg);
+
+  {
+    Rng warm(123);
+    for (std::uint64_t i = 0; i < p.warmup_txns; ++i)
+      (void)tpcc.execute_txn(warm);
+  }
+
+  auto write_hits = [&](std::uint64_t* hits, std::uint64_t* misses) {
+    if (kind == backend::StackKind::kTinca) {
+      const auto& s =
+          dynamic_cast<backend::TincaBackend&>(stack.backend()).cache().stats();
+      *hits = s.write_hits;
+      *misses = s.write_misses;
+    } else {
+      // For Classic, count only workload-data writes: the paper's hit rate
+      // is about how well the cache serves the application, and journal-
+      // area rewrites would inflate it artificially.
+      const auto& s = dynamic_cast<backend::ClassicBackend&>(stack.backend())
+                          .stack()
+                          .cache()
+                          .stats();
+      *hits = s.data_write_hits;
+      *misses = s.data_write_misses;
+    }
+  };
+
+  const MetricSnapshot before = snapshot(stack);
+  const std::uint64_t txns_before = tpcc.stats().txns;
+  std::uint64_t hits_before = 0, misses_before = 0;
+  write_hits(&hits_before, &misses_before);
+
+  sim::EventQueue events;
+  sim::Resource storage;
+  const double convoy = 1.0 + p.convoy_alpha * (p.users - 1);
+  std::uint64_t completed = 0;
+
+  std::function<void(std::uint64_t, sim::Ns)> user_turn =
+      [&](std::uint64_t uid, sim::Ns now) {
+        if (now >= p.run_span) return;
+        Rng rng(uid * 7919 + completed);
+        const sim::Ns service = [&] {
+          const sim::CostProbe probe(stack.clock());
+          (void)tpcc.execute_txn(rng);
+          return probe.elapsed();
+        }();
+        const auto eff = static_cast<sim::Ns>(
+            static_cast<double>(service) * convoy +
+            static_cast<double>(p.db_cpu_ns));
+        const sim::Ns done = storage.acquire(now, eff);
+        if (done <= p.run_span) ++completed;
+        const auto think =
+            static_cast<sim::Ns>(rng.exponential(p.think_mean_ns));
+        if (done + think < p.run_span)
+          events.schedule_at(done + think,
+                             [&, uid](sim::Ns t) { user_turn(uid, t); });
+      };
+  Rng seed_rng(42);
+  for (std::uint32_t u = 0; u < p.users; ++u)
+    events.schedule_at(
+        static_cast<sim::Ns>(seed_rng.exponential(p.think_mean_ns)),
+        [&, u](sim::Ns t) { user_turn(u, t); });
+  events.run();
+
+  const MetricSnapshot after = snapshot(stack);
+  const std::uint64_t txns = tpcc.stats().txns - txns_before;
+  std::uint64_t hits_after = 0, misses_after = 0;
+  write_hits(&hits_after, &misses_after);
+
+  TpccDesResult out;
+  out.tpm = static_cast<double>(completed) /
+            (static_cast<double>(p.run_span) / 1e9) * 60.0;
+  out.clflush_per_txn = per_op(after.clflush, before.clflush, txns);
+  out.disk_per_txn = per_op(after.disk_writes, before.disk_writes, txns);
+  const double h = static_cast<double>(hits_after - hits_before);
+  const double m = static_cast<double>(misses_after - misses_before);
+  out.write_hit_rate = (h + m) == 0 ? 0.0 : h / (h + m) * 100.0;
+  return out;
+}
+
+}  // namespace tinca::bench

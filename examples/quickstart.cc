@@ -1,0 +1,79 @@
+// Quickstart: the Tinca public API in one file.
+//
+//   1. assemble a stack (virtual clock → emulated NVM → modelled SSD),
+//   2. format a Tinca cache on it,
+//   3. commit a multi-block transaction with the paper's primitives,
+//   4. read it back through the cache,
+//   5. remount (crash-recovery path) and show the data survived,
+//   6. print the cost counters the paper's evaluation is built on.
+//
+// Build and run:  ./build/examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "blockdev/latency_block_device.h"
+#include "blockdev/mem_block_device.h"
+#include "common/bytes.h"
+#include "tinca/tinca_cache.h"
+
+int main() {
+  using namespace tinca;
+
+  // --- 1. Devices -----------------------------------------------------------
+  sim::SimClock clock;                                  // virtual time
+  nvm::NvmDevice nvm(32 << 20, pcm_profile(), clock);   // 32 MB emulated PCM
+  blockdev::MemBlockDevice store(1 << 16);              // 256 MB "disk"
+  blockdev::LatencyBlockDevice ssd(store, ssd_profile(), clock);
+
+  // --- 2. Format the cache --------------------------------------------------
+  core::TincaConfig cfg;
+  cfg.ring_bytes = 1 << 20;  // the paper's 1 MB ring buffer
+  auto cache = core::TincaCache::format(nvm, ssd, cfg);
+  std::printf("Formatted Tinca cache: %llu data blocks, ring capacity %llu\n",
+              static_cast<unsigned long long>(cache->capacity_blocks()),
+              static_cast<unsigned long long>(cache->layout().ring_capacity));
+
+  // --- 3. A transaction: three blocks committed atomically ------------------
+  std::vector<std::byte> a(core::kBlockSize), b(core::kBlockSize),
+      c(core::kBlockSize);
+  fill_pattern(a, 1);
+  fill_pattern(b, 2);
+  fill_pattern(c, 3);
+
+  core::Transaction txn = cache->tinca_init_txn();
+  txn.add(/*disk block*/ 1001, a);
+  txn.add(1002, b);
+  txn.add(1003, c);
+  cache->tinca_commit(txn);  // durable on return — no journal double write
+  std::printf("Committed txn of 3 blocks; virtual time so far: %.1f us\n",
+              static_cast<double>(clock.now()) / 1000.0);
+
+  // --- 4. Read back through the cache ----------------------------------------
+  std::vector<std::byte> got(core::kBlockSize);
+  cache->read_block(1002, got);
+  std::printf("Read block 1002: %s\n",
+              fingerprint(got) == fingerprint(b) ? "contents OK" : "MISMATCH");
+
+  // --- 5. Remount: the cache is persistent ----------------------------------
+  cache.reset();  // drop all DRAM state (hash index, LRU, free lists)
+  auto remounted = core::TincaCache::recover(nvm, ssd, cfg);
+  remounted->read_block(1001, got);
+  std::printf("After remount, block 1001: %s (recovered %llu entries)\n",
+              fingerprint(got) == fingerprint(a) ? "contents OK" : "MISMATCH",
+              static_cast<unsigned long long>(
+                  remounted->stats().recovered_entries));
+
+  // --- 6. The paper's cost counters ------------------------------------------
+  std::printf("\nCost counters (what the paper's figures measure):\n");
+  std::printf("  cache-line flushes : %llu\n",
+              static_cast<unsigned long long>(nvm.stats().clflush));
+  std::printf("  sfences            : %llu\n",
+              static_cast<unsigned long long>(nvm.stats().sfence));
+  std::printf("  NVM bytes stored   : %llu\n",
+              static_cast<unsigned long long>(nvm.stats().bytes_stored));
+  std::printf("  disk blocks written: %llu\n",
+              static_cast<unsigned long long>(ssd.stats().blocks_written));
+  std::printf("  virtual time       : %.1f us\n",
+              static_cast<double>(clock.now()) / 1000.0);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// TxnBackend adapter over the Classic (Ext4+JBD2+Flashcache) stack.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "backend/txn_backend.h"
+#include "classic/classic_stack.h"
+
+namespace tinca::backend {
+
+/// Drives a ClassicStack through the uniform transactional surface.
+///
+/// With `cfg.journaling = false` this doubles as the paper's "Ext4 without
+/// journaling" ablation (no crash consistency, single writes).
+class ClassicBackend final : public TxnBackend {
+ public:
+  static std::unique_ptr<ClassicBackend> format(nvm::NvmDevice& nvm,
+                                                blockdev::BlockDevice& disk,
+                                                classic::ClassicConfig cfg = {}) {
+    return std::unique_ptr<ClassicBackend>(
+        new ClassicBackend(classic::ClassicStack::format(nvm, disk, cfg)));
+  }
+
+  static std::unique_ptr<ClassicBackend> recover(
+      nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
+      classic::ClassicConfig cfg = {}) {
+    return std::unique_ptr<ClassicBackend>(
+        new ClassicBackend(classic::ClassicStack::recover(nvm, disk, cfg)));
+  }
+
+  void begin() override {
+    TINCA_EXPECT(!txn_.has_value(), "transaction already open");
+    txn_.emplace(stack_->begin_txn());
+  }
+
+  void stage(std::uint64_t blkno, std::span<const std::byte> data) override {
+    TINCA_EXPECT(txn_.has_value(), "stage without begin");
+    txn_->add(blkno, data);
+  }
+
+  void commit() override {
+    TINCA_EXPECT(txn_.has_value(), "commit without begin");
+    stack_->commit(*txn_);
+    txn_.reset();
+  }
+
+  void abort() override {
+    TINCA_EXPECT(txn_.has_value(), "abort without begin");
+    stack_->abort(*txn_);
+    txn_.reset();
+  }
+
+  void read_block(std::uint64_t blkno, std::span<std::byte> dst) override {
+    stack_->read_block(blkno, dst);
+  }
+
+  void flush() override { stack_->flush_all(); }
+
+  [[nodiscard]] std::uint64_t data_block_limit() const override {
+    return stack_->data_block_limit();
+  }
+
+  [[nodiscard]] std::uint64_t max_txn_blocks() const override {
+    // Bounded by the journal ring (Journal::commit's capacity check).
+    return stack_->journaling() ? stack_->journal()->max_txn_blocks()
+                                : UINT64_MAX;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return stack_->journaling() ? "Classic" : "Classic-nojournal";
+  }
+
+  /// The underlying stack, for stats and tests.
+  [[nodiscard]] classic::ClassicStack& stack() { return *stack_; }
+
+ private:
+  explicit ClassicBackend(std::unique_ptr<classic::ClassicStack> stack)
+      : stack_(std::move(stack)) {}
+
+  std::unique_ptr<classic::ClassicStack> stack_;
+  std::optional<classic::ClassicTxn> txn_;
+};
+
+}  // namespace tinca::backend

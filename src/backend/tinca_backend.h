@@ -1,0 +1,82 @@
+// TxnBackend adapter over TincaCache.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "backend/txn_backend.h"
+#include "tinca/tinca_cache.h"
+
+namespace tinca::backend {
+
+/// Drives a TincaCache through the uniform transactional surface.
+class TincaBackend final : public TxnBackend {
+ public:
+  /// Format a fresh Tinca cache over `nvm` backed by `disk`.
+  static std::unique_ptr<TincaBackend> format(nvm::NvmDevice& nvm,
+                                              blockdev::BlockDevice& disk,
+                                              core::TincaConfig cfg = {}) {
+    return std::unique_ptr<TincaBackend>(
+        new TincaBackend(core::TincaCache::format(nvm, disk, cfg), disk));
+  }
+
+  /// Mount with crash recovery.
+  static std::unique_ptr<TincaBackend> recover(nvm::NvmDevice& nvm,
+                                               blockdev::BlockDevice& disk,
+                                               core::TincaConfig cfg = {}) {
+    return std::unique_ptr<TincaBackend>(
+        new TincaBackend(core::TincaCache::recover(nvm, disk, cfg), disk));
+  }
+
+  void begin() override {
+    TINCA_EXPECT(!txn_.has_value(), "transaction already open");
+    txn_.emplace(cache_->tinca_init_txn());
+  }
+
+  void stage(std::uint64_t blkno, std::span<const std::byte> data) override {
+    TINCA_EXPECT(txn_.has_value(), "stage without begin");
+    txn_->add(blkno, data);
+  }
+
+  void commit() override {
+    TINCA_EXPECT(txn_.has_value(), "commit without begin");
+    cache_->tinca_commit(*txn_);
+    txn_.reset();
+  }
+
+  void abort() override {
+    TINCA_EXPECT(txn_.has_value(), "abort without begin");
+    cache_->tinca_abort(*txn_);
+    txn_.reset();
+  }
+
+  void read_block(std::uint64_t blkno, std::span<std::byte> dst) override {
+    cache_->read_block(blkno, dst);
+  }
+
+  void flush() override { cache_->flush_dirty(); }
+
+  [[nodiscard]] std::uint64_t data_block_limit() const override {
+    return disk_.block_count();
+  }
+
+  [[nodiscard]] std::uint64_t max_txn_blocks() const override {
+    return cache_->max_txn_blocks();
+  }
+
+  [[nodiscard]] std::string name() const override { return "Tinca"; }
+
+  /// The underlying cache, for stats and tests.
+  [[nodiscard]] core::TincaCache& cache() { return *cache_; }
+
+ private:
+  TincaBackend(std::unique_ptr<core::TincaCache> cache,
+               blockdev::BlockDevice& disk)
+      : cache_(std::move(cache)), disk_(disk) {}
+
+  std::unique_ptr<core::TincaCache> cache_;
+  blockdev::BlockDevice& disk_;
+  std::optional<core::Transaction> txn_;
+};
+
+}  // namespace tinca::backend

@@ -1,0 +1,51 @@
+// Uniform transactional block-store interface.
+//
+// The file system and all workload generators drive the storage stack
+// through this surface so every experiment can swap Tinca for Classic (or
+// the §3 ablation variants) without touching workload code.  The model is
+// one open transaction at a time — matching both JBD2's running transaction
+// and Tinca's running transaction — staged in DRAM until commit().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace tinca::backend {
+
+/// Abstract transactional block backend (4 KB blocks).
+class TxnBackend {
+ public:
+  virtual ~TxnBackend() = default;
+
+  /// Open the running transaction.  At most one may be open.
+  virtual void begin() = 0;
+
+  /// Stage a whole-block update into the running transaction.
+  virtual void stage(std::uint64_t blkno, std::span<const std::byte> data) = 0;
+
+  /// Durably commit the running transaction (atomic all-or-nothing).
+  virtual void commit() = 0;
+
+  /// Abort the running transaction; staged updates are discarded.
+  virtual void abort() = 0;
+
+  /// Read a block.  Sees all *committed* data (staged-but-uncommitted data
+  /// is the caller's to overlay — the file system's page cache does).
+  virtual void read_block(std::uint64_t blkno, std::span<std::byte> dst) = 0;
+
+  /// Push everything down to the disk (unmount path).
+  virtual void flush() = 0;
+
+  /// Number of data blocks addressable by callers (the Classic backend
+  /// reserves its journal area above this limit).
+  [[nodiscard]] virtual std::uint64_t data_block_limit() const = 0;
+
+  /// Largest number of blocks one transaction may contain.
+  [[nodiscard]] virtual std::uint64_t max_txn_blocks() const = 0;
+
+  /// Human-readable backend name for bench output.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace tinca::backend

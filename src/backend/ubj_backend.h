@@ -1,0 +1,92 @@
+// TxnBackend adapter over the UBJ store (§5.4.4 comparison baseline).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/txn_backend.h"
+#include "ubj/ubj_store.h"
+
+namespace tinca::backend {
+
+/// Drives a UbjStore through the uniform transactional surface.
+class UbjBackend final : public TxnBackend {
+ public:
+  static std::unique_ptr<UbjBackend> format(nvm::NvmDevice& nvm,
+                                            blockdev::BlockDevice& disk,
+                                            ubj::UbjConfig cfg = {}) {
+    return std::unique_ptr<UbjBackend>(
+        new UbjBackend(ubj::UbjStore::format(nvm, disk, cfg), disk));
+  }
+
+  static std::unique_ptr<UbjBackend> recover(nvm::NvmDevice& nvm,
+                                             blockdev::BlockDevice& disk,
+                                             ubj::UbjConfig cfg = {}) {
+    return std::unique_ptr<UbjBackend>(
+        new UbjBackend(ubj::UbjStore::recover(nvm, disk, cfg), disk));
+  }
+
+  void begin() override {
+    TINCA_EXPECT(!open_, "transaction already open");
+    open_ = true;
+  }
+
+  void stage(std::uint64_t blkno, std::span<const std::byte> data) override {
+    TINCA_EXPECT(open_, "stage without begin");
+    auto [it, inserted] = staged_.try_emplace(blkno);
+    if (inserted) order_.push_back(blkno);
+    it->second.assign(data.begin(), data.end());
+  }
+
+  void commit() override {
+    TINCA_EXPECT(open_, "commit without begin");
+    std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> blocks;
+    blocks.reserve(order_.size());
+    for (std::uint64_t blkno : order_)
+      blocks.emplace_back(blkno, std::move(staged_[blkno]));
+    store_->commit_txn(blocks);
+    clear();
+  }
+
+  void abort() override {
+    TINCA_EXPECT(open_, "abort without begin");
+    clear();
+  }
+
+  void read_block(std::uint64_t blkno, std::span<std::byte> dst) override {
+    store_->read_block(blkno, dst);
+  }
+
+  void flush() override { store_->checkpoint_all(); }
+
+  [[nodiscard]] std::uint64_t data_block_limit() const override {
+    return disk_.block_count();
+  }
+
+  [[nodiscard]] std::uint64_t max_txn_blocks() const override {
+    return store_->capacity_blocks() / 3;
+  }
+
+  [[nodiscard]] std::string name() const override { return "UBJ"; }
+
+  [[nodiscard]] ubj::UbjStore& store() { return *store_; }
+
+ private:
+  UbjBackend(std::unique_ptr<ubj::UbjStore> store, blockdev::BlockDevice& disk)
+      : store_(std::move(store)), disk_(disk) {}
+
+  void clear() {
+    open_ = false;
+    staged_.clear();
+    order_.clear();
+  }
+
+  std::unique_ptr<ubj::UbjStore> store_;
+  blockdev::BlockDevice& disk_;
+  bool open_ = false;
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> staged_;
+  std::vector<std::uint64_t> order_;
+};
+
+}  // namespace tinca::backend

@@ -1,0 +1,63 @@
+// RAM-backed sparse block store.
+//
+// Backing "disks" in the experiments are hundreds of thousands of blocks of
+// which only the written subset matters; a sparse map keeps memory bounded
+// by the touched working set.  Unwritten blocks read as zeros, matching a
+// freshly trimmed device.
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "blockdev/block_device.h"
+#include "common/expect.h"
+
+namespace tinca::blockdev {
+
+/// In-memory sparse block device; no latency model (wrap with
+/// LatencyBlockDevice for timed experiments).
+class MemBlockDevice final : public BlockDevice {
+ public:
+  explicit MemBlockDevice(std::uint64_t block_count)
+      : block_count_(block_count) {}
+
+  [[nodiscard]] std::uint64_t block_count() const override {
+    return block_count_;
+  }
+
+  void read(std::uint64_t blkno, std::span<std::byte> dst) override {
+    TINCA_EXPECT(blkno < block_count_, "read beyond device");
+    TINCA_EXPECT(dst.size() == kBlockSize, "short read buffer");
+    auto it = blocks_.find(blkno);
+    if (it == blocks_.end()) {
+      std::memset(dst.data(), 0, kBlockSize);
+    } else {
+      std::memcpy(dst.data(), it->second->data(), kBlockSize);
+    }
+    ++stats_.blocks_read;
+  }
+
+  void write(std::uint64_t blkno, std::span<const std::byte> src) override {
+    TINCA_EXPECT(blkno < block_count_, "write beyond device");
+    TINCA_EXPECT(src.size() == kBlockSize, "short write buffer");
+    auto& slot = blocks_[blkno];
+    if (!slot) slot = std::make_unique<Block>();
+    std::memcpy(slot->data(), src.data(), kBlockSize);
+    ++stats_.blocks_written;
+  }
+
+  [[nodiscard]] const BlockStats& stats() const override { return stats_; }
+
+  /// Number of materialized (ever-written) blocks.
+  [[nodiscard]] std::size_t resident_blocks() const { return blocks_.size(); }
+
+ private:
+  using Block = std::array<std::byte, kBlockSize>;
+  std::uint64_t block_count_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Block>> blocks_;
+  BlockStats stats_;
+};
+
+}  // namespace tinca::blockdev

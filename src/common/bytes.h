@@ -1,0 +1,62 @@
+// Little-endian field codecs for persistent structures.
+//
+// Persistent layouts (cache entries, journal blocks, MiniFs metadata) are
+// defined byte-by-byte rather than by struct overlay, so the on-"media"
+// format is independent of host padding/alignment and the 7-byte disk block
+// number field of a Tinca cache entry (paper Fig 5) can be expressed exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "common/expect.h"
+
+namespace tinca {
+
+/// Write `value`'s low `nbytes` bytes little-endian at `dst`.
+inline void store_le(std::byte* dst, std::uint64_t value, std::size_t nbytes) {
+  TINCA_EXPECT(nbytes <= 8, "store_le width");
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    dst[i] = static_cast<std::byte>(value & 0xFF);
+    value >>= 8;
+  }
+}
+
+/// Read `nbytes` little-endian bytes at `src` into a uint64.
+inline std::uint64_t load_le(const std::byte* src, std::size_t nbytes) {
+  TINCA_EXPECT(nbytes <= 8, "load_le width");
+  std::uint64_t value = 0;
+  for (std::size_t i = nbytes; i-- > 0;) {
+    value = (value << 8) | static_cast<std::uint64_t>(src[i]);
+  }
+  return value;
+}
+
+/// Fill a span with a repeating byte pattern derived from `seed` — used by
+/// tests and workload generators to create verifiable block payloads.
+inline void fill_pattern(std::span<std::byte> dst, std::uint64_t seed) {
+  std::uint64_t x = seed * 0x9E3779B97F4A7C15ULL + 1;
+  std::size_t i = 0;
+  while (i + 8 <= dst.size()) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    std::memcpy(dst.data() + i, &x, 8);
+    i += 8;
+  }
+  for (; i < dst.size(); ++i) dst[i] = static_cast<std::byte>(x >> ((i % 8) * 8));
+}
+
+/// 64-bit FNV-1a over a span — cheap content fingerprint for tests.
+inline std::uint64_t fingerprint(std::span<const std::byte> data) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace tinca

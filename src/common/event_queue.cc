@@ -1,0 +1,36 @@
+#include "common/event_queue.h"
+
+#include <utility>
+
+#include "common/expect.h"
+
+namespace tinca::sim {
+
+void EventQueue::schedule_at(Ns when, Callback cb) {
+  TINCA_EXPECT(when >= now_, "scheduling into the past");
+  heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+Ns EventQueue::run() {
+  while (!heap_.empty()) {
+    // Copy out before pop: the callback may schedule new events.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ev.cb(now_);
+  }
+  return now_;
+}
+
+Ns EventQueue::run_until(Ns deadline) {
+  while (!heap_.empty() && heap_.top().when <= deadline) {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ev.cb(now_);
+  }
+  if (!heap_.empty() && now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace tinca::sim

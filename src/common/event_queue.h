@@ -1,0 +1,112 @@
+// Discrete-event scheduler for multi-user / multi-node experiments.
+//
+// The paper's TPC-C (Fig 8) and cluster (Figs 10, 11) experiments involve
+// concurrent actors — database users contending on a commit path, data nodes
+// replicating over a network.  We model them with a classic discrete-event
+// simulation: actors schedule callbacks at future virtual times; shared
+// resources (the storage stack's commit lock, network links, node storage)
+// are modelled as Resource objects that serialize access.
+//
+// Storage *service times* are obtained by actually running the real cache
+// code under a SimClock cost probe, so contention effects emerge from
+// measured costs rather than hand-tuned constants (DESIGN.md §5.5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace tinca::sim {
+
+/// Priority queue of timed callbacks; ties broken by insertion order so runs
+/// are fully deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void(Ns now)>;
+
+  /// Schedule `cb` to run at absolute virtual time `when` (>= now()).
+  void schedule_at(Ns when, Callback cb);
+
+  /// Schedule `cb` to run `delay` after the current time.
+  void schedule_after(Ns delay, Callback cb) {
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Current simulation time (time of the event being processed, or of the
+  /// last processed event).
+  [[nodiscard]] Ns now() const { return now_; }
+
+  /// Run events until the queue is empty. Returns the final time.
+  Ns run();
+
+  /// Run events with time <= `deadline`; later events remain queued.
+  /// Returns the simulation time after the run (== deadline if any events
+  /// remain beyond it).
+  Ns run_until(Ns deadline);
+
+  /// True if no events are pending.
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    Ns when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  Ns now_ = 0;
+};
+
+/// A serially-reusable resource (commit lock, disk queue, network link).
+///
+/// `acquire(now, service)` returns the time at which a request arriving at
+/// `now` and holding the resource for `service` completes, FIFO-queued behind
+/// earlier holders.  This is an analytic shortcut equivalent to queueing
+/// callbacks, and is exact for FIFO single-server resources.
+class Resource {
+ public:
+  /// Returns completion time of a request arriving at `now` needing
+  /// `service` time of exclusive use.
+  Ns acquire(Ns now, Ns service) {
+    const Ns start = busy_until_ > now ? busy_until_ : now;
+    busy_until_ = start + service;
+    total_busy_ += service;
+    ++requests_;
+    if (start > now) total_wait_ += start - now;
+    return busy_until_;
+  }
+
+  /// Time the resource becomes free.
+  [[nodiscard]] Ns busy_until() const { return busy_until_; }
+
+  /// Total service time accumulated (utilization numerator).
+  [[nodiscard]] Ns total_busy() const { return total_busy_; }
+
+  /// Total time requests spent queued before service.
+  [[nodiscard]] Ns total_wait() const { return total_wait_; }
+
+  /// Number of requests served.
+  [[nodiscard]] std::uint64_t requests() const { return requests_; }
+
+ private:
+  Ns busy_until_ = 0;
+  Ns total_busy_ = 0;
+  Ns total_wait_ = 0;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace tinca::sim

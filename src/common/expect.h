@@ -1,0 +1,48 @@
+// Lightweight precondition / invariant checking used across the library.
+//
+// Following the C++ Core Guidelines (I.6 "Prefer Expects() for expressing
+// preconditions", E.12), violated contracts throw rather than abort so that
+// tests can assert on misuse and the crash-injection harness can unwind
+// cleanly through the simulated storage stack.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tinca {
+
+/// Thrown when a TINCA_EXPECT / TINCA_ENSURE contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace tinca
+
+/// Precondition check: argument / caller error.
+#define TINCA_EXPECT(cond, msg)                                               \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::tinca::detail::contract_fail("Precondition", #cond, __FILE__,         \
+                                     __LINE__, (msg));                        \
+  } while (0)
+
+/// Postcondition / internal-invariant check: implementation error.
+#define TINCA_ENSURE(cond, msg)                                               \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::tinca::detail::contract_fail("Invariant", #cond, __FILE__, __LINE__,  \
+                                     (msg));                                  \
+  } while (0)

@@ -1,0 +1,70 @@
+#include "common/histogram.h"
+
+#include <bit>
+#include <sstream>
+
+namespace tinca {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+void Histogram::record(std::uint64_t value) {
+  const int b = value == 0 ? 0 : std::bit_width(value) - 1;
+  buckets_[static_cast<std::size_t>(b)]++;
+  count_++;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen > target) {
+      // Upper bound of bucket i, clamped to the true max.
+      const std::uint64_t hi =
+          i >= 63 ? UINT64_MAX : ((std::uint64_t{1} << (i + 1)) - 1);
+      return hi < max_ ? hi : max_;
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i)
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
+void Histogram::clear() {
+  buckets_.assign(kBuckets, 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " p50=" << quantile(0.50)
+     << " p95=" << quantile(0.95) << " p99=" << quantile(0.99)
+     << " max=" << max();
+  return os.str();
+}
+
+}  // namespace tinca

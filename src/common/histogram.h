@@ -1,0 +1,57 @@
+// Fixed-bucket latency/size histogram used by benches and workload stats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tinca {
+
+/// Log-scaled histogram: bucket i covers [2^i, 2^(i+1)).  Cheap to update on
+/// the hot path (a single bit-scan) and good enough for the percentile
+/// summaries the benches print (p50/p95/p99/max).
+class Histogram {
+ public:
+  Histogram();
+
+  /// Record one sample (any unit; callers keep units consistent).
+  void record(std::uint64_t value);
+
+  /// Number of recorded samples.
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+  /// Sum of recorded samples.
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+
+  /// Arithmetic mean (0 if empty).
+  [[nodiscard]] double mean() const;
+
+  /// Approximate quantile in [0,1]: returns the upper bound of the bucket
+  /// containing that quantile (0 if empty).
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+  /// Largest recorded sample (exact).
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+
+  /// Smallest recorded sample (exact; 0 if empty).
+  [[nodiscard]] std::uint64_t min() const { return count_ ? min_ : 0; }
+
+  /// Merge another histogram into this one.
+  void merge(const Histogram& other);
+
+  /// Reset to empty.
+  void clear();
+
+  /// One-line human-readable summary: "n=... mean=... p50=... p99=... max=...".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace tinca

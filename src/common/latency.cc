@@ -1,0 +1,117 @@
+#include "common/latency.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/expect.h"
+
+namespace tinca {
+
+namespace {
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+}  // namespace
+
+NvmProfile nvdimm_profile() {
+  NvmProfile p;
+  p.name = "NVDIMM";
+  p.write_extra_ns = 0;
+  p.read_extra_ns = 0;
+  return p;
+}
+
+NvmProfile pcm_profile() {
+  NvmProfile p;
+  p.name = "PCM";
+  p.write_extra_ns = 180;  // §5.1: +180 ns write delay
+  p.read_extra_ns = 50;    // §5.1: +50 ns read delay
+  return p;
+}
+
+NvmProfile sttram_profile() {
+  NvmProfile p;
+  p.name = "STT-RAM";
+  p.write_extra_ns = 50;  // §5.4.1: +50/50 ns
+  p.read_extra_ns = 50;
+  return p;
+}
+
+NvmProfile reram_profile() {
+  NvmProfile p;
+  p.name = "ReRAM";
+  p.write_extra_ns = 250;  // Table 1: slower than PCM writes at line scale
+  p.read_extra_ns = 100;
+  return p;
+}
+
+NvmProfile with_clwb(NvmProfile base) {
+  base.name += "+clwb";
+  base.clflush_ns = 15;  // no invalidation, weaker ordering: cheaper issue
+  return base;
+}
+
+NvmProfile nvm_profile_by_name(const std::string& name) {
+  std::string n = lower(name);
+  bool clwb = false;
+  if (const auto pos = n.find("+clwb"); pos != std::string::npos) {
+    clwb = true;
+    n.erase(pos);
+  }
+  NvmProfile p;
+  if (n == "nvdimm" || n == "dram") {
+    p = nvdimm_profile();
+  } else if (n == "pcm") {
+    p = pcm_profile();
+  } else if (n == "sttram" || n == "stt-ram") {
+    p = sttram_profile();
+  } else if (n == "reram") {
+    p = reram_profile();
+  } else {
+    TINCA_EXPECT(false, "unknown NVM profile: " + name);
+  }
+  return clwb ? with_clwb(p) : p;
+}
+
+DiskProfile ssd_profile() {
+  DiskProfile p;
+  p.name = "SSD";
+  p.request_overhead_ns = 20 * sim::kUsec;
+  p.write_block_ns = 70 * sim::kUsec;
+  p.read_block_ns = 60 * sim::kUsec;
+  p.seek_ns = 0;
+  p.internal_parallelism = 4;
+  return p;
+}
+
+DiskProfile hdd_profile() {
+  DiskProfile p;
+  p.name = "HDD";
+  p.request_overhead_ns = 50 * sim::kUsec;
+  // 7.2k RPM: ~4.2 ms rotational half-period + ~4 ms seek on random access;
+  // media transfer ~150 MB/s → ~27 µs per 4 KB once positioned.
+  p.write_block_ns = 27 * sim::kUsec;
+  p.read_block_ns = 27 * sim::kUsec;
+  p.seek_ns = 8 * sim::kMsec;
+  return p;
+}
+
+DiskProfile disk_profile_by_name(const std::string& name) {
+  const std::string n = lower(name);
+  if (n == "ssd") return ssd_profile();
+  if (n == "hdd") return hdd_profile();
+  TINCA_EXPECT(false, "unknown disk profile: " + name);
+  return {};
+}
+
+NetProfile tengig_profile() {
+  NetProfile p;
+  p.name = "10GbE";
+  p.rtt_ns = 100 * sim::kUsec;
+  p.bytes_per_sec = 1.25e9;
+  return p;
+}
+
+}  // namespace tinca

@@ -1,0 +1,136 @@
+// Deterministic pseudo-random generators for workload synthesis.
+//
+// We use xoshiro256** rather than std::mt19937 because workload generation is
+// on the hot path of every benchmark (hundreds of millions of draws) and
+// because its state is small enough to embed one generator per simulated
+// user/stream, keeping runs reproducible under any interleaving.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/expect.h"
+
+namespace tinca {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit draw.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be nonzero.
+  std::uint64_t below(std::uint64_t bound) {
+    TINCA_EXPECT(bound != 0, "Rng::below(0)");
+    // Lemire's multiply-shift rejection method: unbiased and div-free.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    TINCA_EXPECT(lo <= hi, "Rng::range lo > hi");
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Exponentially distributed draw with the given mean (for think times).
+  double exponential(double mean) {
+    double u = uniform01();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * __builtin_log(u);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Zipf(θ) distribution over [0, n) using the Gray et al. (SIGMOD'94)
+/// computation, the standard generator for skewed storage workloads
+/// (TPC-C item popularity, web-proxy object popularity).
+class Zipf {
+ public:
+  /// `n` items with skew `theta` in [0, 1). theta = 0 is uniform;
+  /// theta ≈ 0.99 is the YCSB default "hot-spot" skew.
+  Zipf(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+    TINCA_EXPECT(n > 0, "Zipf over empty domain");
+    TINCA_EXPECT(theta >= 0.0 && theta < 1.0, "Zipf theta out of [0,1)");
+    zetan_ = zeta(n, theta);
+    zeta2_ = zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - __builtin_pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  /// Draw an item index in [0, n); index 0 is the hottest item.
+  std::uint64_t draw(Rng& rng) const {
+    const double u = rng.uniform01();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + __builtin_pow(0.5, theta_)) return 1;
+    const auto v = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        __builtin_pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+  }
+
+  [[nodiscard]] std::uint64_t domain() const { return n_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+      sum += 1.0 / __builtin_pow(static_cast<double>(i), theta);
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace tinca

@@ -1,0 +1,65 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "common/expect.h"
+
+namespace tinca {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  TINCA_EXPECT(cells.size() == headers_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  " << std::setw(static_cast<int>(width[c]))
+         << (c == 0 ? std::left : std::right) << row[c]
+         << std::resetiosflags(std::ios::adjustfield);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  os << "  ";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(width[c], '-');
+    if (c + 1 < headers_.size()) os << "  ";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::num(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+std::string Table::num(std::uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tinca

@@ -1,0 +1,35 @@
+// Minimal fixed-width table printer for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's figures as a text table
+// with the same rows/series the figure plots; this helper keeps the output
+// format uniform across binaries so EXPERIMENTS.md can quote it directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tinca {
+
+/// Column-aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule and right-aligned numeric-looking cells.
+  [[nodiscard]] std::string render() const;
+
+  /// Convenience: format a double with `prec` digits after the point.
+  static std::string num(double v, int prec = 2);
+
+  /// Convenience: format an integer with thousands separators.
+  static std::string num(std::uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tinca

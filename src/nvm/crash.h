@@ -1,0 +1,65 @@
+// Crash-injection hooks for persistence-ordering tests.
+//
+// The paper validates recoverability by "unexpectedly plugging out the power
+// cable" and "suddenly killing Tinca's process" (§5.1).  In user space we get
+// a strictly stronger tool: the commit path is instrumented with numbered
+// crash points, and the test harness sweeps a simulated power failure across
+// *every* point (and every subset of surviving unflushed cache lines), then
+// runs recovery and checks the consistency invariants.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+
+namespace tinca::nvm {
+
+/// Thrown to simulate an instantaneous power failure.  Deliberately not
+/// derived from std::runtime_error: nothing in the storage stack is allowed
+/// to catch-and-continue past it except the test harness.
+class CrashException : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "simulated power failure";
+  }
+};
+
+/// Counts instrumented crash points and fires at an armed step.
+///
+/// Usage: production code calls `point()` at each persistence-ordering
+/// boundary.  A disarmed injector only counts (negligible cost).  Tests first
+/// run a workload disarmed to learn the step count, then re-run once per step
+/// with `arm(step)` to crash exactly there.
+class CrashInjector {
+ public:
+  /// Arm the injector: the `step`-th future call to point() (1-based) throws.
+  void arm(std::uint64_t step) {
+    armed_ = true;
+    fire_at_ = step;
+    seen_ = 0;
+  }
+
+  /// Disarm; point() only counts.
+  void disarm() {
+    armed_ = false;
+    seen_ = 0;
+  }
+
+  /// Crash-point marker.  Throws CrashException when the armed step is hit.
+  void point() {
+    ++seen_;
+    if (armed_ && seen_ == fire_at_) throw CrashException();
+  }
+
+  /// Number of points passed since the last arm()/disarm().
+  [[nodiscard]] std::uint64_t steps_seen() const { return seen_; }
+
+  /// Whether armed.
+  [[nodiscard]] bool armed() const { return armed_; }
+
+ private:
+  bool armed_ = false;
+  std::uint64_t fire_at_ = 0;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace tinca::nvm

@@ -1,0 +1,149 @@
+#include "nvm/nvm_device.h"
+
+#include <cstring>
+
+#include "common/expect.h"
+
+namespace tinca::nvm {
+
+NvmDevice::NvmDevice(std::size_t size, NvmProfile profile, sim::SimClock& clock)
+    : profile_(std::move(profile)),
+      clock_(clock),
+      volatile_(size),
+      persistent_(size),
+      dirty_(size / kLineSize, 0),
+      line_writes_(size / kLineSize, 0) {
+  TINCA_EXPECT(size > 0 && size % kLineSize == 0,
+               "NVM size must be a positive multiple of the line size");
+}
+
+void NvmDevice::mark_dirty(std::size_t line) {
+  if (!dirty_[line]) {
+    dirty_[line] = 1;
+    ++dirty_count_;
+  }
+}
+
+void NvmDevice::store(std::uint64_t off, std::span<const std::byte> src) {
+  TINCA_EXPECT(off + src.size() <= volatile_.size(), "store out of range");
+  std::memcpy(volatile_.data() + off, src.data(), src.size());
+  const std::size_t first = off / kLineSize;
+  const std::size_t last = (off + src.size() - 1) / kLineSize;
+  for (std::size_t line = first; line <= last; ++line) mark_dirty(line);
+  ++stats_.stores;
+  stats_.bytes_stored += src.size();
+  // Store into the CPU cache: charged at DRAM-bus cost per line touched.
+  clock_.advance((last - first + 1) * profile_.base_line_ns);
+}
+
+void NvmDevice::load(std::uint64_t off, std::span<std::byte> dst) const {
+  TINCA_EXPECT(off + dst.size() <= volatile_.size(), "load out of range");
+  std::memcpy(dst.data(), volatile_.data() + off, dst.size());
+  const std::size_t lines = (dst.size() + kLineSize - 1) / kLineSize;
+  auto& self = const_cast<NvmDevice&>(*this);
+  self.stats_.lines_loaded += lines;
+  self.clock_.advance(lines * profile_.line_read_cost());
+}
+
+void NvmDevice::load_nocharge(std::uint64_t off, std::span<std::byte> dst) const {
+  TINCA_EXPECT(off + dst.size() <= volatile_.size(), "load out of range");
+  std::memcpy(dst.data(), volatile_.data() + off, dst.size());
+}
+
+void NvmDevice::clflush(std::uint64_t off, std::size_t len) {
+  TINCA_EXPECT(len > 0 && off + len <= volatile_.size(), "clflush out of range");
+  const std::size_t first = off / kLineSize;
+  const std::size_t last = (off + len - 1) / kLineSize;
+  for (std::size_t line = first; line <= last; ++line) {
+    ++stats_.clflush;
+    if (dirty_[line]) {
+      std::memcpy(persistent_.data() + line * kLineSize,
+                  volatile_.data() + line * kLineSize, kLineSize);
+      dirty_[line] = 0;
+      --dirty_count_;
+      ++line_writes_[line];
+      clock_.advance(profile_.line_flush_cost());
+    } else {
+      // clflush of a clean line still costs the instruction.
+      clock_.advance(profile_.clflush_ns);
+    }
+  }
+}
+
+void NvmDevice::sfence() {
+  ++stats_.sfence;
+  clock_.advance(profile_.sfence_ns);
+}
+
+void NvmDevice::atomic_store8(std::uint64_t off, std::uint64_t value) {
+  TINCA_EXPECT(off % 8 == 0, "atomic_store8 requires 8-byte alignment");
+  TINCA_EXPECT(off + 8 <= volatile_.size(), "atomic_store8 out of range");
+  std::memcpy(volatile_.data() + off, &value, 8);
+  mark_dirty(off / kLineSize);
+  ++stats_.atomic8;
+  stats_.bytes_stored += 8;
+  clock_.advance(profile_.base_line_ns);
+}
+
+void NvmDevice::atomic_store16(std::uint64_t off,
+                               std::span<const std::byte, 16> value) {
+  TINCA_EXPECT(off % 16 == 0, "atomic_store16 requires 16-byte alignment");
+  TINCA_EXPECT(off + 16 <= volatile_.size(), "atomic_store16 out of range");
+  std::memcpy(volatile_.data() + off, value.data(), 16);
+  mark_dirty(off / kLineSize);
+  ++stats_.atomic16;
+  stats_.bytes_stored += 16;
+  // LOCK cmpxchg16b is pricier than a plain store.
+  clock_.advance(profile_.base_line_ns + 20);
+}
+
+std::uint64_t NvmDevice::load8(std::uint64_t off) const {
+  TINCA_EXPECT(off % 8 == 0, "load8 requires 8-byte alignment");
+  TINCA_EXPECT(off + 8 <= volatile_.size(), "load8 out of range");
+  std::uint64_t value = 0;
+  std::memcpy(&value, volatile_.data() + off, 8);
+  auto& self = const_cast<NvmDevice&>(*this);
+  ++self.stats_.lines_loaded;
+  self.clock_.advance(profile_.line_read_cost());
+  return value;
+}
+
+void NvmDevice::crash(Rng& rng, double survive_prob) {
+  ++stats_.crashes;
+  for (std::size_t line = 0; line < dirty_.size(); ++line) {
+    if (!dirty_[line]) continue;
+    if (rng.chance(survive_prob)) {
+      // This line happened to be written back before power was lost.
+      std::memcpy(persistent_.data() + line * kLineSize,
+                  volatile_.data() + line * kLineSize, kLineSize);
+      ++line_writes_[line];
+    }
+    dirty_[line] = 0;
+  }
+  dirty_count_ = 0;
+  volatile_ = persistent_;
+}
+
+NvmDevice::WearReport NvmDevice::wear() const {
+  WearReport report;
+  for (const std::uint32_t w : line_writes_) {
+    report.total_line_writes += w;
+    if (w > report.max_line_writes) report.max_line_writes = w;
+    if (w > 0) ++report.lines_touched;
+  }
+  report.mean_line_writes =
+      line_writes_.empty()
+          ? 0.0
+          : static_cast<double>(report.total_line_writes) /
+                static_cast<double>(line_writes_.size());
+  return report;
+}
+
+void NvmDevice::crash_discard_all() {
+  ++stats_.crashes;
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  dirty_count_ = 0;
+  volatile_ = persistent_;
+}
+
+}  // namespace tinca::nvm

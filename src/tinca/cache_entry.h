@@ -1,0 +1,83 @@
+// The 16-byte Tinca cache entry (paper Fig 5).
+//
+// Layout, least-significant byte first:
+//
+//   byte 0      flags: bit0 VALID, bit1 ROLE (1 = log block, 0 = buffer
+//               block), bit2 MODIFIED (dirty)
+//   bytes 1–7   on-disk block number (56 bits)
+//   bytes 8–11  previous NVM block number (32 bits); kFresh if the block was
+//               not cached before this transaction (write miss)
+//   bytes 12–15 current NVM block number (32 bits)
+//
+// An entry is exactly 16 bytes and 16-byte aligned in the entry table, so it
+// can be installed with a single LOCK cmpxchg16b (modelled by
+// NvmDevice::atomic_store16) and can never tear across cache lines.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+#include "common/expect.h"
+
+namespace tinca::core {
+
+/// Role of a cached block in the commit protocol (§4.3).
+enum class Role : std::uint8_t {
+  kBuffer = 0,  ///< stationary; eligible for replacement
+  kLog = 1,     ///< part of the in-flight committing transaction; pinned
+};
+
+/// Decoded form of the 16 B persistent cache entry.
+struct CacheEntry {
+  /// Sentinel "previous NVM block" for write misses (paper's FRESH tag).
+  static constexpr std::uint32_t kFresh = 0xFFFF'FFFFu;
+  /// Largest representable on-disk block number (7 bytes).
+  static constexpr std::uint64_t kMaxDiskBlock = (1ULL << 56) - 1;
+
+  bool valid = false;
+  Role role = Role::kBuffer;
+  bool modified = false;
+  std::uint64_t disk_blkno = 0;
+  std::uint32_t prev_nvm = kFresh;
+  std::uint32_t curr_nvm = 0;
+
+  /// Serialize to the persistent 16 B format.
+  [[nodiscard]] std::array<std::byte, 16> encode() const {
+    TINCA_EXPECT(disk_blkno <= kMaxDiskBlock, "disk block number exceeds 56 bits");
+    std::array<std::byte, 16> raw{};
+    std::uint8_t flags = 0;
+    if (valid) flags |= 0x01;
+    if (role == Role::kLog) flags |= 0x02;
+    if (modified) flags |= 0x04;
+    raw[0] = static_cast<std::byte>(flags);
+    store_le(raw.data() + 1, disk_blkno, 7);
+    store_le(raw.data() + 8, prev_nvm, 4);
+    store_le(raw.data() + 12, curr_nvm, 4);
+    return raw;
+  }
+
+  /// Parse the persistent 16 B format.
+  static CacheEntry decode(std::span<const std::byte, 16> raw) {
+    CacheEntry e;
+    const auto flags = static_cast<std::uint8_t>(raw[0]);
+    e.valid = (flags & 0x01) != 0;
+    e.role = (flags & 0x02) != 0 ? Role::kLog : Role::kBuffer;
+    e.modified = (flags & 0x04) != 0;
+    e.disk_blkno = load_le(raw.data() + 1, 7);
+    e.prev_nvm = static_cast<std::uint32_t>(load_le(raw.data() + 8, 4));
+    e.curr_nvm = static_cast<std::uint32_t>(load_le(raw.data() + 12, 4));
+    return e;
+  }
+
+  /// True if this entry carries the revoke marker (prev == curr), written by
+  /// crash recovery to make repeated revocation idempotent (DESIGN.md §5).
+  [[nodiscard]] bool revoke_marker() const {
+    return valid && prev_nvm != kFresh && prev_nvm == curr_nvm;
+  }
+
+  bool operator==(const CacheEntry&) const = default;
+};
+
+}  // namespace tinca::core

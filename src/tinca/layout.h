@@ -1,0 +1,94 @@
+// Tinca's NVM space layout (paper Fig 5).
+//
+//   [ superblock | ring buffer | cache entry table | data blocks ... ]
+//
+// The superblock keeps the format identity plus the persistent Head and Tail
+// ring pointers, each on its own cache line so flushing one never drags the
+// other along.  The ring buffer is a contiguous array of 8 B on-disk block
+// numbers (default 1 MB, §5.1).  The entry table holds one 16 B entry per
+// data block; the rest of the device is 4 KB cached data blocks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/expect.h"
+
+namespace tinca::core {
+
+/// Cached block size (§4.2: the data area is managed in 4 KB units).
+constexpr std::uint64_t kBlockSize = 4096;
+
+/// Computed byte offsets for every region of the NVM device.
+struct Layout {
+  static constexpr std::uint64_t kMagic = 0x54494E43'41434845ULL;  // "TINCACHE"
+  static constexpr std::uint64_t kVersion = 1;
+
+  // Superblock field offsets (each field is 8 B; Head and Tail get private
+  // cache lines).
+  static constexpr std::uint64_t kMagicOff = 0;
+  static constexpr std::uint64_t kVersionOff = 8;
+  static constexpr std::uint64_t kNumBlocksOff = 16;
+  static constexpr std::uint64_t kRingCapacityOff = 24;
+  static constexpr std::uint64_t kHeadOff = 64;
+  static constexpr std::uint64_t kTailOff = 128;
+  static constexpr std::uint64_t kSuperblockBytes = kBlockSize;
+
+  std::uint64_t ring_off = 0;        ///< byte offset of the ring buffer
+  std::uint64_t ring_capacity = 0;   ///< number of 8 B ring slots
+  std::uint64_t entry_table_off = 0; ///< byte offset of the entry table
+  std::uint64_t num_blocks = 0;      ///< data blocks == entry slots
+  std::uint64_t data_off = 0;        ///< byte offset of the data area
+  std::uint64_t total_bytes = 0;     ///< device size this layout was built for
+
+  /// Compute a layout for a device of `device_bytes` with a ring buffer of
+  /// `ring_bytes` (both multiples of 4 KB).  Requires room for at least 8
+  /// data blocks.
+  static Layout compute(std::uint64_t device_bytes, std::uint64_t ring_bytes) {
+    TINCA_EXPECT(device_bytes % kBlockSize == 0, "device size not 4 KB aligned");
+    TINCA_EXPECT(ring_bytes % kBlockSize == 0 && ring_bytes > 0,
+                 "ring size not 4 KB aligned");
+    Layout l;
+    l.total_bytes = device_bytes;
+    l.ring_off = kSuperblockBytes;
+    l.ring_capacity = ring_bytes / 8;
+    l.entry_table_off = l.ring_off + ring_bytes;
+
+    const std::uint64_t remaining = device_bytes - l.entry_table_off;
+    // Each data block costs 4 KB of data + 16 B of entry (+ table padding).
+    std::uint64_t n = remaining / (kBlockSize + 16);
+    // Shrink until the 4 KB-aligned entry table plus data fits.
+    while (n > 0) {
+      const std::uint64_t table_bytes = round_up(n * 16, kBlockSize);
+      if (l.entry_table_off + table_bytes + n * kBlockSize <= device_bytes) break;
+      --n;
+    }
+    TINCA_EXPECT(n >= 8, "NVM device too small for a usable cache");
+    l.num_blocks = n;
+    l.data_off = l.entry_table_off + round_up(n * 16, kBlockSize);
+    return l;
+  }
+
+  /// Byte offset of entry slot `i`.
+  [[nodiscard]] std::uint64_t entry_off(std::uint64_t i) const {
+    TINCA_EXPECT(i < num_blocks, "entry slot out of range");
+    return entry_table_off + i * 16;
+  }
+
+  /// Byte offset of data block `i`.
+  [[nodiscard]] std::uint64_t data_block_off(std::uint64_t i) const {
+    TINCA_EXPECT(i < num_blocks, "data block out of range");
+    return data_off + i * kBlockSize;
+  }
+
+  /// Byte offset of ring slot for (monotonic) index `idx`.
+  [[nodiscard]] std::uint64_t ring_slot_off(std::uint64_t idx) const {
+    return ring_off + (idx % ring_capacity) * 8;
+  }
+
+ private:
+  static std::uint64_t round_up(std::uint64_t v, std::uint64_t align) {
+    return (v + align - 1) / align * align;
+  }
+};
+
+}  // namespace tinca::core

@@ -1,0 +1,52 @@
+#include "tinca/ring_buffer.h"
+
+#include "common/expect.h"
+
+namespace tinca::core {
+
+void RingBuffer::persist_field(std::uint64_t off, std::uint64_t value) {
+  nvm_.atomic_store8(off, value);
+  nvm_.persist(off, 8);
+}
+
+void RingBuffer::format() {
+  head_ = 0;
+  tail_ = 0;
+  persist_field(Layout::kHeadOff, 0);
+  persist_field(Layout::kTailOff, 0);
+}
+
+void RingBuffer::load() {
+  head_ = nvm_.load8(Layout::kHeadOff);
+  tail_ = nvm_.load8(Layout::kTailOff);
+  TINCA_ENSURE(head_ >= tail_, "ring Head behind Tail on media");
+  TINCA_ENSURE(head_ - tail_ <= capacity(), "ring in-flight exceeds capacity");
+}
+
+void RingBuffer::record(std::uint64_t disk_blkno) {
+  TINCA_EXPECT(in_flight() < capacity(), "ring buffer full");
+  const std::uint64_t off = layout_.ring_slot_off(head_);
+  nvm_.atomic_store8(off, disk_blkno);
+  nvm_.persist(off, 8);
+}
+
+void RingBuffer::advance_head() {
+  ++head_;
+  persist_field(Layout::kHeadOff, head_);
+}
+
+void RingBuffer::publish_tail() {
+  tail_ = head_;
+  persist_field(Layout::kTailOff, tail_);
+}
+
+void RingBuffer::reset_head_to_tail() {
+  head_ = tail_;
+  persist_field(Layout::kHeadOff, head_);
+}
+
+std::uint64_t RingBuffer::slot(std::uint64_t idx) const {
+  return nvm_.load8(layout_.ring_slot_off(idx));
+}
+
+}  // namespace tinca::core

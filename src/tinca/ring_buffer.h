@@ -1,0 +1,67 @@
+// Persistent ring buffer regulating transaction commits (paper §4.4).
+//
+// The ring replaces JBD2's descriptor and commit blocks: committing a block
+// appends its on-disk block number (one 8 B atomic store + clflush + sfence)
+// and advances the persistent Head pointer; the atomic publication of
+// Tail := Head is the commit point of the whole transaction.  Head and Tail
+// are monotonically increasing indices; the slot is index mod capacity.
+#pragma once
+
+#include <cstdint>
+
+#include "nvm/nvm_device.h"
+#include "tinca/layout.h"
+
+namespace tinca::core {
+
+/// Wrapper over the NVM ring region and the superblock Head/Tail fields.
+class RingBuffer {
+ public:
+  RingBuffer(nvm::NvmDevice& nvm, const Layout& layout)
+      : nvm_(nvm), layout_(layout) {}
+
+  /// Initialize a fresh ring: Head = Tail = 0, persisted.
+  void format();
+
+  /// Reload Head/Tail from NVM (mount / recovery path).
+  void load();
+
+  /// Monotonic head index (next slot to fill).
+  [[nodiscard]] std::uint64_t head() const { return head_; }
+
+  /// Monotonic tail index (commit horizon).
+  [[nodiscard]] std::uint64_t tail() const { return tail_; }
+
+  /// Number of slots between tail and head (in-flight records).
+  [[nodiscard]] std::uint64_t in_flight() const { return head_ - tail_; }
+
+  /// Slot capacity.
+  [[nodiscard]] std::uint64_t capacity() const { return layout_.ring_capacity; }
+
+  /// Step 2 of the commit protocol: record `disk_blkno` at the Head slot
+  /// (8 B atomic store, then clflush + sfence).  Does not move Head.
+  void record(std::uint64_t disk_blkno);
+
+  /// Step 3: advance Head by one, persisted.
+  void advance_head();
+
+  /// Step 5: publish Tail := Head, persisted.  This is the commit point.
+  void publish_tail();
+
+  /// Abort path: retract Head back to Tail, persisted.
+  void reset_head_to_tail();
+
+  /// Read the on-disk block number recorded at monotonic index `idx`
+  /// (recovery scan).
+  [[nodiscard]] std::uint64_t slot(std::uint64_t idx) const;
+
+ private:
+  void persist_field(std::uint64_t off, std::uint64_t value);
+
+  nvm::NvmDevice& nvm_;
+  const Layout& layout_;
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+};
+
+}  // namespace tinca::core

@@ -1,0 +1,113 @@
+// DRAM-resident LRU list over entry slots (paper §4.6).
+//
+// Tinca keeps its replacement bookkeeping in DRAM — a hash table plus an LRU
+// linked list — because these structures can be rebuilt from the persistent
+// entry table on startup (§4.6).  This is the linked-list half: an intrusive
+// doubly-linked list over dense slot ids, O(1) for touch / insert / remove
+// with no per-node allocation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.h"
+
+namespace tinca::core {
+
+/// Intrusive LRU over slot ids in [0, n).
+class SlotLru {
+ public:
+  static constexpr std::uint32_t kNil = 0xFFFF'FFFFu;
+
+  explicit SlotLru(std::uint32_t n) : prev_(n, kNil), next_(n, kNil), in_(n, 0) {}
+
+  /// Insert `slot` at the MRU end.  Must not already be present.
+  void push_mru(std::uint32_t slot) {
+    TINCA_EXPECT(!in_[slot], "slot already in LRU");
+    in_[slot] = 1;
+    prev_[slot] = kNil;
+    next_[slot] = mru_;
+    if (mru_ != kNil) prev_[mru_] = slot;
+    mru_ = slot;
+    if (lru_ == kNil) lru_ = slot;
+    ++size_;
+  }
+
+  /// Remove `slot` from the list.  Must be present.
+  void remove(std::uint32_t slot) {
+    TINCA_EXPECT(in_[slot], "slot not in LRU");
+    in_[slot] = 0;
+    const std::uint32_t p = prev_[slot];
+    const std::uint32_t n = next_[slot];
+    if (p != kNil) next_[p] = n; else mru_ = n;
+    if (n != kNil) prev_[n] = p; else lru_ = p;
+    --size_;
+  }
+
+  /// Move `slot` to the MRU end (access hit).
+  void touch(std::uint32_t slot) {
+    remove(slot);
+    push_mru(slot);
+  }
+
+  /// Least-recently-used slot, or kNil if empty.
+  [[nodiscard]] std::uint32_t lru() const { return lru_; }
+
+  /// Next-less-recently-used neighbour moving from LRU toward MRU (i.e. the
+  /// element accessed *after* `slot`), or kNil.
+  [[nodiscard]] std::uint32_t newer(std::uint32_t slot) const {
+    TINCA_EXPECT(in_[slot], "slot not in LRU");
+    return prev_[slot];
+  }
+
+  /// Whether `slot` is in the list.
+  [[nodiscard]] bool contains(std::uint32_t slot) const { return in_[slot] != 0; }
+
+  /// Number of listed slots.
+  [[nodiscard]] std::uint32_t size() const { return size_; }
+
+ private:
+  std::vector<std::uint32_t> prev_, next_;
+  std::vector<std::uint8_t> in_;
+  std::uint32_t mru_ = kNil;
+  std::uint32_t lru_ = kNil;
+  std::uint32_t size_ = 0;
+};
+
+/// Free-block monitor (paper §4.6): traces NVM blocks / entry slots that are
+/// not in use.  Rebuilt from the entry table on startup; never persisted.
+class FreeMonitor {
+ public:
+  explicit FreeMonitor(std::uint32_t n) {
+    free_.reserve(n);
+    // Hand out low ids first: keeps layouts compact and tests predictable.
+    for (std::uint32_t i = n; i-- > 0;) free_.push_back(i);
+  }
+
+  /// True if at least one id is free.
+  [[nodiscard]] bool any() const { return !free_.empty(); }
+
+  /// Number of free ids.
+  [[nodiscard]] std::uint32_t count() const {
+    return static_cast<std::uint32_t>(free_.size());
+  }
+
+  /// Take a free id.  Requires any().
+  std::uint32_t take() {
+    TINCA_EXPECT(!free_.empty(), "allocation from empty free monitor");
+    const std::uint32_t id = free_.back();
+    free_.pop_back();
+    return id;
+  }
+
+  /// Return an id to the pool.
+  void give(std::uint32_t id) { free_.push_back(id); }
+
+  /// Empty the pool (recovery rebuild starts from scratch).
+  void clear() { free_.clear(); }
+
+ private:
+  std::vector<std::uint32_t> free_;
+};
+
+}  // namespace tinca::core

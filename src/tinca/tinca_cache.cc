@@ -1,0 +1,491 @@
+#include "tinca/tinca_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/expect.h"
+
+namespace tinca::core {
+
+// ---------------------------------------------------------------------------
+// Transaction (running, DRAM-resident)
+// ---------------------------------------------------------------------------
+
+void Transaction::add(std::uint64_t disk_blkno, std::span<const std::byte> data) {
+  TINCA_EXPECT(open_, "add to a closed transaction");
+  TINCA_EXPECT(data.size() == kBlockSize, "transaction blocks are 4 KB");
+  TINCA_EXPECT(disk_blkno <= CacheEntry::kMaxDiskBlock, "disk block number too large");
+  auto [it, inserted] = blocks_.try_emplace(disk_blkno);
+  if (inserted) order_.push_back(disk_blkno);
+  it->second.assign(data.begin(), data.end());
+}
+
+// ---------------------------------------------------------------------------
+// Construction / format / recovery
+// ---------------------------------------------------------------------------
+
+TincaCache::TincaCache(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
+                       TincaConfig cfg)
+    : nvm_(nvm),
+      disk_(disk),
+      cfg_(cfg),
+      layout_(Layout::compute(nvm.size(), cfg.ring_bytes)),
+      ring_(nvm_, layout_),
+      mirror_(layout_.num_blocks),
+      lru_(static_cast<std::uint32_t>(layout_.num_blocks)),
+      free_entries_(static_cast<std::uint32_t>(layout_.num_blocks)),
+      free_blocks_(static_cast<std::uint32_t>(layout_.num_blocks)) {}
+
+std::unique_ptr<TincaCache> TincaCache::format(nvm::NvmDevice& nvm,
+                                               blockdev::BlockDevice& disk,
+                                               TincaConfig cfg) {
+  auto cache = std::unique_ptr<TincaCache>(new TincaCache(nvm, disk, cfg));
+  cache->format_media();
+  return cache;
+}
+
+std::unique_ptr<TincaCache> TincaCache::recover(nvm::NvmDevice& nvm,
+                                                blockdev::BlockDevice& disk,
+                                                TincaConfig cfg) {
+  auto cache = std::unique_ptr<TincaCache>(new TincaCache(nvm, disk, cfg));
+  cache->run_recovery();
+  return cache;
+}
+
+void TincaCache::format_media() {
+  // Superblock identity.
+  nvm_.atomic_store8(Layout::kMagicOff, Layout::kMagic);
+  nvm_.atomic_store8(Layout::kVersionOff, Layout::kVersion);
+  nvm_.atomic_store8(Layout::kNumBlocksOff, layout_.num_blocks);
+  nvm_.atomic_store8(Layout::kRingCapacityOff, layout_.ring_capacity);
+  nvm_.persist(0, 32);
+  ring_.format();
+  // Invalidate the whole entry table (flag byte 0 == invalid).
+  const std::vector<std::byte> zeros(kBlockSize, std::byte{0});
+  for (std::uint64_t off = layout_.entry_table_off; off < layout_.data_off;
+       off += kBlockSize) {
+    nvm_.store(off, zeros);
+    nvm_.clflush(off, kBlockSize);
+  }
+  nvm_.sfence();
+}
+
+void TincaCache::run_recovery() {
+  // 1. Validate the format identity.
+  TINCA_EXPECT(nvm_.load8(Layout::kMagicOff) == Layout::kMagic,
+               "NVM device is not a Tinca cache");
+  TINCA_EXPECT(nvm_.load8(Layout::kVersionOff) == Layout::kVersion,
+               "Tinca format version mismatch");
+  TINCA_EXPECT(nvm_.load8(Layout::kNumBlocksOff) == layout_.num_blocks,
+               "cache geometry changed since format");
+  TINCA_EXPECT(nvm_.load8(Layout::kRingCapacityOff) == layout_.ring_capacity,
+               "ring geometry changed since format");
+
+  // 2. Load Head/Tail and the whole entry table.
+  ring_.load();
+  for (std::uint32_t slot = 0; slot < layout_.num_blocks; ++slot)
+    mirror_[slot] = read_entry_from_nvm(slot);
+
+  // Temporary disk-block index over the raw table (DRAM index is rebuilt
+  // from scratch below).
+  index_.clear();
+  for (std::uint32_t slot = 0; slot < layout_.num_blocks; ++slot)
+    if (mirror_[slot].valid) index_.emplace(mirror_[slot].disk_blkno, slot);
+
+  // 3. Head != Tail: the crash hit mid-commit.  Revoke every block recorded
+  //    in the ring between Tail and Head (§4.5).
+  if (ring_.head() != ring_.tail()) {
+    for (std::uint64_t idx = ring_.tail(); idx < ring_.head(); ++idx) {
+      const std::uint64_t blkno = ring_.slot(idx);
+      auto it = index_.find(blkno);
+      if (it != index_.end()) revoke_slot(it->second);
+    }
+  }
+
+  // 4. Full entry scan: catches the record-before-Head-move window (§4.5's
+  //    Head == Tail case) and any log-role leftovers; also sheds clean
+  //    entries, whose data was never explicitly flushed (DESIGN.md §5).
+  for (std::uint32_t slot = 0; slot < layout_.num_blocks; ++slot) {
+    CacheEntry& e = mirror_[slot];
+    if (!e.valid) continue;
+    if (e.role == Role::kLog) revoke_slot(slot);
+    if (e.valid && !e.modified) {
+      index_.erase(e.disk_blkno);
+      invalidate_entry(slot);
+      ++stats_.dropped_clean_entries;
+    }
+  }
+
+  // 5. Void the in-flight ring records.
+  ring_.reset_head_to_tail();
+
+  // 6. Rebuild DRAM structures from the surviving entries.
+  index_.clear();
+  free_entries_.clear();
+  free_blocks_.clear();
+  std::vector<bool> block_used(layout_.num_blocks, false);
+  for (std::uint32_t slot = 0; slot < layout_.num_blocks; ++slot) {
+    const CacheEntry& e = mirror_[slot];
+    if (!e.valid) continue;
+    TINCA_ENSURE(e.role == Role::kBuffer, "log-role entry survived recovery");
+    TINCA_ENSURE(e.curr_nvm < layout_.num_blocks, "entry points beyond data area");
+    TINCA_ENSURE(!block_used[e.curr_nvm], "two entries share an NVM block");
+    block_used[e.curr_nvm] = true;
+    const bool fresh = index_.emplace(e.disk_blkno, slot).second;
+    TINCA_ENSURE(fresh, "duplicate disk block in entry table");
+    lru_.push_mru(slot);
+    ++stats_.recovered_entries;
+  }
+  for (std::uint32_t i = layout_.num_blocks; i-- > 0;) {
+    if (!mirror_[i].valid) free_entries_.give(i);
+    if (!block_used[i]) free_blocks_.give(i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Entry plumbing
+// ---------------------------------------------------------------------------
+
+CacheEntry TincaCache::read_entry_from_nvm(std::uint32_t slot) const {
+  std::array<std::byte, 16> raw{};
+  nvm_.load(layout_.entry_off(slot), raw);
+  return CacheEntry::decode(raw);
+}
+
+void TincaCache::write_entry(std::uint32_t slot, const CacheEntry& e) {
+  mirror_[slot] = e;
+  const auto raw = e.encode();
+  const std::uint64_t off = layout_.entry_off(slot);
+  nvm_.atomic_store16(off, raw);
+  nvm_.persist(off, 16);
+}
+
+void TincaCache::invalidate_entry(std::uint32_t slot) {
+  mirror_[slot] = CacheEntry{};
+  const std::array<std::byte, 16> zeros{};
+  const std::uint64_t off = layout_.entry_off(slot);
+  nvm_.atomic_store16(off, zeros);
+  nvm_.persist(off, 16);
+}
+
+void TincaCache::write_data_block(std::uint32_t nvm_block,
+                                  std::span<const std::byte> data) {
+  const std::uint64_t off = layout_.data_block_off(nvm_block);
+  nvm_.store(off, data);
+  nvm_.persist(off, kBlockSize);
+}
+
+// ---------------------------------------------------------------------------
+// Replacement (§4.6)
+// ---------------------------------------------------------------------------
+
+void TincaCache::writeback(std::uint32_t slot) {
+  const CacheEntry& e = mirror_[slot];
+  std::vector<std::byte> buf(kBlockSize);
+  nvm_.load(layout_.data_block_off(e.curr_nvm), buf);
+  disk_.write(e.disk_blkno, buf);
+  ++stats_.dirty_writebacks;
+}
+
+void TincaCache::evict_one() {
+  // LRU with the §4.6 pinning rule: log-role blocks (the committing
+  // transaction, including implicitly their previous versions) are skipped.
+  std::uint32_t victim = lru_.lru();
+  while (victim != SlotLru::kNil && mirror_[victim].role == Role::kLog)
+    victim = lru_.newer(victim);
+  TINCA_ENSURE(victim != SlotLru::kNil,
+               "cache wedged: every cached block is pinned by the committing "
+               "transaction");
+  const CacheEntry e = mirror_[victim];
+  if (e.modified) writeback(victim);
+  invalidate_entry(victim);
+  index_.erase(e.disk_blkno);
+  lru_.remove(victim);
+  free_blocks_.give(e.curr_nvm);
+  free_entries_.give(victim);
+  ++stats_.evictions;
+}
+
+void TincaCache::ensure_free(std::uint32_t entries, std::uint32_t blocks) {
+  while (free_entries_.count() < entries || free_blocks_.count() < blocks)
+    evict_one();
+}
+
+void TincaCache::clean_to_threshold() {
+  if (cfg_.clean_thresh_pct >= 100) return;
+  const std::uint64_t limit =
+      layout_.num_blocks * cfg_.clean_thresh_pct / 100;
+  std::uint64_t dirty_count = 0;
+  for (auto [blkno, slot] : index_)
+    if (mirror_[slot].modified) ++dirty_count;
+  if (dirty_count <= limit) return;
+  // Oldest-first: walk from the LRU end, skipping pinned (log-role) blocks.
+  std::uint32_t slot = lru_.lru();
+  while (slot != SlotLru::kNil && dirty_count > limit) {
+    const std::uint32_t next = lru_.newer(slot);
+    CacheEntry e = mirror_[slot];
+    if (e.valid && e.modified && e.role == Role::kBuffer) {
+      writeback(slot);
+      e.modified = false;
+      write_entry(slot, e);
+      --dirty_count;
+      ++stats_.background_cleanings;
+    }
+    slot = next;
+  }
+}
+
+std::uint64_t TincaCache::max_txn_blocks() const {
+  // Worst case every block is a write hit needing both versions resident,
+  // and nothing else may be evictable; keep a margin of 2 blocks.
+  const std::uint64_t cap = layout_.num_blocks / 2;
+  const std::uint64_t by_ring = ring_.capacity();
+  return std::min(cap > 2 ? cap - 2 : 1, by_ring);
+}
+
+// ---------------------------------------------------------------------------
+// Transactional primitives (§4.1, §4.4)
+// ---------------------------------------------------------------------------
+
+Transaction TincaCache::tinca_init_txn() { return Transaction(next_txn_id_++); }
+
+void TincaCache::tinca_abort(Transaction& txn) {
+  TINCA_EXPECT(txn.open_, "abort of a closed transaction");
+  txn.open_ = false;
+  txn.blocks_.clear();
+  txn.order_.clear();
+  ++stats_.txns_aborted;
+}
+
+void TincaCache::commit_block(std::uint64_t disk_blkno,
+                              std::span<const std::byte> data) {
+  nvm_.injector.point();  // CP: before this block touches NVM
+  nvm_.clock().advance(cfg_.cpu_op_ns);
+
+  // Make room *before* looking the block up: eviction could otherwise pick
+  // the very block we are about to COW (it is not log-role yet).  If the
+  // block does get evicted here, it simply becomes a write miss — its last
+  // committed contents have been written back to disk, so rollback remains
+  // correct.
+  ensure_free(1, 1);
+
+  auto it = index_.find(disk_blkno);
+  if (it != index_.end()) {
+    // Write hit: COW block write (§4.3).
+    const std::uint32_t slot = it->second;
+    ++stats_.write_hits;
+    ++stats_.cow_writes;
+    const std::uint32_t nb = free_blocks_.take();
+    write_data_block(nb, data);
+    nvm_.injector.point();  // CP: new version durable, entry still old
+
+    CacheEntry e = mirror_[slot];
+    e.prev_nvm = e.curr_nvm;  // keep the old version reachable for rollback
+    e.curr_nvm = nb;
+    e.role = Role::kLog;
+    e.modified = true;
+    write_entry(slot, e);  // 16 B atomic + clflush + sfence
+    nvm_.injector.point();  // CP: entry switched to the new version
+  } else {
+    // Write miss: create a new entry whose previous version is FRESH.
+    ++stats_.write_misses;
+    const std::uint32_t slot = free_entries_.take();
+    const std::uint32_t nb = free_blocks_.take();
+    write_data_block(nb, data);
+    nvm_.injector.point();  // CP: data durable, entry absent
+
+    CacheEntry e;
+    e.valid = true;
+    e.role = Role::kLog;
+    e.modified = true;
+    e.disk_blkno = disk_blkno;
+    e.prev_nvm = CacheEntry::kFresh;
+    e.curr_nvm = nb;
+    write_entry(slot, e);
+    index_.emplace(disk_blkno, slot);
+    lru_.push_mru(slot);  // listed, but pinned by the log role
+    nvm_.injector.point();  // CP: entry created
+  }
+
+  // §4.4 step 2: record the block number at the Head slot.
+  ring_.record(disk_blkno);
+  nvm_.injector.point();  // CP: recorded, Head not yet moved
+
+  // §4.4 step 3: move Head.
+  ring_.advance_head();
+  nvm_.injector.point();  // CP: Head moved
+}
+
+void TincaCache::role_switch_all(const std::vector<std::uint64_t>& blocks) {
+  for (std::uint64_t blkno : blocks) {
+    auto it = index_.find(blkno);
+    TINCA_ENSURE(it != index_.end(), "committed block vanished before switch");
+    const std::uint32_t slot = it->second;
+    CacheEntry e = mirror_[slot];
+    TINCA_ENSURE(e.role == Role::kLog, "role switch on a buffer block");
+    e.role = Role::kBuffer;
+    // NOTE: prev_nvm is deliberately *kept*: if we crash after this switch
+    // but before Tail is published, recovery still rolls this block back via
+    // prev (DESIGN.md §5).  The stale prev is harmless afterwards.
+    write_entry(slot, e);
+    nvm_.injector.point();  // CP: this block switched
+
+    if (e.prev_nvm != CacheEntry::kFresh) free_blocks_.give(e.prev_nvm);
+    lru_.touch(slot);  // §4.6(2b): committed blocks become MRU
+    ++stats_.role_switches;
+  }
+}
+
+void TincaCache::tinca_commit(Transaction& txn) {
+  TINCA_EXPECT(txn.open_, "commit of a closed transaction");
+  const std::size_t n = txn.order_.size();
+  if (n == 0) {
+    txn.open_ = false;
+    ++stats_.txns_committed;
+    return;
+  }
+  TINCA_EXPECT(n <= max_txn_blocks(),
+               "transaction exceeds the cache's committable size");
+  TINCA_ENSURE(ring_.head() == ring_.tail(),
+               "a previous commit left the ring open");
+
+  // §4.4 steps 1–3, repeated per block.
+  for (std::uint64_t blkno : txn.order_) commit_block(blkno, txn.blocks_[blkno]);
+
+  // §4.4 step 4: role switches.
+  role_switch_all(txn.order_);
+
+  // §4.4 step 5: Tail := Head — the transaction's atomic commit point.
+  ring_.publish_tail();
+  nvm_.injector.point();  // CP: transaction durable
+
+  // Write-through mode: propagate to disk now and mark clean.  Crash-safe
+  // at any point — until the entry is rewritten clean, the block simply
+  // stays dirty in NVM and recovery keeps it.
+  if (cfg_.write_through) {
+    for (std::uint64_t blkno : txn.order_) {
+      const std::uint32_t slot = index_.at(blkno);
+      writeback(slot);
+      CacheEntry e = mirror_[slot];
+      e.modified = false;
+      write_entry(slot, e);
+    }
+  }
+
+  stats_.blocks_committed += n;
+  stats_.blocks_per_txn.record(n);
+  ++stats_.txns_committed;
+  txn.open_ = false;
+  txn.blocks_.clear();
+  txn.order_.clear();
+
+  clean_to_threshold();
+}
+
+// ---------------------------------------------------------------------------
+// Cached block I/O
+// ---------------------------------------------------------------------------
+
+void TincaCache::read_block(std::uint64_t disk_blkno, std::span<std::byte> dst) {
+  TINCA_EXPECT(dst.size() == kBlockSize, "reads are whole 4 KB blocks");
+  nvm_.clock().advance(cfg_.cpu_op_ns);
+  auto it = index_.find(disk_blkno);
+  if (it != index_.end()) {
+    const std::uint32_t slot = it->second;
+    nvm_.load(layout_.data_block_off(mirror_[slot].curr_nvm), dst);
+    lru_.touch(slot);
+    ++stats_.read_hits;
+    return;
+  }
+  ++stats_.read_misses;
+  disk_.read(disk_blkno, dst);
+  if (!cfg_.cache_reads) return;
+
+  // Clean fill: stored but *not* flushed — recovery drops clean entries, so
+  // durability is not required and the fill costs no clflush.
+  ensure_free(1, 1);
+  const std::uint32_t slot = free_entries_.take();
+  const std::uint32_t nb = free_blocks_.take();
+  nvm_.store(layout_.data_block_off(nb), dst);
+  CacheEntry e;
+  e.valid = true;
+  e.role = Role::kBuffer;
+  e.modified = false;
+  e.disk_blkno = disk_blkno;
+  e.prev_nvm = CacheEntry::kFresh;
+  e.curr_nvm = nb;
+  mirror_[slot] = e;
+  nvm_.atomic_store16(layout_.entry_off(slot), e.encode());
+  index_.emplace(disk_blkno, slot);
+  lru_.push_mru(slot);
+}
+
+void TincaCache::write_block(std::uint64_t disk_blkno,
+                             std::span<const std::byte> data) {
+  Transaction txn = tinca_init_txn();
+  txn.add(disk_blkno, data);
+  tinca_commit(txn);
+}
+
+void TincaCache::flush_dirty() {
+  // Write back in ascending disk order: sequential on HDD, harmless on SSD.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> dirty;
+  for (auto [blkno, slot] : index_)
+    if (mirror_[slot].modified) dirty.emplace_back(blkno, slot);
+  std::sort(dirty.begin(), dirty.end());
+  for (auto [blkno, slot] : dirty) {
+    writeback(slot);
+    CacheEntry e = mirror_[slot];
+    e.modified = false;
+    write_entry(slot, e);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery / revocation
+// ---------------------------------------------------------------------------
+
+void TincaCache::revoke_slot(std::uint32_t slot) {
+  nvm_.injector.point();  // CP: crash-during-recovery sweeps land here
+  CacheEntry& e = mirror_[slot];
+  if (!e.valid) return;           // already deleted by an earlier pass
+  if (e.revoke_marker()) return;  // already rolled back (idempotence)
+
+  if (e.prev_nvm == CacheEntry::kFresh) {
+    // Write-miss block: revert to "not cached".
+    index_.erase(e.disk_blkno);
+    invalidate_entry(slot);
+  } else {
+    // Write-hit block: roll back to the previous version.  prev := curr
+    // (the revoke marker) makes a second revocation a no-op even if we
+    // crash during recovery itself.
+    CacheEntry rolled = e;
+    rolled.curr_nvm = e.prev_nvm;
+    rolled.prev_nvm = e.prev_nvm;
+    rolled.role = Role::kBuffer;
+    rolled.modified = true;  // conservatively dirty; costs one extra flush
+    write_entry(slot, rolled);
+  }
+  ++stats_.revoked_blocks;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+bool TincaCache::cached(std::uint64_t disk_blkno) const {
+  return index_.contains(disk_blkno);
+}
+
+bool TincaCache::dirty(std::uint64_t disk_blkno) const {
+  auto it = index_.find(disk_blkno);
+  return it != index_.end() && mirror_[it->second].modified;
+}
+
+CacheEntry TincaCache::entry_for(std::uint64_t disk_blkno) const {
+  auto it = index_.find(disk_blkno);
+  TINCA_EXPECT(it != index_.end(), "entry_for on an uncached block");
+  return mirror_[it->second];
+}
+
+}  // namespace tinca::core

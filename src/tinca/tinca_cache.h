@@ -1,0 +1,230 @@
+// Tinca: the transactional NVM disk cache (paper §4).
+//
+// TincaCache is the self-contained cache manager the paper proposes.  It
+// exports the transactional primitives of §4.1 (tinca_init_txn /
+// tinca_commit / tinca_abort) to the layer above (a file system, a database,
+// or a raw-block workload), caches 4 KB blocks in byte-addressable NVM, and
+// guarantees crash consistency of both the cached data and its own metadata
+// without ever writing a data block twice:
+//
+//   * write hits are **COW block writes** (§4.3): the new version goes to a
+//     freshly allocated NVM block and the 16 B cache entry — holding both the
+//     previous and the current NVM block number — is installed with one
+//     atomic 16 B store + clflush + sfence;
+//   * committing a transaction (§4.4) records each block's on-disk number in
+//     a persistent ring buffer and moves the Head pointer; after all blocks
+//     are in, every entry is **role-switched** from log block to buffer
+//     block and Tail := Head publishes the commit atomically;
+//   * recovery (§4.5) compares Head with Tail, revokes in-flight blocks via
+//     the ring and a full entry-table scan, and rebuilds the DRAM index, LRU
+//     list and free-block monitor from the entry table;
+//   * replacement (§4.6) is LRU with one extra rule: blocks involved in the
+//     committing transaction (log role — and therefore also their previous
+//     versions) are never evicted; dirty victims are written back to disk.
+//
+// Deviations from the paper's text, both documented in DESIGN.md:
+//   1. a revoked (rolled-back) entry is marked by prev == curr so that a
+//      crash *during recovery* cannot mis-revoke twice;
+//   2. recovery drops clean (unmodified) entries, because read-cache fills
+//      are installed without flushes and their data is not guaranteed
+//      durable; they are mere cache and re-fetchable from disk.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "common/histogram.h"
+#include "nvm/nvm_device.h"
+#include "tinca/cache_entry.h"
+#include "tinca/layout.h"
+#include "tinca/ring_buffer.h"
+#include "tinca/slot_lru.h"
+
+namespace tinca::core {
+
+/// Tunables for a TincaCache instance.
+struct TincaConfig {
+  /// Ring buffer bytes (paper default 1 MB, §5.1).  Must be 4 KB aligned.
+  std::uint64_t ring_bytes = 1 << 20;
+  /// Whether read misses populate the cache (paper: Tinca caches for both
+  /// write and read requests, §4.6).
+  bool cache_reads = true;
+  /// Cache mode: write-back (the paper's default, §5.1) keeps committed
+  /// blocks dirty until replacement; write-through additionally writes them
+  /// to disk at the end of every commit (durability on *two* devices at the
+  /// cost of foreground disk writes).
+  bool write_through = false;
+  /// Extension (not in the paper): background cleaning threshold in percent
+  /// of capacity.  When more than this fraction of cached blocks is dirty,
+  /// commits trigger oldest-first write-back until the threshold is met —
+  /// making later evictions cheap.  100 disables cleaning (paper behaviour).
+  std::uint32_t clean_thresh_pct = 100;
+  /// Modelled software overhead per cache operation (lookup, bookkeeping).
+  std::uint64_t cpu_op_ns = 150;
+};
+
+/// Runtime counters; everything the benches need to reproduce the paper's
+/// per-operation metrics.
+struct TincaCacheStats {
+  std::uint64_t txns_committed = 0;
+  std::uint64_t txns_aborted = 0;
+  std::uint64_t blocks_committed = 0;
+  std::uint64_t write_hits = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_writebacks = 0;
+  std::uint64_t role_switches = 0;
+  std::uint64_t cow_writes = 0;
+  std::uint64_t background_cleanings = 0;  ///< threshold-triggered writebacks
+  std::uint64_t revoked_blocks = 0;       ///< rolled back by recovery/abort
+  std::uint64_t dropped_clean_entries = 0;  ///< clean entries shed at mount
+  std::uint64_t recovered_entries = 0;    ///< entries kept by recovery
+  Histogram blocks_per_txn;               ///< Fig 13 source data
+};
+
+/// A running transaction: blocks staged in DRAM (paper Fig 6a).
+///
+/// `add()` stages a whole-block update; staging the same block twice keeps
+/// the latest contents.  The transaction is *running* until it is passed to
+/// tinca_commit (which turns it into the committing transaction) or
+/// tinca_abort.
+class Transaction {
+ public:
+  /// Stage a 4 KB block update for `disk_blkno`.
+  void add(std::uint64_t disk_blkno, std::span<const std::byte> data);
+
+  /// Number of distinct blocks staged.
+  [[nodiscard]] std::size_t block_count() const { return order_.size(); }
+
+  /// Whether the transaction is still open (not committed/aborted).
+  [[nodiscard]] bool open() const { return open_; }
+
+  /// Transaction id (diagnostic only).
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+ private:
+  friend class TincaCache;
+  explicit Transaction(std::uint64_t id) : id_(id) {}
+
+  std::uint64_t id_;
+  bool open_ = true;
+  std::vector<std::uint64_t> order_;  ///< staging order, deduplicated
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> blocks_;
+};
+
+/// The transactional NVM disk cache.
+class TincaCache {
+ public:
+  /// Initialize a fresh cache on `nvm` (like mkfs): formats the superblock,
+  /// ring and entry table.
+  static std::unique_ptr<TincaCache> format(nvm::NvmDevice& nvm,
+                                            blockdev::BlockDevice& disk,
+                                            TincaConfig cfg = {});
+
+  /// Mount an existing cache, running crash recovery (§4.5).  This is both
+  /// the clean-restart and the after-crash path.
+  static std::unique_ptr<TincaCache> recover(nvm::NvmDevice& nvm,
+                                             blockdev::BlockDevice& disk,
+                                             TincaConfig cfg = {});
+
+  // --- Transactional primitives (paper §4.1) -------------------------------
+
+  /// Initiate a running transaction resident in DRAM.
+  Transaction tinca_init_txn();
+
+  /// Convert `txn` to the committing transaction and commit all its blocks
+  /// into the NVM cache (§4.4).  On return the transaction is durable.
+  void tinca_commit(Transaction& txn);
+
+  /// Abort a *running* transaction: staged blocks are discarded; nothing has
+  /// reached the cache.
+  void tinca_abort(Transaction& txn);
+
+  // --- Cached block I/O ----------------------------------------------------
+
+  /// Read a 4 KB block through the cache (LRU updated, misses filled from
+  /// disk and optionally cached).
+  void read_block(std::uint64_t disk_blkno, std::span<std::byte> dst);
+
+  /// Convenience: durably write one block as a single-block transaction.
+  void write_block(std::uint64_t disk_blkno, std::span<const std::byte> data);
+
+  /// Write every dirty cached block back to disk (blocks stay cached clean).
+  void flush_dirty();
+
+  // --- Introspection -------------------------------------------------------
+
+  /// Whether `disk_blkno` is currently cached.
+  [[nodiscard]] bool cached(std::uint64_t disk_blkno) const;
+
+  /// Whether `disk_blkno` is cached and dirty.
+  [[nodiscard]] bool dirty(std::uint64_t disk_blkno) const;
+
+  /// The persistent entry for a cached block (test hook).
+  [[nodiscard]] CacheEntry entry_for(std::uint64_t disk_blkno) const;
+
+  /// Data-block capacity of the cache.
+  [[nodiscard]] std::uint64_t capacity_blocks() const { return layout_.num_blocks; }
+
+  /// Number of valid cached blocks.
+  [[nodiscard]] std::uint64_t cached_blocks() const { return index_.size(); }
+
+  /// Number of free NVM data blocks.
+  [[nodiscard]] std::uint64_t free_blocks() const { return free_blocks_.count(); }
+
+  /// Largest transaction (in blocks) this cache can commit.
+  [[nodiscard]] std::uint64_t max_txn_blocks() const;
+
+  [[nodiscard]] const TincaCacheStats& stats() const { return stats_; }
+  [[nodiscard]] const Layout& layout() const { return layout_; }
+  [[nodiscard]] nvm::NvmDevice& nvm() { return nvm_; }
+  [[nodiscard]] blockdev::BlockDevice& disk() { return disk_; }
+
+ private:
+  TincaCache(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk, TincaConfig cfg);
+
+  void format_media();
+  void run_recovery();
+
+  // Commit-protocol steps.
+  void commit_block(std::uint64_t disk_blkno, std::span<const std::byte> data);
+  void role_switch_all(const std::vector<std::uint64_t>& blocks);
+
+  // Entry plumbing.
+  void write_entry(std::uint32_t slot, const CacheEntry& e);
+  void invalidate_entry(std::uint32_t slot);
+  [[nodiscard]] CacheEntry read_entry_from_nvm(std::uint32_t slot) const;
+  void write_data_block(std::uint32_t nvm_block, std::span<const std::byte> data);
+
+  // Replacement.
+  void ensure_free(std::uint32_t entries, std::uint32_t blocks);
+  void evict_one();
+  void writeback(std::uint32_t slot);
+  void clean_to_threshold();
+
+  // Recovery helpers.
+  void revoke_slot(std::uint32_t slot);
+
+  nvm::NvmDevice& nvm_;
+  blockdev::BlockDevice& disk_;
+  TincaConfig cfg_;
+  Layout layout_;
+  RingBuffer ring_;
+
+  std::vector<CacheEntry> mirror_;                       ///< DRAM copy of entries
+  std::unordered_map<std::uint64_t, std::uint32_t> index_;  ///< disk blk → slot
+  SlotLru lru_;
+  FreeMonitor free_entries_;
+  FreeMonitor free_blocks_;
+
+  std::uint64_t next_txn_id_ = 1;
+  TincaCacheStats stats_;
+};
+
+}  // namespace tinca::core

@@ -1,0 +1,76 @@
+#include "tinca/verify.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tinca/cache_entry.h"
+
+namespace tinca::core {
+
+MediaReport verify_media(const nvm::NvmDevice& nvm, const Layout& layout) {
+  MediaReport report;
+  auto complain = [&](std::string msg) {
+    report.ok = false;
+    report.problems.push_back(std::move(msg));
+  };
+
+  // Superblock identity.
+  if (nvm.load8(Layout::kMagicOff) != Layout::kMagic) {
+    complain("superblock magic mismatch (not a Tinca device)");
+    return report;  // nothing else is meaningful
+  }
+  if (nvm.load8(Layout::kVersionOff) != Layout::kVersion)
+    complain("format version mismatch");
+  if (nvm.load8(Layout::kNumBlocksOff) != layout.num_blocks)
+    complain("superblock block count disagrees with layout");
+  if (nvm.load8(Layout::kRingCapacityOff) != layout.ring_capacity)
+    complain("superblock ring capacity disagrees with layout");
+
+  // Ring pointers.
+  const std::uint64_t head = nvm.load8(Layout::kHeadOff);
+  const std::uint64_t tail = nvm.load8(Layout::kTailOff);
+  if (head < tail) complain("ring Head behind Tail");
+  if (head - tail > layout.ring_capacity)
+    complain("ring in-flight region exceeds capacity");
+  report.in_flight = head >= tail ? head - tail : 0;
+
+  // Entry table.
+  std::unordered_map<std::uint64_t, std::uint32_t> by_disk;
+  std::unordered_set<std::uint32_t> owned_blocks;
+  for (std::uint32_t slot = 0; slot < layout.num_blocks; ++slot) {
+    std::array<std::byte, 16> raw{};
+    nvm.load(layout.entry_off(slot), raw);
+    const CacheEntry e = CacheEntry::decode(raw);
+    if (!e.valid) continue;
+    ++report.valid_entries;
+    if (e.role == Role::kLog) ++report.log_entries;
+    if (e.revoke_marker()) ++report.revoke_markers;
+
+    if (e.curr_nvm >= layout.num_blocks)
+      complain("slot " + std::to_string(slot) + ": current NVM block out of range");
+    if (e.prev_nvm != CacheEntry::kFresh && e.prev_nvm >= layout.num_blocks)
+      complain("slot " + std::to_string(slot) + ": previous NVM block out of range");
+
+    auto [it, fresh] = by_disk.emplace(e.disk_blkno, slot);
+    if (!fresh)
+      complain("disk block " + std::to_string(e.disk_blkno) +
+               " mapped by slots " + std::to_string(it->second) + " and " +
+               std::to_string(slot));
+    if (e.curr_nvm < layout.num_blocks && !owned_blocks.insert(e.curr_nvm).second)
+      complain("NVM block " + std::to_string(e.curr_nvm) +
+               " owned by two entries");
+  }
+
+  // Log-role entries are only legitimate while a commit is in flight.  The
+  // record-before-Head-move window allows log entries to exceed the ring's
+  // in-flight count by at most one.
+  if (head == tail && report.log_entries > 1)
+    complain("multiple log-role entries with a closed ring (only the "
+             "record-before-Head-move window of one block is legal)");
+  if (head != tail && report.log_entries > report.in_flight + 1)
+    complain("log-role entries exceed the in-flight ring region");
+
+  return report;
+}
+
+}  // namespace tinca::core

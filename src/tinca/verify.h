@@ -1,0 +1,39 @@
+// Offline structural verifier for Tinca's persistent media — the cache-level
+// analogue of fsck.  Used by tests to assert that no operation or crash can
+// leave the entry table or ring pointers structurally corrupt, and usable by
+// operators before mounting a suspect device.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nvm/nvm_device.h"
+#include "tinca/layout.h"
+
+namespace tinca::core {
+
+/// Result of a media check.
+struct MediaReport {
+  bool ok = true;
+  std::vector<std::string> problems;
+  std::uint64_t valid_entries = 0;
+  std::uint64_t log_entries = 0;     ///< entries still in log role
+  std::uint64_t revoke_markers = 0;  ///< rolled-back entries (prev == curr)
+  std::uint64_t in_flight = 0;       ///< ring records between Tail and Head
+};
+
+/// Check the structural invariants of a Tinca device:
+///   - superblock magic/version/geometry match `layout`;
+///   - Head >= Tail and Head - Tail <= ring capacity;
+///   - every valid entry's current (and non-FRESH previous) NVM block is in
+///     range;
+///   - no two valid entries map the same disk block;
+///   - no two valid entries own the same current NVM block;
+///   - log-role entries exist only if a transaction is in flight (Head !=
+///     Tail) or could be the record-before-Head-move window (at most the
+///     blocks of one transaction).
+/// Read-only; never mutates the device.  Charges read latency like a real
+/// scan would.
+MediaReport verify_media(const nvm::NvmDevice& nvm, const Layout& layout);
+
+}  // namespace tinca::core

@@ -1,0 +1,323 @@
+#include "ubj/ubj_store.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/bytes.h"
+#include "common/expect.h"
+
+namespace tinca::ubj {
+
+namespace {
+constexpr std::uint64_t kBlockSize = blockdev::kBlockSize;
+constexpr std::uint64_t kMagic = 0x55424A2D554E494FULL;  // "UBJ-UNIO"
+constexpr std::uint64_t kMagicOff = 0;
+constexpr std::uint64_t kNumBlocksOff = 16;
+constexpr std::uint64_t kCommittedSeqOff = 64;  // own cache line
+constexpr std::uint64_t kSuperBytes = kBlockSize;
+
+constexpr std::uint8_t kFlagValid = 0x1;
+constexpr std::uint8_t kFlagFrozen = 0x2;
+}  // namespace
+
+UbjStore::UbjStore(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
+                   UbjConfig cfg)
+    : nvm_(nvm),
+      disk_(disk),
+      cfg_(cfg),
+      lru_(0),
+      free_(0) {
+  // Geometry: superblock | 16 B entry per block | 4 KB data per block.
+  const std::uint64_t usable = nvm_.size() - kSuperBytes;
+  num_blocks_ = usable / (kBlockSize + 16);
+  // Shrink until the 4 KB-aligned table fits.
+  auto table_bytes = [&](std::uint64_t n) {
+    return (n * 16 + kBlockSize - 1) / kBlockSize * kBlockSize;
+  };
+  while (num_blocks_ > 0 &&
+         kSuperBytes + table_bytes(num_blocks_) + num_blocks_ * kBlockSize >
+             nvm_.size())
+    --num_blocks_;
+  TINCA_EXPECT(num_blocks_ >= 8, "NVM too small for a UBJ buffer cache");
+  entry_table_off_ = kSuperBytes;
+  data_off_ = kSuperBytes + table_bytes(num_blocks_);
+  slots_.resize(num_blocks_);
+  lru_ = core::SlotLru(static_cast<std::uint32_t>(num_blocks_));
+  free_ = core::FreeMonitor(static_cast<std::uint32_t>(num_blocks_));
+}
+
+std::uint64_t UbjStore::entry_off(std::uint32_t slot) const {
+  return entry_table_off_ + static_cast<std::uint64_t>(slot) * 16;
+}
+
+std::uint64_t UbjStore::data_off(std::uint32_t slot) const {
+  return data_off_ + static_cast<std::uint64_t>(slot) * kBlockSize;
+}
+
+std::unique_ptr<UbjStore> UbjStore::format(nvm::NvmDevice& nvm,
+                                           blockdev::BlockDevice& disk,
+                                           UbjConfig cfg) {
+  auto store = std::unique_ptr<UbjStore>(new UbjStore(nvm, disk, cfg));
+  store->format_media();
+  return store;
+}
+
+std::unique_ptr<UbjStore> UbjStore::recover(nvm::NvmDevice& nvm,
+                                            blockdev::BlockDevice& disk,
+                                            UbjConfig cfg) {
+  auto store = std::unique_ptr<UbjStore>(new UbjStore(nvm, disk, cfg));
+  store->run_recovery();
+  return store;
+}
+
+void UbjStore::format_media() {
+  nvm_.atomic_store8(kMagicOff, kMagic);
+  nvm_.atomic_store8(kNumBlocksOff, num_blocks_);
+  nvm_.atomic_store8(kCommittedSeqOff, 0);
+  nvm_.persist(0, kSuperBytes);
+  const std::vector<std::byte> zeros(kBlockSize, std::byte{0});
+  for (std::uint64_t off = entry_table_off_; off < data_off_; off += kBlockSize) {
+    nvm_.store(off, zeros);
+    nvm_.clflush(off, kBlockSize);
+  }
+  nvm_.sfence();
+}
+
+void UbjStore::persist_slot(std::uint32_t slot) {
+  const Slot& s = slots_[slot];
+  std::array<std::byte, 16> raw{};
+  std::uint8_t flags = 0;
+  if (s.valid) flags |= kFlagValid;
+  if (s.frozen) flags |= kFlagFrozen;
+  raw[0] = static_cast<std::byte>(flags);
+  store_le(raw.data() + 1, s.disk_blkno, 7);
+  store_le(raw.data() + 8, s.seq, 4);
+  nvm_.atomic_store16(entry_off(slot), raw);
+  nvm_.persist(entry_off(slot), 16);
+}
+
+void UbjStore::publish_seq(std::uint64_t seq) {
+  committed_seq_ = seq;
+  nvm_.atomic_store8(kCommittedSeqOff, seq);
+  nvm_.persist(kCommittedSeqOff, 8);
+}
+
+void UbjStore::evict_one_clean() {
+  const std::uint32_t victim = lru_.lru();
+  TINCA_ENSURE(victim != core::SlotLru::kNil,
+               "UBJ wedged: no clean block to evict");
+  Slot& s = slots_[victim];
+  TINCA_ENSURE(s.valid && !s.frozen, "LRU held a non-clean slot");
+  auto it = latest_.find(s.disk_blkno);
+  if (it != latest_.end() && it->second == victim) latest_.erase(it);
+  s.valid = false;
+  persist_slot(victim);
+  lru_.remove(victim);
+  free_.give(victim);
+  ++stats_.evictions;
+}
+
+std::uint32_t UbjStore::allocate_slot() {
+  while (!free_.any()) {
+    if (!unchkpt_.empty()) {
+      checkpoint_batch();
+    } else {
+      evict_one_clean();
+    }
+  }
+  return free_.take();
+}
+
+void UbjStore::checkpoint_batch() {
+  TINCA_EXPECT(!unchkpt_.empty(), "checkpoint with nothing outstanding");
+  std::vector<std::byte> buf(kBlockSize);
+  for (std::uint32_t i = 0;
+       i < cfg_.checkpoint_txn_batch && !unchkpt_.empty(); ++i) {
+    TxnRecord rec = std::move(unchkpt_.front());
+    unchkpt_.pop_front();
+    // Transaction-granular checkpoint: every frozen block of the txn goes
+    // to disk in one burst — the §5.4.4 "takes longer for multiple blocks"
+    // behaviour.
+    for (std::uint32_t slot : rec.slots) {
+      Slot& s = slots_[slot];
+      if (!s.valid || !s.frozen || s.seq != rec.seq) continue;  // re-frozen
+      nvm_.load(data_off(slot), buf);
+      disk_.write(s.disk_blkno, buf);
+      ++stats_.checkpoint_writes;
+      auto it = latest_.find(s.disk_blkno);
+      if (it != latest_.end() && it->second == slot) {
+        // Newest copy: unfreeze, keep cached clean.
+        s.frozen = false;
+        persist_slot(slot);
+        lru_.push_mru(slot);
+      } else {
+        // Superseded by a newer transaction: the write above was stale.
+        ++stats_.stale_checkpoint_writes;
+        s.valid = false;
+        s.frozen = false;
+        persist_slot(slot);
+        free_.give(slot);
+      }
+      --frozen_count_;
+    }
+    ++stats_.checkpointed_txns;
+  }
+}
+
+void UbjStore::checkpoint_all() {
+  while (!unchkpt_.empty()) checkpoint_batch();
+}
+
+void UbjStore::commit_txn(
+    const std::vector<std::pair<std::uint64_t, std::vector<std::byte>>>& blocks) {
+  if (blocks.empty()) {
+    ++stats_.txns_committed;
+    return;
+  }
+  TINCA_EXPECT(blocks.size() <= num_blocks_ / 3,
+               "transaction exceeds UBJ's committable size");
+  // Space pressure: checkpoint old transactions before taking new blocks.
+  const auto low_water = static_cast<std::uint64_t>(
+      cfg_.checkpoint_low_water * static_cast<double>(num_blocks_));
+  while (free_.count() < blocks.size() + low_water && !unchkpt_.empty())
+    checkpoint_batch();
+
+  TxnRecord rec;
+  rec.seq = next_seq_;
+  std::vector<std::byte> scratch(kBlockSize);
+
+  for (const auto& [blkno, data] : blocks) {
+    TINCA_EXPECT(data.size() == kBlockSize, "UBJ commits whole 4 KB blocks");
+    nvm_.clock().advance(cfg_.cpu_op_ns);
+    nvm_.injector.point();  // CP: before this block
+    std::uint32_t slot;
+    auto it = latest_.find(blkno);
+    if (it != latest_.end() && !slots_[it->second].frozen) {
+      // In-place update of the working/clean copy (UBJ's fast path).
+      slot = it->second;
+      ++stats_.write_hits;
+      if (lru_.contains(slot)) lru_.remove(slot);  // about to become frozen
+      nvm_.store(data_off(slot), data);
+      nvm_.persist(data_off(slot), kBlockSize);
+    } else if (it != latest_.end()) {
+      // Frozen: memcpy to a fresh block on the critical path (§5.4.4).
+      ++stats_.write_hits;
+      ++stats_.frozen_cow_copies;
+      nvm_.load(data_off(it->second), scratch);  // the memcpy's read side
+      slot = allocate_slot();
+      nvm_.store(data_off(slot), data);
+      nvm_.persist(data_off(slot), kBlockSize);
+      slots_[slot].disk_blkno = blkno;
+      latest_[blkno] = slot;
+    } else {
+      ++stats_.write_misses;
+      slot = allocate_slot();
+      nvm_.store(data_off(slot), data);
+      nvm_.persist(data_off(slot), kBlockSize);
+      slots_[slot].disk_blkno = blkno;
+      latest_[blkno] = slot;
+    }
+    nvm_.injector.point();  // CP: data durable, not yet frozen
+    Slot& s = slots_[slot];
+    s.valid = true;
+    s.frozen = true;
+    s.disk_blkno = blkno;
+    s.seq = static_cast<std::uint32_t>(rec.seq);
+    persist_slot(slot);
+    ++frozen_count_;
+    rec.slots.push_back(slot);
+    nvm_.injector.point();  // CP: block frozen
+  }
+
+  // Commit record: the sequence publication makes the freeze set atomic.
+  publish_seq(rec.seq);
+  nvm_.injector.point();  // CP: transaction durable
+  ++next_seq_;
+  stats_.blocks_per_txn.record(blocks.size());
+  stats_.blocks_committed += blocks.size();
+  ++stats_.txns_committed;
+  unchkpt_.push_back(std::move(rec));
+}
+
+void UbjStore::read_block(std::uint64_t disk_blkno, std::span<std::byte> dst) {
+  TINCA_EXPECT(dst.size() == kBlockSize, "reads are whole 4 KB blocks");
+  nvm_.clock().advance(cfg_.cpu_op_ns);
+  auto it = latest_.find(disk_blkno);
+  if (it != latest_.end()) {
+    ++stats_.read_hits;
+    nvm_.load(data_off(it->second), dst);
+    if (lru_.contains(it->second)) lru_.touch(it->second);
+    return;
+  }
+  ++stats_.read_misses;
+  disk_.read(disk_blkno, dst);
+  // Clean fill, unflushed: recovery discards unfrozen entries anyway.
+  if (!free_.any() && lru_.lru() == core::SlotLru::kNil) return;  // all frozen
+  const std::uint32_t slot = allocate_slot();
+  nvm_.store(data_off(slot), dst);
+  Slot& s = slots_[slot];
+  s.valid = true;
+  s.frozen = false;
+  s.disk_blkno = disk_blkno;
+  s.seq = 0;
+  std::array<std::byte, 16> raw{};
+  raw[0] = static_cast<std::byte>(kFlagValid);
+  store_le(raw.data() + 1, disk_blkno, 7);
+  nvm_.atomic_store16(entry_off(slot), raw);
+  latest_.emplace(disk_blkno, slot);
+  lru_.push_mru(slot);
+}
+
+bool UbjStore::cached(std::uint64_t disk_blkno) const {
+  return latest_.contains(disk_blkno);
+}
+
+void UbjStore::run_recovery() {
+  TINCA_EXPECT(nvm_.load8(kMagicOff) == kMagic, "not a UBJ device");
+  TINCA_EXPECT(nvm_.load8(kNumBlocksOff) == num_blocks_,
+               "UBJ geometry changed since format");
+  committed_seq_ = nvm_.load8(kCommittedSeqOff);
+
+  std::map<std::uint64_t, std::vector<std::uint32_t>> by_seq;
+  for (std::uint32_t slot = 0; slot < num_blocks_; ++slot) {
+    std::array<std::byte, 16> raw{};
+    nvm_.load(entry_off(slot), raw);
+    const auto flags = static_cast<std::uint8_t>(raw[0]);
+    Slot& s = slots_[slot];
+    if (!(flags & kFlagValid)) continue;
+    s.valid = true;
+    s.frozen = (flags & kFlagFrozen) != 0;
+    s.disk_blkno = load_le(raw.data() + 1, 7);
+    s.seq = static_cast<std::uint32_t>(load_le(raw.data() + 8, 4));
+
+    if (!s.frozen || s.seq > committed_seq_) {
+      // Working copies and uncommitted freezes evaporate.
+      if (s.frozen) ++stats_.discarded_uncommitted;
+      s = Slot{};
+      std::array<std::byte, 16> zeros{};
+      nvm_.atomic_store16(entry_off(slot), zeros);
+      nvm_.persist(entry_off(slot), 16);
+      continue;
+    }
+    ++stats_.recovered_entries;
+    ++frozen_count_;
+    by_seq[s.seq].push_back(slot);
+    // Newest frozen copy wins the latest_ map.
+    auto [it, fresh] = latest_.emplace(s.disk_blkno, slot);
+    if (!fresh && slots_[it->second].seq < s.seq) it->second = slot;
+  }
+
+  // Rebuild DRAM structures.
+  free_.clear();
+  for (std::uint32_t i = num_blocks_; i-- > 0;)
+    if (!slots_[i].valid) free_.give(i);
+  for (auto& [seq, slot_list] : by_seq) {
+    TxnRecord rec;
+    rec.seq = seq;
+    rec.slots = std::move(slot_list);
+    unchkpt_.push_back(std::move(rec));
+  }
+  next_seq_ = committed_seq_ + 1;
+}
+
+}  // namespace tinca::ubj

@@ -1,0 +1,56 @@
+#include "workloads/fio.h"
+
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "common/bytes.h"
+#include "common/expect.h"
+
+namespace tinca::workloads {
+
+FioResult run_fio(backend::TxnBackend& backend, sim::SimClock& clock,
+                  sim::Ns duration, const FioConfig& cfg) {
+  TINCA_EXPECT(cfg.write_pct >= 0 && cfg.write_pct <= 100, "bad write_pct");
+  TINCA_EXPECT(cfg.base_blkno + cfg.dataset_blocks <= backend.data_block_limit(),
+               "Fio dataset exceeds the device");
+  Rng rng(cfg.seed);
+  FioResult result;
+  std::vector<std::byte> buf(blockdev::kBlockSize);
+
+  const sim::Ns start = clock.now();
+  const sim::Ns deadline = start + duration;
+  std::uint64_t staged_in_txn = 0;
+  bool txn_open = false;
+  std::uint64_t payload_seq = 0;
+
+  while (clock.now() < deadline) {
+    const bool is_write =
+        rng.below(100) < static_cast<std::uint64_t>(cfg.write_pct);
+    const std::uint64_t blkno = cfg.base_blkno + rng.below(cfg.dataset_blocks);
+    const sim::CostProbe probe(clock);
+    if (is_write) {
+      fill_pattern(buf, blkno * 1000003 + payload_seq++);
+      if (!txn_open) {
+        backend.begin();
+        txn_open = true;
+      }
+      backend.stage(blkno, buf);
+      ++result.write_ops;
+      if (++staged_in_txn >= cfg.writes_per_txn) {
+        backend.commit();
+        txn_open = false;
+        staged_in_txn = 0;
+      }
+      result.write_lat_ns.record(probe.elapsed());
+    } else {
+      backend.read_block(blkno, buf);
+      ++result.read_ops;
+      result.read_lat_ns.record(probe.elapsed());
+    }
+  }
+  if (txn_open) backend.commit();
+  result.elapsed_ns = clock.now() - start;
+  return result;
+}
+
+}  // namespace tinca::workloads

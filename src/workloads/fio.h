@@ -1,0 +1,63 @@
+// Fio-style micro-benchmark: mixed random 4 KB reads and writes (Table 2).
+//
+// The paper drives Fio against a 20 GB file with read/write ratios 3/7, 5/5
+// and 7/3 for 20 minutes (§5.2.1).  This generator issues uniformly random
+// 4 KB requests over a block range through a TxnBackend; writes are grouped
+// into compound transactions the way Ext4's journal batches them.
+#pragma once
+
+#include <cstdint>
+
+#include "backend/txn_backend.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+
+namespace tinca::workloads {
+
+/// Fio run parameters.
+struct FioConfig {
+  /// Number of 4 KB blocks in the target "file".
+  std::uint64_t dataset_blocks = 16384;
+  /// Percentage of operations that are writes (paper sweeps 70/50/30).
+  int write_pct = 70;
+  /// Writes grouped per transaction (journal batching).
+  std::uint64_t writes_per_txn = 64;
+  /// First block of the dataset within the backend's address space.
+  std::uint64_t base_blkno = 0;
+  /// RNG seed.
+  std::uint64_t seed = 42;
+};
+
+/// Results of one Fio run.
+struct FioResult {
+  std::uint64_t write_ops = 0;
+  std::uint64_t read_ops = 0;
+  sim::Ns elapsed_ns = 0;
+  /// Virtual-time cost per individual write request (commit costs are
+  /// attributed to the write that triggered the group commit, as an
+  /// application blocked on fsync would perceive them).
+  Histogram write_lat_ns;
+  /// Virtual-time cost per read request.
+  Histogram read_lat_ns;
+
+  [[nodiscard]] double write_iops() const {
+    return elapsed_ns == 0
+               ? 0.0
+               : static_cast<double>(write_ops) /
+                     (static_cast<double>(elapsed_ns) / 1e9);
+  }
+  [[nodiscard]] double read_iops() const {
+    return elapsed_ns == 0
+               ? 0.0
+               : static_cast<double>(read_ops) /
+                     (static_cast<double>(elapsed_ns) / 1e9);
+  }
+};
+
+/// Run Fio for `duration` of virtual time measured on `clock` (the clock the
+/// backend's devices charge to).
+FioResult run_fio(backend::TxnBackend& backend, sim::SimClock& clock,
+                  sim::Ns duration, const FioConfig& cfg);
+
+}  // namespace tinca::workloads

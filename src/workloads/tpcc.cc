@@ -1,0 +1,59 @@
+#include "workloads/tpcc.h"
+
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "common/bytes.h"
+#include "common/expect.h"
+
+namespace tinca::workloads {
+
+TpccWorkload::TpccWorkload(backend::TxnBackend& backend, const TpccConfig& cfg)
+    : backend_(backend), cfg_(cfg), zipf_(cfg.dataset_blocks, cfg.zipf_theta) {
+  TINCA_EXPECT(cfg.base_blkno + cfg.dataset_blocks <= backend.data_block_limit(),
+               "TPC-C dataset exceeds the device");
+}
+
+void TpccWorkload::do_txn(Rng& rng, std::uint32_t reads, std::uint32_t writes) {
+  std::vector<std::byte> buf(blockdev::kBlockSize);
+  for (std::uint32_t i = 0; i < reads; ++i) {
+    const std::uint64_t page = cfg_.base_blkno + zipf_.draw(rng);
+    backend_.read_block(page, buf);
+    ++stats_.page_reads;
+  }
+  if (writes > 0) {
+    backend_.begin();
+    for (std::uint32_t i = 0; i < writes; ++i) {
+      const std::uint64_t page = cfg_.base_blkno + zipf_.draw(rng);
+      fill_pattern(buf, page * 7919 + payload_seq_++);
+      backend_.stage(page, buf);
+      ++stats_.page_writes;
+    }
+    backend_.commit();
+  }
+  ++stats_.txns;
+}
+
+TpccKind TpccWorkload::execute_txn(Rng& rng) {
+  const std::uint64_t pick = rng.below(100);
+  if (pick < 45) {
+    do_txn(rng, 15, 10);
+    return TpccKind::kNewOrder;
+  }
+  if (pick < 88) {
+    do_txn(rng, 6, 4);
+    return TpccKind::kPayment;
+  }
+  if (pick < 92) {
+    do_txn(rng, 12, 0);
+    return TpccKind::kOrderStatus;
+  }
+  if (pick < 96) {
+    do_txn(rng, 30, 25);
+    return TpccKind::kDelivery;
+  }
+  do_txn(rng, 40, 0);
+  return TpccKind::kStockLevel;
+}
+
+}  // namespace tinca::workloads

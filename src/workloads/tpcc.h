@@ -1,0 +1,79 @@
+// TPC-C-style OLTP page workload (paper §5.2.2, Fig 8 / Fig 12).
+//
+// The paper runs MySQL under HammerDB with 350 warehouses (~32 GB) and 5–60
+// users.  What reaches the storage stack is the database's page traffic:
+// each TPC-C transaction reads a handful of B-tree pages (warehouse,
+// district, customer, stock, order lines) and commits a set of dirtied pages
+// plus log writes, with item popularity following the TPC-C NURand skew
+// (approximated here by a Zipf over the stock/customer pages).
+//
+// Transaction page footprints below follow the TPC-C clause-by-clause access
+// counts commonly used in storage studies: New-Order (45 %) r15/w10,
+// Payment (43 %) r6/w4, Order-Status (4 %) r12/w0, Delivery (4 %) r30/w25,
+// Stock-Level (4 %) r40/w0.
+//
+// Concurrency (the users axis of Fig 8) is handled by the benches with a
+// discrete-event simulation: this class provides `execute_txn`, which runs
+// one transaction synchronously against the backend so the DES can measure
+// its true storage service time.
+#pragma once
+
+#include <cstdint>
+
+#include "backend/txn_backend.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+
+namespace tinca::workloads {
+
+/// TPC-C transaction types.
+enum class TpccKind : std::uint8_t {
+  kNewOrder,
+  kPayment,
+  kOrderStatus,
+  kDelivery,
+  kStockLevel,
+};
+
+/// Workload shape parameters.
+struct TpccConfig {
+  /// Pages in the database working set (the paper's 32 GB scaled down).
+  std::uint64_t dataset_blocks = 65536;
+  /// First page of the database in the backend address space.
+  std::uint64_t base_blkno = 0;
+  /// Zipf skew of page popularity (NURand-like hot spots).
+  double zipf_theta = 0.7;
+  /// RNG seed.
+  std::uint64_t seed = 7;
+};
+
+/// Counters for one TPC-C stream.
+struct TpccStats {
+  std::uint64_t txns = 0;
+  std::uint64_t page_reads = 0;
+  std::uint64_t page_writes = 0;
+};
+
+/// One TPC-C client stream bound to a backend.
+class TpccWorkload {
+ public:
+  TpccWorkload(backend::TxnBackend& backend, const TpccConfig& cfg);
+
+  /// Execute one transaction (type drawn per the TPC-C mix): page reads
+  /// through the cache, then one commit of the dirtied pages.  Returns the
+  /// type executed.
+  TpccKind execute_txn(Rng& rng);
+
+  [[nodiscard]] const TpccStats& stats() const { return stats_; }
+
+ private:
+  void do_txn(Rng& rng, std::uint32_t reads, std::uint32_t writes);
+
+  backend::TxnBackend& backend_;
+  TpccConfig cfg_;
+  Zipf zipf_;
+  TpccStats stats_;
+  std::uint64_t payload_seq_ = 0;
+};
+
+}  // namespace tinca::workloads

@@ -1,0 +1,145 @@
+// Tests for the uniform TxnBackend surface and the stack builder: both
+// backends must satisfy the same behavioural contract.
+#include <gtest/gtest.h>
+
+#include "backend/stack_builder.h"
+#include "common/bytes.h"
+
+namespace tinca::backend {
+namespace {
+
+StackConfig small_config(StackKind kind) {
+  StackConfig cfg;
+  cfg.kind = kind;
+  cfg.nvm_bytes = 8 << 20;
+  cfg.disk_blocks = 1 << 14;
+  cfg.classic.journal_blocks = 512;
+  cfg.tinca.ring_bytes = 64 * 1024;
+  return cfg;
+}
+
+std::vector<std::byte> block_of(std::uint64_t seed) {
+  std::vector<std::byte> b(blockdev::kBlockSize);
+  fill_pattern(b, seed);
+  return b;
+}
+
+/// Contract tests parameterized over every backend kind.
+class BackendContract : public ::testing::TestWithParam<StackKind> {};
+
+TEST_P(BackendContract, CommitMakesDataReadable) {
+  Stack stack(small_config(GetParam()));
+  auto& be = stack.backend();
+  be.begin();
+  be.stage(10, block_of(1));
+  be.stage(11, block_of(2));
+  be.commit();
+  std::vector<std::byte> got(blockdev::kBlockSize);
+  be.read_block(10, got);
+  EXPECT_EQ(got, block_of(1));
+  be.read_block(11, got);
+  EXPECT_EQ(got, block_of(2));
+}
+
+TEST_P(BackendContract, AbortLeavesNoTrace) {
+  Stack stack(small_config(GetParam()));
+  auto& be = stack.backend();
+  be.begin();
+  be.stage(5, block_of(9));
+  be.abort();
+  std::vector<std::byte> got(blockdev::kBlockSize);
+  be.read_block(5, got);
+  EXPECT_EQ(got, std::vector<std::byte>(blockdev::kBlockSize, std::byte{0}));
+}
+
+TEST_P(BackendContract, DoubleBeginRejected) {
+  Stack stack(small_config(GetParam()));
+  auto& be = stack.backend();
+  be.begin();
+  EXPECT_THROW(be.begin(), ContractViolation);
+  be.abort();
+}
+
+TEST_P(BackendContract, StageWithoutBeginRejected) {
+  Stack stack(small_config(GetParam()));
+  EXPECT_THROW(stack.backend().stage(1, block_of(1)), ContractViolation);
+  EXPECT_THROW(stack.backend().commit(), ContractViolation);
+}
+
+TEST_P(BackendContract, FlushPushesToDisk) {
+  Stack stack(small_config(GetParam()));
+  auto& be = stack.backend();
+  be.begin();
+  be.stage(20, block_of(7));
+  be.commit();
+  be.flush();
+  EXPECT_GT(stack.disk_blocks_written(), 0u);
+}
+
+TEST_P(BackendContract, RewriteKeepsLatest) {
+  Stack stack(small_config(GetParam()));
+  auto& be = stack.backend();
+  for (std::uint64_t v = 1; v <= 10; ++v) {
+    be.begin();
+    be.stage(3, block_of(v));
+    be.commit();
+  }
+  std::vector<std::byte> got(blockdev::kBlockSize);
+  be.read_block(3, got);
+  EXPECT_EQ(got, block_of(10));
+}
+
+TEST_P(BackendContract, MaxTxnBlocksIsPositive) {
+  Stack stack(small_config(GetParam()));
+  EXPECT_GT(stack.backend().max_txn_blocks(), 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendContract,
+                         ::testing::Values(StackKind::kTinca,
+                                           StackKind::kClassic,
+                                           StackKind::kClassicNoJournal,
+                                           StackKind::kUbj),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case StackKind::kTinca: return "Tinca";
+                             case StackKind::kClassic: return "Classic";
+                             case StackKind::kUbj: return "Ubj";
+                             default: return "ClassicNoJournal";
+                           }
+                         });
+
+TEST(StackBuilder, NamesIdentifyBackends) {
+  EXPECT_EQ(Stack(small_config(StackKind::kTinca)).name(), "Tinca");
+  EXPECT_EQ(Stack(small_config(StackKind::kClassic)).name(), "Classic");
+  EXPECT_EQ(Stack(small_config(StackKind::kClassicNoJournal)).name(),
+            "Classic-nojournal");
+}
+
+TEST(StackBuilder, ProfilesAreApplied) {
+  StackConfig cfg = small_config(StackKind::kTinca);
+  cfg.nvm_profile = "sttram";
+  cfg.disk_profile = "hdd";
+  Stack stack(cfg);
+  EXPECT_EQ(stack.nvm().profile().name, "STT-RAM");
+}
+
+TEST(StackBuilder, TincaWritesCostFewerFlushesThanClassic) {
+  // The paper's core claim at the unit scale (Fig 7(b) mechanism).
+  Stack tinca(small_config(StackKind::kTinca));
+  Stack classic(small_config(StackKind::kClassic));
+  for (auto* stack : {&tinca, &classic}) {
+    auto& be = stack->backend();
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      be.begin();
+      be.stage(i, block_of(i));
+      be.commit();
+    }
+    be.flush();
+  }
+  EXPECT_LT(tinca.clflush_count() * 2, classic.clflush_count())
+      << "Tinca should need less than half of Classic's flushes";
+  EXPECT_LT(tinca.disk_blocks_written(), classic.disk_blocks_written());
+}
+
+}  // namespace
+}  // namespace tinca::backend

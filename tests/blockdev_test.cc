@@ -1,0 +1,116 @@
+// Unit tests for the block-device substrate.
+#include <gtest/gtest.h>
+
+#include "blockdev/latency_block_device.h"
+#include "blockdev/mem_block_device.h"
+#include "common/bytes.h"
+#include "common/expect.h"
+#include "common/rng.h"
+
+namespace tinca::blockdev {
+namespace {
+
+std::vector<std::byte> block_with(std::uint64_t seed) {
+  std::vector<std::byte> b(kBlockSize);
+  tinca::fill_pattern(b, seed);
+  return b;
+}
+
+TEST(MemBlockDevice, UnwrittenBlocksReadZero) {
+  MemBlockDevice dev(100);
+  std::vector<std::byte> buf(kBlockSize, std::byte{0xFF});
+  dev.read(7, buf);
+  for (std::byte b : buf) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(MemBlockDevice, WriteReadRoundTrip) {
+  MemBlockDevice dev(100);
+  const auto data = block_with(1);
+  dev.write(42, data);
+  std::vector<std::byte> got(kBlockSize);
+  dev.read(42, got);
+  EXPECT_EQ(got, data);
+}
+
+TEST(MemBlockDevice, SparseResidency) {
+  MemBlockDevice dev(1'000'000);
+  dev.write(999'999, block_with(2));
+  dev.write(0, block_with(3));
+  EXPECT_EQ(dev.resident_blocks(), 2u);
+}
+
+TEST(MemBlockDevice, StatsCountIo) {
+  MemBlockDevice dev(10);
+  std::vector<std::byte> buf(kBlockSize);
+  dev.write(1, buf);
+  dev.write(2, buf);
+  dev.read(1, buf);
+  EXPECT_EQ(dev.stats().blocks_written, 2u);
+  EXPECT_EQ(dev.stats().blocks_read, 1u);
+}
+
+TEST(MemBlockDevice, BoundsChecked) {
+  MemBlockDevice dev(10);
+  std::vector<std::byte> buf(kBlockSize);
+  EXPECT_THROW(dev.write(10, buf), ContractViolation);
+  EXPECT_THROW(dev.read(11, buf), ContractViolation);
+  std::vector<std::byte> small(8);
+  EXPECT_THROW(dev.write(0, small), ContractViolation);
+}
+
+TEST(LatencyBlockDevice, SsdChargesPerBlock) {
+  sim::SimClock clock;
+  MemBlockDevice mem(100);
+  LatencyBlockDevice dev(mem, ssd_profile(), clock);
+  std::vector<std::byte> buf(kBlockSize);
+  dev.write(0, buf);
+  const auto p = ssd_profile();
+  EXPECT_EQ(clock.now(), p.request_overhead_ns + p.write_block_ns);
+}
+
+TEST(LatencyBlockDevice, HddChargesSeekOnRandomAccess) {
+  sim::SimClock clock;
+  MemBlockDevice mem(1000);
+  LatencyBlockDevice dev(mem, hdd_profile(), clock);
+  std::vector<std::byte> buf(kBlockSize);
+  dev.write(0, buf);           // first access: seek
+  const sim::Ns after_first = clock.now();
+  dev.write(1, buf);           // sequential: no seek
+  const sim::Ns seq_cost = clock.now() - after_first;
+  dev.write(500, buf);         // random: seek again
+  const sim::Ns rnd_cost = clock.now() - after_first - seq_cost;
+  EXPECT_GT(rnd_cost, seq_cost);
+  EXPECT_EQ(rnd_cost - seq_cost, hdd_profile().seek_ns);
+  EXPECT_EQ(dev.stats().seeks, 2u);
+}
+
+TEST(LatencyBlockDevice, PassesDataThrough) {
+  sim::SimClock clock;
+  MemBlockDevice mem(100);
+  LatencyBlockDevice dev(mem, ssd_profile(), clock);
+  const auto data = block_with(9);
+  dev.write(5, data);
+  std::vector<std::byte> got(kBlockSize);
+  dev.read(5, got);
+  EXPECT_EQ(got, data);
+  EXPECT_EQ(dev.stats().blocks_written, 1u);
+  EXPECT_EQ(dev.stats().blocks_read, 1u);
+}
+
+TEST(LatencyBlockDevice, HddRandomIsSlowerThanSsdRandom) {
+  sim::SimClock c_ssd, c_hdd;
+  MemBlockDevice m1(1000), m2(1000);
+  LatencyBlockDevice ssd(m1, ssd_profile(), c_ssd);
+  LatencyBlockDevice hdd(m2, hdd_profile(), c_hdd);
+  std::vector<std::byte> buf(kBlockSize);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto blk = rng.below(1000);
+    ssd.write(blk, buf);
+    hdd.write(blk, buf);
+  }
+  EXPECT_GT(c_hdd.now(), 5 * c_ssd.now());
+}
+
+}  // namespace
+}  // namespace tinca::blockdev

@@ -1,0 +1,92 @@
+// Codec tests for the 16 B persistent cache entry (paper Fig 5).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tinca/cache_entry.h"
+
+namespace tinca::core {
+namespace {
+
+TEST(CacheEntry, DefaultIsInvalid) {
+  const CacheEntry e;
+  EXPECT_FALSE(e.valid);
+  const auto raw = e.encode();
+  EXPECT_EQ(raw[0], std::byte{0});
+}
+
+TEST(CacheEntry, EncodeDecodeRoundTrip) {
+  CacheEntry e;
+  e.valid = true;
+  e.role = Role::kLog;
+  e.modified = true;
+  e.disk_blkno = 0x00DEADBEEFCAFEULL;
+  e.prev_nvm = 1234;
+  e.curr_nvm = 5678;
+  const auto raw = e.encode();
+  EXPECT_EQ(CacheEntry::decode(raw), e);
+}
+
+TEST(CacheEntry, FlagsAreIndependent) {
+  for (int mask = 0; mask < 8; ++mask) {
+    CacheEntry e;
+    e.valid = mask & 1;
+    e.role = (mask & 2) ? Role::kLog : Role::kBuffer;
+    e.modified = mask & 4;
+    EXPECT_EQ(CacheEntry::decode(e.encode()), e) << "mask " << mask;
+  }
+}
+
+TEST(CacheEntry, SevenByteDiskBlockLimits) {
+  CacheEntry e;
+  e.valid = true;
+  e.disk_blkno = CacheEntry::kMaxDiskBlock;
+  EXPECT_EQ(CacheEntry::decode(e.encode()).disk_blkno, CacheEntry::kMaxDiskBlock);
+  e.disk_blkno = CacheEntry::kMaxDiskBlock + 1;
+  EXPECT_THROW(e.encode(), ContractViolation);
+}
+
+TEST(CacheEntry, FreshTagSurvivesRoundTrip) {
+  CacheEntry e;
+  e.valid = true;
+  e.prev_nvm = CacheEntry::kFresh;
+  e.curr_nvm = 7;
+  EXPECT_EQ(CacheEntry::decode(e.encode()).prev_nvm, CacheEntry::kFresh);
+}
+
+TEST(CacheEntry, RevokeMarkerSemantics) {
+  CacheEntry e;
+  e.valid = true;
+  e.prev_nvm = 9;
+  e.curr_nvm = 9;
+  EXPECT_TRUE(e.revoke_marker());
+  e.curr_nvm = 10;
+  EXPECT_FALSE(e.revoke_marker());
+  e.prev_nvm = CacheEntry::kFresh;
+  e.curr_nvm = CacheEntry::kFresh;
+  EXPECT_FALSE(e.revoke_marker()) << "FRESH self-pair is not a marker";
+  e.valid = false;
+  e.prev_nvm = 9;
+  e.curr_nvm = 9;
+  EXPECT_FALSE(e.revoke_marker()) << "invalid entries carry no marker";
+}
+
+TEST(CacheEntry, RandomizedRoundTripSweep) {
+  Rng rng(4242);
+  for (int i = 0; i < 5000; ++i) {
+    CacheEntry e;
+    e.valid = rng.chance(0.9);
+    e.role = rng.chance(0.5) ? Role::kLog : Role::kBuffer;
+    e.modified = rng.chance(0.5);
+    e.disk_blkno = rng.below(CacheEntry::kMaxDiskBlock + 1);
+    e.prev_nvm = static_cast<std::uint32_t>(rng.next());
+    e.curr_nvm = static_cast<std::uint32_t>(rng.next());
+    ASSERT_EQ(CacheEntry::decode(e.encode()), e) << "iteration " << i;
+  }
+}
+
+TEST(CacheEntry, EncodedFormIsExactly16Bytes) {
+  EXPECT_EQ(sizeof(CacheEntry{}.encode()), 16u);
+}
+
+}  // namespace
+}  // namespace tinca::core

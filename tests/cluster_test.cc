@@ -1,0 +1,127 @@
+// Tests for the cluster simulation: replication pipeline, client-side
+// replication, and the monotonicity properties Fig 10 / Fig 11 rely on.
+#include <gtest/gtest.h>
+
+#include "cluster/minidfs.h"
+
+namespace tinca::cluster {
+namespace {
+
+DfsConfig small_cluster(backend::StackKind kind, std::uint32_t replicas,
+                        bool with_fs) {
+  DfsConfig cfg;
+  cfg.nodes = 4;
+  cfg.replicas = replicas;
+  cfg.node.stack.kind = kind;
+  cfg.node.stack.nvm_bytes = 16 << 20;
+  cfg.node.stack.disk_blocks = 1 << 14;
+  cfg.node.stack.classic.journal_blocks = 1024;
+  cfg.node.stack.tinca.ring_bytes = 128 * 1024;
+  cfg.node.with_fs = with_fs;
+  cfg.chunk_bytes = 256 * 1024;
+  return cfg;
+}
+
+TEST(MiniDfs, RejectsBadGeometry) {
+  DfsConfig cfg = small_cluster(backend::StackKind::kTinca, 3, false);
+  cfg.replicas = 5;  // more replicas than nodes
+  EXPECT_THROW(MiniDfs dfs(cfg), ContractViolation);
+}
+
+TEST(MiniDfs, TeraGenCompletesAndWritesAllReplicas) {
+  MiniDfs dfs(small_cluster(backend::StackKind::kTinca, 3, false));
+  const std::uint64_t bytes = 4 << 20;
+  const sim::Ns t = dfs.run_teragen(bytes);
+  EXPECT_GT(t, 0u);
+  // With 3 replicas, total NVM ingest across nodes ≈ 3x the dataset.
+  std::uint64_t stored = 0;
+  for (std::uint32_t i = 0; i < dfs.node_count(); ++i)
+    stored += dfs.node(i).stack().nvm().stats().bytes_stored;
+  EXPECT_GT(stored, 3 * bytes);
+}
+
+TEST(MiniDfs, MoreReplicasTakeLonger) {
+  const std::uint64_t bytes = 4 << 20;
+  sim::Ns prev = 0;
+  for (std::uint32_t r : {1u, 2u, 3u}) {
+    MiniDfs dfs(small_cluster(backend::StackKind::kTinca, r, false));
+    const sim::Ns t = dfs.run_teragen(bytes);
+    EXPECT_GT(t, prev) << "replicas=" << r;
+    prev = t;
+  }
+}
+
+TEST(MiniDfs, TincaBeatsClassicOnTeraGen) {
+  const std::uint64_t bytes = 4 << 20;
+  MiniDfs tinca(small_cluster(backend::StackKind::kTinca, 3, false));
+  MiniDfs classic(small_cluster(backend::StackKind::kClassic, 3, false));
+  const sim::Ns tt = tinca.run_teragen(bytes);
+  const sim::Ns tc = classic.run_teragen(bytes);
+  EXPECT_LT(tt, tc);
+  EXPECT_LT(tinca.total_clflush(), classic.total_clflush());
+}
+
+TEST(MiniDfs, FilebenchRunsOnReplicatedFs) {
+  MiniDfs dfs(small_cluster(backend::StackKind::kTinca, 2, true));
+  workloads::FilebenchConfig wl;
+  wl.kind = workloads::FilebenchKind::kFileserver;
+  wl.nfiles = 48;
+  wl.mean_file_bytes = 16 * 1024;
+  const auto r = dfs.run_filebench(wl, 300, 8);
+  EXPECT_EQ(r.ops, 300u);
+  EXPECT_GT(r.ops_per_sec(), 0.0);
+  EXPECT_GT(r.read_ops, 0u);
+  EXPECT_GT(r.write_ops, 0u);
+  // Replication must leave every node's FS consistent.
+  for (std::uint32_t i = 0; i < dfs.node_count(); ++i) {
+    dfs.node(i).fsys().fsync();
+    EXPECT_TRUE(dfs.node(i).fsys().fsck().ok) << "node " << i;
+  }
+}
+
+TEST(MiniDfs, ReplicaSetsAreDisjointPerOffset) {
+  MiniDfs dfs(small_cluster(backend::StackKind::kTinca, 2, true));
+  workloads::FilebenchConfig wl;
+  wl.nfiles = 16;
+  wl.mean_file_bytes = 8 * 1024;
+  (void)dfs.run_filebench(wl, 50, 4);
+  // Each file must exist on exactly `replicas` nodes.
+  std::uint32_t holders = 0;
+  for (std::uint32_t i = 0; i < dfs.node_count(); ++i) {
+    dfs.node(i).fsys().fsync();
+    if (dfs.node(i).fsys().exists("/d0/f0")) ++holders;
+  }
+  EXPECT_EQ(holders, 2u);
+}
+
+TEST(MiniDfs, TincaBeatsClassicOnFilebench) {
+  workloads::FilebenchConfig wl;
+  wl.kind = workloads::FilebenchKind::kFileserver;
+  wl.nfiles = 48;
+  wl.mean_file_bytes = 16 * 1024;
+  MiniDfs tinca(small_cluster(backend::StackKind::kTinca, 2, true));
+  MiniDfs classic(small_cluster(backend::StackKind::kClassic, 2, true));
+  const auto rt = tinca.run_filebench(wl, 200, 8);
+  const auto rc = classic.run_filebench(wl, 200, 8);
+  EXPECT_GT(rt.ops_per_sec(), rc.ops_per_sec());
+}
+
+TEST(StorageNode, MeasureReturnsChargedServiceTime) {
+  NodeConfig cfg;
+  cfg.stack.nvm_bytes = 8 << 20;
+  cfg.stack.disk_blocks = 1 << 13;
+  cfg.stack.tinca.ring_bytes = 64 * 1024;
+  StorageNode node(cfg);
+  const sim::Ns t = node.measure([&] {
+    auto& be = node.stack().backend();
+    std::vector<std::byte> blk(4096);
+    be.begin();
+    be.stage(1, blk);
+    be.commit();
+  });
+  EXPECT_GT(t, 0u);
+  EXPECT_THROW(node.fsys(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace tinca::cluster

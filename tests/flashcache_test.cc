@@ -1,0 +1,144 @@
+// Unit tests for the Flashcache-style baseline cache.
+#include <gtest/gtest.h>
+
+#include "blockdev/mem_block_device.h"
+#include "classic/flashcache.h"
+#include "common/bytes.h"
+
+namespace tinca::classic {
+namespace {
+
+constexpr std::size_t kNvmBytes = 4 << 20;
+
+struct Fixture {
+  sim::SimClock clock;
+  nvm::NvmDevice dev{kNvmBytes, pcm_profile(), clock};
+  blockdev::MemBlockDevice disk{1 << 16};
+  FlashCacheConfig cfg;
+  std::unique_ptr<FlashCache> cache;
+
+  Fixture() { cache = FlashCache::format(dev, disk, cfg); }
+
+  std::vector<std::byte> block(std::uint64_t seed) const {
+    std::vector<std::byte> b(blockdev::kBlockSize);
+    fill_pattern(b, seed);
+    return b;
+  }
+};
+
+TEST(FlashCache, WriteThenReadHits) {
+  Fixture f;
+  f.cache->write_block(10, f.block(1));
+  std::vector<std::byte> got(blockdev::kBlockSize);
+  f.cache->read_block(10, got);
+  EXPECT_EQ(got, f.block(1));
+  EXPECT_EQ(f.cache->stats().read_hits, 1u);
+  EXPECT_TRUE(f.cache->dirty(10));
+}
+
+TEST(FlashCache, EveryWritePersistsAMetadataBlock) {
+  Fixture f;
+  const auto before = f.cache->stats().metadata_block_writes;
+  f.cache->write_block(1, f.block(1));
+  f.cache->write_block(2, f.block(2));
+  EXPECT_EQ(f.cache->stats().metadata_block_writes - before, 2u);
+}
+
+TEST(FlashCache, MetadataUpdatesCanBeWaived) {
+  // The Fig 4 ablation: no synchronous metadata → far fewer flushes.
+  sim::SimClock c1, c2;
+  nvm::NvmDevice d1(kNvmBytes, pcm_profile(), c1);
+  nvm::NvmDevice d2(kNvmBytes, pcm_profile(), c2);
+  blockdev::MemBlockDevice disk1(1 << 16), disk2(1 << 16);
+  FlashCacheConfig with, without;
+  without.sync_metadata = false;
+  auto a = FlashCache::format(d1, disk1, with);
+  auto b = FlashCache::format(d2, disk2, without);
+  std::vector<std::byte> buf(blockdev::kBlockSize);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    a->write_block(i, buf);
+    b->write_block(i, buf);
+  }
+  EXPECT_GT(d1.stats().clflush, 15 * d2.stats().clflush / 10)
+      << "sync metadata should roughly double flush traffic";
+}
+
+TEST(FlashCache, WriteCostsRoughlyTwoBlocksOfFlushes) {
+  Fixture f;
+  const auto before = f.dev.stats().clflush;
+  f.cache->write_block(77, f.block(1));
+  const auto per_write = f.dev.stats().clflush - before;
+  // 64 data lines + 64 metadata lines.
+  EXPECT_EQ(per_write, 128u);
+}
+
+TEST(FlashCache, EvictionWritesDirtyVictims) {
+  Fixture f;
+  const std::uint64_t cap = f.cache->capacity_blocks();
+  for (std::uint64_t i = 0; i < cap + FlashCacheConfig::kAssoc; ++i)
+    f.cache->write_block(i, f.block(i));
+  EXPECT_GT(f.cache->stats().evictions, 0u);
+  EXPECT_GT(f.disk.stats().blocks_written, 0u);
+  // All data must remain readable with correct contents.
+  std::vector<std::byte> got(blockdev::kBlockSize);
+  for (std::uint64_t i = 0; i < cap; i += 97) {
+    f.cache->read_block(i, got);
+    ASSERT_EQ(got, f.block(i)) << "block " << i;
+  }
+}
+
+TEST(FlashCache, RecoveryRestoresDirtyState) {
+  Fixture f;
+  for (std::uint64_t i = 0; i < 32; ++i) f.cache->write_block(i, f.block(i));
+  auto remounted = FlashCache::recover(f.dev, f.disk, f.cfg);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    EXPECT_TRUE(remounted->cached(i));
+    EXPECT_TRUE(remounted->dirty(i));
+    std::vector<std::byte> got(blockdev::kBlockSize);
+    remounted->read_block(i, got);
+    ASSERT_EQ(got, f.block(i));
+  }
+}
+
+TEST(FlashCache, CrashAfterAcknowledgedWriteIsDurable) {
+  Fixture f;
+  f.cache->write_block(5, f.block(9));
+  f.dev.crash_discard_all();  // acknowledged == flushed, so it survives
+  auto remounted = FlashCache::recover(f.dev, f.disk, f.cfg);
+  std::vector<std::byte> got(blockdev::kBlockSize);
+  remounted->read_block(5, got);
+  EXPECT_EQ(got, f.block(9));
+}
+
+TEST(FlashCache, FlushDirtyCleansCache) {
+  Fixture f;
+  for (std::uint64_t i = 0; i < 8; ++i) f.cache->write_block(i, f.block(i));
+  f.cache->flush_dirty();
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_FALSE(f.cache->dirty(i));
+    std::vector<std::byte> got(blockdev::kBlockSize);
+    f.disk.read(i, got);
+    EXPECT_EQ(got, f.block(i));
+  }
+}
+
+TEST(FlashCache, ReadMissFillsCache) {
+  Fixture f;
+  f.disk.write(100, f.block(4));
+  std::vector<std::byte> got(blockdev::kBlockSize);
+  f.cache->read_block(100, got);
+  EXPECT_EQ(got, f.block(4));
+  EXPECT_TRUE(f.cache->cached(100));
+  EXPECT_FALSE(f.cache->dirty(100));
+}
+
+TEST(FlashCache, RecoverRejectsForeignMedia) {
+  sim::SimClock clock;
+  nvm::NvmDevice dev(kNvmBytes, pcm_profile(), clock);
+  blockdev::MemBlockDevice disk(1 << 16);
+  EXPECT_THROW(FlashCache::recover(dev, disk, FlashCacheConfig{}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace tinca::classic

@@ -1,0 +1,184 @@
+// Unit tests for the JBD2-style redo journal (double writes included).
+#include <gtest/gtest.h>
+
+#include "blockdev/mem_block_device.h"
+#include "classic/journal.h"
+#include "common/bytes.h"
+
+namespace tinca::classic {
+namespace {
+
+constexpr std::size_t kNvmBytes = 8 << 20;
+constexpr std::uint64_t kDiskBlocks = 1 << 15;
+constexpr std::uint64_t kJournalBlocks = 256;
+
+struct Fixture {
+  sim::SimClock clock;
+  nvm::NvmDevice dev{kNvmBytes, pcm_profile(), clock};
+  blockdev::MemBlockDevice disk{kDiskBlocks};
+  std::unique_ptr<FlashCache> cache;
+  std::unique_ptr<Journal> journal;
+
+  Fixture() {
+    cache = FlashCache::format(dev, disk, FlashCacheConfig{});
+    JournalConfig jc;
+    jc.base_blkno = kDiskBlocks - kJournalBlocks;
+    jc.length_blocks = kJournalBlocks;
+    journal = Journal::format(*cache, jc);
+  }
+
+  std::vector<std::byte> block(std::uint64_t seed) const {
+    std::vector<std::byte> b(blockdev::kBlockSize);
+    fill_pattern(b, seed);
+    return b;
+  }
+
+  void commit_one(std::uint64_t blkno, std::uint64_t seed) {
+    journal->commit({{blkno, block(seed)}});
+  }
+};
+
+TEST(Journal, CommitWritesDescriptorLogsAndCommitBlock) {
+  Fixture f;
+  f.journal->commit({{10, f.block(1)}, {11, f.block(2)}});
+  const auto& s = f.journal->stats();
+  EXPECT_EQ(s.txns_committed, 1u);
+  EXPECT_EQ(s.descriptor_blocks_written, 1u);
+  EXPECT_EQ(s.log_blocks_written, 2u);
+  EXPECT_EQ(s.commit_blocks_written, 1u);
+}
+
+TEST(Journal, PendingServesLatestCommittedData) {
+  Fixture f;
+  f.commit_one(5, 1);
+  ASSERT_NE(f.journal->pending(5), nullptr);
+  EXPECT_EQ(*f.journal->pending(5), f.block(1));
+  f.commit_one(5, 2);
+  EXPECT_EQ(*f.journal->pending(5), f.block(2));
+  EXPECT_EQ(f.journal->pending(99), nullptr);
+}
+
+TEST(Journal, CheckpointWritesHomeLocationAndClearsPending) {
+  Fixture f;
+  f.commit_one(5, 1);
+  f.journal->checkpoint_all();
+  EXPECT_EQ(f.journal->pending(5), nullptr);
+  EXPECT_EQ(f.journal->stats().checkpoint_writes, 1u);
+  std::vector<std::byte> got(blockdev::kBlockSize);
+  f.cache->read_block(5, got);
+  EXPECT_EQ(got, f.block(1));
+}
+
+TEST(Journal, DoubleWriteAmplificationIsVisible) {
+  // The §3.1 phenomenon: with journaling every block reaches the cache
+  // twice (log + checkpoint).
+  Fixture f;
+  const auto before = f.dev.stats().clflush;
+  for (std::uint64_t i = 0; i < 16; ++i) f.commit_one(100 + i, i);
+  f.journal->checkpoint_all();
+  const double per_block =
+      static_cast<double>(f.dev.stats().clflush - before) / 16.0;
+  // Two data writes (128 line flushes each incl. flashcache metadata) plus
+  // descriptor/commit/superblock overhead.
+  EXPECT_GT(per_block, 2 * 128.0);
+}
+
+TEST(Journal, RingWrapsUnderSustainedLoad) {
+  Fixture f;
+  // Far more traffic than the ring holds: forces checkpoints.  Blocks are
+  // mostly unique so checkpoint actually writes them home (a re-logged
+  // block is skipped in favour of the newer transaction's copy).
+  for (std::uint64_t i = 0; i < 500; ++i) f.commit_one(i, i);
+  EXPECT_GT(f.journal->stats().checkpoint_writes, 0u);
+  EXPECT_GT(f.journal->free_ring_blocks(), 0u);
+}
+
+TEST(Journal, ReloggedBlocksSkippedAtCheckpoint) {
+  Fixture f;
+  f.commit_one(5, 1);
+  f.commit_one(5, 2);  // re-logs block 5 in a newer txn
+  f.journal->checkpoint_all();
+  // Only the newest copy is written home, once.
+  EXPECT_EQ(f.journal->stats().checkpoint_writes, 1u);
+  std::vector<std::byte> got(blockdev::kBlockSize);
+  f.cache->read_block(5, got);
+  EXPECT_EQ(got, f.block(2));
+}
+
+TEST(Journal, OversizedTransactionRejected) {
+  Fixture f;
+  std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> blocks;
+  for (std::uint64_t i = 0; i <= f.journal->max_txn_blocks() + 2; ++i)
+    blocks.emplace_back(i, f.block(i));
+  EXPECT_THROW(f.journal->commit(blocks), ContractViolation);
+}
+
+TEST(Journal, ReplayRecoversCommittedTransactions) {
+  Fixture f;
+  f.commit_one(7, 1);
+  f.commit_one(8, 2);
+  f.commit_one(7, 3);
+  // Crash: nothing checkpointed, pending map lost with DRAM.
+  f.dev.crash_discard_all();
+  auto cache2 = FlashCache::recover(f.dev, f.disk, FlashCacheConfig{});
+  JournalConfig jc;
+  jc.base_blkno = kDiskBlocks - kJournalBlocks;
+  jc.length_blocks = kJournalBlocks;
+  auto journal2 = Journal::recover(*cache2, jc);
+  EXPECT_EQ(journal2->stats().txns_replayed, 3u);
+  std::vector<std::byte> got(blockdev::kBlockSize);
+  cache2->read_block(7, got);
+  EXPECT_EQ(got, f.block(3)) << "latest committed version must win";
+  cache2->read_block(8, got);
+  EXPECT_EQ(got, f.block(2));
+}
+
+TEST(Journal, ReplayStopsAtUnsealedTransaction) {
+  // Simulate a torn commit: write a descriptor + log but no commit block by
+  // crashing the NVM beneath the journal write path mid-transaction is hard
+  // to stage directly, so emulate by committing and then corrupting the
+  // commit block's slot in the cache.
+  Fixture f;
+  f.commit_one(7, 1);
+  // Second txn sealed normally, then we smash its commit block.
+  f.commit_one(8, 2);
+  // Commit block of txn 2 lives right before head; overwrite it with junk.
+  // (Offsets: txn1 = desc,log,commit at ring 0..2; txn2 at 3..5.)
+  const std::uint64_t commit_blk = (kDiskBlocks - kJournalBlocks) + 1 + 5;
+  std::vector<std::byte> junk(blockdev::kBlockSize, std::byte{0xEE});
+  f.cache->write_block(commit_blk, junk);
+  f.dev.crash_discard_all();
+
+  auto cache2 = FlashCache::recover(f.dev, f.disk, FlashCacheConfig{});
+  JournalConfig jc;
+  jc.base_blkno = kDiskBlocks - kJournalBlocks;
+  jc.length_blocks = kJournalBlocks;
+  auto journal2 = Journal::recover(*cache2, jc);
+  EXPECT_EQ(journal2->stats().txns_replayed, 1u) << "torn txn must be discarded";
+  std::vector<std::byte> got(blockdev::kBlockSize);
+  cache2->read_block(7, got);
+  EXPECT_EQ(got, f.block(1));
+  cache2->read_block(8, got);
+  EXPECT_NE(got, f.block(2)) << "unsealed txn must not be replayed";
+}
+
+TEST(Journal, EmptyCommitIsANoop) {
+  Fixture f;
+  f.journal->commit({});
+  EXPECT_EQ(f.journal->stats().txns_committed, 1u);
+  EXPECT_EQ(f.journal->stats().log_blocks_written, 0u);
+}
+
+TEST(Journal, JournalTrafficConsumesCacheSpace) {
+  // §5.4.2's mechanism: journal blocks occupy the NVM cache, reducing the
+  // effective capacity for home blocks.
+  Fixture f;
+  for (std::uint64_t i = 0; i < 32; ++i) f.commit_one(i, i);
+  std::uint64_t journal_resident = 0;
+  for (std::uint64_t b = kDiskBlocks - kJournalBlocks; b < kDiskBlocks; ++b)
+    if (f.cache->cached(b)) ++journal_resident;
+  EXPECT_GT(journal_resident, 32u);
+}
+
+}  // namespace
+}  // namespace tinca::classic

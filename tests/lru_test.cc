@@ -1,0 +1,140 @@
+// Tests for the DRAM replacement structures: SlotLru against a reference
+// model, and the free-block monitor.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+
+#include "common/expect.h"
+#include "common/rng.h"
+#include "tinca/slot_lru.h"
+
+namespace tinca::core {
+namespace {
+
+TEST(SlotLru, EmptyHasNoLru) {
+  SlotLru lru(8);
+  EXPECT_EQ(lru.lru(), SlotLru::kNil);
+  EXPECT_EQ(lru.size(), 0u);
+}
+
+TEST(SlotLru, PushAndEvictInOrder) {
+  SlotLru lru(8);
+  lru.push_mru(1);
+  lru.push_mru(2);
+  lru.push_mru(3);
+  EXPECT_EQ(lru.lru(), 1u);
+  lru.remove(1);
+  EXPECT_EQ(lru.lru(), 2u);
+  lru.remove(2);
+  EXPECT_EQ(lru.lru(), 3u);
+}
+
+TEST(SlotLru, TouchMovesToMru) {
+  SlotLru lru(8);
+  lru.push_mru(1);
+  lru.push_mru(2);
+  lru.touch(1);
+  EXPECT_EQ(lru.lru(), 2u);
+}
+
+TEST(SlotLru, NewerWalksTowardMru) {
+  SlotLru lru(8);
+  lru.push_mru(5);
+  lru.push_mru(6);
+  lru.push_mru(7);
+  EXPECT_EQ(lru.lru(), 5u);
+  EXPECT_EQ(lru.newer(5), 6u);
+  EXPECT_EQ(lru.newer(6), 7u);
+  EXPECT_EQ(lru.newer(7), SlotLru::kNil);
+}
+
+TEST(SlotLru, DoubleInsertRejected) {
+  SlotLru lru(4);
+  lru.push_mru(0);
+  EXPECT_THROW(lru.push_mru(0), ContractViolation);
+}
+
+TEST(SlotLru, RemoveOfAbsentRejected) {
+  SlotLru lru(4);
+  EXPECT_THROW(lru.remove(2), ContractViolation);
+}
+
+TEST(SlotLru, MatchesReferenceModelUnderRandomOps) {
+  constexpr std::uint32_t kN = 64;
+  SlotLru lru(kN);
+  std::list<std::uint32_t> ref;  // front = MRU, back = LRU
+  std::unordered_map<std::uint32_t, std::list<std::uint32_t>::iterator> pos;
+  Rng rng(321);
+
+  for (int step = 0; step < 20000; ++step) {
+    const auto slot = static_cast<std::uint32_t>(rng.below(kN));
+    const bool present = pos.contains(slot);
+    switch (rng.below(3)) {
+      case 0:  // insert
+        if (!present) {
+          lru.push_mru(slot);
+          ref.push_front(slot);
+          pos[slot] = ref.begin();
+        }
+        break;
+      case 1:  // touch
+        if (present) {
+          lru.touch(slot);
+          ref.erase(pos[slot]);
+          ref.push_front(slot);
+          pos[slot] = ref.begin();
+        }
+        break;
+      case 2:  // remove
+        if (present) {
+          lru.remove(slot);
+          ref.erase(pos[slot]);
+          pos.erase(slot);
+        }
+        break;
+    }
+    ASSERT_EQ(lru.size(), ref.size());
+    if (!ref.empty()) ASSERT_EQ(lru.lru(), ref.back()) << "step " << step;
+  }
+}
+
+TEST(FreeMonitor, HandsOutAllIdsOnce) {
+  FreeMonitor mon(16);
+  std::vector<bool> seen(16, false);
+  for (int i = 0; i < 16; ++i) {
+    const auto id = mon.take();
+    ASSERT_LT(id, 16u);
+    ASSERT_FALSE(seen[id]);
+    seen[id] = true;
+  }
+  EXPECT_FALSE(mon.any());
+  EXPECT_THROW(mon.take(), ContractViolation);
+}
+
+TEST(FreeMonitor, GiveRecyclesIds) {
+  FreeMonitor mon(2);
+  const auto a = mon.take();
+  (void)mon.take();
+  EXPECT_FALSE(mon.any());
+  mon.give(a);
+  EXPECT_EQ(mon.count(), 1u);
+  EXPECT_EQ(mon.take(), a);
+}
+
+TEST(FreeMonitor, LowIdsFirst) {
+  FreeMonitor mon(8);
+  EXPECT_EQ(mon.take(), 0u);
+  EXPECT_EQ(mon.take(), 1u);
+}
+
+TEST(FreeMonitor, ClearEmptiesPool) {
+  FreeMonitor mon(4);
+  mon.clear();
+  EXPECT_FALSE(mon.any());
+  mon.give(3);
+  EXPECT_EQ(mon.count(), 1u);
+}
+
+}  // namespace
+}  // namespace tinca::core

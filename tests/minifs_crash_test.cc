@@ -1,0 +1,245 @@
+// Whole-system crash consistency: MiniFs over Tinca, with power failures
+// injected at every commit-path step of a file-system workload; after
+// recovery the file system must pass fsck and contain exactly the fsynced
+// state (data consistency, §2.3).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "backend/classic_backend.h"
+#include "backend/tinca_backend.h"
+#include "blockdev/mem_block_device.h"
+#include "common/bytes.h"
+#include "fs/minifs.h"
+
+namespace tinca::fs {
+namespace {
+
+constexpr std::size_t kNvmBytes = 8 << 20;
+constexpr std::uint64_t kDiskBlocks = 1 << 14;
+constexpr std::uint64_t kRing = 64 * 1024;
+
+std::vector<std::byte> bytes_of(std::size_t n, std::uint64_t seed) {
+  std::vector<std::byte> b(n);
+  fill_pattern(b, seed);
+  return b;
+}
+
+/// A deterministic FS workload: each phase is fsynced, so after any crash
+/// the recovered FS must contain all completed phases and nothing from the
+/// in-flight one (or the in-flight one completely, if its commit landed).
+struct Phase {
+  std::string path;
+  std::size_t size;
+  std::uint64_t seed;
+};
+
+std::vector<Phase> phases() {
+  return {
+      {"/a", 6000, 1},  {"/b", 12000, 2}, {"/c", 60000, 3},
+      {"/a2", 3000, 4}, {"/d", 9000, 5},  {"/e", 20000, 6},
+  };
+}
+
+/// Runs the workload, crashing at injector step `crash_step` (0 = never).
+/// Returns how many phases were fully fsynced before the crash.
+int run_fs_workload(nvm::NvmDevice& dev, blockdev::MemBlockDevice& disk,
+                    std::uint64_t crash_step, std::uint64_t* steps_out) {
+  auto be = backend::TincaBackend::format(dev, disk,
+                                          core::TincaConfig{.ring_bytes = kRing});
+  MiniFsConfig cfg;
+  cfg.group_commit_ops = 4;
+  auto fsys = MiniFs::mkfs(*be, cfg);
+  dev.injector.disarm();
+  if (crash_step) dev.injector.arm(crash_step);
+
+  int completed = 0;
+  try {
+    for (const Phase& p : phases()) {
+      fsys->create(p.path);
+      fsys->write(p.path, 0, bytes_of(p.size, p.seed));
+      fsys->fsync();
+      ++completed;
+    }
+  } catch (const nvm::CrashException&) {
+    completed = -completed - 1;  // negative marks "crashed after N phases"
+  }
+  if (steps_out) *steps_out = dev.injector.steps_seen();
+  dev.injector.disarm();
+  return completed;
+}
+
+TEST(MiniFsCrash, SweepEveryCommitStep) {
+  // Learn the step count from a clean run.
+  std::uint64_t total_steps = 0;
+  {
+    sim::SimClock clock;
+    nvm::NvmDevice dev(kNvmBytes, nvdimm_profile(), clock);
+    blockdev::MemBlockDevice disk(kDiskBlocks);
+    ASSERT_EQ(run_fs_workload(dev, disk, 0, &total_steps),
+              static_cast<int>(phases().size()));
+  }
+  ASSERT_GT(total_steps, 50u);
+
+  Rng rng(2024);
+  // Sweep every step (stride 1 would be exhaustive but slow under the full
+  // FS; stride 3 still covers every protocol window across phases).
+  for (std::uint64_t step = 1; step <= total_steps; step += 3) {
+    sim::SimClock clock;
+    nvm::NvmDevice dev(kNvmBytes, nvdimm_profile(), clock);
+    blockdev::MemBlockDevice disk(kDiskBlocks);
+    const int marker = run_fs_workload(dev, disk, step, nullptr);
+    ASSERT_LT(marker, 0) << "armed run did not crash at step " << step;
+    const int completed = -marker - 1;
+
+    dev.crash(rng, 0.5);
+    auto be = backend::TincaBackend::recover(
+        dev, disk, core::TincaConfig{.ring_bytes = kRing});
+    auto fsys = MiniFs::mount(*be);
+
+    // fsck must pass on the recovered committed state.
+    const FsckReport report = fsys->fsck();
+    ASSERT_TRUE(report.ok) << "fsck failed after crash at step " << step << ": "
+                           << (report.problems.empty() ? "?" : report.problems[0]);
+
+    // All fully-fsynced phases must be present and intact.
+    const auto all = phases();
+    for (int i = 0; i < completed; ++i) {
+      ASSERT_TRUE(fsys->exists(all[i].path))
+          << all[i].path << " lost after crash at step " << step;
+      std::vector<std::byte> got(all[i].size);
+      ASSERT_EQ(fsys->read(all[i].path, 0, got), all[i].size);
+      ASSERT_EQ(fingerprint(got), fingerprint(bytes_of(all[i].size, all[i].seed)))
+          << all[i].path << " corrupted after crash at step " << step;
+    }
+    // Phases after the in-flight one must not exist at all.
+    for (std::size_t i = completed + 1; i < all.size(); ++i)
+      ASSERT_FALSE(fsys->exists(all[i].path));
+  }
+}
+
+TEST(MiniFsCrash, CrashBetweenFsyncsLosesOnlyStagedOps) {
+  sim::SimClock clock;
+  nvm::NvmDevice dev(kNvmBytes, nvdimm_profile(), clock);
+  blockdev::MemBlockDevice disk(kDiskBlocks);
+  auto be = backend::TincaBackend::format(dev, disk,
+                                          core::TincaConfig{.ring_bytes = kRing});
+  {
+    MiniFsConfig cfg;
+    cfg.group_commit_ops = 1000;  // nothing auto-commits
+    auto fsys = MiniFs::mkfs(*be, cfg);
+    fsys->create("/committed");
+    fsys->write("/committed", 0, bytes_of(5000, 1));
+    fsys->fsync();
+    fsys->create("/lost");
+    fsys->write("/lost", 0, bytes_of(5000, 2));
+    // no fsync; process dies here
+  }
+  dev.crash_discard_all();
+  auto be2 = backend::TincaBackend::recover(
+      dev, disk, core::TincaConfig{.ring_bytes = kRing});
+  auto fsys = MiniFs::mount(*be2);
+  EXPECT_TRUE(fsys->exists("/committed"));
+  EXPECT_FALSE(fsys->exists("/lost"));
+  EXPECT_TRUE(fsys->fsck().ok);
+}
+
+TEST(MiniFsCrash, ClassicBackendSweepMatchesTincaGuarantees) {
+  // The paper's premise is identical data consistency on both stacks; sweep
+  // the same FS workload over the Classic (journal) backend.
+  auto run_classic = [](nvm::NvmDevice& dev, blockdev::MemBlockDevice& disk,
+                        std::uint64_t crash_step, std::uint64_t* steps_out) {
+    classic::ClassicConfig ccfg;
+    ccfg.journal_blocks = 512;
+    auto be = backend::ClassicBackend::format(dev, disk, ccfg);
+    MiniFsConfig cfg;
+    cfg.group_commit_ops = 4;
+    auto fsys = MiniFs::mkfs(*be, cfg);
+    dev.injector.disarm();
+    if (crash_step) dev.injector.arm(crash_step);
+    int completed = 0;
+    try {
+      for (const Phase& p : phases()) {
+        fsys->create(p.path);
+        fsys->write(p.path, 0, bytes_of(p.size, p.seed));
+        fsys->fsync();
+        ++completed;
+      }
+    } catch (const nvm::CrashException&) {
+      completed = -completed - 1;
+    }
+    if (steps_out) *steps_out = dev.injector.steps_seen();
+    dev.injector.disarm();
+    return completed;
+  };
+
+  std::uint64_t total_steps = 0;
+  {
+    sim::SimClock clock;
+    nvm::NvmDevice dev(kNvmBytes, nvdimm_profile(), clock);
+    blockdev::MemBlockDevice disk(kDiskBlocks);
+    ASSERT_EQ(run_classic(dev, disk, 0, &total_steps),
+              static_cast<int>(phases().size()));
+  }
+  Rng rng(99);
+  // The Classic path has far more crash points (every flashcache write);
+  // sample with a stride that still covers each protocol phase.
+  for (std::uint64_t step = 1; step <= total_steps; step += 17) {
+    sim::SimClock clock;
+    nvm::NvmDevice dev(kNvmBytes, nvdimm_profile(), clock);
+    blockdev::MemBlockDevice disk(kDiskBlocks);
+    const int marker = run_classic(dev, disk, step, nullptr);
+    ASSERT_LT(marker, 0);
+    const int completed = -marker - 1;
+    dev.crash(rng, 0.5);
+
+    classic::ClassicConfig ccfg;
+    ccfg.journal_blocks = 512;
+    auto be = backend::ClassicBackend::recover(dev, disk, ccfg);
+    auto fsys = MiniFs::mount(*be);
+    ASSERT_TRUE(fsys->fsck().ok) << "Classic fsck failed at step " << step;
+    const auto all = phases();
+    for (int i = 0; i < completed; ++i) {
+      ASSERT_TRUE(fsys->exists(all[i].path)) << "step " << step;
+      std::vector<std::byte> got(all[i].size);
+      ASSERT_EQ(fsys->read(all[i].path, 0, got), all[i].size);
+      ASSERT_EQ(fingerprint(got),
+                fingerprint(bytes_of(all[i].size, all[i].seed)))
+          << all[i].path << " corrupted (Classic) at step " << step;
+    }
+  }
+}
+
+TEST(MiniFsCrash, RepeatedCrashRecoverCyclesConverge) {
+  sim::SimClock clock;
+  nvm::NvmDevice dev(kNvmBytes, nvdimm_profile(), clock);
+  blockdev::MemBlockDevice disk(kDiskBlocks);
+  Rng rng(5);
+
+  auto be = backend::TincaBackend::format(dev, disk,
+                                          core::TincaConfig{.ring_bytes = kRing});
+  {
+    auto fsys = MiniFs::mkfs(*be);
+    fsys->create("/base");
+    fsys->write("/base", 0, bytes_of(30000, 7));
+    fsys->fsync();
+  }
+  be.reset();
+
+  // Ten crash/recover/extend cycles; state must stay consistent throughout.
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    dev.crash(rng, 0.5);
+    auto be2 = backend::TincaBackend::recover(
+        dev, disk, core::TincaConfig{.ring_bytes = kRing});
+    auto fsys = MiniFs::mount(*be2);
+    ASSERT_TRUE(fsys->fsck().ok) << "cycle " << cycle;
+    std::vector<std::byte> got(30000);
+    ASSERT_EQ(fsys->read("/base", 0, got), 30000u);
+    ASSERT_EQ(fingerprint(got), fingerprint(bytes_of(30000, 7)));
+    fsys->create("/cycle" + std::to_string(cycle));
+    fsys->fsync();
+  }
+}
+
+}  // namespace
+}  // namespace tinca::fs

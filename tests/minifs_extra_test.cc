@@ -1,0 +1,166 @@
+// Tests for the extended MiniFs surface: truncate, rename, holes.
+#include <gtest/gtest.h>
+
+#include "backend/stack_builder.h"
+#include "common/bytes.h"
+#include "fs/minifs.h"
+
+namespace tinca::fs {
+namespace {
+
+using backend::Stack;
+using backend::StackConfig;
+using backend::StackKind;
+
+struct Fixture {
+  Fixture() : stack(config()), fsys(MiniFs::mkfs(stack.backend())) {}
+
+  static StackConfig config() {
+    StackConfig cfg;
+    cfg.kind = StackKind::kTinca;
+    cfg.nvm_bytes = 16 << 20;
+    cfg.disk_blocks = 1 << 14;
+    cfg.tinca.ring_bytes = 128 * 1024;
+    return cfg;
+  }
+
+  std::vector<std::byte> bytes_of(std::size_t n, std::uint64_t seed) const {
+    std::vector<std::byte> b(n);
+    fill_pattern(b, seed);
+    return b;
+  }
+
+  Stack stack;
+  std::unique_ptr<MiniFs> fsys;
+};
+
+TEST(MiniFsTruncate, ShrinkFreesBlocksAndClipsContent) {
+  Fixture f;
+  f.fsys->create("/t");
+  f.fsys->write("/t", 0, f.bytes_of(100 * 1024, 1));
+  f.fsys->truncate("/t", 10 * 1024);
+  EXPECT_EQ(f.fsys->file_size("/t"), 10u * 1024);
+  std::vector<std::byte> got(100 * 1024);
+  EXPECT_EQ(f.fsys->read("/t", 0, got), 10u * 1024);
+  EXPECT_TRUE(std::equal(got.begin(), got.begin() + 10 * 1024,
+                         f.bytes_of(100 * 1024, 1).begin()));
+  f.fsys->fsync();
+  const auto report = f.fsys->fsck();
+  EXPECT_TRUE(report.ok) << (report.problems.empty() ? "" : report.problems[0]);
+}
+
+TEST(MiniFsTruncate, PartialBlockTailReadsZeroAfterRegrow) {
+  Fixture f;
+  f.fsys->create("/t");
+  f.fsys->write("/t", 0, f.bytes_of(8192, 2));
+  f.fsys->truncate("/t", 100);  // mid-block
+  f.fsys->truncate("/t", 8192);  // grow back over the clipped range
+  std::vector<std::byte> got(8192);
+  EXPECT_EQ(f.fsys->read("/t", 0, got), 8192u);
+  const auto orig = f.bytes_of(8192, 2);
+  EXPECT_TRUE(std::equal(got.begin(), got.begin() + 100, orig.begin()));
+  for (std::size_t i = 100; i < 8192; ++i)
+    ASSERT_EQ(got[i], std::byte{0}) << "offset " << i;
+}
+
+TEST(MiniFsTruncate, GrowCreatesAHole) {
+  Fixture f;
+  f.fsys->create("/t");
+  f.fsys->truncate("/t", 50000);
+  EXPECT_EQ(f.fsys->file_size("/t"), 50000u);
+  std::vector<std::byte> got(50000, std::byte{0xEE});
+  EXPECT_EQ(f.fsys->read("/t", 0, got), 50000u);
+  for (std::byte b : got) ASSERT_EQ(b, std::byte{0});
+  f.fsys->fsync();
+  EXPECT_TRUE(f.fsys->fsck().ok);
+}
+
+TEST(MiniFsTruncate, ToZeroThenReuse) {
+  Fixture f;
+  f.fsys->create("/t");
+  f.fsys->write("/t", 0, f.bytes_of(200 * 1024, 3));
+  f.fsys->truncate("/t", 0);
+  EXPECT_EQ(f.fsys->file_size("/t"), 0u);
+  f.fsys->write("/t", 0, f.bytes_of(4096, 4));
+  std::vector<std::byte> got(4096);
+  f.fsys->read("/t", 0, got);
+  EXPECT_EQ(got, f.bytes_of(4096, 4));
+  f.fsys->fsync();
+  EXPECT_TRUE(f.fsys->fsck().ok);
+}
+
+TEST(MiniFsTruncate, ShrinkPastIndirectBoundary) {
+  Fixture f;
+  f.fsys->create("/t");
+  f.fsys->write("/t", 0, f.bytes_of(200 * 1024, 5));  // uses indirect
+  f.fsys->truncate("/t", 20 * 1024);                  // direct-only again
+  std::vector<std::byte> got(20 * 1024);
+  EXPECT_EQ(f.fsys->read("/t", 0, got), 20u * 1024);
+  EXPECT_TRUE(std::equal(got.begin(), got.end(),
+                         f.bytes_of(200 * 1024, 5).begin()));
+  f.fsys->fsync();
+  const auto report = f.fsys->fsck();
+  EXPECT_TRUE(report.ok) << (report.problems.empty() ? "" : report.problems[0]);
+}
+
+TEST(MiniFsRename, FileWithinDirectory) {
+  Fixture f;
+  f.fsys->create("/a");
+  f.fsys->write("/a", 0, f.bytes_of(5000, 6));
+  f.fsys->rename("/a", "/b");
+  EXPECT_FALSE(f.fsys->exists("/a"));
+  EXPECT_TRUE(f.fsys->exists("/b"));
+  std::vector<std::byte> got(5000);
+  EXPECT_EQ(f.fsys->read("/b", 0, got), 5000u);
+  EXPECT_EQ(got, f.bytes_of(5000, 6));
+}
+
+TEST(MiniFsRename, AcrossDirectories) {
+  Fixture f;
+  f.fsys->mkdir("/d1");
+  f.fsys->mkdir("/d2");
+  f.fsys->create("/d1/f");
+  f.fsys->rename("/d1/f", "/d2/g");
+  EXPECT_FALSE(f.fsys->exists("/d1/f"));
+  EXPECT_TRUE(f.fsys->exists("/d2/g"));
+  f.fsys->fsync();
+  EXPECT_TRUE(f.fsys->fsck().ok);
+}
+
+TEST(MiniFsRename, DirectoryMoveKeepsChildren) {
+  Fixture f;
+  f.fsys->mkdir("/old");
+  f.fsys->create("/old/child");
+  f.fsys->rename("/old", "/new");
+  EXPECT_TRUE(f.fsys->exists("/new/child"));
+  EXPECT_FALSE(f.fsys->exists("/old"));
+}
+
+TEST(MiniFsRename, RejectsBadArguments) {
+  Fixture f;
+  f.fsys->create("/x");
+  f.fsys->create("/y");
+  EXPECT_THROW(f.fsys->rename("/ghost", "/z"), ContractViolation);
+  EXPECT_THROW(f.fsys->rename("/x", "/y"), ContractViolation);
+  EXPECT_THROW(f.fsys->rename("/x", "/nodir/z"), ContractViolation);
+}
+
+TEST(MiniFsRename, SurvivesRemountAfterFsync) {
+  Fixture f;
+  f.fsys->create("/a");
+  f.fsys->rename("/a", "/b");
+  f.fsys->fsync();
+  auto remounted = MiniFs::mount(f.stack.backend());
+  EXPECT_TRUE(remounted->exists("/b"));
+  EXPECT_FALSE(remounted->exists("/a"));
+}
+
+TEST(MiniFsTruncate, RejectsDirectoriesAndGhosts) {
+  Fixture f;
+  f.fsys->mkdir("/d");
+  EXPECT_THROW(f.fsys->truncate("/d", 0), ContractViolation);
+  EXPECT_THROW(f.fsys->truncate("/ghost", 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace tinca::fs

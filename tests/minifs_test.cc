@@ -1,0 +1,204 @@
+// Functional tests for MiniFs over both backends.
+#include <gtest/gtest.h>
+
+#include "backend/stack_builder.h"
+#include "common/bytes.h"
+#include "fs/minifs.h"
+
+namespace tinca::fs {
+namespace {
+
+using backend::Stack;
+using backend::StackConfig;
+using backend::StackKind;
+
+StackConfig fs_stack(StackKind kind) {
+  StackConfig cfg;
+  cfg.kind = kind;
+  cfg.nvm_bytes = 16 << 20;
+  cfg.disk_blocks = 1 << 14;
+  cfg.classic.journal_blocks = 1024;
+  cfg.tinca.ring_bytes = 128 * 1024;
+  return cfg;
+}
+
+std::vector<std::byte> bytes_of(std::size_t n, std::uint64_t seed) {
+  std::vector<std::byte> b(n);
+  fill_pattern(b, seed);
+  return b;
+}
+
+class MiniFsOnBackend : public ::testing::TestWithParam<StackKind> {
+ protected:
+  MiniFsOnBackend() : stack_(fs_stack(GetParam())) {
+    fsys_ = MiniFs::mkfs(stack_.backend());
+  }
+  Stack stack_;
+  std::unique_ptr<MiniFs> fsys_;
+};
+
+TEST_P(MiniFsOnBackend, FreshFsHasEmptyRoot) {
+  EXPECT_TRUE(fsys_->list("/").empty());
+  EXPECT_TRUE(fsys_->exists("/"));
+  EXPECT_FALSE(fsys_->exists("/nope"));
+}
+
+TEST_P(MiniFsOnBackend, CreateListRemove) {
+  fsys_->create("/a");
+  fsys_->create("/b");
+  auto names = fsys_->list("/");
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
+  fsys_->remove("/a");
+  EXPECT_FALSE(fsys_->exists("/a"));
+  EXPECT_TRUE(fsys_->exists("/b"));
+}
+
+TEST_P(MiniFsOnBackend, WriteReadRoundTrip) {
+  fsys_->create("/f");
+  const auto data = bytes_of(10000, 42);
+  fsys_->write("/f", 0, data);
+  std::vector<std::byte> got(10000);
+  EXPECT_EQ(fsys_->read("/f", 0, got), 10000u);
+  EXPECT_EQ(got, data);
+  EXPECT_EQ(fsys_->file_size("/f"), 10000u);
+}
+
+TEST_P(MiniFsOnBackend, PartialAndOffsetReads) {
+  fsys_->create("/f");
+  fsys_->write("/f", 0, bytes_of(8192, 1));
+  std::vector<std::byte> got(4096);
+  EXPECT_EQ(fsys_->read("/f", 6000, got), 2192u);
+  EXPECT_EQ(fsys_->read("/f", 8192, got), 0u);
+}
+
+TEST_P(MiniFsOnBackend, OverwriteInPlace) {
+  fsys_->create("/f");
+  fsys_->write("/f", 0, bytes_of(4096, 1));
+  fsys_->write("/f", 100, bytes_of(50, 2));
+  std::vector<std::byte> got(4096);
+  fsys_->read("/f", 0, got);
+  const auto orig = bytes_of(4096, 1);
+  const auto patch = bytes_of(50, 2);
+  EXPECT_TRUE(std::equal(got.begin(), got.begin() + 100, orig.begin()));
+  EXPECT_TRUE(std::equal(got.begin() + 100, got.begin() + 150, patch.begin()));
+  EXPECT_TRUE(std::equal(got.begin() + 150, got.end(), orig.begin() + 150));
+}
+
+TEST_P(MiniFsOnBackend, AppendGrowsFile) {
+  fsys_->create("/log");
+  for (int i = 0; i < 10; ++i) fsys_->append("/log", bytes_of(1000, i));
+  EXPECT_EQ(fsys_->file_size("/log"), 10000u);
+  std::vector<std::byte> got(1000);
+  fsys_->read("/log", 4000, got);
+  EXPECT_EQ(got, bytes_of(1000, 4));
+}
+
+TEST_P(MiniFsOnBackend, LargeFileUsesIndirectBlocks) {
+  fsys_->create("/big");
+  const std::size_t size = 200 * 1024;  // beyond 12 direct blocks (48 KB)
+  fsys_->write("/big", 0, bytes_of(size, 5));
+  std::vector<std::byte> got(size);
+  EXPECT_EQ(fsys_->read("/big", 0, got), size);
+  EXPECT_EQ(fingerprint(got), fingerprint(bytes_of(size, 5)));
+}
+
+TEST_P(MiniFsOnBackend, MaxFileSizeEnforced) {
+  fsys_->create("/huge");
+  EXPECT_THROW(fsys_->write("/huge", fsys_->max_file_bytes(), bytes_of(1, 1)),
+               ContractViolation);
+}
+
+TEST_P(MiniFsOnBackend, DirectoriesNest) {
+  fsys_->mkdir("/d1");
+  fsys_->mkdir("/d1/d2");
+  fsys_->create("/d1/d2/f");
+  EXPECT_TRUE(fsys_->exists("/d1/d2/f"));
+  EXPECT_EQ(fsys_->list("/d1"), std::vector<std::string>{"d2"});
+}
+
+TEST_P(MiniFsOnBackend, ManyFilesPerDirectory) {
+  fsys_->mkdir("/dir");
+  for (int i = 0; i < 300; ++i)
+    fsys_->create("/dir/file" + std::to_string(i));
+  EXPECT_EQ(fsys_->list("/dir").size(), 300u);
+  for (int i = 0; i < 300; i += 2)
+    fsys_->remove("/dir/file" + std::to_string(i));
+  EXPECT_EQ(fsys_->list("/dir").size(), 150u);
+}
+
+TEST_P(MiniFsOnBackend, DuplicateCreateRejected) {
+  fsys_->create("/x");
+  EXPECT_THROW(fsys_->create("/x"), ContractViolation);
+}
+
+TEST_P(MiniFsOnBackend, MissingFileOpsRejected) {
+  EXPECT_THROW(fsys_->remove("/ghost"), ContractViolation);
+  EXPECT_THROW(fsys_->write("/ghost", 0, bytes_of(1, 1)), ContractViolation);
+  std::vector<std::byte> buf(8);
+  EXPECT_THROW(fsys_->read("/ghost", 0, buf), ContractViolation);
+}
+
+TEST_P(MiniFsOnBackend, RemoveFreesSpaceForReuse) {
+  fsys_->create("/a");
+  fsys_->write("/a", 0, bytes_of(100 * 1024, 1));
+  fsys_->remove("/a");
+  // Freed blocks must be reusable many times over.
+  for (int round = 0; round < 20; ++round) {
+    const std::string path = "/r" + std::to_string(round);
+    fsys_->create(path);
+    fsys_->write(path, 0, bytes_of(100 * 1024, round));
+    fsys_->remove(path);
+  }
+  fsys_->fsync();
+  const FsckReport report = fsys_->fsck();
+  EXPECT_TRUE(report.ok) << (report.problems.empty() ? "" : report.problems[0]);
+}
+
+TEST_P(MiniFsOnBackend, FsckPassesAfterMixedWorkload) {
+  fsys_->mkdir("/w");
+  for (int i = 0; i < 50; ++i) {
+    fsys_->create("/w/f" + std::to_string(i));
+    fsys_->write("/w/f" + std::to_string(i), 0, bytes_of(5000 + i * 100, i));
+  }
+  for (int i = 0; i < 50; i += 3) fsys_->remove("/w/f" + std::to_string(i));
+  fsys_->fsync();
+  const FsckReport report = fsys_->fsck();
+  EXPECT_TRUE(report.ok) << (report.problems.empty() ? "" : report.problems[0]);
+  EXPECT_EQ(report.directories, 2u);  // root + /w
+}
+
+TEST_P(MiniFsOnBackend, RemountSeesCommittedState) {
+  fsys_->create("/persist");
+  fsys_->write("/persist", 0, bytes_of(20000, 9));
+  fsys_->fsync();
+  auto remounted = MiniFs::mount(stack_.backend());
+  EXPECT_TRUE(remounted->exists("/persist"));
+  std::vector<std::byte> got(20000);
+  EXPECT_EQ(remounted->read("/persist", 0, got), 20000u);
+  EXPECT_EQ(fingerprint(got), fingerprint(bytes_of(20000, 9)));
+}
+
+TEST_P(MiniFsOnBackend, UncommittedOpsInvisibleAfterRemount) {
+  fsys_->create("/durable");
+  fsys_->fsync();
+  fsys_->create("/volatile");  // staged, never fsynced
+  auto remounted = MiniFs::mount(stack_.backend());
+  EXPECT_TRUE(remounted->exists("/durable"));
+  EXPECT_FALSE(remounted->exists("/volatile"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, MiniFsOnBackend,
+                         ::testing::Values(StackKind::kTinca,
+                                           StackKind::kClassic,
+                                           StackKind::kUbj),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case StackKind::kTinca: return "Tinca";
+                             case StackKind::kClassic: return "Classic";
+                             default: return "Ubj";
+                           }
+                         });
+
+}  // namespace
+}  // namespace tinca::fs

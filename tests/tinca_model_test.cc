@@ -1,0 +1,187 @@
+// Randomized model checking of TincaCache against an in-memory reference.
+//
+// A long stream of random operations — multi-block transactions, reads,
+// single-block writes, flushes, clean remounts, and crash+recover cycles —
+// is applied both to the real cache and to a trivial reference model (a
+// map from block number to committed contents).  After every operation the
+// observable state must match the reference; after every crash, the
+// reference simply forgets the transaction in flight.
+//
+// Parameterized over cache geometry so eviction pressure ranges from "never
+// evicts" to "evicts constantly".
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "blockdev/mem_block_device.h"
+#include "common/bytes.h"
+#include "tinca/tinca_cache.h"
+#include "tinca/verify.h"
+
+namespace tinca::core {
+namespace {
+
+struct Geometry {
+  std::size_t nvm_bytes;
+  std::uint64_t ring_bytes;
+  std::uint64_t address_space;  // disk blocks the workload touches
+  const char* label;
+};
+
+class TincaModelCheck : public ::testing::TestWithParam<Geometry> {};
+
+std::vector<std::byte> block_of(std::uint64_t seed) {
+  std::vector<std::byte> b(kBlockSize);
+  fill_pattern(b, seed);
+  return b;
+}
+
+TEST_P(TincaModelCheck, LongRandomHistoryMatchesReference) {
+  const Geometry geo = GetParam();
+  sim::SimClock clock;
+  nvm::NvmDevice dev(geo.nvm_bytes, nvdimm_profile(), clock);
+  blockdev::MemBlockDevice disk(1 << 16);
+  const TincaConfig cfg{.ring_bytes = geo.ring_bytes};
+  auto cache = TincaCache::format(dev, disk, cfg);
+  const Layout layout = cache->layout();
+
+  std::map<std::uint64_t, std::uint64_t> reference;  // blkno -> seed
+  Rng rng(geo.nvm_bytes ^ geo.address_space);
+  std::uint64_t next_seed = 1;
+  std::vector<std::byte> buf(kBlockSize);
+
+  auto check_block = [&](std::uint64_t blkno) {
+    cache->read_block(blkno, buf);
+    auto it = reference.find(blkno);
+    const std::uint64_t want =
+        it != reference.end()
+            ? fingerprint(block_of(it->second))
+            : fingerprint(std::vector<std::byte>(kBlockSize, std::byte{0}));
+    ASSERT_EQ(fingerprint(buf), want) << "block " << blkno << " diverged";
+  };
+
+  for (int step = 0; step < 1500; ++step) {
+    const std::uint64_t action = rng.below(100);
+    if (action < 45) {
+      // Multi-block transaction.
+      const std::uint64_t n = 1 + rng.below(8);
+      auto txn = cache->tinca_init_txn();
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> writes;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t blkno = rng.below(geo.address_space);
+        const std::uint64_t seed = next_seed++;
+        txn.add(blkno, block_of(seed));
+        writes.emplace_back(blkno, seed);
+      }
+      cache->tinca_commit(txn);
+      for (auto [blkno, seed] : writes) reference[blkno] = seed;
+    } else if (action < 55) {
+      // Aborted transaction: reference unchanged.
+      auto txn = cache->tinca_init_txn();
+      txn.add(rng.below(geo.address_space), block_of(next_seed++));
+      cache->tinca_abort(txn);
+    } else if (action < 85) {
+      // Read-and-verify a random block.
+      check_block(rng.below(geo.address_space));
+    } else if (action < 90) {
+      cache->flush_dirty();
+    } else if (action < 96) {
+      // Crash + recover: committed state must survive verbatim.
+      dev.crash(rng, rng.uniform01());
+      cache = TincaCache::recover(dev, disk, cfg);
+      const MediaReport media = verify_media(dev, layout);
+      ASSERT_TRUE(media.ok)
+          << "media corrupt after crash at step " << step << ": "
+          << (media.problems.empty() ? "?" : media.problems[0]);
+    } else {
+      // Clean remount (no crash): also must preserve everything.
+      cache.reset();
+      cache = TincaCache::recover(dev, disk, cfg);
+    }
+  }
+
+  // Final audit of the complete reference.
+  for (const auto& [blkno, seed] : reference) {
+    cache->read_block(blkno, buf);
+    ASSERT_EQ(fingerprint(buf), fingerprint(block_of(seed)))
+        << "final audit: block " << blkno;
+  }
+}
+
+TEST_P(TincaModelCheck, CrashMidTxnNeverLeaksReferenceState) {
+  // Interleave armed crashes *inside* commits with reference tracking: a
+  // commit that throws must leave the reference state (verified after
+  // recovery), a commit that returns must apply exactly.
+  const Geometry geo = GetParam();
+  sim::SimClock clock;
+  nvm::NvmDevice dev(geo.nvm_bytes, nvdimm_profile(), clock);
+  blockdev::MemBlockDevice disk(1 << 16);
+  const TincaConfig cfg{.ring_bytes = geo.ring_bytes};
+  auto cache = TincaCache::format(dev, disk, cfg);
+
+  std::map<std::uint64_t, std::uint64_t> reference;
+  Rng rng(0xBEEF ^ geo.address_space);
+  std::uint64_t next_seed = 1;
+  std::vector<std::byte> buf(kBlockSize);
+
+  for (int round = 0; round < 120; ++round) {
+    const std::uint64_t n = 1 + rng.below(6);
+    // Deduplicated: staging a block twice keeps the latest contents, so the
+    // expected post-commit seed per block is the last one staged.
+    std::map<std::uint64_t, std::uint64_t> writes;
+    auto txn = cache->tinca_init_txn();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t blkno = rng.below(geo.address_space);
+      const std::uint64_t seed = next_seed++;
+      txn.add(blkno, block_of(seed));
+      writes[blkno] = seed;
+    }
+    // Arm a crash somewhere inside this commit, sometimes beyond its end
+    // (so some commits complete).
+    dev.injector.arm(1 + rng.below(n * 7 + 10));
+    bool committed = true;
+    try {
+      cache->tinca_commit(txn);
+    } catch (const nvm::CrashException&) {
+      committed = false;
+    }
+    dev.injector.disarm();
+    if (committed) {
+      for (auto [blkno, seed] : writes) reference[blkno] = seed;
+    } else {
+      dev.crash(rng, 0.5);
+      cache = TincaCache::recover(dev, disk, cfg);
+      // The interrupted txn may still have landed if the crash point fell
+      // after Tail publication; detect by probing one written block
+      // (atomicity makes any single probe decisive).
+      if (!writes.empty()) {
+        const auto& [probe_blk, probe_seed] = *writes.begin();
+        cache->read_block(probe_blk, buf);
+        if (fingerprint(buf) == fingerprint(block_of(probe_seed))) {
+          for (auto [blkno, seed] : writes) reference[blkno] = seed;
+        }
+      }
+    }
+    // Spot-check a handful of reference blocks every round.
+    for (int probe = 0; probe < 4 && !reference.empty(); ++probe) {
+      auto it = reference.begin();
+      std::advance(it, static_cast<long>(rng.below(reference.size())));
+      cache->read_block(it->first, buf);
+      ASSERT_EQ(fingerprint(buf), fingerprint(block_of(it->second)))
+          << "round " << round << " block " << it->first;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TincaModelCheck,
+    ::testing::Values(
+        Geometry{2 << 20, 4096, 64, "roomy"},        // everything fits
+        Geometry{1 << 20, 4096, 512, "pressured"},   // regular eviction
+        Geometry{256 << 10, 4096, 1024, "thrashing"} // constant eviction
+        ),
+    [](const auto& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace tinca::core

@@ -1,0 +1,166 @@
+// Tests for the Tinca media verifier, including its use as a post-crash
+// oracle: after a crash at any commit step, the raw (pre-recovery) media
+// must still satisfy the structural invariants, and after recovery it must
+// be fully clean.
+#include <gtest/gtest.h>
+
+#include "blockdev/mem_block_device.h"
+#include "common/bytes.h"
+#include "tinca/tinca_cache.h"
+#include "tinca/verify.h"
+
+namespace tinca::core {
+namespace {
+
+constexpr std::size_t kNvmBytes = 1 << 20;
+constexpr std::uint64_t kRing = 4096;
+
+struct Fixture {
+  sim::SimClock clock;
+  nvm::NvmDevice dev{kNvmBytes, nvdimm_profile(), clock};
+  blockdev::MemBlockDevice disk{1 << 14};
+  std::unique_ptr<TincaCache> cache;
+
+  Fixture() {
+    cache = TincaCache::format(dev, disk, TincaConfig{.ring_bytes = kRing});
+  }
+
+  std::vector<std::byte> block(std::uint64_t seed) const {
+    std::vector<std::byte> b(kBlockSize);
+    fill_pattern(b, seed);
+    return b;
+  }
+};
+
+TEST(VerifyMedia, FreshDeviceIsClean) {
+  Fixture f;
+  const MediaReport r = verify_media(f.dev, f.cache->layout());
+  EXPECT_TRUE(r.ok) << (r.problems.empty() ? "" : r.problems[0]);
+  EXPECT_EQ(r.valid_entries, 0u);
+  EXPECT_EQ(r.in_flight, 0u);
+}
+
+TEST(VerifyMedia, PopulatedDeviceIsClean) {
+  Fixture f;
+  for (std::uint64_t i = 0; i < 32; ++i) f.cache->write_block(i, f.block(i));
+  const MediaReport r = verify_media(f.dev, f.cache->layout());
+  EXPECT_TRUE(r.ok) << (r.problems.empty() ? "" : r.problems[0]);
+  EXPECT_EQ(r.valid_entries, 32u);
+  EXPECT_EQ(r.log_entries, 0u);
+}
+
+TEST(VerifyMedia, DetectsForeignDevice) {
+  sim::SimClock clock;
+  nvm::NvmDevice dev(kNvmBytes, nvdimm_profile(), clock);
+  const Layout layout = Layout::compute(kNvmBytes, kRing);
+  const MediaReport r = verify_media(dev, layout);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(VerifyMedia, DetectsRingCorruption) {
+  Fixture f;
+  f.dev.atomic_store8(Layout::kHeadOff, 1);
+  f.dev.atomic_store8(Layout::kTailOff, 7);
+  f.dev.persist(Layout::kHeadOff, 8);
+  f.dev.persist(Layout::kTailOff, 8);
+  const MediaReport r = verify_media(f.dev, f.cache->layout());
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(VerifyMedia, DetectsDuplicateDiskMapping) {
+  Fixture f;
+  f.cache->write_block(5, f.block(1));
+  // Forge a second entry for disk block 5 in an unused slot.
+  CacheEntry forged;
+  forged.valid = true;
+  forged.role = Role::kBuffer;
+  forged.modified = true;
+  forged.disk_blkno = 5;
+  forged.prev_nvm = CacheEntry::kFresh;
+  forged.curr_nvm = 99;
+  const std::uint64_t off = f.cache->layout().entry_off(200);
+  f.dev.atomic_store16(off, forged.encode());
+  f.dev.persist(off, 16);
+  const MediaReport r = verify_media(f.dev, f.cache->layout());
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(VerifyMedia, DetectsSharedNvmBlock) {
+  Fixture f;
+  f.cache->write_block(5, f.block(1));
+  const std::uint32_t owned = f.cache->entry_for(5).curr_nvm;
+  CacheEntry forged;
+  forged.valid = true;
+  forged.disk_blkno = 77;
+  forged.prev_nvm = CacheEntry::kFresh;
+  forged.curr_nvm = owned;  // steals block 5's NVM block
+  const std::uint64_t off = f.cache->layout().entry_off(201);
+  f.dev.atomic_store16(off, forged.encode());
+  f.dev.persist(off, 16);
+  const MediaReport r = verify_media(f.dev, f.cache->layout());
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(VerifyMedia, DetectsOutOfRangePointer) {
+  Fixture f;
+  CacheEntry forged;
+  forged.valid = true;
+  forged.disk_blkno = 9;
+  forged.prev_nvm = CacheEntry::kFresh;
+  forged.curr_nvm = 0xFFFFFF;  // way past the data area
+  const std::uint64_t off = f.cache->layout().entry_off(10);
+  f.dev.atomic_store16(off, forged.encode());
+  f.dev.persist(off, 16);
+  const MediaReport r = verify_media(f.dev, f.cache->layout());
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(VerifyMedia, HoldsAtEveryCrashPointAndAfterRecovery) {
+  // The strongest use: structural invariants must hold on the raw media
+  // after a crash at *any* commit step (before recovery!), and recovery
+  // must leave zero log entries and a closed ring.
+  const Layout layout = Layout::compute(kNvmBytes, kRing);
+  // Learn the step count.
+  std::uint64_t steps = 0;
+  {
+    Fixture f;
+    f.dev.injector.disarm();
+    auto txn = f.cache->tinca_init_txn();
+    for (std::uint64_t b = 0; b < 6; ++b) txn.add(b, f.block(b));
+    f.cache->tinca_commit(txn);
+    auto txn2 = f.cache->tinca_init_txn();
+    for (std::uint64_t b = 0; b < 6; ++b) txn2.add(b + 3, f.block(b + 50));
+    f.cache->tinca_commit(txn2);
+    steps = f.dev.injector.steps_seen();
+  }
+  Rng rng(31);
+  for (std::uint64_t step = 1; step <= steps; ++step) {
+    Fixture f;
+    f.dev.injector.arm(step);
+    try {
+      auto txn = f.cache->tinca_init_txn();
+      for (std::uint64_t b = 0; b < 6; ++b) txn.add(b, f.block(b));
+      f.cache->tinca_commit(txn);
+      auto txn2 = f.cache->tinca_init_txn();
+      for (std::uint64_t b = 0; b < 6; ++b) txn2.add(b + 3, f.block(b + 50));
+      f.cache->tinca_commit(txn2);
+    } catch (const nvm::CrashException&) {
+    }
+    f.dev.injector.disarm();
+    f.dev.crash(rng, 0.5);
+
+    const MediaReport raw = verify_media(f.dev, layout);
+    ASSERT_TRUE(raw.ok) << "raw media corrupt after crash at step " << step
+                        << ": " << (raw.problems.empty() ? "?" : raw.problems[0]);
+
+    auto recovered =
+        TincaCache::recover(f.dev, f.disk, TincaConfig{.ring_bytes = kRing});
+    const MediaReport clean = verify_media(f.dev, layout);
+    ASSERT_TRUE(clean.ok);
+    ASSERT_EQ(clean.log_entries, 0u) << "log entry survived recovery, step " << step;
+    ASSERT_EQ(clean.in_flight, 0u) << "ring left open by recovery, step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace tinca::core

@@ -1,0 +1,184 @@
+// Tests for the workload generators: determinism, mix ratios, and sane
+// interaction with both stacks.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "backend/stack_builder.h"
+#include "fs/minifs.h"
+#include "workloads/filebench.h"
+#include "workloads/fio.h"
+#include "workloads/teragen.h"
+#include "workloads/tpcc.h"
+
+namespace tinca::workloads {
+namespace {
+
+using backend::Stack;
+using backend::StackConfig;
+using backend::StackKind;
+
+StackConfig small_stack(StackKind kind) {
+  StackConfig cfg;
+  cfg.kind = kind;
+  cfg.nvm_bytes = 16 << 20;
+  cfg.disk_blocks = 1 << 14;
+  cfg.classic.journal_blocks = 1024;
+  cfg.tinca.ring_bytes = 128 * 1024;
+  return cfg;
+}
+
+TEST(Fio, RespectsWriteRatioRoughly) {
+  Stack stack(small_stack(StackKind::kTinca));
+  FioConfig cfg;
+  cfg.dataset_blocks = 2048;
+  cfg.write_pct = 70;
+  const FioResult r =
+      run_fio(stack.backend(), stack.clock(), 200 * sim::kMsec, cfg);
+  const double frac = static_cast<double>(r.write_ops) /
+                      static_cast<double>(r.write_ops + r.read_ops);
+  EXPECT_NEAR(frac, 0.70, 0.05);
+  EXPECT_GT(r.write_iops(), 0.0);
+}
+
+TEST(Fio, DeterministicForFixedSeed) {
+  Stack a(small_stack(StackKind::kTinca));
+  Stack b(small_stack(StackKind::kTinca));
+  FioConfig cfg;
+  cfg.dataset_blocks = 1024;
+  const auto r1 = run_fio(a.backend(), a.clock(), 50 * sim::kMsec, cfg);
+  const auto r2 = run_fio(b.backend(), b.clock(), 50 * sim::kMsec, cfg);
+  EXPECT_EQ(r1.write_ops, r2.write_ops);
+  EXPECT_EQ(r1.read_ops, r2.read_ops);
+  EXPECT_EQ(a.clflush_count(), b.clflush_count());
+}
+
+TEST(Fio, TincaOutperformsClassicOnWrites) {
+  Stack tinca(small_stack(StackKind::kTinca));
+  Stack classic(small_stack(StackKind::kClassic));
+  FioConfig cfg;
+  cfg.dataset_blocks = 2048;
+  cfg.write_pct = 70;
+  const auto rt = run_fio(tinca.backend(), tinca.clock(), 200 * sim::kMsec, cfg);
+  const auto rc =
+      run_fio(classic.backend(), classic.clock(), 200 * sim::kMsec, cfg);
+  EXPECT_GT(rt.write_iops(), 1.3 * rc.write_iops());
+}
+
+TEST(Fio, DatasetBoundsChecked) {
+  Stack stack(small_stack(StackKind::kTinca));
+  FioConfig cfg;
+  cfg.dataset_blocks = stack.backend().data_block_limit() + 1;
+  EXPECT_THROW(run_fio(stack.backend(), stack.clock(), sim::kMsec, cfg),
+               ContractViolation);
+}
+
+TEST(Tpcc, MixMatchesConfiguredPercentages) {
+  Stack stack(small_stack(StackKind::kTinca));
+  TpccConfig cfg;
+  cfg.dataset_blocks = 4096;
+  TpccWorkload tpcc(stack.backend(), cfg);
+  Rng rng(1);
+  std::map<TpccKind, int> counts;
+  for (int i = 0; i < 2000; ++i) ++counts[tpcc.execute_txn(rng)];
+  EXPECT_NEAR(counts[TpccKind::kNewOrder], 900, 120);
+  EXPECT_NEAR(counts[TpccKind::kPayment], 860, 120);
+  EXPECT_GT(counts[TpccKind::kOrderStatus], 20);
+  EXPECT_GT(counts[TpccKind::kDelivery], 20);
+  EXPECT_GT(counts[TpccKind::kStockLevel], 20);
+  EXPECT_EQ(tpcc.stats().txns, 2000u);
+  EXPECT_GT(tpcc.stats().page_writes, 0u);
+}
+
+TEST(Tpcc, SkewFavoursHotPages) {
+  Stack stack(small_stack(StackKind::kTinca));
+  TpccConfig cfg;
+  cfg.dataset_blocks = 8192;
+  cfg.zipf_theta = 0.9;
+  TpccWorkload tpcc(stack.backend(), cfg);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) tpcc.execute_txn(rng);
+  // With strong skew the cache should be hitting frequently.
+  auto& be = dynamic_cast<backend::TincaBackend&>(stack.backend());
+  const auto& s = be.cache().stats();
+  EXPECT_GT(s.write_hits, s.write_misses);
+}
+
+TEST(Filebench, PersonalitiesHaveDistinctMixes) {
+  for (auto kind : {FilebenchKind::kFileserver, FilebenchKind::kWebproxy,
+                    FilebenchKind::kVarmail}) {
+    Stack stack(small_stack(StackKind::kTinca));
+    auto fsys = fs::MiniFs::mkfs(stack.backend());
+    FilebenchConfig cfg;
+    cfg.kind = kind;
+    cfg.nfiles = 64;
+    cfg.mean_file_bytes = 16 * 1024;
+    FilebenchWorkload wl(*fsys, cfg);
+    wl.populate();
+    const FilebenchResult r = wl.run(stack.clock(), 100 * sim::kMsec);
+    ASSERT_GT(r.ops, 50u);
+    const double read_frac =
+        static_cast<double>(r.read_ops) /
+        static_cast<double>(r.read_ops + r.write_ops);
+    switch (kind) {
+      case FilebenchKind::kWebproxy:
+        EXPECT_GT(read_frac, 0.6) << "webproxy must be read-dominated";
+        break;
+      case FilebenchKind::kFileserver:
+        EXPECT_LT(read_frac, 0.5) << "fileserver must be write-dominated";
+        break;
+      case FilebenchKind::kVarmail:
+        EXPECT_NEAR(read_frac, 0.5, 0.15) << "varmail is balanced";
+        break;
+    }
+    fsys->fsync();
+    EXPECT_TRUE(fsys->fsck().ok);
+  }
+}
+
+TEST(Filebench, SurvivesLongChurn) {
+  Stack stack(small_stack(StackKind::kTinca));
+  auto fsys = fs::MiniFs::mkfs(stack.backend());
+  FilebenchConfig cfg;
+  cfg.kind = FilebenchKind::kFileserver;
+  cfg.nfiles = 32;
+  cfg.mean_file_bytes = 8 * 1024;
+  FilebenchWorkload wl(*fsys, cfg);
+  wl.populate();
+  for (int i = 0; i < 2000; ++i) wl.step();
+  fsys->fsync();
+  const auto report = fsys->fsck();
+  EXPECT_TRUE(report.ok) << (report.problems.empty() ? "" : report.problems[0]);
+}
+
+TEST(TeraGen, WritesRequestedVolume) {
+  Stack stack(small_stack(StackKind::kTinca));
+  TeraGenSink sink(stack.backend(), 0, 4096);
+  sink.generate(1 << 20);
+  EXPECT_GE(sink.bytes_written(), 1u << 20);
+  EXPECT_EQ(sink.rows_written(), sink.bytes_written() / 100);
+  EXPECT_GT(stack.clflush_count(), 0u);
+}
+
+TEST(TeraGen, WrapsWithinItsRange) {
+  Stack stack(small_stack(StackKind::kTinca));
+  TeraGenSink sink(stack.backend(), 100, 64);
+  // 10x the range: must wrap without touching blocks outside [100, 164).
+  sink.generate(64 * 4096 * 10);
+  EXPECT_GE(sink.bytes_written(), 64u * 4096 * 10);
+}
+
+TEST(TeraGen, SequentialStreamIsCheapOnDiskSeeks) {
+  StackConfig cfg = small_stack(StackKind::kTinca);
+  cfg.disk_profile = "hdd";
+  Stack stack(cfg);
+  TeraGenSink sink(stack.backend(), 0, 8192);
+  sink.generate(4 << 20);
+  stack.backend().flush();
+  const auto& ds = stack.disk().stats();
+  // Sequential writeback: seeks should be rare relative to blocks written.
+  EXPECT_LT(ds.seeks * 10, ds.blocks_written);
+}
+
+}  // namespace
+}  // namespace tinca::workloads
