@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_flush.dir/bench_ablation_flush.cc.o"
+  "CMakeFiles/bench_ablation_flush.dir/bench_ablation_flush.cc.o.d"
+  "bench_ablation_flush"
+  "bench_ablation_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

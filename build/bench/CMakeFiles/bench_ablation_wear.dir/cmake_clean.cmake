@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wear.dir/bench_ablation_wear.cc.o"
+  "CMakeFiles/bench_ablation_wear.dir/bench_ablation_wear.cc.o.d"
+  "bench_ablation_wear"
+  "bench_ablation_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

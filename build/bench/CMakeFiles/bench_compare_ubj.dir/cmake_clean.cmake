@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compare_ubj.dir/bench_compare_ubj.cc.o"
+  "CMakeFiles/bench_compare_ubj.dir/bench_compare_ubj.cc.o.d"
+  "bench_compare_ubj"
+  "bench_compare_ubj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compare_ubj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

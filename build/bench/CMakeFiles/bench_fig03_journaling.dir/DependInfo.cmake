@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig03_journaling.cc" "bench/CMakeFiles/bench_fig03_journaling.dir/bench_fig03_journaling.cc.o" "gcc" "bench/CMakeFiles/bench_fig03_journaling.dir/bench_fig03_journaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tinca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/tinca_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tinca/CMakeFiles/tinca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/classic/CMakeFiles/tinca_classic.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/tinca_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tinca_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tinca_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ubj/CMakeFiles/tinca_ubj.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

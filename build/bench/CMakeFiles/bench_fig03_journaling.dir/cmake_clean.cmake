@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_journaling.dir/bench_fig03_journaling.cc.o"
+  "CMakeFiles/bench_fig03_journaling.dir/bench_fig03_journaling.cc.o.d"
+  "bench_fig03_journaling"
+  "bench_fig03_journaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_journaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_fio.dir/bench_fig07_fio.cc.o"
+  "CMakeFiles/bench_fig07_fio.dir/bench_fig07_fio.cc.o.d"
+  "bench_fig07_fio"
+  "bench_fig07_fio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_fio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

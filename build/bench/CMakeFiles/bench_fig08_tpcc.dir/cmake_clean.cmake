@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_tpcc.dir/bench_fig08_tpcc.cc.o"
+  "CMakeFiles/bench_fig08_tpcc.dir/bench_fig08_tpcc.cc.o.d"
+  "bench_fig08_tpcc"
+  "bench_fig08_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_teragen.dir/bench_fig10_teragen.cc.o"
+  "CMakeFiles/bench_fig10_teragen.dir/bench_fig10_teragen.cc.o.d"
+  "bench_fig10_teragen"
+  "bench_fig10_teragen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_teragen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_filebench.dir/bench_fig11_filebench.cc.o"
+  "CMakeFiles/bench_fig11_filebench.dir/bench_fig11_filebench.cc.o.d"
+  "bench_fig11_filebench"
+  "bench_fig11_filebench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_filebench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

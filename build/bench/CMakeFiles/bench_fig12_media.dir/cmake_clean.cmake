@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_media.dir/bench_fig12_media.cc.o"
+  "CMakeFiles/bench_fig12_media.dir/bench_fig12_media.cc.o.d"
+  "bench_fig12_media"
+  "bench_fig12_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

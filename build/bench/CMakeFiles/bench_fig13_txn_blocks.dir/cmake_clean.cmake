@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_txn_blocks.dir/bench_fig13_txn_blocks.cc.o"
+  "CMakeFiles/bench_fig13_txn_blocks.dir/bench_fig13_txn_blocks.cc.o.d"
+  "bench_fig13_txn_blocks"
+  "bench_fig13_txn_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_txn_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_teragen.dir/cluster_teragen.cc.o"
+  "CMakeFiles/cluster_teragen.dir/cluster_teragen.cc.o.d"
+  "cluster_teragen"
+  "cluster_teragen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_teragen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

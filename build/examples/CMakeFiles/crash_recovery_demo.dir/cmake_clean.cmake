@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_recovery_demo.dir/crash_recovery_demo.cc.o"
+  "CMakeFiles/crash_recovery_demo.dir/crash_recovery_demo.cc.o.d"
+  "crash_recovery_demo"
+  "crash_recovery_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_recovery_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

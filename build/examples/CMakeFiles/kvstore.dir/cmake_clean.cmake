@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore.dir/kvstore.cc.o"
+  "CMakeFiles/kvstore.dir/kvstore.cc.o.d"
+  "kvstore"
+  "kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

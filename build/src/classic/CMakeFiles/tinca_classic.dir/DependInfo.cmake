@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classic/classic_stack.cc" "src/classic/CMakeFiles/tinca_classic.dir/classic_stack.cc.o" "gcc" "src/classic/CMakeFiles/tinca_classic.dir/classic_stack.cc.o.d"
+  "/root/repo/src/classic/flashcache.cc" "src/classic/CMakeFiles/tinca_classic.dir/flashcache.cc.o" "gcc" "src/classic/CMakeFiles/tinca_classic.dir/flashcache.cc.o.d"
+  "/root/repo/src/classic/journal.cc" "src/classic/CMakeFiles/tinca_classic.dir/journal.cc.o" "gcc" "src/classic/CMakeFiles/tinca_classic.dir/journal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tinca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/tinca_nvm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinca_classic.dir/classic_stack.cc.o"
+  "CMakeFiles/tinca_classic.dir/classic_stack.cc.o.d"
+  "CMakeFiles/tinca_classic.dir/flashcache.cc.o"
+  "CMakeFiles/tinca_classic.dir/flashcache.cc.o.d"
+  "CMakeFiles/tinca_classic.dir/journal.cc.o"
+  "CMakeFiles/tinca_classic.dir/journal.cc.o.d"
+  "libtinca_classic.a"
+  "libtinca_classic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinca_classic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinca_cluster.dir/minidfs.cc.o"
+  "CMakeFiles/tinca_cluster.dir/minidfs.cc.o.d"
+  "libtinca_cluster.a"
+  "libtinca_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinca_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

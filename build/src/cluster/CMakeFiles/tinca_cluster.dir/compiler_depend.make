@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tinca_cluster.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinca_common.dir/event_queue.cc.o"
+  "CMakeFiles/tinca_common.dir/event_queue.cc.o.d"
+  "CMakeFiles/tinca_common.dir/histogram.cc.o"
+  "CMakeFiles/tinca_common.dir/histogram.cc.o.d"
+  "CMakeFiles/tinca_common.dir/latency.cc.o"
+  "CMakeFiles/tinca_common.dir/latency.cc.o.d"
+  "CMakeFiles/tinca_common.dir/table.cc.o"
+  "CMakeFiles/tinca_common.dir/table.cc.o.d"
+  "libtinca_common.a"
+  "libtinca_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinca_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

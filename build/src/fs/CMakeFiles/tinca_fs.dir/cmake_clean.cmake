@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinca_fs.dir/minifs.cc.o"
+  "CMakeFiles/tinca_fs.dir/minifs.cc.o.d"
+  "libtinca_fs.a"
+  "libtinca_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinca_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinca_nvm.dir/nvm_device.cc.o"
+  "CMakeFiles/tinca_nvm.dir/nvm_device.cc.o.d"
+  "libtinca_nvm.a"
+  "libtinca_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinca_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

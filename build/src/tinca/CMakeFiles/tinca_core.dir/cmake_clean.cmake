@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinca_core.dir/ring_buffer.cc.o"
+  "CMakeFiles/tinca_core.dir/ring_buffer.cc.o.d"
+  "CMakeFiles/tinca_core.dir/tinca_cache.cc.o"
+  "CMakeFiles/tinca_core.dir/tinca_cache.cc.o.d"
+  "CMakeFiles/tinca_core.dir/verify.cc.o"
+  "CMakeFiles/tinca_core.dir/verify.cc.o.d"
+  "libtinca_core.a"
+  "libtinca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

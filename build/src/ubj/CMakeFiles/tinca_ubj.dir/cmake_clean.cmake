@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinca_ubj.dir/ubj_store.cc.o"
+  "CMakeFiles/tinca_ubj.dir/ubj_store.cc.o.d"
+  "libtinca_ubj.a"
+  "libtinca_ubj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinca_ubj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinca_workloads.dir/filebench.cc.o"
+  "CMakeFiles/tinca_workloads.dir/filebench.cc.o.d"
+  "CMakeFiles/tinca_workloads.dir/fio.cc.o"
+  "CMakeFiles/tinca_workloads.dir/fio.cc.o.d"
+  "CMakeFiles/tinca_workloads.dir/teragen.cc.o"
+  "CMakeFiles/tinca_workloads.dir/teragen.cc.o.d"
+  "CMakeFiles/tinca_workloads.dir/tpcc.cc.o"
+  "CMakeFiles/tinca_workloads.dir/tpcc.cc.o.d"
+  "libtinca_workloads.a"
+  "libtinca_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinca_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

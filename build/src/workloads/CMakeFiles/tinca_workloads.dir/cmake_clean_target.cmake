@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtinca_workloads.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockdev_test.dir/blockdev_test.cc.o"
+  "CMakeFiles/blockdev_test.dir/blockdev_test.cc.o.d"
+  "blockdev_test"
+  "blockdev_test.pdb"
+  "blockdev_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockdev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_entry_test.dir/cache_entry_test.cc.o"
+  "CMakeFiles/cache_entry_test.dir/cache_entry_test.cc.o.d"
+  "cache_entry_test"
+  "cache_entry_test.pdb"
+  "cache_entry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_entry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

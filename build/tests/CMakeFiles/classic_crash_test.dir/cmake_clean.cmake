@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_crash_test.dir/classic_crash_test.cc.o"
+  "CMakeFiles/classic_crash_test.dir/classic_crash_test.cc.o.d"
+  "classic_crash_test"
+  "classic_crash_test.pdb"
+  "classic_crash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

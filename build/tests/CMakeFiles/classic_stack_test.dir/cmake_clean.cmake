@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_stack_test.dir/classic_stack_test.cc.o"
+  "CMakeFiles/classic_stack_test.dir/classic_stack_test.cc.o.d"
+  "classic_stack_test"
+  "classic_stack_test.pdb"
+  "classic_stack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

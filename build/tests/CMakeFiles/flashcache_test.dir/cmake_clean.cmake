@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashcache_test.dir/flashcache_test.cc.o"
+  "CMakeFiles/flashcache_test.dir/flashcache_test.cc.o.d"
+  "flashcache_test"
+  "flashcache_test.pdb"
+  "flashcache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashcache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lru_test.dir/lru_test.cc.o"
+  "CMakeFiles/lru_test.dir/lru_test.cc.o.d"
+  "lru_test"
+  "lru_test.pdb"
+  "lru_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lru_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

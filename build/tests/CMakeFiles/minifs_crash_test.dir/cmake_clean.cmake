@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minifs_crash_test.dir/minifs_crash_test.cc.o"
+  "CMakeFiles/minifs_crash_test.dir/minifs_crash_test.cc.o.d"
+  "minifs_crash_test"
+  "minifs_crash_test.pdb"
+  "minifs_crash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minifs_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minifs_extra_test.dir/minifs_extra_test.cc.o"
+  "CMakeFiles/minifs_extra_test.dir/minifs_extra_test.cc.o.d"
+  "minifs_extra_test"
+  "minifs_extra_test.pdb"
+  "minifs_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minifs_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

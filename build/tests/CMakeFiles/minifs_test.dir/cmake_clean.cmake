@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minifs_test.dir/minifs_test.cc.o"
+  "CMakeFiles/minifs_test.dir/minifs_test.cc.o.d"
+  "minifs_test"
+  "minifs_test.pdb"
+  "minifs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minifs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

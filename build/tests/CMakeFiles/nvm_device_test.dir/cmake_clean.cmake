@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_device_test.dir/nvm_device_test.cc.o"
+  "CMakeFiles/nvm_device_test.dir/nvm_device_test.cc.o.d"
+  "nvm_device_test"
+  "nvm_device_test.pdb"
+  "nvm_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_buffer_test.dir/ring_buffer_test.cc.o"
+  "CMakeFiles/ring_buffer_test.dir/ring_buffer_test.cc.o.d"
+  "ring_buffer_test"
+  "ring_buffer_test.pdb"
+  "ring_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

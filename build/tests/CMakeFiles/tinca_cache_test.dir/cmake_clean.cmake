@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinca_cache_test.dir/tinca_cache_test.cc.o"
+  "CMakeFiles/tinca_cache_test.dir/tinca_cache_test.cc.o.d"
+  "tinca_cache_test"
+  "tinca_cache_test.pdb"
+  "tinca_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinca_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinca_crash_test.dir/tinca_crash_test.cc.o"
+  "CMakeFiles/tinca_crash_test.dir/tinca_crash_test.cc.o.d"
+  "tinca_crash_test"
+  "tinca_crash_test.pdb"
+  "tinca_crash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinca_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

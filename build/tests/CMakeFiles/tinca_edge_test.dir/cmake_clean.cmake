@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinca_edge_test.dir/tinca_edge_test.cc.o"
+  "CMakeFiles/tinca_edge_test.dir/tinca_edge_test.cc.o.d"
+  "tinca_edge_test"
+  "tinca_edge_test.pdb"
+  "tinca_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinca_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

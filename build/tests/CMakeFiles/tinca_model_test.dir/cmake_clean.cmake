@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinca_model_test.dir/tinca_model_test.cc.o"
+  "CMakeFiles/tinca_model_test.dir/tinca_model_test.cc.o.d"
+  "tinca_model_test"
+  "tinca_model_test.pdb"
+  "tinca_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinca_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

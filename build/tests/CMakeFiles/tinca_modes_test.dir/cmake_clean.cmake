@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinca_modes_test.dir/tinca_modes_test.cc.o"
+  "CMakeFiles/tinca_modes_test.dir/tinca_modes_test.cc.o.d"
+  "tinca_modes_test"
+  "tinca_modes_test.pdb"
+  "tinca_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinca_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubj_test.dir/ubj_test.cc.o"
+  "CMakeFiles/ubj_test.dir/ubj_test.cc.o.d"
+  "ubj_test"
+  "ubj_test.pdb"
+  "ubj_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubj_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_media_test.dir/verify_media_test.cc.o"
+  "CMakeFiles/verify_media_test.dir/verify_media_test.cc.o.d"
+  "verify_media_test"
+  "verify_media_test.pdb"
+  "verify_media_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_media_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

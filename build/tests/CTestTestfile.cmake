@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/nvm_device_test[1]_include.cmake")
+include("/root/repo/build/tests/blockdev_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_entry_test[1]_include.cmake")
+include("/root/repo/build/tests/ring_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/tinca_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/tinca_crash_test[1]_include.cmake")
+include("/root/repo/build/tests/flashcache_test[1]_include.cmake")
+include("/root/repo/build/tests/journal_test[1]_include.cmake")
+include("/root/repo/build/tests/classic_stack_test[1]_include.cmake")
+include("/root/repo/build/tests/backend_test[1]_include.cmake")
+include("/root/repo/build/tests/minifs_test[1]_include.cmake")
+include("/root/repo/build/tests/minifs_crash_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/lru_test[1]_include.cmake")
+include("/root/repo/build/tests/verify_media_test[1]_include.cmake")
+include("/root/repo/build/tests/tinca_model_test[1]_include.cmake")
+include("/root/repo/build/tests/tinca_modes_test[1]_include.cmake")
+include("/root/repo/build/tests/classic_crash_test[1]_include.cmake")
+include("/root/repo/build/tests/minifs_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/tinca_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/ubj_test[1]_include.cmake")
