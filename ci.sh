@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point: Debug build with Address+UB sanitizers, full test suite.
+#
+# A Debug build keeps the TINCA debug invariants compiled in (NDEBUG off —
+# e.g. TincaCache::assert_dirty_count cross-checks the incremental dirty
+# counter against a full entry scan on every commit), and the sanitizers
+# catch lifetime/aliasing mistakes the RelWithDebInfo tier-1 run would miss.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BUILD_DIR=${BUILD_DIR:-build-ci}
+SAN_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DTINCA_WERROR=ON \
+  -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -1,0 +1,87 @@
+// TxnBackend adapter over the sharded Tinca front-end.
+//
+// Lets MiniFs and every workload generator run unchanged on top of
+// ShardedTinca: the backend surface is still one running transaction per
+// caller, but distinct ShardedBackend users (or direct ShardedTinca users)
+// may commit concurrently against the same sharded cache.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "backend/txn_backend.h"
+#include "shard/sharded_tinca.h"
+
+namespace tinca::backend {
+
+/// Drives a ShardedTinca through the uniform transactional surface.
+class ShardedBackend final : public TxnBackend {
+ public:
+  /// Format every shard afresh over `nvm` backed by `disk`.
+  static std::unique_ptr<ShardedBackend> format(nvm::NvmDevice& nvm,
+                                                blockdev::BlockDevice& disk,
+                                                shard::ShardedConfig cfg = {}) {
+    return std::unique_ptr<ShardedBackend>(new ShardedBackend(
+        shard::ShardedTinca::format(nvm, disk, cfg), disk));
+  }
+
+  /// Mount with per-shard crash recovery.
+  static std::unique_ptr<ShardedBackend> recover(
+      nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
+      shard::ShardedConfig cfg = {}) {
+    return std::unique_ptr<ShardedBackend>(new ShardedBackend(
+        shard::ShardedTinca::recover(nvm, disk, cfg), disk));
+  }
+
+  void begin() override {
+    TINCA_EXPECT(!txn_.has_value(), "transaction already open");
+    txn_.emplace(sharded_->init_txn());
+  }
+
+  void stage(std::uint64_t blkno, std::span<const std::byte> data) override {
+    TINCA_EXPECT(txn_.has_value(), "stage without begin");
+    txn_->add(blkno, data);
+  }
+
+  void commit() override {
+    TINCA_EXPECT(txn_.has_value(), "commit without begin");
+    sharded_->commit(*txn_);
+    txn_.reset();
+  }
+
+  void abort() override {
+    TINCA_EXPECT(txn_.has_value(), "abort without begin");
+    sharded_->abort(*txn_);
+    txn_.reset();
+  }
+
+  void read_block(std::uint64_t blkno, std::span<std::byte> dst) override {
+    sharded_->read_block(blkno, dst);
+  }
+
+  void flush() override { sharded_->flush_dirty(); }
+
+  [[nodiscard]] std::uint64_t data_block_limit() const override {
+    return disk_.block_count();
+  }
+
+  [[nodiscard]] std::uint64_t max_txn_blocks() const override {
+    return sharded_->max_txn_blocks();
+  }
+
+  [[nodiscard]] std::string name() const override { return "ShardedTinca"; }
+
+  /// The underlying sharded cache, for stats, tests and concurrent callers.
+  [[nodiscard]] shard::ShardedTinca& sharded() { return *sharded_; }
+
+ private:
+  ShardedBackend(std::unique_ptr<shard::ShardedTinca> sharded,
+                 blockdev::BlockDevice& disk)
+      : sharded_(std::move(sharded)), disk_(disk) {}
+
+  std::unique_ptr<shard::ShardedTinca> sharded_;
+  blockdev::BlockDevice& disk_;
+  std::optional<shard::ShardedTxn> txn_;
+};
+
+}  // namespace tinca::backend

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "backend/classic_backend.h"
+#include "backend/sharded_backend.h"
 #include "backend/tinca_backend.h"
 #include "backend/txn_backend.h"
 #include "backend/ubj_backend.h"
@@ -22,6 +23,7 @@ enum class StackKind : std::uint8_t {
   kClassic,            ///< Ext4+JBD2 over Flashcache (the paper's baseline)
   kClassicNoJournal,   ///< "Ext4 without journaling" ablation
   kUbj,                ///< UBJ unioned buffer cache + journal (§5.4.4)
+  kShardedTinca,       ///< N-way sharded concurrent Tinca front-end
 };
 
 /// Assembly parameters.
@@ -42,6 +44,8 @@ struct StackConfig {
   core::TincaConfig tinca;
   classic::ClassicConfig classic;
   ubj::UbjConfig ubj;
+  /// Shard count for kShardedTinca (per-shard config comes from `tinca`).
+  std::uint32_t tinca_shards = 4;
 };
 
 /// The assembled stack; owns every layer.
@@ -72,6 +76,13 @@ class Stack {
       case StackKind::kUbj:
         backend_ = UbjBackend::format(nvm_, disk_, cfg.ubj);
         break;
+      case StackKind::kShardedTinca: {
+        shard::ShardedConfig s;
+        s.num_shards = cfg.tinca_shards;
+        s.shard = cfg.tinca;
+        backend_ = ShardedBackend::format(nvm_, disk_, s);
+        break;
+      }
     }
   }
 

@@ -8,6 +8,7 @@
 // runs recovery and checks the consistency invariants.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <exception>
 
@@ -29,29 +30,36 @@ class CrashException : public std::exception {
 /// boundary.  A disarmed injector only counts (negligible cost).  Tests first
 /// run a workload disarmed to learn the step count, then re-run once per step
 /// with `arm(step)` to crash exactly there.
+///
+/// The step counter is atomic so that NVM views driven from multiple threads
+/// (the sharded front-end) can share one disarmed injector; arming is only
+/// meaningful for single-threaded sweeps, where step numbering is
+/// deterministic.
 class CrashInjector {
  public:
   /// Arm the injector: the `step`-th future call to point() (1-based) throws.
   void arm(std::uint64_t step) {
     armed_ = true;
     fire_at_ = step;
-    seen_ = 0;
+    seen_.store(0, std::memory_order_relaxed);
   }
 
   /// Disarm; point() only counts.
   void disarm() {
     armed_ = false;
-    seen_ = 0;
+    seen_.store(0, std::memory_order_relaxed);
   }
 
   /// Crash-point marker.  Throws CrashException when the armed step is hit.
   void point() {
-    ++seen_;
-    if (armed_ && seen_ == fire_at_) throw CrashException();
+    const std::uint64_t n = seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (armed_ && n == fire_at_) throw CrashException();
   }
 
   /// Number of points passed since the last arm()/disarm().
-  [[nodiscard]] std::uint64_t steps_seen() const { return seen_; }
+  [[nodiscard]] std::uint64_t steps_seen() const {
+    return seen_.load(std::memory_order_relaxed);
+  }
 
   /// Whether armed.
   [[nodiscard]] bool armed() const { return armed_; }
@@ -59,7 +67,7 @@ class CrashInjector {
  private:
   bool armed_ = false;
   std::uint64_t fire_at_ = 0;
-  std::uint64_t seen_ = 0;
+  std::atomic<std::uint64_t> seen_ = 0;
 };
 
 }  // namespace tinca::nvm

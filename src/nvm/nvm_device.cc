@@ -7,7 +7,11 @@
 namespace tinca::nvm {
 
 NvmDevice::NvmDevice(std::size_t size, NvmProfile profile, sim::SimClock& clock)
-    : profile_(std::move(profile)),
+    : injector(injector_storage_),
+      root_(this),
+      base_(0),
+      span_(size),
+      profile_(std::move(profile)),
       clock_(clock),
       volatile_(size),
       persistent_(size),
@@ -17,18 +21,36 @@ NvmDevice::NvmDevice(std::size_t size, NvmProfile profile, sim::SimClock& clock)
                "NVM size must be a positive multiple of the line size");
 }
 
+NvmDevice::NvmDevice(NvmDevice& parent, std::uint64_t base, std::size_t bytes,
+                     sim::SimClock& clock)
+    : injector(parent.injector),
+      root_(parent.root_),
+      base_(parent.base_ + base),
+      span_(bytes),
+      profile_(parent.profile_),
+      clock_(clock) {
+  TINCA_EXPECT(bytes > 0 && bytes % kLineSize == 0,
+               "view size must be a positive multiple of the line size");
+  TINCA_EXPECT(base % kLineSize == 0, "view base must be line-aligned");
+  TINCA_EXPECT(base + bytes <= parent.span_, "view exceeds parent range");
+}
+
 void NvmDevice::mark_dirty(std::size_t line) {
-  if (!dirty_[line]) {
-    dirty_[line] = 1;
-    ++dirty_count_;
+  // Lines are never shared between concurrently driven views (partitions are
+  // line-aligned), so the flag itself needs no synchronization; only the
+  // device-wide count does.
+  if (!root_->dirty_[line]) {
+    root_->dirty_[line] = 1;
+    root_->dirty_count_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void NvmDevice::store(std::uint64_t off, std::span<const std::byte> src) {
-  TINCA_EXPECT(off + src.size() <= volatile_.size(), "store out of range");
-  std::memcpy(volatile_.data() + off, src.data(), src.size());
-  const std::size_t first = off / kLineSize;
-  const std::size_t last = (off + src.size() - 1) / kLineSize;
+  TINCA_EXPECT(off + src.size() <= span_, "store out of range");
+  const std::uint64_t abs = base_ + off;
+  std::memcpy(root_->volatile_.data() + abs, src.data(), src.size());
+  const std::size_t first = abs / kLineSize;
+  const std::size_t last = (abs + src.size() - 1) / kLineSize;
   for (std::size_t line = first; line <= last; ++line) mark_dirty(line);
   ++stats_.stores;
   stats_.bytes_stored += src.size();
@@ -37,8 +59,8 @@ void NvmDevice::store(std::uint64_t off, std::span<const std::byte> src) {
 }
 
 void NvmDevice::load(std::uint64_t off, std::span<std::byte> dst) const {
-  TINCA_EXPECT(off + dst.size() <= volatile_.size(), "load out of range");
-  std::memcpy(dst.data(), volatile_.data() + off, dst.size());
+  TINCA_EXPECT(off + dst.size() <= span_, "load out of range");
+  std::memcpy(dst.data(), root_->volatile_.data() + base_ + off, dst.size());
   const std::size_t lines = (dst.size() + kLineSize - 1) / kLineSize;
   auto& self = const_cast<NvmDevice&>(*this);
   self.stats_.lines_loaded += lines;
@@ -46,22 +68,23 @@ void NvmDevice::load(std::uint64_t off, std::span<std::byte> dst) const {
 }
 
 void NvmDevice::load_nocharge(std::uint64_t off, std::span<std::byte> dst) const {
-  TINCA_EXPECT(off + dst.size() <= volatile_.size(), "load out of range");
-  std::memcpy(dst.data(), volatile_.data() + off, dst.size());
+  TINCA_EXPECT(off + dst.size() <= span_, "load out of range");
+  std::memcpy(dst.data(), root_->volatile_.data() + base_ + off, dst.size());
 }
 
 void NvmDevice::clflush(std::uint64_t off, std::size_t len) {
-  TINCA_EXPECT(len > 0 && off + len <= volatile_.size(), "clflush out of range");
-  const std::size_t first = off / kLineSize;
-  const std::size_t last = (off + len - 1) / kLineSize;
+  TINCA_EXPECT(len > 0 && off + len <= span_, "clflush out of range");
+  const std::uint64_t abs = base_ + off;
+  const std::size_t first = abs / kLineSize;
+  const std::size_t last = (abs + len - 1) / kLineSize;
   for (std::size_t line = first; line <= last; ++line) {
     ++stats_.clflush;
-    if (dirty_[line]) {
-      std::memcpy(persistent_.data() + line * kLineSize,
-                  volatile_.data() + line * kLineSize, kLineSize);
-      dirty_[line] = 0;
-      --dirty_count_;
-      ++line_writes_[line];
+    if (root_->dirty_[line]) {
+      std::memcpy(root_->persistent_.data() + line * kLineSize,
+                  root_->volatile_.data() + line * kLineSize, kLineSize);
+      root_->dirty_[line] = 0;
+      root_->dirty_count_.fetch_sub(1, std::memory_order_relaxed);
+      ++root_->line_writes_[line];
       clock_.advance(profile_.line_flush_cost());
     } else {
       // clflush of a clean line still costs the instruction.
@@ -77,9 +100,10 @@ void NvmDevice::sfence() {
 
 void NvmDevice::atomic_store8(std::uint64_t off, std::uint64_t value) {
   TINCA_EXPECT(off % 8 == 0, "atomic_store8 requires 8-byte alignment");
-  TINCA_EXPECT(off + 8 <= volatile_.size(), "atomic_store8 out of range");
-  std::memcpy(volatile_.data() + off, &value, 8);
-  mark_dirty(off / kLineSize);
+  TINCA_EXPECT(off + 8 <= span_, "atomic_store8 out of range");
+  const std::uint64_t abs = base_ + off;
+  std::memcpy(root_->volatile_.data() + abs, &value, 8);
+  mark_dirty(abs / kLineSize);
   ++stats_.atomic8;
   stats_.bytes_stored += 8;
   clock_.advance(profile_.base_line_ns);
@@ -88,9 +112,10 @@ void NvmDevice::atomic_store8(std::uint64_t off, std::uint64_t value) {
 void NvmDevice::atomic_store16(std::uint64_t off,
                                std::span<const std::byte, 16> value) {
   TINCA_EXPECT(off % 16 == 0, "atomic_store16 requires 16-byte alignment");
-  TINCA_EXPECT(off + 16 <= volatile_.size(), "atomic_store16 out of range");
-  std::memcpy(volatile_.data() + off, value.data(), 16);
-  mark_dirty(off / kLineSize);
+  TINCA_EXPECT(off + 16 <= span_, "atomic_store16 out of range");
+  const std::uint64_t abs = base_ + off;
+  std::memcpy(root_->volatile_.data() + abs, value.data(), 16);
+  mark_dirty(abs / kLineSize);
   ++stats_.atomic16;
   stats_.bytes_stored += 16;
   // LOCK cmpxchg16b is pricier than a plain store.
@@ -99,9 +124,9 @@ void NvmDevice::atomic_store16(std::uint64_t off,
 
 std::uint64_t NvmDevice::load8(std::uint64_t off) const {
   TINCA_EXPECT(off % 8 == 0, "load8 requires 8-byte alignment");
-  TINCA_EXPECT(off + 8 <= volatile_.size(), "load8 out of range");
+  TINCA_EXPECT(off + 8 <= span_, "load8 out of range");
   std::uint64_t value = 0;
-  std::memcpy(&value, volatile_.data() + off, 8);
+  std::memcpy(&value, root_->volatile_.data() + base_ + off, 8);
   auto& self = const_cast<NvmDevice&>(*this);
   ++self.stats_.lines_loaded;
   self.clock_.advance(profile_.line_read_cost());
@@ -109,6 +134,7 @@ std::uint64_t NvmDevice::load8(std::uint64_t off) const {
 }
 
 void NvmDevice::crash(Rng& rng, double survive_prob) {
+  TINCA_EXPECT(!is_view(), "power failure is a root-device event");
   ++stats_.crashes;
   for (std::size_t line = 0; line < dirty_.size(); ++line) {
     if (!dirty_[line]) continue;
@@ -120,29 +146,30 @@ void NvmDevice::crash(Rng& rng, double survive_prob) {
     }
     dirty_[line] = 0;
   }
-  dirty_count_ = 0;
+  dirty_count_.store(0, std::memory_order_relaxed);
   volatile_ = persistent_;
 }
 
 NvmDevice::WearReport NvmDevice::wear() const {
   WearReport report;
-  for (const std::uint32_t w : line_writes_) {
+  for (const std::uint32_t w : root_->line_writes_) {
     report.total_line_writes += w;
     if (w > report.max_line_writes) report.max_line_writes = w;
     if (w > 0) ++report.lines_touched;
   }
   report.mean_line_writes =
-      line_writes_.empty()
+      root_->line_writes_.empty()
           ? 0.0
           : static_cast<double>(report.total_line_writes) /
-                static_cast<double>(line_writes_.size());
+                static_cast<double>(root_->line_writes_.size());
   return report;
 }
 
 void NvmDevice::crash_discard_all() {
+  TINCA_EXPECT(!is_view(), "power failure is a root-device event");
   ++stats_.crashes;
   std::fill(dirty_.begin(), dirty_.end(), 0);
-  dirty_count_ = 0;
+  dirty_count_.store(0, std::memory_order_relaxed);
   volatile_ = persistent_;
 }
 

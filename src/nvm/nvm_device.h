@@ -17,11 +17,21 @@
 //     and LOCK cmpxchg16b (§2.1): they require natural alignment, which also
 //     guarantees the value never straddles a line, so it cannot tear.
 //
+// A device can also be opened as a **sub-range view** (see the view
+// constructor): the view shares the root device's media images — so a crash
+// of the root is a crash of every view — but carries its own SimClock and
+// operation counters.  Views over disjoint ranges may be driven from
+// different threads concurrently; that is what the sharded front-end
+// (src/shard/) builds on.  The only cross-view shared mutable state is the
+// dirty-line count (atomic) and the per-line dirty bits / wear counters,
+// which disjoint views never alias.
+//
 // Latency is charged to a SimClock (see common/sim_clock.h); operation counts
 // are accumulated in NvmStats, which the benches report as the paper's
 // "normalized quantity of clflush" metric.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -34,7 +44,7 @@
 
 namespace tinca::nvm {
 
-/// Operation counters for one NVM device.
+/// Operation counters for one NVM device (or one view of it).
 struct NvmStats {
   std::uint64_t stores = 0;          ///< store() calls
   std::uint64_t bytes_stored = 0;    ///< bytes passed to store()/atomics
@@ -58,21 +68,52 @@ struct NvmStats {
     d.crashes = crashes - rhs.crashes;
     return d;
   }
+
+  /// Sum of two snapshots (aggregating per-shard views).
+  NvmStats operator+(const NvmStats& rhs) const {
+    NvmStats s;
+    s.stores = stores + rhs.stores;
+    s.bytes_stored = bytes_stored + rhs.bytes_stored;
+    s.clflush = clflush + rhs.clflush;
+    s.sfence = sfence + rhs.sfence;
+    s.lines_loaded = lines_loaded + rhs.lines_loaded;
+    s.atomic8 = atomic8 + rhs.atomic8;
+    s.atomic16 = atomic16 + rhs.atomic16;
+    s.crashes = crashes + rhs.crashes;
+    return s;
+  }
 };
 
-/// Emulated NVM DIMM.
+/// Emulated NVM DIMM, or a sub-range view of one.
 class NvmDevice {
+  CrashInjector injector_storage_;  ///< backing for `injector` (root devices);
+                                    ///< declared first so the public reference
+                                    ///< below binds to constructed storage
+
  public:
   static constexpr std::size_t kLineSize = 64;
 
-  /// `size` must be a multiple of the cache-line size.
+  /// Root device; `size` must be a multiple of the cache-line size.
   NvmDevice(std::size_t size, NvmProfile profile, sim::SimClock& clock);
+
+  /// Sub-range view of `parent` covering `[base, base + bytes)`.  The view
+  /// shares the parent's media (stores/flushes/crashes are visible both
+  /// ways) and its crash injector, but charges latency to `clock` and keeps
+  /// its own operation counters.  `base` and `bytes` must be line-aligned.
+  NvmDevice(NvmDevice& parent, std::uint64_t base, std::size_t bytes,
+            sim::SimClock& clock);
 
   NvmDevice(const NvmDevice&) = delete;
   NvmDevice& operator=(const NvmDevice&) = delete;
 
-  /// Device capacity in bytes.
-  [[nodiscard]] std::size_t size() const { return volatile_.size(); }
+  /// Device (or view) capacity in bytes.
+  [[nodiscard]] std::size_t size() const { return span_; }
+
+  /// Whether this is a sub-range view rather than a root device.
+  [[nodiscard]] bool is_view() const { return root_ != this; }
+
+  /// Byte offset of this view within the root device (0 for a root).
+  [[nodiscard]] std::uint64_t base() const { return base_; }
 
   /// Regular store: visible immediately, durable only after clflush+sfence.
   void store(std::uint64_t off, std::span<const std::byte> src);
@@ -108,15 +149,19 @@ class NvmDevice {
   /// Simulated power failure: each dirty (unflushed) line independently
   /// survives with probability `survive_prob` (modelling arbitrary hardware
   /// writeback order), all other dirty lines revert to their last flushed
-  /// contents, and the CPU cache empties.
+  /// contents, and the CPU cache empties.  Root device only — power loss
+  /// does not respect partition boundaries.
   void crash(Rng& rng, double survive_prob = 0.5);
 
   /// Power failure in which *no* unflushed line survives (worst case).
   void crash_discard_all();
 
-  /// Number of currently dirty (unflushed) lines — tests assert on this to
-  /// prove the implementation flushed everything it claims to have.
-  [[nodiscard]] std::size_t dirty_lines() const { return dirty_count_; }
+  /// Number of currently dirty (unflushed) lines on the whole root device —
+  /// tests assert on this to prove the implementation flushed everything it
+  /// claims to have.
+  [[nodiscard]] std::size_t dirty_lines() const {
+    return root_->dirty_count_.load(std::memory_order_relaxed);
+  }
 
   /// Wear statistics: media writes per cache line.  PCM/ReRAM endure only
   /// 10^6–10^8 writes per cell (Table 1), which is why the paper counts
@@ -128,10 +173,10 @@ class NvmDevice {
     std::uint64_t lines_touched = 0;      ///< lines ever written
   };
 
-  /// Compute the wear report (O(lines)).
+  /// Compute the wear report over the whole root device (O(lines)).
   [[nodiscard]] WearReport wear() const;
 
-  /// Operation counters.
+  /// Operation counters of this device/view.
   [[nodiscard]] const NvmStats& stats() const { return stats_; }
 
   /// Technology profile in force.
@@ -140,20 +185,24 @@ class NvmDevice {
   /// Virtual clock the device charges to.
   [[nodiscard]] sim::SimClock& clock() { return clock_; }
 
-  /// Optional crash injector consulted by *clients* at their crash points;
-  /// kept here so the whole stack above one device shares one injector.
-  CrashInjector injector;
+  /// Crash injector consulted by *clients* at their crash points; views
+  /// alias the root's injector so the whole stack above one physical device
+  /// shares one sequence of crash points.
+  CrashInjector& injector;
 
  private:
   void mark_dirty(std::size_t line);
 
+  NvmDevice* root_;        ///< self for a root device
+  std::uint64_t base_;     ///< offset of this view within the root
+  std::size_t span_;       ///< bytes addressable through this handle
   NvmProfile profile_;
   sim::SimClock& clock_;
-  std::vector<std::byte> volatile_;    ///< CPU-visible image
-  std::vector<std::byte> persistent_;  ///< media image (what survives crash)
-  std::vector<std::uint8_t> dirty_;    ///< per-line dirty bit
-  std::vector<std::uint32_t> line_writes_;  ///< media writes per line (wear)
-  std::size_t dirty_count_ = 0;
+  std::vector<std::byte> volatile_;    ///< CPU-visible image (root only)
+  std::vector<std::byte> persistent_;  ///< media image (root only)
+  std::vector<std::uint8_t> dirty_;    ///< per-line dirty bit (root only)
+  std::vector<std::uint32_t> line_writes_;  ///< media writes per line (root)
+  std::atomic<std::size_t> dirty_count_ = 0;
   NvmStats stats_;
 };
 

@@ -1,0 +1,200 @@
+#include "shard/sharded_tinca.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/expect.h"
+
+namespace tinca::shard {
+
+// ---------------------------------------------------------------------------
+// ShardedTxn
+// ---------------------------------------------------------------------------
+
+void ShardedTxn::add(std::uint64_t disk_blkno,
+                     std::span<const std::byte> data) {
+  TINCA_EXPECT(open_, "add to a closed transaction");
+  TINCA_EXPECT(data.size() == core::kBlockSize, "transaction blocks are 4 KB");
+  auto [it, inserted] = blocks_.try_emplace(disk_blkno);
+  if (inserted) order_.push_back(disk_blkno);
+  it->second.assign(data.begin(), data.end());
+}
+
+// ---------------------------------------------------------------------------
+// Construction / format / recovery
+// ---------------------------------------------------------------------------
+
+ShardedTinca::ShardedTinca(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
+                           ShardedConfig cfg, bool do_format)
+    : disk_(disk), cfg_(cfg) {
+  TINCA_EXPECT(cfg.num_shards >= 1, "at least one shard required");
+  // Equal 4 KB-aligned partitions; the tail remainder (< one partition) is
+  // left unused.  Geometry is a pure function of (device size, num_shards),
+  // so recovery reconstructs identical views without any extra metadata —
+  // each shard's own superblock then validates its layout.
+  const std::uint64_t part =
+      nvm.size() / cfg.num_shards / core::kBlockSize * core::kBlockSize;
+  TINCA_EXPECT(part > 0, "NVM device too small for this many shards");
+  shards_.reserve(cfg.num_shards);
+  for (std::uint32_t s = 0; s < cfg.num_shards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    sh->clock = std::make_unique<sim::SimClock>();
+    sh->view = std::make_unique<nvm::NvmDevice>(
+        nvm, static_cast<std::uint64_t>(s) * part, part, *sh->clock);
+    sh->cache = do_format
+                    ? core::TincaCache::format(*sh->view, disk_, cfg.shard)
+                    : core::TincaCache::recover(*sh->view, disk_, cfg.shard);
+    shards_.push_back(std::move(sh));
+  }
+}
+
+std::unique_ptr<ShardedTinca> ShardedTinca::format(nvm::NvmDevice& nvm,
+                                                   blockdev::BlockDevice& disk,
+                                                   ShardedConfig cfg) {
+  return std::unique_ptr<ShardedTinca>(
+      new ShardedTinca(nvm, disk, cfg, /*do_format=*/true));
+}
+
+std::unique_ptr<ShardedTinca> ShardedTinca::recover(nvm::NvmDevice& nvm,
+                                                    blockdev::BlockDevice& disk,
+                                                    ShardedConfig cfg) {
+  return std::unique_ptr<ShardedTinca>(
+      new ShardedTinca(nvm, disk, cfg, /*do_format=*/false));
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+std::uint32_t ShardedTinca::shard_of(std::uint64_t disk_blkno) const {
+  // SplitMix64 finalizer: avalanches every input bit so that sequential disk
+  // block numbers (the common allocation pattern) spread across shards
+  // instead of striding.
+  std::uint64_t x = disk_blkno + 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<std::uint32_t>(x % shards_.size());
+}
+
+// ---------------------------------------------------------------------------
+// Transactional primitives
+// ---------------------------------------------------------------------------
+
+void ShardedTinca::commit(ShardedTxn& txn) {
+  TINCA_EXPECT(txn.open_, "commit of a closed transaction");
+  if (txn.order_.empty()) {
+    txn.open_ = false;
+    return;
+  }
+
+  // Group the staged blocks by home shard, preserving staging order inside
+  // each group.  std::map iterates shards in ascending id — both the lock
+  // acquisition order and the publication order below, so any two
+  // transactions contending on several shards acquire them in the same
+  // global total order (no deadlocks).
+  std::map<std::uint32_t, std::vector<std::uint64_t>> groups;
+  for (std::uint64_t blkno : txn.order_)
+    groups[shard_of(blkno)].push_back(blkno);
+
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(groups.size());
+  for (auto& [sid, blocks] : groups) locks.emplace_back(shards_[sid]->mu);
+
+  // Per-shard ring phase and per-shard Tail publication, in shard order.
+  // Each shard runs the paper's full commit protocol over its portion, so
+  // that portion is atomic through that shard's Tail; a crash between two
+  // publications leaves earlier shards committed and later ones rolled back
+  // — per-shard all-or-nothing (DESIGN.md §7).
+  for (auto& [sid, blocks] : groups) {
+    core::Transaction sub = shards_[sid]->cache->tinca_init_txn();
+    for (std::uint64_t blkno : blocks) sub.add(blkno, txn.blocks_[blkno]);
+    shards_[sid]->cache->tinca_commit(sub);
+  }
+
+  txn.open_ = false;
+  txn.blocks_.clear();
+  txn.order_.clear();
+}
+
+void ShardedTinca::abort(ShardedTxn& txn) {
+  TINCA_EXPECT(txn.open_, "abort of a closed transaction");
+  txn.open_ = false;
+  txn.blocks_.clear();
+  txn.order_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Cached block I/O
+// ---------------------------------------------------------------------------
+
+void ShardedTinca::read_block(std::uint64_t disk_blkno,
+                              std::span<std::byte> dst) {
+  Shard& sh = *shards_[shard_of(disk_blkno)];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  sh.cache->read_block(disk_blkno, dst);
+}
+
+void ShardedTinca::write_block(std::uint64_t disk_blkno,
+                               std::span<const std::byte> data) {
+  ShardedTxn txn = init_txn();
+  txn.add(disk_blkno, data);
+  commit(txn);
+}
+
+void ShardedTinca::flush_dirty() {
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    sh->cache->flush_dirty();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+bool ShardedTinca::cached(std::uint64_t disk_blkno) {
+  Shard& sh = *shards_[shard_of(disk_blkno)];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  return sh.cache->cached(disk_blkno);
+}
+
+bool ShardedTinca::dirty(std::uint64_t disk_blkno) {
+  Shard& sh = *shards_[shard_of(disk_blkno)];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  return sh.cache->dirty(disk_blkno);
+}
+
+std::uint64_t ShardedTinca::max_txn_blocks() const {
+  std::uint64_t m = UINT64_MAX;
+  for (const auto& sh : shards_)
+    m = std::min(m, sh->cache->max_txn_blocks());
+  return m;
+}
+
+core::TincaCacheStats ShardedTinca::aggregated_stats() const {
+  core::TincaCacheStats agg;
+  for (const auto& sh : shards_) {
+    const core::TincaCacheStats& s = sh->cache->stats();
+    agg.txns_committed += s.txns_committed;
+    agg.txns_aborted += s.txns_aborted;
+    agg.blocks_committed += s.blocks_committed;
+    agg.write_hits += s.write_hits;
+    agg.write_misses += s.write_misses;
+    agg.read_hits += s.read_hits;
+    agg.read_misses += s.read_misses;
+    agg.evictions += s.evictions;
+    agg.dirty_writebacks += s.dirty_writebacks;
+    agg.writethrough_writes += s.writethrough_writes;
+    agg.role_switches += s.role_switches;
+    agg.cow_writes += s.cow_writes;
+    agg.background_cleanings += s.background_cleanings;
+    agg.revoked_blocks += s.revoked_blocks;
+    agg.dropped_clean_entries += s.dropped_clean_entries;
+    agg.recovered_entries += s.recovered_entries;
+    agg.blocks_per_txn.merge(s.blocks_per_txn);
+  }
+  return agg;
+}
+
+}  // namespace tinca::shard

@@ -1,0 +1,170 @@
+// Sharded, thread-safe front-end over N independent TincaCache shards.
+//
+// The paper's Tinca admits a single committing transaction at a time (§4.4):
+// one ring, one Head/Tail pair, one global ordering of commits.  That is
+// faithful for reproducing Fig 7–13 but caps throughput at one core.
+// ShardedTinca partitions both address spaces so unrelated transactions
+// commit in parallel:
+//
+//   * the NVM device is split into `num_shards` equal, 4 KB-aligned
+//     sub-range views (NvmDevice view constructor); each shard formats and
+//     recovers a complete private Tinca layout — superblock, ring, entry
+//     table, data area — inside its partition;
+//   * the disk block space is partitioned by a hash of the disk block
+//     number; every block has exactly one home shard, so shards never share
+//     a cache entry, an NVM block, a ring slot or a disk block;
+//   * each shard pairs its TincaCache with one mutex and one SimClock, so a
+//     single-shard transaction — the common case — takes one lock and runs
+//     the paper's commit protocol unchanged.
+//
+// Cross-shard transactions acquire the locks of every involved shard in
+// ascending shard-id order (a global total order, hence no deadlocks), then
+// run the full per-shard protocol — ring records, Head moves, role switches
+// and the per-shard Tail publication — shard by shard in that same order.
+// Durability and atomicity are therefore *per shard*: each shard's portion
+// commits all-or-nothing through its own Tail, exactly the paper's
+// single-cache argument applied per partition (DESIGN.md §7 discusses why a
+// crash between two shards' publications is equivalent to two back-to-back
+// single-shard transactions).
+//
+// The shared backing disk is serialized behind a LockedBlockDevice; shards
+// only reach it for misses, evictions and flushes, never while holding
+// another shard's lock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "blockdev/locked_block_device.h"
+#include "tinca/tinca_cache.h"
+
+namespace tinca::shard {
+
+/// Tunables for a ShardedTinca instance.
+struct ShardedConfig {
+  /// Number of independent shards (NVM partitions).  Must divide the device
+  /// into partitions large enough for a usable Tinca layout each.
+  std::uint32_t num_shards = 4;
+  /// Per-shard Tinca configuration (ring size is per shard).
+  core::TincaConfig shard;
+};
+
+/// A running sharded transaction: blocks staged in DRAM, possibly spanning
+/// several shards.  Created by ShardedTinca::init_txn(); not thread-safe
+/// itself (one owner thread), but distinct transactions commit concurrently.
+class ShardedTxn {
+ public:
+  /// Stage a 4 KB whole-block update; restaging a block keeps the latest.
+  void add(std::uint64_t disk_blkno, std::span<const std::byte> data);
+
+  /// Number of distinct blocks staged.
+  [[nodiscard]] std::size_t block_count() const { return order_.size(); }
+
+  /// Whether the transaction is still open (not committed/aborted).
+  [[nodiscard]] bool open() const { return open_; }
+
+ private:
+  friend class ShardedTinca;
+  ShardedTxn() = default;
+
+  bool open_ = true;
+  std::vector<std::uint64_t> order_;  ///< staging order, deduplicated
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> blocks_;
+};
+
+/// The sharded transactional NVM cache front-end.  All public methods are
+/// thread-safe; per-shard mutexes serialize only the shards a call touches.
+class ShardedTinca {
+ public:
+  /// Format every shard's partition afresh (like mkfs on each).
+  static std::unique_ptr<ShardedTinca> format(nvm::NvmDevice& nvm,
+                                              blockdev::BlockDevice& disk,
+                                              ShardedConfig cfg = {});
+
+  /// Mount an existing sharded cache, running crash recovery per shard.
+  /// `cfg` geometry (shard count, ring size) must match the format call.
+  static std::unique_ptr<ShardedTinca> recover(nvm::NvmDevice& nvm,
+                                               blockdev::BlockDevice& disk,
+                                               ShardedConfig cfg = {});
+
+  // --- Transactional primitives -------------------------------------------
+
+  /// Initiate a running transaction (DRAM staging only).
+  [[nodiscard]] ShardedTxn init_txn() const { return ShardedTxn(); }
+
+  /// Durably commit `txn`.  Single-shard transactions take one lock and the
+  /// paper's exact protocol; cross-shard transactions lock ascending and
+  /// publish each involved shard's Tail in that order (per-shard atomic).
+  void commit(ShardedTxn& txn);
+
+  /// Abort a running transaction; staged blocks are discarded.
+  void abort(ShardedTxn& txn);
+
+  // --- Cached block I/O ----------------------------------------------------
+
+  /// Read one block through its home shard.
+  void read_block(std::uint64_t disk_blkno, std::span<std::byte> dst);
+
+  /// Convenience: durably write one block as a single-block transaction.
+  void write_block(std::uint64_t disk_blkno, std::span<const std::byte> data);
+
+  /// Write every shard's dirty blocks back to disk.
+  void flush_dirty();
+
+  // --- Introspection -------------------------------------------------------
+
+  /// Home shard of a disk block (stable hash of the block number).
+  [[nodiscard]] std::uint32_t shard_of(std::uint64_t disk_blkno) const;
+
+  /// Number of shards.
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  /// Whether `disk_blkno` is cached (in its home shard).
+  [[nodiscard]] bool cached(std::uint64_t disk_blkno);
+
+  /// Whether `disk_blkno` is cached and dirty.
+  [[nodiscard]] bool dirty(std::uint64_t disk_blkno);
+
+  /// Largest per-shard transaction this cache can commit; a transaction
+  /// whose blocks all hash to one shard is bounded by that shard alone, so
+  /// the conservative global bound is the per-shard bound.
+  [[nodiscard]] std::uint64_t max_txn_blocks() const;
+
+  /// Sum of all shards' cache stats (counters and the per-txn histogram).
+  /// Only stable while no commits are in flight.
+  [[nodiscard]] core::TincaCacheStats aggregated_stats() const;
+
+  /// Direct shard access for tests and benches (callers synchronize).
+  [[nodiscard]] core::TincaCache& shard_cache(std::uint32_t s) {
+    return *shards_[s]->cache;
+  }
+  [[nodiscard]] nvm::NvmDevice& shard_nvm(std::uint32_t s) {
+    return *shards_[s]->view;
+  }
+  [[nodiscard]] sim::SimClock& shard_clock(std::uint32_t s) {
+    return *shards_[s]->clock;
+  }
+
+ private:
+  struct Shard {
+    std::unique_ptr<sim::SimClock> clock;
+    std::unique_ptr<nvm::NvmDevice> view;
+    std::unique_ptr<core::TincaCache> cache;
+    std::mutex mu;
+  };
+
+  ShardedTinca(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
+               ShardedConfig cfg, bool do_format);
+
+  blockdev::LockedBlockDevice disk_;
+  ShardedConfig cfg_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace tinca::shard

@@ -7,6 +7,7 @@
 // with no per-node allocation.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -76,9 +77,14 @@ class SlotLru {
 
 /// Free-block monitor (paper §4.6): traces NVM blocks / entry slots that are
 /// not in use.  Rebuilt from the entry table on startup; never persisted.
+///
+/// An in-pool bitmap makes double-give (which would hand the same NVM block
+/// to two owners and corrupt the cache silently, possibly much later) and
+/// out-of-range ids fail fast at the faulty call site.  One byte per id and
+/// O(1) per operation, so it is kept on in all build types.
 class FreeMonitor {
  public:
-  explicit FreeMonitor(std::uint32_t n) {
+  explicit FreeMonitor(std::uint32_t n) : in_pool_(n, 1) {
     free_.reserve(n);
     // Hand out low ids first: keeps layouts compact and tests predictable.
     for (std::uint32_t i = n; i-- > 0;) free_.push_back(i);
@@ -97,17 +103,34 @@ class FreeMonitor {
     TINCA_EXPECT(!free_.empty(), "allocation from empty free monitor");
     const std::uint32_t id = free_.back();
     free_.pop_back();
+    TINCA_ENSURE(in_pool_[id], "free monitor pool lost track of an id");
+    in_pool_[id] = 0;
     return id;
   }
 
-  /// Return an id to the pool.
-  void give(std::uint32_t id) { free_.push_back(id); }
+  /// Return an id to the pool.  The id must be absent (no double-give).
+  void give(std::uint32_t id) {
+    TINCA_EXPECT(id < in_pool_.size(), "give of an out-of-range id");
+    TINCA_EXPECT(!in_pool_[id], "double give of an id to the free monitor");
+    in_pool_[id] = 1;
+    free_.push_back(id);
+  }
+
+  /// Whether `id` is currently in the pool (free).
+  [[nodiscard]] bool holds(std::uint32_t id) const {
+    TINCA_EXPECT(id < in_pool_.size(), "holds of an out-of-range id");
+    return in_pool_[id] != 0;
+  }
 
   /// Empty the pool (recovery rebuild starts from scratch).
-  void clear() { free_.clear(); }
+  void clear() {
+    free_.clear();
+    std::fill(in_pool_.begin(), in_pool_.end(), 0);
+  }
 
  private:
   std::vector<std::uint32_t> free_;
+  std::vector<std::uint8_t> in_pool_;  ///< 1 iff the id is currently free
 };
 
 }  // namespace tinca::core

@@ -83,8 +83,11 @@ void TincaCache::run_recovery() {
 
   // 2. Load Head/Tail and the whole entry table.
   ring_.load();
-  for (std::uint32_t slot = 0; slot < layout_.num_blocks; ++slot)
+  dirty_count_ = 0;
+  for (std::uint32_t slot = 0; slot < layout_.num_blocks; ++slot) {
     mirror_[slot] = read_entry_from_nvm(slot);
+    if (mirror_[slot].valid && mirror_[slot].modified) ++dirty_count_;
+  }
 
   // Temporary disk-block index over the raw table (DRAM index is rebuilt
   // from scratch below).
@@ -153,6 +156,13 @@ CacheEntry TincaCache::read_entry_from_nvm(std::uint32_t slot) const {
 }
 
 void TincaCache::write_entry(std::uint32_t slot, const CacheEntry& e) {
+  // Every persistent dirty-bit transition funnels through here (or through
+  // invalidate_entry), which is what keeps the incremental dirty counter
+  // exact without the old per-commit full-index scan.
+  const bool was_dirty = mirror_[slot].valid && mirror_[slot].modified;
+  const bool now_dirty = e.valid && e.modified;
+  if (was_dirty && !now_dirty) --dirty_count_;
+  if (!was_dirty && now_dirty) ++dirty_count_;
   mirror_[slot] = e;
   const auto raw = e.encode();
   const std::uint64_t off = layout_.entry_off(slot);
@@ -161,6 +171,7 @@ void TincaCache::write_entry(std::uint32_t slot, const CacheEntry& e) {
 }
 
 void TincaCache::invalidate_entry(std::uint32_t slot) {
+  if (mirror_[slot].valid && mirror_[slot].modified) --dirty_count_;
   mirror_[slot] = CacheEntry{};
   const std::array<std::byte, 16> zeros{};
   const std::uint64_t off = layout_.entry_off(slot);
@@ -179,12 +190,15 @@ void TincaCache::write_data_block(std::uint32_t nvm_block,
 // Replacement (§4.6)
 // ---------------------------------------------------------------------------
 
+// Pushes the block to disk without touching the entry.  Callers account the
+// write: replacement paths bump `dirty_writebacks`, the write-through commit
+// path bumps `writethrough_writes` — conflating the two skewed the Fig 12
+// media accounting.
 void TincaCache::writeback(std::uint32_t slot) {
   const CacheEntry& e = mirror_[slot];
   std::vector<std::byte> buf(kBlockSize);
   nvm_.load(layout_.data_block_off(e.curr_nvm), buf);
   disk_.write(e.disk_blkno, buf);
-  ++stats_.dirty_writebacks;
 }
 
 void TincaCache::evict_one() {
@@ -197,7 +211,10 @@ void TincaCache::evict_one() {
                "cache wedged: every cached block is pinned by the committing "
                "transaction");
   const CacheEntry e = mirror_[victim];
-  if (e.modified) writeback(victim);
+  if (e.modified) {
+    writeback(victim);
+    ++stats_.dirty_writebacks;
+  }
   invalidate_entry(victim);
   index_.erase(e.disk_blkno);
   lru_.remove(victim);
@@ -215,24 +232,33 @@ void TincaCache::clean_to_threshold() {
   if (cfg_.clean_thresh_pct >= 100) return;
   const std::uint64_t limit =
       layout_.num_blocks * cfg_.clean_thresh_pct / 100;
-  std::uint64_t dirty_count = 0;
-  for (auto [blkno, slot] : index_)
-    if (mirror_[slot].modified) ++dirty_count;
-  if (dirty_count <= limit) return;
+  // The incremental counter replaces the old O(capacity) index rescan that
+  // this path used to perform on every single commit.
+  if (dirty_count_ <= limit) return;
   // Oldest-first: walk from the LRU end, skipping pinned (log-role) blocks.
   std::uint32_t slot = lru_.lru();
-  while (slot != SlotLru::kNil && dirty_count > limit) {
+  while (slot != SlotLru::kNil && dirty_count_ > limit) {
     const std::uint32_t next = lru_.newer(slot);
     CacheEntry e = mirror_[slot];
     if (e.valid && e.modified && e.role == Role::kBuffer) {
       writeback(slot);
       e.modified = false;
-      write_entry(slot, e);
-      --dirty_count;
+      write_entry(slot, e);  // decrements dirty_count_
+      ++stats_.dirty_writebacks;
       ++stats_.background_cleanings;
     }
     slot = next;
   }
+}
+
+void TincaCache::assert_dirty_count() const {
+#ifndef NDEBUG
+  std::uint64_t scan = 0;
+  for (auto [blkno, slot] : index_)
+    if (mirror_[slot].modified) ++scan;
+  TINCA_ENSURE(scan == dirty_count_,
+               "incremental dirty counter diverged from the entry table");
+#endif
 }
 
 std::uint64_t TincaCache::max_txn_blocks() const {
@@ -262,14 +288,24 @@ void TincaCache::commit_block(std::uint64_t disk_blkno,
   nvm_.injector.point();  // CP: before this block touches NVM
   nvm_.clock().advance(cfg_.cpu_op_ns);
 
-  // Make room *before* looking the block up: eviction could otherwise pick
-  // the very block we are about to COW (it is not log-role yet).  If the
-  // block does get evicted here, it simply becomes a write miss — its last
-  // committed contents have been written back to disk, so rollback remains
+  // Reserve exactly what each path consumes.  A COW hit takes one free NVM
+  // block but *no* entry slot; a miss takes one of each.  The old
+  // unconditional ensure_free(1, 1) over-reserved on hits, and because it
+  // ran before the lookup its eviction would pick the LRU victim — on a full
+  // cache often the very block being written — turning every write hit into
+  // an eviction, a writeback and a write miss.  Making the target MRU first
+  // steers eviction elsewhere; should it still get evicted (everything else
+  // pinned by the committing transaction), it cleanly degrades to a write
+  // miss — its last committed contents are on disk, so rollback stays
   // correct.
-  ensure_free(1, 1);
-
   auto it = index_.find(disk_blkno);
+  if (it != index_.end()) {
+    lru_.touch(it->second);
+    ensure_free(0, 1);
+    it = index_.find(disk_blkno);
+  }
+  if (it == index_.end()) ensure_free(1, 1);
+
   if (it != index_.end()) {
     // Write hit: COW block write (§4.3).
     const std::uint32_t slot = it->second;
@@ -366,6 +402,7 @@ void TincaCache::tinca_commit(Transaction& txn) {
     for (std::uint64_t blkno : txn.order_) {
       const std::uint32_t slot = index_.at(blkno);
       writeback(slot);
+      ++stats_.writethrough_writes;
       CacheEntry e = mirror_[slot];
       e.modified = false;
       write_entry(slot, e);
@@ -380,6 +417,7 @@ void TincaCache::tinca_commit(Transaction& txn) {
   txn.order_.clear();
 
   clean_to_threshold();
+  assert_dirty_count();
 }
 
 // ---------------------------------------------------------------------------
@@ -435,10 +473,12 @@ void TincaCache::flush_dirty() {
   std::sort(dirty.begin(), dirty.end());
   for (auto [blkno, slot] : dirty) {
     writeback(slot);
+    ++stats_.dirty_writebacks;
     CacheEntry e = mirror_[slot];
     e.modified = false;
     write_entry(slot, e);
   }
+  assert_dirty_count();
 }
 
 // ---------------------------------------------------------------------------

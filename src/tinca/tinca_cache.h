@@ -78,7 +78,12 @@ struct TincaCacheStats {
   std::uint64_t read_hits = 0;
   std::uint64_t read_misses = 0;
   std::uint64_t evictions = 0;
+  /// Replacement-path disk writes only: eviction of a dirty victim,
+  /// background cleaning, and explicit flush_dirty().  Foreground
+  /// write-through traffic is counted separately (`writethrough_writes`) so
+  /// the Fig 12 media accounting can tell replacement from commit traffic.
   std::uint64_t dirty_writebacks = 0;
+  std::uint64_t writethrough_writes = 0;  ///< write-through commit disk writes
   std::uint64_t role_switches = 0;
   std::uint64_t cow_writes = 0;
   std::uint64_t background_cleanings = 0;  ///< threshold-triggered writebacks
@@ -178,6 +183,10 @@ class TincaCache {
   /// Number of free NVM data blocks.
   [[nodiscard]] std::uint64_t free_blocks() const { return free_blocks_.count(); }
 
+  /// Number of cached blocks that are dirty (maintained incrementally; the
+  /// old full-index scan per commit was O(capacity) — see clean_to_threshold).
+  [[nodiscard]] std::uint64_t dirty_blocks() const { return dirty_count_; }
+
   /// Largest transaction (in blocks) this cache can commit.
   [[nodiscard]] std::uint64_t max_txn_blocks() const;
 
@@ -208,6 +217,10 @@ class TincaCache {
   void writeback(std::uint32_t slot);
   void clean_to_threshold();
 
+  // Debug-build cross-check of the incremental dirty counter against a full
+  // index scan (compiled out under NDEBUG).
+  void assert_dirty_count() const;
+
   // Recovery helpers.
   void revoke_slot(std::uint32_t slot);
 
@@ -224,6 +237,7 @@ class TincaCache {
   FreeMonitor free_blocks_;
 
   std::uint64_t next_txn_id_ = 1;
+  std::uint64_t dirty_count_ = 0;  ///< valid+modified entries (incremental)
   TincaCacheStats stats_;
 };
 

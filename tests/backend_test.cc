@@ -99,8 +99,8 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, BackendContract,
                                            StackKind::kClassic,
                                            StackKind::kClassicNoJournal,
                                            StackKind::kUbj),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case StackKind::kTinca: return "Tinca";
                              case StackKind::kClassic: return "Classic";
                              case StackKind::kUbj: return "Ubj";

@@ -42,7 +42,7 @@ TEST(CacheEntry, SevenByteDiskBlockLimits) {
   e.disk_blkno = CacheEntry::kMaxDiskBlock;
   EXPECT_EQ(CacheEntry::decode(e.encode()).disk_blkno, CacheEntry::kMaxDiskBlock);
   e.disk_blkno = CacheEntry::kMaxDiskBlock + 1;
-  EXPECT_THROW(e.encode(), ContractViolation);
+  EXPECT_THROW((void)e.encode(), ContractViolation);
 }
 
 TEST(CacheEntry, FreshTagSurvivesRoundTrip) {

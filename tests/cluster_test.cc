@@ -120,7 +120,7 @@ TEST(StorageNode, MeasureReturnsChargedServiceTime) {
     be.commit();
   });
   EXPECT_GT(t, 0u);
-  EXPECT_THROW(node.fsys(), ContractViolation);
+  EXPECT_THROW((void)node.fsys(), ContractViolation);
 }
 
 }  // namespace

@@ -95,7 +95,9 @@ TEST(SlotLru, MatchesReferenceModelUnderRandomOps) {
         break;
     }
     ASSERT_EQ(lru.size(), ref.size());
-    if (!ref.empty()) ASSERT_EQ(lru.lru(), ref.back()) << "step " << step;
+    if (!ref.empty()) {
+      ASSERT_EQ(lru.lru(), ref.back()) << "step " << step;
+    }
   }
 }
 

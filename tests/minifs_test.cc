@@ -191,11 +191,13 @@ TEST_P(MiniFsOnBackend, UncommittedOpsInvisibleAfterRemount) {
 INSTANTIATE_TEST_SUITE_P(Backends, MiniFsOnBackend,
                          ::testing::Values(StackKind::kTinca,
                                            StackKind::kClassic,
-                                           StackKind::kUbj),
-                         [](const auto& info) {
-                           switch (info.param) {
+                                           StackKind::kUbj,
+                                           StackKind::kShardedTinca),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case StackKind::kTinca: return "Tinca";
                              case StackKind::kClassic: return "Classic";
+                             case StackKind::kShardedTinca: return "ShardedTinca";
                              default: return "Ubj";
                            }
                          });

@@ -30,8 +30,8 @@ TEST(Layout, ComputePartitionsDevice) {
 TEST(Layout, EntryAndDataOffsetsDisjoint) {
   const Layout l = Layout::compute(4 << 20, 4096);
   EXPECT_GE(l.data_block_off(0), l.entry_off(l.num_blocks - 1) + 16);
-  EXPECT_THROW(l.entry_off(l.num_blocks), ContractViolation);
-  EXPECT_THROW(l.data_block_off(l.num_blocks), ContractViolation);
+  EXPECT_THROW((void)l.entry_off(l.num_blocks), ContractViolation);
+  EXPECT_THROW((void)l.data_block_off(l.num_blocks), ContractViolation);
 }
 
 TEST(Layout, TooSmallDeviceRejected) {

@@ -29,7 +29,10 @@ TEST(TincaEdge, RingWrapsManyTimesWithoutDrift) {
   std::uint64_t seed = 1;
   for (int round = 0; round < 300; ++round) {
     auto txn = cache->tinca_init_txn();
-    for (int b = 0; b < 10; ++b) txn.add((seed * 7 + b) % 300, block_of(seed++));
+    for (int b = 0; b < 10; ++b) {
+      txn.add((seed * 7 + b) % 300, block_of(seed));
+      ++seed;
+    }
     cache->tinca_commit(txn);
   }
   const MediaReport r = verify_media(dev, cache->layout());

@@ -181,7 +181,7 @@ INSTANTIATE_TEST_SUITE_P(
         Geometry{1 << 20, 4096, 512, "pressured"},   // regular eviction
         Geometry{256 << 10, 4096, 1024, "thrashing"} // constant eviction
         ),
-    [](const auto& info) { return info.param.label; });
+    [](const auto& param_info) { return param_info.param.label; });
 
 }  // namespace
 }  // namespace tinca::core
