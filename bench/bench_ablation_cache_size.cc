@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "backend/tinca_backend.h"
+#include "bench_reporter.h"
 #include "bench_util.h"
 #include "workloads/fio.h"
 
@@ -47,7 +48,11 @@ Out fio_run(backend::StackKind kind, std::uint64_t nvm_bytes,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReporter reporter("ablation_cache_size", argc, argv);
+  reporter.config("dataset_blocks", ScaledDefaults::kFioDatasetBlocks);
+  reporter.config("write_pct", std::uint64_t{70});
+
   banner("Ablation: cache size and cache mode", "Fio R/W 3/7");
 
   std::cout << "\n(a) Cache size sweep (dataset fixed at 160 \"MB\")\n";
@@ -60,6 +65,11 @@ int main() {
                Table::num(classic.iops, 0), Table::num(tinca.iops, 0),
                Table::num(tinca.iops / classic.iops, 2) + "x",
                Table::num(tinca.hit_rate, 1) + "%"});
+    reporter.add_row("cache_mb=" + std::to_string(mb))
+        .metric("classic_iops", classic.iops)
+        .metric("tinca_iops", tinca.iops)
+        .metric("gap", tinca.iops / classic.iops)
+        .metric("tinca_write_hit_pct", tinca.hit_rate);
   }
   std::cout << a.render();
 
@@ -72,5 +82,7 @@ int main() {
   std::cout << b.render()
             << "Expectation: write-back wins — write-through pays a disk"
                " write per committed block in the foreground.\n";
-  return 0;
+  reporter.add_row("mode/write_back").metric("write_iops", wb.iops);
+  reporter.add_row("mode/write_through").metric("write_iops", wt.iops);
+  return reporter.finish() ? 0 : 1;
 }

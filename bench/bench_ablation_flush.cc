@@ -8,6 +8,7 @@
 // cheaper.
 #include <iostream>
 
+#include "bench_reporter.h"
 #include "bench_util.h"
 #include "workloads/fio.h"
 
@@ -28,7 +29,10 @@ double fio_iops(backend::StackKind kind, const std::string& nvm) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReporter reporter("ablation_flush", argc, argv);
+  reporter.config("fio_dataset_blocks", ScaledDefaults::kFioDatasetBlocks);
+
   banner("Ablation: flush instruction x NVM technology",
          "Fio 100% random writes");
 
@@ -45,10 +49,17 @@ int main() {
                Table::num(tinca, 0), Table::num(tinca_clwb, 0),
                Table::num(tinca / classic, 2) + "x",
                Table::num(tinca_clwb / classic_clwb, 2) + "x"});
+    reporter.add_row(nvm)
+        .metric("classic_iops", classic)
+        .metric("classic_clwb_iops", classic_clwb)
+        .metric("tinca_iops", tinca)
+        .metric("tinca_clwb_iops", tinca_clwb)
+        .metric("gap_clflush", tinca / classic)
+        .metric("gap_clwb", tinca_clwb / classic_clwb);
   }
   std::cout << t.render();
   std::cout << "\nExpectation: clwb lifts both stacks (cheaper issue cost)"
                " but the Tinca/Classic gap persists — double writes, not"
                " flush cost, dominate.\n";
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 // (§4.4) independent of batching.
 #include <iostream>
 
+#include "bench_reporter.h"
 #include "bench_util.h"
 #include "common/bytes.h"
 
@@ -39,7 +40,10 @@ double ns_per_block(backend::StackKind kind, std::uint64_t batch) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReporter reporter("ablation_txn_batch", argc, argv);
+  reporter.config("total_blocks", std::uint64_t{8192});
+
   banner("Ablation: blocks per transaction",
          "virtual ns per committed block vs batch size");
 
@@ -49,10 +53,14 @@ int main() {
     const double tinca = ns_per_block(backend::StackKind::kTinca, batch);
     t.add_row({Table::num(batch), Table::num(classic, 0), Table::num(tinca, 0),
                Table::num(classic / tinca, 2) + "x"});
+    reporter.add_row("batch=" + std::to_string(batch))
+        .metric("classic_ns_per_block", classic)
+        .metric("tinca_ns_per_block", tinca)
+        .metric("gap", classic / tinca);
   }
   std::cout << t.render();
   std::cout << "\nExpectation: Tinca is flat across batch sizes; Classic"
                " amortizes its descriptor/commit blocks with batching but"
                " keeps paying the double write.\n";
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

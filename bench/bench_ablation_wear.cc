@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "backend/ubj_backend.h"
+#include "bench_reporter.h"
 #include "bench_util.h"
 #include "blockdev/latency_block_device.h"
 #include "blockdev/mem_block_device.h"
@@ -50,7 +51,8 @@ WearRow run_ubj() {
   return WearRow{r.write_ops, nvm.wear()};
 }
 
-void emit(Table& t, const char* name, const WearRow& row) {
+void emit(Table& t, BenchReporter& reporter, const char* name,
+          const WearRow& row) {
   const double writes_per_op =
       static_cast<double>(row.wear.total_line_writes) /
       static_cast<double>(row.ops);
@@ -62,19 +64,30 @@ void emit(Table& t, const char* name, const WearRow& row) {
              Table::num(row.wear.mean_line_writes, 2),
              Table::num(row.wear.max_line_writes),
              Table::num(lifetime_ops / 1e9, 1) + "e9"});
+  reporter.add_row(name)
+      .metric("write_ops", static_cast<double>(row.ops))
+      .metric("line_writes_per_op", writes_per_op)
+      .metric("mean_wear_per_line", row.wear.mean_line_writes)
+      .metric("max_wear_per_line",
+              static_cast<double>(row.wear.max_line_writes))
+      .metric("lifetime_ops", lifetime_ops);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReporter reporter("ablation_wear", argc, argv);
+  reporter.config("endurance_writes", kEnduranceWrites);
+  reporter.config("dataset_blocks", ScaledDefaults::kFioDatasetBlocks);
+
   banner("Ablation: NVM wear (endurance)",
          "Fio 100% random writes, identical virtual duration");
 
   Table t({"stack", "write ops", "line writes/op", "mean wear/line",
            "max wear/line", "ops before mean-cell death"});
-  emit(t, "Classic", run_stack(backend::StackKind::kClassic));
-  emit(t, "UBJ", run_ubj());
-  emit(t, "Tinca", run_stack(backend::StackKind::kTinca));
+  emit(t, reporter, "Classic", run_stack(backend::StackKind::kClassic));
+  emit(t, reporter, "UBJ", run_ubj());
+  emit(t, reporter, "Tinca", run_stack(backend::StackKind::kTinca));
   std::cout << t.render();
   std::cout << "\nExpectation: Tinca's single-write commit cuts media wear"
                " per operation to ~1/4 of Classic's (double writes +"
@@ -85,5 +98,5 @@ int main() {
                " A deployment on low-endurance media would need to\n"
                "wear-level the Head/Tail lines (e.g. rotate them through a"
                " line group), which the paper does not discuss.\n";
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

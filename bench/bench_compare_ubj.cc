@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "backend/ubj_backend.h"
+#include "bench_reporter.h"
 #include "bench_util.h"
 #include "blockdev/latency_block_device.h"
 #include "blockdev/mem_block_device.h"
@@ -57,10 +58,19 @@ Row run_fio_on(backend::TxnBackend& be, sim::SimClock& clock,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReporter reporter("compare_ubj", argc, argv);
+  reporter.config("dataset_blocks", ScaledDefaults::kFioDatasetBlocks);
+
   banner("Comparison: Tinca vs UBJ vs Classic (§5.4.4)",
          "Fio mixed random I/O");
 
+  auto report = [&reporter](const char* rw, const char* system, const Row& r) {
+    reporter.add_row(std::string(system) + "/rw=" + rw)
+        .metric("write_iops", r.iops)
+        .metric("clflush_per_op", r.clflush_per_op)
+        .metric("disk_writes_per_op", r.disk_per_op);
+  };
   Table t({"R/W", "stack", "write IOPS", "clflush/op", "disk writes/op"});
   for (int write_pct : {70, 30}) {
     const char* label = write_pct == 70 ? "3/7" : "7/3";
@@ -70,6 +80,7 @@ int main() {
                                stack.disk().stats(), write_pct);
       t.add_row({label, "Classic", Table::num(r.iops, 0),
                  Table::num(r.clflush_per_op, 1), Table::num(r.disk_per_op, 2)});
+      report(label, "Classic", r);
     }
     {
       UbjRig rig;
@@ -77,6 +88,7 @@ int main() {
                                write_pct);
       t.add_row({label, "UBJ", Table::num(r.iops, 0),
                  Table::num(r.clflush_per_op, 1), Table::num(r.disk_per_op, 2)});
+      report(label, "UBJ", r);
     }
     {
       backend::Stack stack(scaled_stack(backend::StackKind::kTinca));
@@ -84,6 +96,7 @@ int main() {
                                stack.disk().stats(), write_pct);
       t.add_row({label, "Tinca", Table::num(r.iops, 0),
                  Table::num(r.clflush_per_op, 1), Table::num(r.disk_per_op, 2)});
+      report(label, "Tinca", r);
     }
   }
   std::cout << t.render();
@@ -113,5 +126,11 @@ int main() {
   std::cout << "\nExpectation: UBJ lands between Classic and Tinca — no"
                " journal double write, but stale checkpoint writes and"
                " critical-path copies that Tinca's role switch avoids.\n";
-  return 0;
+  reporter.add_row("ubj_diagnostics")
+      .metric("frozen_cow_copies", static_cast<double>(s.frozen_cow_copies))
+      .metric("checkpoint_writes", static_cast<double>(s.checkpoint_writes))
+      .metric("stale_checkpoint_writes",
+              static_cast<double>(s.stale_checkpoint_writes))
+      .metric("checkpointed_txns", static_cast<double>(s.checkpointed_txns));
+  return reporter.finish() ? 0 : 1;
 }

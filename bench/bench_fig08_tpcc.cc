@@ -9,12 +9,17 @@
 // The user-concurrency model is the shared DES driver in tpcc_des.h.
 #include <iostream>
 
+#include "bench_reporter.h"
 #include "tpcc_des.h"
 
 using namespace tinca;
 using namespace tinca::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReporter reporter("fig08_tpcc", argc, argv);
+  reporter.config("nvm_profile", "pcm");
+  reporter.config("disk_profile", "ssd");
+
   banner("Figure 8", "TPC-C (MySQL/HammerDB modelled), Classic vs Tinca");
 
   Table t({"users", "Classic TPM", "Tinca TPM", "speedup",
@@ -43,6 +48,16 @@ int main() {
                Table::num(tinca.clflush_per_txn / classic.clflush_per_txn * 100.0, 1) + "%",
                Table::num(classic.disk_per_txn, 2),
                Table::num(tinca.disk_per_txn, 2)});
+    const struct {
+      const char* system;
+      const TpccDesResult* r;
+    } sides[] = {{"Classic", &classic}, {"Tinca", &tinca}};
+    for (const auto& [system, r] : sides)
+      reporter
+          .add_row(std::string(system) + "/users=" + std::to_string(users))
+          .metric("tpm", r->tpm)
+          .metric("clflush_per_txn", r->clflush_per_txn)
+          .metric("disk_writes_per_txn", r->disk_per_txn);
   }
   std::cout << t.render();
   std::cout << "\nThroughput decline 5 -> 60 users:  Classic "
@@ -52,5 +67,5 @@ int main() {
   std::cout << "Paper reference: Tinca 1.8x (5 users) and 1.7x (60 users);"
                " clflush/txn 29.8%-36.2% of Classic's; declines 41.0% vs"
                " 35.3%; disk writes 4.2->1.9 (5 users) and 7.0->3.0 (60).\n";
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

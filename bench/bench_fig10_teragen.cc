@@ -6,6 +6,7 @@
 // cache-line flushes and 38.3 % fewer disk writes at 3 replicas.
 #include <iostream>
 
+#include "bench_reporter.h"
 #include "bench_util.h"
 #include "cluster/minidfs.h"
 
@@ -40,7 +41,11 @@ Cell run_cluster(backend::StackKind kind, std::uint32_t replicas) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReporter reporter("fig10_teragen", argc, argv);
+  reporter.config("dataset_bytes", kDatasetBytes);
+  reporter.config("nodes", std::uint64_t{4});
+
   banner("Figure 10", "TeraGen over 4-node HDFS-style cluster");
 
   Table t({"replicas", "Classic time s", "Tinca time s", "time saved",
@@ -59,10 +64,20 @@ int main() {
                Table::num(classic.disk_per_mb, 1),
                Table::num(tinca.disk_per_mb, 1),
                Table::num((1.0 - tinca.disk_per_mb / classic.disk_per_mb) * 100.0, 1) + "%"});
+    const struct {
+      const char* system;
+      const Cell* cell;
+    } sides[] = {{"Classic", &classic}, {"Tinca", &tinca}};
+    for (const auto& [system, cell] : sides)
+      reporter
+          .add_row(std::string(system) + "/replicas=" + std::to_string(r))
+          .metric("seconds", cell->seconds)
+          .metric("clflush_per_mb", cell->clflush_per_mb)
+          .metric("disk_writes_per_mb", cell->disk_per_mb);
   }
   std::cout << t.render();
   std::cout << "\nPaper reference: Tinca saves 29.0/54.1/59.7% time at 1/2/3"
                " replicas; at 3 replicas, 80.7% fewer clflush and 38.3%"
                " fewer disk writes.\n";
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

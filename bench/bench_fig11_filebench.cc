@@ -6,6 +6,7 @@
 // +20.1 %) and 1.5× (varmail) Classic's throughput.
 #include <iostream>
 
+#include "bench_reporter.h"
 #include "bench_util.h"
 #include "cluster/minidfs.h"
 
@@ -49,7 +50,12 @@ Cell run_cluster(backend::StackKind kind, workloads::FilebenchKind wkind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReporter reporter("fig11_filebench", argc, argv);
+  reporter.config("ops", kOps);
+  reporter.config("streams", std::uint64_t{kStreams});
+  reporter.config("replicas", std::uint64_t{2});
+
   banner("Figure 11", "Filebench over 4-node GlusterFS-style cluster (2 replicas)");
 
   Table t({"workload", "Classic OPs/s", "Tinca OPs/s", "speedup",
@@ -72,9 +78,18 @@ int main() {
                Table::num(tinca.clflush_per_op, 0),
                Table::num(classic.disk_per_op, 2),
                Table::num(tinca.disk_per_op, 2)});
+    const struct {
+      const char* system;
+      const Cell* cell;
+    } sides[] = {{"Classic", &classic}, {"Tinca", &tinca}};
+    for (const auto& [system, cell] : sides)
+      reporter.add_row(std::string(system) + "/" + row.name)
+          .metric("ops_per_sec", cell->ops_per_sec)
+          .metric("clflush_per_op", cell->clflush_per_op)
+          .metric("disk_writes_per_op", cell->disk_per_op);
   }
   std::cout << t.render();
   std::cout << "\nPaper reference: Tinca 1.8x on fileserver, +20.1% on"
                " webproxy, 1.5x on varmail.\n";
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

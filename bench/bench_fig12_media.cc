@@ -10,12 +10,16 @@
 //       cache space on journal blocks.
 #include <iostream>
 
+#include "bench_reporter.h"
 #include "tpcc_des.h"
 
 using namespace tinca;
 using namespace tinca::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReporter reporter("fig12_media", argc, argv);
+  reporter.config("users", std::uint64_t{20});
+
   banner("Figure 12",
          "disk/NVM media sensitivity and write hit rate (TPC-C, 20 users)");
   TpccDesParams params;
@@ -30,6 +34,10 @@ int main() {
         run_tpcc_des(backend::StackKind::kTinca, "pcm", disk, params);
     a.add_row({disk, Table::num(classic.tpm, 0), Table::num(tinca.tpm, 0),
                Table::num(tinca.tpm / classic.tpm, 2) + "x"});
+    reporter.add_row(std::string("disk_media/") + disk)
+        .metric("classic_tpm", classic.tpm)
+        .metric("tinca_tpm", tinca.tpm)
+        .metric("gap", tinca.tpm / classic.tpm);
   }
   std::cout << a.render()
             << "Paper reference: gap widens 1.7x (SSD) -> 2.8x (HDD).\n";
@@ -43,6 +51,10 @@ int main() {
         run_tpcc_des(backend::StackKind::kTinca, nvm, "ssd", params);
     b.add_row({nvm, Table::num(classic.tpm, 0), Table::num(tinca.tpm, 0),
                Table::num(tinca.tpm / classic.tpm, 2) + "x"});
+    reporter.add_row(std::string("nvm_media/") + nvm)
+        .metric("classic_tpm", classic.tpm)
+        .metric("tinca_tpm", tinca.tpm)
+        .metric("gap", tinca.tpm / classic.tpm);
   }
   std::cout << b.render()
             << "Paper reference: gap relaxes 1.7x (PCM) -> 1.6x"
@@ -57,5 +69,9 @@ int main() {
   c.add_row({"Classic", Table::num(classic.write_hit_rate, 1) + "%"});
   c.add_row({"Tinca", Table::num(tinca.write_hit_rate, 1) + "%"});
   std::cout << c.render() << "Paper reference: Classic 80%, Tinca 93%.\n";
-  return 0;
+  reporter.add_row("write_hit_rate/Classic")
+      .metric("write_hit_rate_pct", classic.write_hit_rate);
+  reporter.add_row("write_hit_rate/Tinca")
+      .metric("write_hit_rate_pct", tinca.write_hit_rate);
+  return reporter.finish() ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "backend/tinca_backend.h"
+#include "bench_reporter.h"
 #include "bench_util.h"
 #include "fs/minifs.h"
 #include "workloads/filebench.h"
@@ -52,7 +53,11 @@ Series run_one(workloads::FilebenchKind kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReporter reporter("fig13_txn_blocks", argc, argv);
+  reporter.config("windows", std::uint64_t{10});
+  reporter.config("nfiles", std::uint64_t{768});
+
   banner("Figure 13", "data blocks per committed transaction (Tinca local)");
 
   const Series fileserver = run_one(workloads::FilebenchKind::kFileserver);
@@ -87,5 +92,22 @@ int main() {
   std::cout << "\nPaper reference: fileserver writes ~2x the blocks of"
                " webproxy per transaction; worst-case COW overhead ~0.4% of"
                " an 8 GB cache.\n";
-  return 0;
+
+  const struct {
+    const char* name;
+    const Series* s;
+  } sides[] = {{"fileserver", &fileserver}, {"webproxy", &webproxy}};
+  for (const auto& [name, s] : sides) {
+    auto& row = reporter.add_row(name);
+    row.metric("blocks_per_txn_mean", s->blocks_per_txn.mean())
+        .metric("blocks_per_txn_p99",
+                static_cast<double>(s->blocks_per_txn.quantile(0.99)))
+        .metric("blocks_per_txn_max",
+                static_cast<double>(s->blocks_per_txn.max()))
+        .metric("cache_blocks", static_cast<double>(s->cache_blocks));
+    for (std::size_t w = 0; w < s->window_means.size(); ++w)
+      row.metric("window" + std::to_string(w + 1) + "_mean",
+                 s->window_means[w]);
+  }
+  return reporter.finish() ? 0 : 1;
 }

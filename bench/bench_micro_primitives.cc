@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "backend/stack_builder.h"
+#include "bench_reporter.h"
 #include "blockdev/mem_block_device.h"
 #include "common/bytes.h"
 #include "tinca/cache_entry.h"
@@ -144,4 +145,39 @@ void BM_TincaRecoveryScan(benchmark::State& state) {
 }
 BENCHMARK(BM_TincaRecoveryScan);
 
+// Console reporter that mirrors every run into a BenchReporter row so the
+// microbenchmarks participate in the same --json machinery as the table
+// benches.  Times are per-iteration nanoseconds (the default time unit).
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CollectingReporter(bench::BenchReporter& out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      auto& row = out_.add_row(run.benchmark_name());
+      row.metric("real_ns", run.GetAdjustedRealTime())
+          .metric("cpu_ns", run.GetAdjustedCPUTime())
+          .metric("iterations", static_cast<double>(run.iterations));
+      for (const auto& [name, counter] : run.counters)
+        row.metric(name, counter.value);
+    }
+  }
+
+ private:
+  bench::BenchReporter& out_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // BenchReporter strips --json before google-benchmark sees the argv.
+  tinca::bench::BenchReporter reporter("micro_primitives", argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter console(reporter);
+  benchmark::RunSpecifiedBenchmarks(&console);
+  benchmark::Shutdown();
+  return reporter.finish() ? 0 : 1;
+}

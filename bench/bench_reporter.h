@@ -1,0 +1,162 @@
+// Structured result output shared by every bench binary.
+//
+// Each bench keeps printing its human-readable table, and additionally
+// passes its rows through a BenchReporter.  When the user runs the binary
+// with `--json <path>` (or `--json=<path>`), finish() writes the same rows
+// as a machine-readable document:
+//
+//   {
+//     "schema": "tinca-bench-v1",
+//     "bench":  "fig07_fio",
+//     "config": { "nvm_profile": "pcm", "dataset_blocks": 40960, ... },
+//     "rows":   [ { "label": "Tinca/seq-write",
+//                   "metrics": { "iops_k": 103.2, "clflush_per_op": 3.0 } },
+//                 ... ]
+//   }
+//
+// The schema is deliberately flat — one metrics object per row, numbers
+// only — so `ci.sh` can validate it with a few lines of python and plotting
+// scripts can consume it without bench-specific knowledge.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/expect.h"
+#include "common/histogram.h"
+#include "obs/json.h"
+
+namespace tinca::bench {
+
+/// Collects rows of metric→value pairs and writes the tinca-bench-v1 JSON
+/// document when the command line requested one.
+class BenchReporter {
+ public:
+  /// One result row (a table line): a label plus named numeric metrics.
+  class Row {
+   public:
+    explicit Row(std::string label) : label_(std::move(label)) {}
+
+    /// Add (or overwrite nothing — names should be unique) one metric.
+    Row& metric(const std::string& name, double value) {
+      metrics_.emplace_back(name, value);
+      return *this;
+    }
+
+    /// Add p50/p95/p99 (plus mean and count) summaries of a latency
+    /// histogram as `<prefix>_p50_ns` etc.
+    Row& latency(const std::string& prefix, const Histogram& h) {
+      metric(prefix + "_count", static_cast<double>(h.count()));
+      metric(prefix + "_mean_ns", h.mean());
+      metric(prefix + "_p50_ns", static_cast<double>(h.quantile(0.50)));
+      metric(prefix + "_p95_ns", static_cast<double>(h.quantile(0.95)));
+      metric(prefix + "_p99_ns", static_cast<double>(h.quantile(0.99)));
+      return *this;
+    }
+
+    [[nodiscard]] const std::string& label() const { return label_; }
+    [[nodiscard]] const std::vector<std::pair<std::string, double>>& metrics()
+        const {
+      return metrics_;
+    }
+
+   private:
+    std::string label_;
+    std::vector<std::pair<std::string, double>> metrics_;
+  };
+
+  /// Parse `--json <path>` / `--json=<path>` out of the command line.  The
+  /// consumed arguments are removed from argv (argc is updated) so benches
+  /// that forward the remainder — e.g. to google-benchmark — stay clean.
+  BenchReporter(std::string bench_name, int& argc, char** argv)
+      : bench_(std::move(bench_name)) {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json") {
+        TINCA_EXPECT(i + 1 < argc, "--json requires a path argument");
+        path_ = argv[++i];
+      } else if (arg.rfind("--json=", 0) == 0) {
+        path_ = arg.substr(7);
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+  }
+
+  /// Record one configuration key (shown under "config").
+  void config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, obs::Json::str(value));
+  }
+  void config(const std::string& key, const char* value) {
+    config(key, std::string(value));
+  }
+  void config(const std::string& key, std::uint64_t value) {
+    config_.emplace_back(key, obs::Json::number(value));
+  }
+  void config(const std::string& key, double value) {
+    config_.emplace_back(key, obs::Json::number(value));
+  }
+
+  /// Append a result row; the returned reference stays valid until the next
+  /// add_row (rows are stored in a deque-free vector, so take metrics
+  /// immediately — the idiomatic use is chained calls).
+  Row& add_row(const std::string& label) {
+    rows_.emplace_back(label);
+    return rows_.back();
+  }
+
+  [[nodiscard]] bool json_requested() const { return !path_.empty(); }
+  [[nodiscard]] const std::string& json_path() const { return path_; }
+
+  /// The document, whether or not a path was requested.
+  [[nodiscard]] obs::Json to_json() const {
+    obs::Json doc = obs::Json::object();
+    doc.set("schema", obs::Json::str("tinca-bench-v1"));
+    doc.set("bench", obs::Json::str(bench_));
+    obs::Json cfg = obs::Json::object();
+    for (const auto& [k, v] : config_) cfg.set(k, v);
+    doc.set("config", std::move(cfg));
+    obs::Json rows = obs::Json::array();
+    for (const Row& r : rows_) {
+      obs::Json row = obs::Json::object();
+      row.set("label", obs::Json::str(r.label()));
+      obs::Json metrics = obs::Json::object();
+      for (const auto& [name, value] : r.metrics())
+        metrics.set(name, obs::Json::number(value));
+      row.set("metrics", std::move(metrics));
+      rows.push(std::move(row));
+    }
+    doc.set("rows", std::move(rows));
+    return doc;
+  }
+
+  /// Write the JSON file if one was requested.  Returns false (and prints
+  /// to stderr) on I/O failure; true otherwise.
+  bool finish() const {
+    if (path_.empty()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::cerr << "bench: cannot open " << path_ << " for writing\n";
+      return false;
+    }
+    const std::string text = to_json().dump(2) + "\n";
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    if (ok) std::cout << "[json results written to " << path_ << "]\n";
+    return ok;
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<std::pair<std::string, obs::Json>> config_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace tinca::bench

@@ -19,13 +19,16 @@
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_reporter.h"
 #include "blockdev/mem_block_device.h"
 #include "common/bytes.h"
 #include "common/histogram.h"
 #include "common/table.h"
+#include "obs/trace.h"
 #include "shard/sharded_tinca.h"
 
 namespace tinca::bench {
@@ -40,12 +43,15 @@ constexpr std::uint64_t kKeysPerThread = 512;  // working set > cache? no: hits
 struct RunResult {
   double commits_per_sec = 0.0;
   std::uint64_t p99_ns = 0;
+  Histogram span_commit;     ///< tinca.commit tracer spans, all shards (ns)
+  Histogram span_lock_wait;  ///< shard.lock_wait front-end spans (host ns)
 };
 
 /// One sweep cell: `threads` committing threads over `shards` shards.
 /// Every thread owns a key pool routed entirely to shard (thread % shards).
+/// With a `sink` the measured phase additionally emits a Chrome trace.
 RunResult run_cell(std::uint32_t shards, std::uint32_t threads,
-                   bool cross_shard) {
+                   bool cross_shard, obs::TraceSink* sink = nullptr) {
   sim::SimClock clock;
   nvm::NvmDevice dev(kPerShardNvm * shards, nvdimm_profile(), clock);
   blockdev::MemBlockDevice disk(kDiskBlocks);
@@ -71,6 +77,12 @@ RunResult run_cell(std::uint32_t shards, std::uint32_t threads,
   // Warm the cache so the measured phase is the write-hit commit path.
   for (std::uint32_t t = 0; t < threads; ++t)
     for (std::uint64_t key : pools[t]) st->write_block(key, payload);
+
+  // Span recording covers only the measured phase (enabled after warm-up).
+  if (sink != nullptr)
+    st->attach_trace_sink(sink);
+  else
+    st->enable_tracing();
 
   // Virtual-time origin per shard, after the warm-up's charges.
   std::vector<sim::Ns> start(shards);
@@ -115,15 +127,40 @@ RunResult run_cell(std::uint32_t shards, std::uint32_t threads,
   r.commits_per_sec = static_cast<double>(threads) * kTxnsPerThread /
                       (static_cast<double>(makespan) / sim::kSec);
   r.p99_ns = all.quantile(0.99);
+  // Per-commit latency from the trace spans: every shard cache's
+  // tinca.commit histogram merged, plus the front-end's lock-wait phase.
+  for (std::uint32_t s = 0; s < shards; ++s)
+    if (const Histogram* h = st->shard_cache(s).tracer().histogram("commit"))
+      r.span_commit.merge(*h);
+  if (const Histogram* h = st->tracer().histogram("lock_wait"))
+    r.span_lock_wait = *h;
   return r;
 }
 
 }  // namespace
 }  // namespace tinca::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tinca;
   using namespace tinca::bench;
+
+  BenchReporter reporter("shard_scale", argc, argv);
+  reporter.config("per_shard_nvm_bytes", kPerShardNvm);
+  reporter.config("txns_per_thread", std::uint64_t{kTxnsPerThread});
+  reporter.config("blocks_per_txn", std::uint64_t{kBlocksPerTxn});
+  reporter.config("keys_per_thread", kKeysPerThread);
+  reporter.config("nvm_profile", "nvdimm");
+
+  // `--trace <path>`: run one traced 4×4 cell and write a Chrome
+  // about:tracing file (load it via chrome://tracing or ui.perfetto.dev).
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc)
+      trace_path = argv[++i];
+    else if (arg.rfind("--trace=", 0) == 0)
+      trace_path = arg.substr(8);
+  }
 
   std::cout << "==========================================================\n"
             << "bench_shard_scale — sharded Tinca commit scalability\n"
@@ -146,6 +183,13 @@ int main() {
                     base > 0 ? r.commits_per_sec / base : 0.0);
       table.add_row({std::to_string(shards), std::to_string(threads), tput,
                      p99, speedup});
+      reporter
+          .add_row("affine/shards=" + std::to_string(shards) +
+                   "/threads=" + std::to_string(threads))
+          .metric("commits_per_sec", r.commits_per_sec)
+          .metric("p99_commit_ns", static_cast<double>(r.p99_ns))
+          .latency("commit", r.span_commit)
+          .latency("lock_wait", r.span_lock_wait);
     }
   }
   std::cout << table.render();
@@ -157,7 +201,23 @@ int main() {
     char tput[32];
     std::snprintf(tput, sizeof tput, "%.0f", r.commits_per_sec);
     xtable.add_row({std::to_string(shards), std::to_string(shards), tput});
+    reporter
+        .add_row("cross/shards=" + std::to_string(shards) +
+                 "/threads=" + std::to_string(shards))
+        .metric("commits_per_sec", r.commits_per_sec)
+        .latency("commit", r.span_commit)
+        .latency("lock_wait", r.span_lock_wait);
   }
   std::cout << xtable.render();
-  return 0;
+
+  if (!trace_path.empty()) {
+    obs::TraceSink sink;
+    (void)run_cell(4, 4, /*cross_shard=*/false, &sink);
+    if (sink.write_file(trace_path))
+      std::cout << "\n[chrome trace (" << sink.event_count() << " events, "
+                << "4 shards x 4 threads) written to " << trace_path << "]\n";
+    else
+      std::cerr << "\ncannot write trace file " << trace_path << "\n";
+  }
+  return reporter.finish() ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 
 #include "backend/stack_builder.h"
 #include "common/table.h"
+#include "obs/trace.h"
 
 namespace tinca::bench {
 
@@ -48,7 +49,22 @@ struct MetricSnapshot {
 };
 
 inline MetricSnapshot snapshot(backend::Stack& stack) {
+  // Debug builds cross-check the cache-side write counters against the
+  // device counter at every snapshot point (no-op for Classic/UBJ).
+  stack.assert_write_accounting();
   return {stack.clflush_count(), stack.disk_blocks_written()};
+}
+
+/// The backend's commit-latency span histogram (virtual ns), whatever the
+/// backend calls its commit: Tinca's "commit", Classic's "journal_commit",
+/// UBJ's "freeze".  nullptr when the stack is uninstrumented or tracing was
+/// never enabled (the histogram is then empty but still returned).
+inline const Histogram* commit_histogram(backend::Stack& stack) {
+  const obs::Tracer* t = stack.backend().tracer();
+  if (t == nullptr) return nullptr;
+  for (const char* site : {"commit", "journal_commit", "freeze"})
+    if (const Histogram* h = t->histogram(site)) return h;
+  return nullptr;
 }
 
 /// Per-op deltas between two snapshots.

@@ -20,3 +20,41 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# ---------------------------------------------------------------------------
+# Bench smoke: Release build, run two benches with --json and validate the
+# machine-readable output against the tinca-bench-v1 schema.  Release because
+# the JSON contract must hold in the configuration people actually benchmark,
+# and because it keeps this stage fast.
+BENCH_DIR=${BENCH_DIR:-build-ci-bench}
+JSON_OUT=$(mktemp -d)
+trap 'rm -rf "$JSON_OUT"' EXIT
+
+cmake -B "$BENCH_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BENCH_DIR" -j "$(nproc)" \
+  --target bench_micro_primitives bench_ablation_txn_batch
+
+"$BENCH_DIR/bench/bench_micro_primitives" \
+  --benchmark_filter=BM_CacheEntryCodec --benchmark_min_time=0.05 \
+  --json "$JSON_OUT/micro.json" > /dev/null
+"$BENCH_DIR/bench/bench_ablation_txn_batch" \
+  --json "$JSON_OUT/txn_batch.json" > /dev/null
+
+python3 - "$JSON_OUT/micro.json" "$JSON_OUT/txn_batch.json" <<'EOF'
+import json, numbers, sys
+
+for path in sys.argv[1:]:
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["schema"] == "tinca-bench-v1", f"{path}: bad schema {doc['schema']!r}"
+    assert doc["bench"], f"{path}: empty bench name"
+    assert isinstance(doc["config"], dict), f"{path}: config not an object"
+    assert doc["rows"], f"{path}: no result rows"
+    for row in doc["rows"]:
+        assert row["label"], f"{path}: row without label"
+        assert row["metrics"], f"{path}: row {row['label']!r} has no metrics"
+        for name, value in row["metrics"].items():
+            assert isinstance(value, numbers.Real), \
+                f"{path}: {row['label']}/{name} is not numeric: {value!r}"
+    print(f"{path}: OK ({len(doc['rows'])} rows)")
+EOF

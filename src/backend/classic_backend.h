@@ -71,6 +71,25 @@ class ClassicBackend final : public TxnBackend {
     return stack_->journaling() ? "Classic" : "Classic-nojournal";
   }
 
+  void enable_tracing(bool on = true) override {
+    if (stack_->journal() != nullptr) stack_->journal()->tracer().enable(on);
+  }
+
+  void attach_trace_sink(obs::TraceSink* sink) override {
+    if (stack_->journal() != nullptr) stack_->journal()->tracer().attach_sink(sink);
+  }
+
+  [[nodiscard]] const obs::Tracer* tracer() const override {
+    return stack_->journal() != nullptr ? &stack_->journal()->tracer() : nullptr;
+  }
+
+  void register_metrics(obs::MetricsRegistry& reg,
+                        const std::string& prefix) const override {
+    stack_->cache().register_metrics(reg, prefix + "flashcache.");
+    if (stack_->journal() != nullptr)
+      stack_->journal()->register_metrics(reg, prefix + "journal.");
+  }
+
   /// The underlying stack, for stats and tests.
   [[nodiscard]] classic::ClassicStack& stack() { return *stack_; }
 

@@ -71,6 +71,21 @@ class ShardedBackend final : public TxnBackend {
 
   [[nodiscard]] std::string name() const override { return "ShardedTinca"; }
 
+  void enable_tracing(bool on = true) override { sharded_->enable_tracing(on); }
+
+  void attach_trace_sink(obs::TraceSink* sink) override {
+    sharded_->attach_trace_sink(sink);
+  }
+
+  [[nodiscard]] const obs::Tracer* tracer() const override {
+    return &sharded_->tracer();
+  }
+
+  void register_metrics(obs::MetricsRegistry& reg,
+                        const std::string& prefix) const override {
+    sharded_->register_metrics(reg, prefix + "sharded.");
+  }
+
   /// The underlying sharded cache, for stats, tests and concurrent callers.
   [[nodiscard]] shard::ShardedTinca& sharded() { return *sharded_; }
 

@@ -13,7 +13,9 @@
 #include "backend/ubj_backend.h"
 #include "blockdev/latency_block_device.h"
 #include "blockdev/mem_block_device.h"
+#include "common/expect.h"
 #include "common/latency.h"
+#include "obs/metrics.h"
 
 namespace tinca::backend {
 
@@ -104,6 +106,64 @@ class Stack {
 
   /// Human-readable stack name.
   [[nodiscard]] std::string name() const { return backend_->name(); }
+
+  // --- Observability (src/obs/) --------------------------------------------
+
+  /// Enable per-op span recording on every instrumented layer.
+  void enable_tracing(bool on = true) { backend_->enable_tracing(on); }
+
+  /// Attach a Chrome-trace sink to every tracer in the stack.
+  void attach_trace_sink(obs::TraceSink* sink) {
+    backend_->attach_trace_sink(sink);
+  }
+
+  /// Register the whole stack into `reg`: device counters (nvm.*, disk.*),
+  /// the virtual clock, and every backend layer's metrics.  The registry
+  /// must not outlive this stack.
+  void register_metrics(obs::MetricsRegistry& reg) {
+    reg.add_counter("nvm.stores", &nvm_.stats().stores);
+    reg.add_counter("nvm.bytes_stored", &nvm_.stats().bytes_stored);
+    reg.add_counter("nvm.clflush", &nvm_.stats().clflush);
+    reg.add_counter("nvm.sfence", &nvm_.stats().sfence);
+    reg.add_counter("nvm.lines_loaded", &nvm_.stats().lines_loaded);
+    reg.add_counter("nvm.atomic8", &nvm_.stats().atomic8);
+    reg.add_counter("nvm.atomic16", &nvm_.stats().atomic16);
+    reg.add_counter("disk.blocks_written", &disk_.stats().blocks_written);
+    reg.add_counter("disk.blocks_read", &disk_.stats().blocks_read);
+    reg.add_counter("disk.seeks", &disk_.stats().seeks);
+    reg.add_gauge("sim.now_ns", [this] { return clock_.now(); });
+    backend_->register_metrics(reg, "");
+  }
+
+  /// Debug-build cross-check of the write-path accounting: for the Tinca
+  /// stacks every disk write is either a dirty write-back or a foreground
+  /// write-through write, so the cache counters must exactly explain the
+  /// device counter.  No-op for Classic/UBJ (journal and checkpoint writes
+  /// are additional disk traffic by design) and in release builds.
+  void assert_write_accounting() {
+#ifndef NDEBUG
+    std::uint64_t cache_writes = 0;
+    switch (cfg_.kind) {
+      case StackKind::kTinca: {
+        const core::TincaCacheStats& s =
+            static_cast<TincaBackend&>(*backend_).cache().stats();
+        cache_writes = s.dirty_writebacks + s.writethrough_writes;
+        break;
+      }
+      case StackKind::kShardedTinca: {
+        const core::TincaCacheStats s =
+            static_cast<ShardedBackend&>(*backend_).sharded().aggregated_stats();
+        cache_writes = s.dirty_writebacks + s.writethrough_writes;
+        break;
+      }
+      default:
+        return;
+    }
+    TINCA_ENSURE(cache_writes == disk_blocks_written(),
+                 "write accounting mismatch: cache-side writeback counters "
+                 "disagree with the disk's blocks_written");
+#endif
+  }
 
  private:
   StackConfig cfg_;

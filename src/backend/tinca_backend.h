@@ -66,6 +66,21 @@ class TincaBackend final : public TxnBackend {
 
   [[nodiscard]] std::string name() const override { return "Tinca"; }
 
+  void enable_tracing(bool on = true) override { cache_->tracer().enable(on); }
+
+  void attach_trace_sink(obs::TraceSink* sink) override {
+    cache_->tracer().attach_sink(sink);
+  }
+
+  [[nodiscard]] const obs::Tracer* tracer() const override {
+    return &cache_->tracer();
+  }
+
+  void register_metrics(obs::MetricsRegistry& reg,
+                        const std::string& prefix) const override {
+    cache_->register_metrics(reg, prefix + "tinca.");
+  }
+
   /// The underlying cache, for stats and tests.
   [[nodiscard]] core::TincaCache& cache() { return *cache_; }
 

@@ -11,6 +11,12 @@
 #include <span>
 #include <string>
 
+namespace tinca::obs {
+class MetricsRegistry;
+class TraceSink;
+class Tracer;
+}  // namespace tinca::obs
+
 namespace tinca::backend {
 
 /// Abstract transactional block backend (4 KB blocks).
@@ -46,6 +52,26 @@ class TxnBackend {
 
   /// Human-readable backend name for bench output.
   [[nodiscard]] virtual std::string name() const = 0;
+
+  // --- Observability (src/obs/) --------------------------------------------
+  // Default implementations are no-ops so backends without instrumentation
+  // keep compiling; every shipped backend overrides them.
+
+  /// Turn per-op span recording on/off across the backend's layers.
+  virtual void enable_tracing(bool /*on*/ = true) {}
+
+  /// Attach a Chrome-trace sink to every tracer in the backend (nullptr
+  /// detaches).  Implies enable_tracing(true) when non-null.
+  virtual void attach_trace_sink(obs::TraceSink* /*sink*/) {}
+
+  /// The backend's principal tracer — the one whose commit-latency
+  /// histogram a bench should report.  nullptr when uninstrumented.
+  [[nodiscard]] virtual const obs::Tracer* tracer() const { return nullptr; }
+
+  /// Register every layer's counters, gauges and span histograms into `reg`
+  /// under `prefix`.  The registry must not outlive the backend.
+  virtual void register_metrics(obs::MetricsRegistry& /*reg*/,
+                                const std::string& /*prefix*/) const {}
 };
 
 }  // namespace tinca::backend

@@ -70,6 +70,21 @@ class UbjBackend final : public TxnBackend {
 
   [[nodiscard]] std::string name() const override { return "UBJ"; }
 
+  void enable_tracing(bool on = true) override { store_->tracer().enable(on); }
+
+  void attach_trace_sink(obs::TraceSink* sink) override {
+    store_->tracer().attach_sink(sink);
+  }
+
+  [[nodiscard]] const obs::Tracer* tracer() const override {
+    return &store_->tracer();
+  }
+
+  void register_metrics(obs::MetricsRegistry& reg,
+                        const std::string& prefix) const override {
+    store_->register_metrics(reg, prefix + "ubj.");
+  }
+
   [[nodiscard]] ubj::UbjStore& store() { return *store_; }
 
  private:

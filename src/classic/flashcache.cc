@@ -4,6 +4,7 @@
 
 #include "common/bytes.h"
 #include "common/expect.h"
+#include "obs/metrics.h"
 
 namespace tinca::classic {
 
@@ -266,6 +267,23 @@ void FlashCache::flush_dirty() {
 bool FlashCache::dirty(std::uint64_t disk_blkno) const {
   auto it = index_.find(disk_blkno);
   return it != index_.end() && slots_[it->second].dirty;
+}
+
+void FlashCache::register_metrics(obs::MetricsRegistry& reg,
+                                  const std::string& prefix) const {
+  reg.add_counter(prefix + "write_hits", &stats_.write_hits);
+  reg.add_counter(prefix + "write_misses", &stats_.write_misses);
+  reg.add_counter(prefix + "data_write_hits", &stats_.data_write_hits);
+  reg.add_counter(prefix + "data_write_misses", &stats_.data_write_misses);
+  reg.add_counter(prefix + "read_hits", &stats_.read_hits);
+  reg.add_counter(prefix + "read_misses", &stats_.read_misses);
+  reg.add_counter(prefix + "evictions", &stats_.evictions);
+  reg.add_counter(prefix + "dirty_writebacks", &stats_.dirty_writebacks);
+  reg.add_counter(prefix + "threshold_cleanings", &stats_.threshold_cleanings);
+  reg.add_counter(prefix + "metadata_block_writes",
+                  &stats_.metadata_block_writes);
+  reg.add_gauge(prefix + "capacity_blocks", [this] { return capacity_blocks(); });
+  reg.add_gauge(prefix + "cached_blocks", [this] { return cached_blocks(); });
 }
 
 }  // namespace tinca::classic

@@ -23,11 +23,16 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "blockdev/block_device.h"
 #include "nvm/nvm_device.h"
+
+namespace tinca::obs {
+class MetricsRegistry;
+}  // namespace tinca::obs
 
 namespace tinca::classic {
 
@@ -110,6 +115,10 @@ class FlashCache {
 
   [[nodiscard]] const FlashCacheStats& stats() const { return stats_; }
   [[nodiscard]] nvm::NvmDevice& nvm() { return nvm_; }
+
+  /// Register the cache counters and occupancy gauges under `prefix`.
+  void register_metrics(obs::MetricsRegistry& reg,
+                        const std::string& prefix) const;
 
  private:
   FlashCache(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,

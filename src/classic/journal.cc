@@ -4,6 +4,7 @@
 
 #include "common/bytes.h"
 #include "common/expect.h"
+#include "obs/metrics.h"
 
 namespace tinca::classic {
 
@@ -17,7 +18,12 @@ constexpr std::uint64_t kTagsPerDescriptor = (kBlockSize - 24) / 8;
 }  // namespace
 
 Journal::Journal(FlashCache& cache, JournalConfig cfg)
-    : cache_(cache), cfg_(cfg) {
+    : cache_(cache),
+      cfg_(cfg),
+      trace_(cache.nvm().clock(), /*tid=*/0, "classic."),
+      ts_commit_(trace_.site("journal_commit")),
+      ts_checkpoint_(trace_.site("checkpoint")),
+      ts_replay_(trace_.site("replay")) {
   TINCA_EXPECT(cfg_.length_blocks >= 8, "journal area too small");
 }
 
@@ -63,6 +69,7 @@ void Journal::format_media() {
 
 void Journal::commit(
     const std::vector<std::pair<std::uint64_t, std::vector<std::byte>>>& blocks) {
+  TINCA_TRACE_SPAN(trace_, ts_commit_);
   const std::uint64_t n = blocks.size();
   if (n == 0) {
     ++stats_.txns_committed;
@@ -122,6 +129,7 @@ const std::vector<std::byte>* Journal::pending(std::uint64_t blkno) const {
 }
 
 void Journal::checkpoint_one() {
+  TINCA_TRACE_SPAN(trace_, ts_checkpoint_);
   TINCA_EXPECT(!unchkpt_.empty(), "checkpoint with no outstanding transaction");
   TxnRecord rec = std::move(unchkpt_.front());
   unchkpt_.pop_front();
@@ -162,6 +170,7 @@ void Journal::checkpoint_all() {
 }
 
 void Journal::run_recovery() {
+  TINCA_TRACE_SPAN(trace_, ts_replay_);
   std::vector<std::byte> sb(kBlockSize);
   cache_.read_block(cfg_.base_blkno, sb);
   TINCA_EXPECT(load_le(sb.data(), 8) == kSuperMagic,
@@ -217,6 +226,22 @@ void Journal::run_recovery() {
   tail_seq_ = seq;
   next_seq_ = seq;
   write_superblock();
+}
+
+void Journal::register_metrics(obs::MetricsRegistry& reg,
+                               const std::string& prefix) const {
+  reg.add_counter(prefix + "txns_committed", &stats_.txns_committed);
+  reg.add_counter(prefix + "log_blocks_written", &stats_.log_blocks_written);
+  reg.add_counter(prefix + "descriptor_blocks_written",
+                  &stats_.descriptor_blocks_written);
+  reg.add_counter(prefix + "commit_blocks_written",
+                  &stats_.commit_blocks_written);
+  reg.add_counter(prefix + "checkpoint_writes", &stats_.checkpoint_writes);
+  reg.add_counter(prefix + "superblock_writes", &stats_.superblock_writes);
+  reg.add_counter(prefix + "txns_replayed", &stats_.txns_replayed);
+  reg.add_gauge(prefix + "free_ring_blocks",
+                [this] { return free_ring_blocks(); });
+  trace_.register_into(reg, prefix + "lat.");
 }
 
 }  // namespace tinca::classic

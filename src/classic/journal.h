@@ -18,10 +18,12 @@
 #include <deque>
 #include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "classic/flashcache.h"
+#include "obs/trace.h"
 
 namespace tinca::classic {
 
@@ -78,6 +80,15 @@ class Journal {
   [[nodiscard]] const JournalStats& stats() const { return stats_; }
   [[nodiscard]] const JournalConfig& config() const { return cfg_; }
 
+  /// Trace spans: classic.journal_commit / classic.checkpoint /
+  /// classic.replay (virtual-time; disabled by default).
+  [[nodiscard]] obs::Tracer& tracer() { return trace_; }
+  [[nodiscard]] const obs::Tracer& tracer() const { return trace_; }
+
+  /// Register the journal counters and span histograms under `prefix`.
+  void register_metrics(obs::MetricsRegistry& reg,
+                        const std::string& prefix) const;
+
  private:
   Journal(FlashCache& cache, JournalConfig cfg);
 
@@ -116,6 +127,11 @@ class Journal {
   std::unordered_map<std::uint64_t, Pending> pending_;
 
   JournalStats stats_;
+
+  obs::Tracer trace_;  ///< virtual-time tracer (the cache's NVM clock)
+  obs::Tracer::Site* ts_commit_;
+  obs::Tracer::Site* ts_checkpoint_;
+  obs::Tracer::Site* ts_replay_;
 };
 
 }  // namespace tinca::classic

@@ -31,29 +31,34 @@ class CrashException : public std::exception {
 /// run a workload disarmed to learn the step count, then re-run once per step
 /// with `arm(step)` to crash exactly there.
 ///
-/// The step counter is atomic so that NVM views driven from multiple threads
-/// (the sharded front-end) can share one disarmed injector; arming is only
-/// meaningful for single-threaded sweeps, where step numbering is
-/// deterministic.
+/// Every field is atomic (relaxed) so that NVM views driven from multiple
+/// threads (the sharded front-end) can share one disarmed injector without a
+/// data race — point() reads armed_/fire_at_ on every call, concurrently
+/// with arm()/disarm() from the harness thread.  Arming is only meaningful
+/// for single-threaded sweeps, where step numbering is deterministic;
+/// relaxed ordering is enough because no other data is published through
+/// these flags.
 class CrashInjector {
  public:
   /// Arm the injector: the `step`-th future call to point() (1-based) throws.
   void arm(std::uint64_t step) {
-    armed_ = true;
-    fire_at_ = step;
+    fire_at_.store(step, std::memory_order_relaxed);
     seen_.store(0, std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_relaxed);
   }
 
   /// Disarm; point() only counts.
   void disarm() {
-    armed_ = false;
+    armed_.store(false, std::memory_order_relaxed);
     seen_.store(0, std::memory_order_relaxed);
   }
 
   /// Crash-point marker.  Throws CrashException when the armed step is hit.
   void point() {
     const std::uint64_t n = seen_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (armed_ && n == fire_at_) throw CrashException();
+    if (armed_.load(std::memory_order_relaxed) &&
+        n == fire_at_.load(std::memory_order_relaxed))
+      throw CrashException();
   }
 
   /// Number of points passed since the last arm()/disarm().
@@ -62,11 +67,13 @@ class CrashInjector {
   }
 
   /// Whether armed.
-  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] bool armed() const {
+    return armed_.load(std::memory_order_relaxed);
+  }
 
  private:
-  bool armed_ = false;
-  std::uint64_t fire_at_ = 0;
+  std::atomic<bool> armed_ = false;
+  std::atomic<std::uint64_t> fire_at_ = 0;
   std::atomic<std::uint64_t> seen_ = 0;
 };
 

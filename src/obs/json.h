@@ -1,0 +1,101 @@
+// Minimal JSON document model: build, serialize, parse.
+//
+// The observability layer emits three kinds of machine-readable output —
+// metrics dumps, bench result files and Chrome trace files — and the test
+// suite must parse each of them back to prove well-formedness.  The
+// container deliberately has no JSON dependency, so this is a small
+// self-contained DOM (insertion-ordered objects, doubles for numbers) with
+// a strict recursive-descent parser.  It is *not* a general-purpose JSON
+// library: numbers are IEEE doubles (exact for integers below 2^53, far
+// beyond any counter a bench run produces), and \uXXXX escapes outside the
+// Basic Latin range decode to '?'.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tinca::obs {
+
+/// One JSON value; objects preserve insertion order so dumps are stable.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+
+  static Json object() { return Json(Type::kObject); }
+  static Json array() { return Json(Type::kArray); }
+  static Json str(std::string s) {
+    Json j(Type::kString);
+    j.str_ = std::move(s);
+    return j;
+  }
+  static Json number(double v) {
+    Json j(Type::kNumber);
+    j.num_ = v;
+    return j;
+  }
+  static Json number(std::uint64_t v) { return number(static_cast<double>(v)); }
+  static Json boolean(bool b) {
+    Json j(Type::kBool);
+    j.bool_ = b;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+
+  // --- Building ------------------------------------------------------------
+
+  /// Object: set `key` to `v` (appends; keys are not deduplicated).
+  Json& set(std::string key, Json v);
+
+  /// Array: append an element.
+  Json& push(Json v);
+
+  // --- Access --------------------------------------------------------------
+
+  /// Object member lookup (first match); nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  [[nodiscard]] const std::vector<Json>& items() const { return items_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const {
+    return members_;
+  }
+  [[nodiscard]] double num() const { return num_; }
+  [[nodiscard]] const std::string& str_value() const { return str_; }
+  [[nodiscard]] bool bool_value() const { return bool_; }
+
+  // --- Serialize / parse ---------------------------------------------------
+
+  /// Serialize; `indent` > 0 pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Strict parse of a complete document; nullopt on any syntax error or
+  /// trailing garbage.
+  static std::optional<Json> parse(std::string_view text);
+
+  /// Escape a string for embedding in JSON output (no surrounding quotes).
+  static std::string escape(std::string_view s);
+
+ private:
+  explicit Json(Type t) : type_(t) {}
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;                               ///< array elements
+  std::vector<std::pair<std::string, Json>> members_;     ///< object members
+};
+
+}  // namespace tinca::obs

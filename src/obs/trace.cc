@@ -1,0 +1,158 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace tinca::obs {
+
+// ---------------------------------------------------------------------------
+// TraceSink
+// ---------------------------------------------------------------------------
+
+void TraceSink::add_complete(const std::string& name, int pid, int tid,
+                             std::uint64_t ts_ns, std::uint64_t dur_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{name, pid, tid, ts_ns, dur_ns});
+}
+
+void TraceSink::set_track_name(int pid, int tid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tracks_.emplace_back(std::make_pair(pid, tid), std::move(name));
+}
+
+std::size_t TraceSink::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceSink::to_chrome_json() const {
+  std::vector<Event> events;
+  std::vector<std::pair<std::pair<int, int>, std::string>> tracks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+    tracks = tracks_;
+  }
+  // Chrome sorts tolerantly, but emitting each (pid, tid) track in
+  // timestamp order keeps the file trivially checkable and diff-friendly.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.ts_ns < b.ts_ns;
+                   });
+
+  Json arr = Json::array();
+  // Track metadata first: process names for the two time bases, then any
+  // caller-provided thread-track names.
+  for (int pid : {kVirtualPid, kHostPid}) {
+    Json meta = Json::object();
+    meta.set("name", Json::str("process_name"));
+    meta.set("ph", Json::str("M"));
+    meta.set("pid", Json::number(static_cast<double>(pid)));
+    Json args = Json::object();
+    args.set("name", Json::str(pid == kVirtualPid ? "virtual-time (SimClock)"
+                                                  : "host wall-clock"));
+    meta.set("args", std::move(args));
+    arr.push(std::move(meta));
+  }
+  for (const auto& [track, name] : tracks) {
+    Json meta = Json::object();
+    meta.set("name", Json::str("thread_name"));
+    meta.set("ph", Json::str("M"));
+    meta.set("pid", Json::number(static_cast<double>(track.first)));
+    meta.set("tid", Json::number(static_cast<double>(track.second)));
+    Json args = Json::object();
+    args.set("name", Json::str(name));
+    meta.set("args", std::move(args));
+    arr.push(std::move(meta));
+  }
+  for (const Event& e : events) {
+    Json ev = Json::object();
+    ev.set("name", Json::str(e.name));
+    ev.set("ph", Json::str("X"));
+    ev.set("pid", Json::number(static_cast<double>(e.pid)));
+    ev.set("tid", Json::number(static_cast<double>(e.tid)));
+    // Chrome expects microseconds; keep nanosecond resolution as a fraction.
+    ev.set("ts", Json::number(static_cast<double>(e.ts_ns) / 1000.0));
+    ev.set("dur", Json::number(static_cast<double>(e.dur_ns) / 1000.0));
+    arr.push(std::move(ev));
+  }
+
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(arr));
+  doc.set("displayTimeUnit", Json::str("ns"));
+  return doc.dump(1);
+}
+
+bool TraceSink::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_chrome_json() << '\n';
+  return static_cast<bool>(out);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+Tracer::Site* Tracer::site(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Site& s : sites_)
+    if (s.name == name) return &s;
+  sites_.push_back(Site{std::string(name), Histogram{}});
+  return &sites_.back();
+}
+
+std::uint64_t Tracer::now_ns() const {
+  if (clock_ != nullptr) return clock_->now();
+  // Host base: steady-clock ns since the first sample in this process, so
+  // wall-clock tracks start near zero like the virtual ones.
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - epoch)
+          .count());
+}
+
+int Tracer::event_tid() const {
+  if (clock_ != nullptr) return tid_;
+  // Wall-clock tracers serve many threads: one dense host-thread id each.
+  static std::atomic<int> next_tid{0};
+  thread_local const int tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void Tracer::record(Site& site, std::uint64_t t0_ns, std::uint64_t t1_ns) {
+  const std::uint64_t dur = t1_ns - t0_ns;
+  if (concurrent_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    site.hist.record(dur);
+  } else {
+    site.hist.record(dur);
+  }
+  TraceSink* sink = sink_;
+  if (sink != nullptr)
+    sink->add_complete(event_prefix_ + site.name,
+                       clock_ != nullptr ? kVirtualPid : kHostPid,
+                       event_tid(), t0_ns, dur);
+}
+
+const Histogram* Tracer::histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Site& s : sites_)
+    if (s.name == name) return &s.hist;
+  return nullptr;
+}
+
+void Tracer::register_into(MetricsRegistry& reg,
+                           const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Site& s : sites_) reg.add_histogram(prefix + s.name, &s.hist);
+}
+
+}  // namespace tinca::obs

@@ -1,0 +1,212 @@
+// Scoped per-operation trace spans and Chrome-trace emission.
+//
+// Two consumers share one instrumentation point:
+//
+//   1. **latency histograms** — every named span site owns a Histogram of
+//      span durations, so a bench can report p50/p95/p99 commit latency
+//      without touching the code it measures;
+//   2. **trace events** — when a TraceSink is attached, each finished span
+//      additionally appends a Chrome `about:tracing` complete event
+//      ("ph":"X") with process/thread track ids, so shard interleavings and
+//      lock convoys become visible in a trace viewer.
+//
+// Cost discipline: a disabled tracer (the default) costs exactly one branch
+// per span — the constructor checks `enabled()` and leaves the span inert.
+// An enabled tracer without a sink records one histogram sample; the sink
+// check is a single null test.  Defining TINCA_OBS_DISABLE_TRACING (CMake
+// option TINCA_OBS_TRACING=OFF) compiles TINCA_TRACE_SPAN away entirely.
+//
+// Time bases: each Tracer samples either a SimClock (virtual ns — the right
+// base for per-shard device-level latency, matching every other number the
+// benches report) or the host steady clock (wall ns — the right base for
+// the sharded front-end's lock phases, which virtual clocks cannot see
+// because lock waits charge no device time).  The two bases are kept on
+// separate Chrome *process* tracks (kVirtualPid vs kHostPid) so a viewer
+// never splices them into one timeline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/sim_clock.h"
+
+namespace tinca::obs {
+
+class MetricsRegistry;
+
+/// Chrome process-track id for virtual-time (SimClock) tracers; thread
+/// tracks inside it are shard ids.
+inline constexpr int kVirtualPid = 1;
+/// Chrome process-track id for wall-clock tracers; thread tracks inside it
+/// are host threads (small dense ids, assigned on first use).
+inline constexpr int kHostPid = 2;
+
+/// Thread-safe collector of Chrome trace events.  Attach one sink to any
+/// number of tracers; `to_chrome_json()` emits the standard
+/// {"traceEvents": [...]} document with per-track metadata, events sorted
+/// by (pid, tid, ts) so every track is monotonically timestamped.
+class TraceSink {
+ public:
+  /// Append one complete ("ph":"X") event.  Thread-safe.
+  void add_complete(const std::string& name, int pid, int tid,
+                    std::uint64_t ts_ns, std::uint64_t dur_ns);
+
+  /// Name a (pid, tid) track in the viewer (emitted as metadata events).
+  void set_track_name(int pid, int tid, std::string name);
+
+  /// Events collected so far.
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Serialize to Chrome about:tracing JSON (ts/dur in microseconds).
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Write to a file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    int pid;
+    int tid;
+    std::uint64_t ts_ns;
+    std::uint64_t dur_ns;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::vector<std::pair<std::pair<int, int>, std::string>> tracks_;
+};
+
+/// Per-component span factory: owns the named sites (histogram + name) and
+/// the enable/sink state.  One tracer per instrumented instance; sites are
+/// interned once at construction time so the hot path never hashes a name.
+class Tracer {
+ public:
+  /// A named span site.  `hist` accumulates span durations in the tracer's
+  /// time base (ns).  Stable address for the lifetime of the tracer.
+  struct Site {
+    std::string name;
+    Histogram hist;
+  };
+
+  /// Virtual-time tracer: timestamps read from `clock`, events land on
+  /// thread track `tid` of the kVirtualPid process track.  Single-threaded
+  /// callers only (per-shard state, like the stats structs next to it).
+  /// `event_prefix` is prepended to site names in emitted trace events
+  /// ("tinca." + "commit" → "tinca.commit").
+  explicit Tracer(const sim::SimClock& clock, int tid = 0,
+                  std::string event_prefix = {})
+      : clock_(&clock),
+        tid_(tid),
+        concurrent_(false),
+        event_prefix_(std::move(event_prefix)) {}
+
+  /// Wall-clock tracer for code driven by many threads at once: timestamps
+  /// from the host steady clock, events land on one kHostPid thread track
+  /// per calling thread, histogram updates are mutex-guarded.
+  explicit Tracer(std::string event_prefix = {})
+      : clock_(nullptr),
+        tid_(0),
+        concurrent_(true),
+        event_prefix_(std::move(event_prefix)) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Intern a span site (idempotent per name).  Call at construction time,
+  /// keep the pointer, pass it to TINCA_TRACE_SPAN.
+  Site* site(std::string_view name);
+
+  /// Turn histogram recording on/off.  Off (the default) makes every span
+  /// inert at the cost of one branch.
+  void enable(bool on = true) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Attach a sink (nullptr detaches) and enable recording.
+  void attach_sink(TraceSink* sink) {
+    sink_ = sink;
+    if (sink != nullptr) enable();
+  }
+  [[nodiscard]] TraceSink* sink() const { return sink_; }
+
+  /// Current timestamp in this tracer's time base (ns).
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  /// Record a finished span (called by TraceSpan's destructor).
+  void record(Site& site, std::uint64_t t0_ns, std::uint64_t t1_ns);
+
+  /// Histogram of a site by name; nullptr when never interned.
+  [[nodiscard]] const Histogram* histogram(std::string_view name) const;
+
+  /// Register every site's histogram into `reg` as `<prefix><site name>`.
+  void register_into(MetricsRegistry& reg, const std::string& prefix) const;
+
+  /// Reassign the virtual-time thread track id (used by the sharded
+  /// front-end to give each shard its own track).
+  void set_tid(int tid) { tid_ = tid; }
+  [[nodiscard]] int tid() const { return tid_; }
+
+ private:
+  [[nodiscard]] int event_tid() const;
+
+  const sim::SimClock* clock_;  ///< nullptr → host steady clock
+  int tid_;
+  const bool concurrent_;  ///< guard histogram updates with mu_
+  std::string event_prefix_;
+  std::atomic<bool> enabled_ = false;
+  TraceSink* sink_ = nullptr;
+  std::deque<Site> sites_;  ///< deque: stable Site addresses
+  mutable std::mutex mu_;
+};
+
+/// RAII span: samples the tracer's clock at construction and destruction,
+/// records the duration into the site's histogram, and emits a trace event
+/// when a sink is attached.  Inert (one branch) when the tracer is disabled.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer& tracer, Tracer::Site* site) {
+    if (tracer.enabled()) {
+      tracer_ = &tracer;
+      site_ = site;
+      t0_ns_ = tracer.now_ns();
+    }
+  }
+
+  ~TraceSpan() {
+    if (tracer_ != nullptr) tracer_->record(*site_, t0_ns_, tracer_->now_ns());
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  Tracer::Site* site_ = nullptr;
+  std::uint64_t t0_ns_ = 0;
+};
+
+#define TINCA_OBS_CONCAT_INNER(a, b) a##b
+#define TINCA_OBS_CONCAT(a, b) TINCA_OBS_CONCAT_INNER(a, b)
+
+#if defined(TINCA_OBS_DISABLE_TRACING)
+/// Tracing compiled out: zero code at every span site.
+#define TINCA_TRACE_SPAN(tracer, site) ((void)0)
+#else
+/// Scoped trace span: `TINCA_TRACE_SPAN(trace_, site_commit_);`
+#define TINCA_TRACE_SPAN(tracer, site)                        \
+  ::tinca::obs::TraceSpan TINCA_OBS_CONCAT(tinca_trace_span_, \
+                                           __LINE__)(tracer, site)
+#endif
+
+}  // namespace tinca::obs

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/expect.h"
+#include "obs/metrics.h"
 
 namespace tinca::shard {
 
@@ -41,9 +42,11 @@ ShardedTinca::ShardedTinca(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
     sh->clock = std::make_unique<sim::SimClock>();
     sh->view = std::make_unique<nvm::NvmDevice>(
         nvm, static_cast<std::uint64_t>(s) * part, part, *sh->clock);
+    core::TincaConfig shard_cfg = cfg.shard;
+    shard_cfg.trace_tid = static_cast<int>(s);  // own Chrome track per shard
     sh->cache = do_format
-                    ? core::TincaCache::format(*sh->view, disk_, cfg.shard)
-                    : core::TincaCache::recover(*sh->view, disk_, cfg.shard);
+                    ? core::TincaCache::format(*sh->view, disk_, shard_cfg)
+                    : core::TincaCache::recover(*sh->view, disk_, shard_cfg);
     shards_.push_back(std::move(sh));
   }
 }
@@ -93,23 +96,33 @@ void ShardedTinca::commit(ShardedTxn& txn) {
   // acquisition order and the publication order below, so any two
   // transactions contending on several shards acquire them in the same
   // global total order (no deadlocks).
+  TINCA_TRACE_SPAN(trace_, ts_commit_);
   std::map<std::uint32_t, std::vector<std::uint64_t>> groups;
   for (std::uint64_t blkno : txn.order_)
     groups[shard_of(blkno)].push_back(blkno);
 
   std::vector<std::unique_lock<std::mutex>> locks;
   locks.reserve(groups.size());
-  for (auto& [sid, blocks] : groups) locks.emplace_back(shards_[sid]->mu);
+  {
+    // Lock-wait span: under contention this is where commit time goes, and
+    // it is invisible to the shards' virtual clocks (lock waits charge no
+    // device time) — hence the wall-clock tracer.
+    TINCA_TRACE_SPAN(trace_, ts_lock_wait_);
+    for (auto& [sid, blocks] : groups) locks.emplace_back(shards_[sid]->mu);
+  }
 
   // Per-shard ring phase and per-shard Tail publication, in shard order.
   // Each shard runs the paper's full commit protocol over its portion, so
   // that portion is atomic through that shard's Tail; a crash between two
   // publications leaves earlier shards committed and later ones rolled back
   // — per-shard all-or-nothing (DESIGN.md §7).
-  for (auto& [sid, blocks] : groups) {
-    core::Transaction sub = shards_[sid]->cache->tinca_init_txn();
-    for (std::uint64_t blkno : blocks) sub.add(blkno, txn.blocks_[blkno]);
-    shards_[sid]->cache->tinca_commit(sub);
+  {
+    TINCA_TRACE_SPAN(trace_, ts_publish_);
+    for (auto& [sid, blocks] : groups) {
+      core::Transaction sub = shards_[sid]->cache->tinca_init_txn();
+      for (std::uint64_t blkno : blocks) sub.add(blkno, txn.blocks_[blkno]);
+      shards_[sid]->cache->tinca_commit(sub);
+    }
   }
 
   txn.open_ = false;
@@ -195,6 +208,33 @@ core::TincaCacheStats ShardedTinca::aggregated_stats() const {
     agg.blocks_per_txn.merge(s.blocks_per_txn);
   }
   return agg;
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+void ShardedTinca::enable_tracing(bool on) {
+  trace_.enable(on);
+  for (auto& sh : shards_) sh->cache->tracer().enable(on);
+}
+
+void ShardedTinca::attach_trace_sink(obs::TraceSink* sink) {
+  trace_.attach_sink(sink);
+  for (std::uint32_t s = 0; s < shards_.size(); ++s)
+    shards_[s]->cache->tracer().attach_sink(sink);
+  if (sink != nullptr)
+    for (std::uint32_t s = 0; s < shards_.size(); ++s)
+      sink->set_track_name(obs::kVirtualPid, static_cast<int>(s),
+                           "shard " + std::to_string(s));
+}
+
+void ShardedTinca::register_metrics(obs::MetricsRegistry& reg,
+                                    const std::string& prefix) const {
+  trace_.register_into(reg, prefix + "lat.");
+  for (std::uint32_t s = 0; s < shards_.size(); ++s)
+    shards_[s]->cache->register_metrics(
+        reg, prefix + "shard" + std::to_string(s) + ".");
 }
 
 }  // namespace tinca::shard

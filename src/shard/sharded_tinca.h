@@ -36,10 +36,12 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "blockdev/locked_block_device.h"
+#include "obs/trace.h"
 #include "tinca/tinca_cache.h"
 
 namespace tinca::shard {
@@ -140,6 +142,27 @@ class ShardedTinca {
   /// Only stable while no commits are in flight.
   [[nodiscard]] core::TincaCacheStats aggregated_stats() const;
 
+  // --- Observability (src/obs/) --------------------------------------------
+
+  /// Wall-clock tracer for the cross-shard commit phases: shard.lock_wait
+  /// (mutex acquisition — lock convoys show up here), shard.publish (the
+  /// per-shard sub-commit loop) and shard.commit (the whole call).  Host
+  /// time base, one Chrome track per calling thread.
+  [[nodiscard]] obs::Tracer& tracer() { return trace_; }
+  [[nodiscard]] const obs::Tracer& tracer() const { return trace_; }
+
+  /// Enable span recording on the front-end and every shard cache.
+  void enable_tracing(bool on = true);
+
+  /// Attach one sink to the front-end and all shard caches, and name each
+  /// shard's virtual-time Chrome track ("shard <s>").  nullptr detaches.
+  void attach_trace_sink(obs::TraceSink* sink);
+
+  /// Register the front-end span histograms plus every shard's metrics
+  /// (under "<prefix>shard<i>.") into `reg`.
+  void register_metrics(obs::MetricsRegistry& reg,
+                        const std::string& prefix) const;
+
   /// Direct shard access for tests and benches (callers synchronize).
   [[nodiscard]] core::TincaCache& shard_cache(std::uint32_t s) {
     return *shards_[s]->cache;
@@ -165,6 +188,11 @@ class ShardedTinca {
   blockdev::LockedBlockDevice disk_;
   ShardedConfig cfg_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  obs::Tracer trace_{"shard."};  ///< wall-clock tracer (many threads)
+  obs::Tracer::Site* ts_commit_ = trace_.site("commit");
+  obs::Tracer::Site* ts_lock_wait_ = trace_.site("lock_wait");
+  obs::Tracer::Site* ts_publish_ = trace_.site("publish");
 };
 
 }  // namespace tinca::shard

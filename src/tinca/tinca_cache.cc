@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/expect.h"
+#include "obs/metrics.h"
 
 namespace tinca::core {
 
@@ -34,7 +35,17 @@ TincaCache::TincaCache(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
       mirror_(layout_.num_blocks),
       lru_(static_cast<std::uint32_t>(layout_.num_blocks)),
       free_entries_(static_cast<std::uint32_t>(layout_.num_blocks)),
-      free_blocks_(static_cast<std::uint32_t>(layout_.num_blocks)) {}
+      free_blocks_(static_cast<std::uint32_t>(layout_.num_blocks)),
+      trace_(nvm.clock(), cfg.trace_tid, "tinca."),
+      ts_commit_(trace_.site("commit")),
+      ts_abort_(trace_.site("abort")),
+      ts_cow_(trace_.site("cow_write")),
+      ts_ring_(trace_.site("ring_append")),
+      ts_role_switch_(trace_.site("role_switch")),
+      ts_evict_(trace_.site("evict")),
+      ts_writeback_(trace_.site("writeback")),
+      ts_recovery_(trace_.site("recovery")),
+      ts_read_(trace_.site("read")) {}
 
 std::unique_ptr<TincaCache> TincaCache::format(nvm::NvmDevice& nvm,
                                                blockdev::BlockDevice& disk,
@@ -71,6 +82,7 @@ void TincaCache::format_media() {
 }
 
 void TincaCache::run_recovery() {
+  TINCA_TRACE_SPAN(trace_, ts_recovery_);
   // 1. Validate the format identity.
   TINCA_EXPECT(nvm_.load8(Layout::kMagicOff) == Layout::kMagic,
                "NVM device is not a Tinca cache");
@@ -195,6 +207,7 @@ void TincaCache::write_data_block(std::uint32_t nvm_block,
 // path bumps `writethrough_writes` — conflating the two skewed the Fig 12
 // media accounting.
 void TincaCache::writeback(std::uint32_t slot) {
+  TINCA_TRACE_SPAN(trace_, ts_writeback_);
   const CacheEntry& e = mirror_[slot];
   std::vector<std::byte> buf(kBlockSize);
   nvm_.load(layout_.data_block_off(e.curr_nvm), buf);
@@ -202,6 +215,7 @@ void TincaCache::writeback(std::uint32_t slot) {
 }
 
 void TincaCache::evict_one() {
+  TINCA_TRACE_SPAN(trace_, ts_evict_);
   // LRU with the §4.6 pinning rule: log-role blocks (the committing
   // transaction, including implicitly their previous versions) are skipped.
   std::uint32_t victim = lru_.lru();
@@ -276,6 +290,7 @@ std::uint64_t TincaCache::max_txn_blocks() const {
 Transaction TincaCache::tinca_init_txn() { return Transaction(next_txn_id_++); }
 
 void TincaCache::tinca_abort(Transaction& txn) {
+  TINCA_TRACE_SPAN(trace_, ts_abort_);
   TINCA_EXPECT(txn.open_, "abort of a closed transaction");
   txn.open_ = false;
   txn.blocks_.clear();
@@ -306,43 +321,47 @@ void TincaCache::commit_block(std::uint64_t disk_blkno,
   }
   if (it == index_.end()) ensure_free(1, 1);
 
-  if (it != index_.end()) {
-    // Write hit: COW block write (§4.3).
-    const std::uint32_t slot = it->second;
-    ++stats_.write_hits;
-    ++stats_.cow_writes;
-    const std::uint32_t nb = free_blocks_.take();
-    write_data_block(nb, data);
-    nvm_.injector.point();  // CP: new version durable, entry still old
+  {
+    TINCA_TRACE_SPAN(trace_, ts_cow_);
+    if (it != index_.end()) {
+      // Write hit: COW block write (§4.3).
+      const std::uint32_t slot = it->second;
+      ++stats_.write_hits;
+      ++stats_.cow_writes;
+      const std::uint32_t nb = free_blocks_.take();
+      write_data_block(nb, data);
+      nvm_.injector.point();  // CP: new version durable, entry still old
 
-    CacheEntry e = mirror_[slot];
-    e.prev_nvm = e.curr_nvm;  // keep the old version reachable for rollback
-    e.curr_nvm = nb;
-    e.role = Role::kLog;
-    e.modified = true;
-    write_entry(slot, e);  // 16 B atomic + clflush + sfence
-    nvm_.injector.point();  // CP: entry switched to the new version
-  } else {
-    // Write miss: create a new entry whose previous version is FRESH.
-    ++stats_.write_misses;
-    const std::uint32_t slot = free_entries_.take();
-    const std::uint32_t nb = free_blocks_.take();
-    write_data_block(nb, data);
-    nvm_.injector.point();  // CP: data durable, entry absent
+      CacheEntry e = mirror_[slot];
+      e.prev_nvm = e.curr_nvm;  // keep the old version reachable for rollback
+      e.curr_nvm = nb;
+      e.role = Role::kLog;
+      e.modified = true;
+      write_entry(slot, e);  // 16 B atomic + clflush + sfence
+      nvm_.injector.point();  // CP: entry switched to the new version
+    } else {
+      // Write miss: create a new entry whose previous version is FRESH.
+      ++stats_.write_misses;
+      const std::uint32_t slot = free_entries_.take();
+      const std::uint32_t nb = free_blocks_.take();
+      write_data_block(nb, data);
+      nvm_.injector.point();  // CP: data durable, entry absent
 
-    CacheEntry e;
-    e.valid = true;
-    e.role = Role::kLog;
-    e.modified = true;
-    e.disk_blkno = disk_blkno;
-    e.prev_nvm = CacheEntry::kFresh;
-    e.curr_nvm = nb;
-    write_entry(slot, e);
-    index_.emplace(disk_blkno, slot);
-    lru_.push_mru(slot);  // listed, but pinned by the log role
-    nvm_.injector.point();  // CP: entry created
+      CacheEntry e;
+      e.valid = true;
+      e.role = Role::kLog;
+      e.modified = true;
+      e.disk_blkno = disk_blkno;
+      e.prev_nvm = CacheEntry::kFresh;
+      e.curr_nvm = nb;
+      write_entry(slot, e);
+      index_.emplace(disk_blkno, slot);
+      lru_.push_mru(slot);  // listed, but pinned by the log role
+      nvm_.injector.point();  // CP: entry created
+    }
   }
 
+  TINCA_TRACE_SPAN(trace_, ts_ring_);
   // §4.4 step 2: record the block number at the Head slot.
   ring_.record(disk_blkno);
   nvm_.injector.point();  // CP: recorded, Head not yet moved
@@ -353,6 +372,7 @@ void TincaCache::commit_block(std::uint64_t disk_blkno,
 }
 
 void TincaCache::role_switch_all(const std::vector<std::uint64_t>& blocks) {
+  TINCA_TRACE_SPAN(trace_, ts_role_switch_);
   for (std::uint64_t blkno : blocks) {
     auto it = index_.find(blkno);
     TINCA_ENSURE(it != index_.end(), "committed block vanished before switch");
@@ -373,6 +393,7 @@ void TincaCache::role_switch_all(const std::vector<std::uint64_t>& blocks) {
 }
 
 void TincaCache::tinca_commit(Transaction& txn) {
+  TINCA_TRACE_SPAN(trace_, ts_commit_);
   TINCA_EXPECT(txn.open_, "commit of a closed transaction");
   const std::size_t n = txn.order_.size();
   if (n == 0) {
@@ -425,6 +446,7 @@ void TincaCache::tinca_commit(Transaction& txn) {
 // ---------------------------------------------------------------------------
 
 void TincaCache::read_block(std::uint64_t disk_blkno, std::span<std::byte> dst) {
+  TINCA_TRACE_SPAN(trace_, ts_read_);
   TINCA_EXPECT(dst.size() == kBlockSize, "reads are whole 4 KB blocks");
   nvm_.clock().advance(cfg_.cpu_op_ns);
   auto it = index_.find(disk_blkno);
@@ -526,6 +548,35 @@ CacheEntry TincaCache::entry_for(std::uint64_t disk_blkno) const {
   auto it = index_.find(disk_blkno);
   TINCA_EXPECT(it != index_.end(), "entry_for on an uncached block");
   return mirror_[it->second];
+}
+
+void TincaCache::register_metrics(obs::MetricsRegistry& reg,
+                                  const std::string& prefix) const {
+  reg.add_counter(prefix + "txns_committed", &stats_.txns_committed);
+  reg.add_counter(prefix + "txns_aborted", &stats_.txns_aborted);
+  reg.add_counter(prefix + "blocks_committed", &stats_.blocks_committed);
+  reg.add_counter(prefix + "write_hits", &stats_.write_hits);
+  reg.add_counter(prefix + "write_misses", &stats_.write_misses);
+  reg.add_counter(prefix + "read_hits", &stats_.read_hits);
+  reg.add_counter(prefix + "read_misses", &stats_.read_misses);
+  reg.add_counter(prefix + "evictions", &stats_.evictions);
+  reg.add_counter(prefix + "dirty_writebacks", &stats_.dirty_writebacks);
+  reg.add_counter(prefix + "writethrough_writes", &stats_.writethrough_writes);
+  reg.add_counter(prefix + "role_switches", &stats_.role_switches);
+  reg.add_counter(prefix + "cow_writes", &stats_.cow_writes);
+  reg.add_counter(prefix + "background_cleanings",
+                  &stats_.background_cleanings);
+  reg.add_counter(prefix + "revoked_blocks", &stats_.revoked_blocks);
+  reg.add_counter(prefix + "dropped_clean_entries",
+                  &stats_.dropped_clean_entries);
+  reg.add_counter(prefix + "recovered_entries", &stats_.recovered_entries);
+  reg.add_histogram(prefix + "blocks_per_txn", &stats_.blocks_per_txn);
+  reg.add_gauge(prefix + "capacity_blocks",
+                [this] { return capacity_blocks(); });
+  reg.add_gauge(prefix + "cached_blocks", [this] { return cached_blocks(); });
+  reg.add_gauge(prefix + "dirty_blocks", [this] { return dirty_blocks(); });
+  reg.add_gauge(prefix + "free_blocks", [this] { return free_blocks(); });
+  trace_.register_into(reg, prefix + "lat.");
 }
 
 }  // namespace tinca::core

@@ -33,12 +33,14 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "blockdev/block_device.h"
 #include "common/histogram.h"
 #include "nvm/nvm_device.h"
+#include "obs/trace.h"
 #include "tinca/cache_entry.h"
 #include "tinca/layout.h"
 #include "tinca/ring_buffer.h"
@@ -65,6 +67,9 @@ struct TincaConfig {
   std::uint32_t clean_thresh_pct = 100;
   /// Modelled software overhead per cache operation (lookup, bookkeeping).
   std::uint64_t cpu_op_ns = 150;
+  /// Chrome-trace thread-track id for this instance's trace spans (the
+  /// sharded front-end assigns each shard its own track).
+  int trace_tid = 0;
 };
 
 /// Runtime counters; everything the benches need to reproduce the paper's
@@ -195,6 +200,21 @@ class TincaCache {
   [[nodiscard]] nvm::NvmDevice& nvm() { return nvm_; }
   [[nodiscard]] blockdev::BlockDevice& disk() { return disk_; }
 
+  // --- Observability (src/obs/) --------------------------------------------
+
+  /// Per-op trace spans: tinca.commit / tinca.cow_write / tinca.ring_append /
+  /// tinca.role_switch / tinca.evict / tinca.writeback / tinca.recovery /
+  /// tinca.read / tinca.abort.  Disabled by default (one branch per span);
+  /// enable() for latency histograms, attach_sink() for Chrome traces.
+  [[nodiscard]] obs::Tracer& tracer() { return trace_; }
+  [[nodiscard]] const obs::Tracer& tracer() const { return trace_; }
+
+  /// Register every stats counter, the capacity/occupancy gauges and the
+  /// span histograms into `reg` under `prefix` (e.g. "tinca.").  The
+  /// registry must not outlive this cache.
+  void register_metrics(obs::MetricsRegistry& reg,
+                        const std::string& prefix) const;
+
  private:
   TincaCache(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk, TincaConfig cfg);
 
@@ -239,6 +259,17 @@ class TincaCache {
   std::uint64_t next_txn_id_ = 1;
   std::uint64_t dirty_count_ = 0;  ///< valid+modified entries (incremental)
   TincaCacheStats stats_;
+
+  obs::Tracer trace_;  ///< virtual-time tracer (nvm_'s clock)
+  obs::Tracer::Site* ts_commit_;
+  obs::Tracer::Site* ts_abort_;
+  obs::Tracer::Site* ts_cow_;
+  obs::Tracer::Site* ts_ring_;
+  obs::Tracer::Site* ts_role_switch_;
+  obs::Tracer::Site* ts_evict_;
+  obs::Tracer::Site* ts_writeback_;
+  obs::Tracer::Site* ts_recovery_;
+  obs::Tracer::Site* ts_read_;
 };
 
 }  // namespace tinca::core

@@ -5,6 +5,7 @@
 
 #include "common/bytes.h"
 #include "common/expect.h"
+#include "obs/metrics.h"
 
 namespace tinca::ubj {
 
@@ -26,7 +27,11 @@ UbjStore::UbjStore(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
       disk_(disk),
       cfg_(cfg),
       lru_(0),
-      free_(0) {
+      free_(0),
+      trace_(nvm.clock(), /*tid=*/0, "ubj."),
+      ts_freeze_(trace_.site("freeze")),
+      ts_checkpoint_(trace_.site("checkpoint")),
+      ts_recovery_(trace_.site("recovery")) {
   // Geometry: superblock | 16 B entry per block | 4 KB data per block.
   const std::uint64_t usable = nvm_.size() - kSuperBytes;
   num_blocks_ = usable / (kBlockSize + 16);
@@ -129,6 +134,7 @@ std::uint32_t UbjStore::allocate_slot() {
 }
 
 void UbjStore::checkpoint_batch() {
+  TINCA_TRACE_SPAN(trace_, ts_checkpoint_);
   TINCA_EXPECT(!unchkpt_.empty(), "checkpoint with nothing outstanding");
   std::vector<std::byte> buf(kBlockSize);
   for (std::uint32_t i = 0;
@@ -170,6 +176,7 @@ void UbjStore::checkpoint_all() {
 
 void UbjStore::commit_txn(
     const std::vector<std::pair<std::uint64_t, std::vector<std::byte>>>& blocks) {
+  TINCA_TRACE_SPAN(trace_, ts_freeze_);
   if (blocks.empty()) {
     ++stats_.txns_committed;
     return;
@@ -273,6 +280,7 @@ bool UbjStore::cached(std::uint64_t disk_blkno) const {
 }
 
 void UbjStore::run_recovery() {
+  TINCA_TRACE_SPAN(trace_, ts_recovery_);
   TINCA_EXPECT(nvm_.load8(kMagicOff) == kMagic, "not a UBJ device");
   TINCA_EXPECT(nvm_.load8(kNumBlocksOff) == num_blocks_,
                "UBJ geometry changed since format");
@@ -318,6 +326,29 @@ void UbjStore::run_recovery() {
     unchkpt_.push_back(std::move(rec));
   }
   next_seq_ = committed_seq_ + 1;
+}
+
+void UbjStore::register_metrics(obs::MetricsRegistry& reg,
+                                const std::string& prefix) const {
+  reg.add_counter(prefix + "txns_committed", &stats_.txns_committed);
+  reg.add_counter(prefix + "blocks_committed", &stats_.blocks_committed);
+  reg.add_counter(prefix + "frozen_cow_copies", &stats_.frozen_cow_copies);
+  reg.add_counter(prefix + "checkpointed_txns", &stats_.checkpointed_txns);
+  reg.add_counter(prefix + "checkpoint_writes", &stats_.checkpoint_writes);
+  reg.add_counter(prefix + "stale_checkpoint_writes",
+                  &stats_.stale_checkpoint_writes);
+  reg.add_counter(prefix + "write_hits", &stats_.write_hits);
+  reg.add_counter(prefix + "write_misses", &stats_.write_misses);
+  reg.add_counter(prefix + "read_hits", &stats_.read_hits);
+  reg.add_counter(prefix + "read_misses", &stats_.read_misses);
+  reg.add_counter(prefix + "evictions", &stats_.evictions);
+  reg.add_counter(prefix + "recovered_entries", &stats_.recovered_entries);
+  reg.add_counter(prefix + "discarded_uncommitted",
+                  &stats_.discarded_uncommitted);
+  reg.add_histogram(prefix + "blocks_per_txn", &stats_.blocks_per_txn);
+  reg.add_gauge(prefix + "capacity_blocks", [this] { return capacity_blocks(); });
+  reg.add_gauge(prefix + "frozen_blocks", [this] { return frozen_blocks(); });
+  trace_.register_into(reg, prefix + "lat.");
 }
 
 }  // namespace tinca::ubj

@@ -26,12 +26,14 @@
 #include <deque>
 #include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "blockdev/block_device.h"
 #include "common/histogram.h"
 #include "nvm/nvm_device.h"
+#include "obs/trace.h"
 #include "tinca/slot_lru.h"
 
 namespace tinca::ubj {
@@ -91,6 +93,15 @@ class UbjStore {
   [[nodiscard]] std::uint64_t frozen_blocks() const { return frozen_count_; }
   [[nodiscard]] const UbjStats& stats() const { return stats_; }
 
+  /// Trace spans: ubj.freeze (commit-in-place) / ubj.checkpoint /
+  /// ubj.recovery (virtual-time; disabled by default).
+  [[nodiscard]] obs::Tracer& tracer() { return trace_; }
+  [[nodiscard]] const obs::Tracer& tracer() const { return trace_; }
+
+  /// Register the UBJ counters, gauges and span histograms under `prefix`.
+  void register_metrics(obs::MetricsRegistry& reg,
+                        const std::string& prefix) const;
+
  private:
   UbjStore(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk, UbjConfig cfg);
 
@@ -135,6 +146,11 @@ class UbjStore {
   std::deque<TxnRecord> unchkpt_;
 
   UbjStats stats_;
+
+  obs::Tracer trace_;  ///< virtual-time tracer (nvm_'s clock)
+  obs::Tracer::Site* ts_freeze_;
+  obs::Tracer::Site* ts_checkpoint_;
+  obs::Tracer::Site* ts_recovery_;
 };
 
 }  // namespace tinca::ubj
