@@ -32,7 +32,7 @@ trap 'rm -rf "$JSON_OUT"' EXIT
 
 cmake -B "$BENCH_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BENCH_DIR" -j "$(nproc)" \
-  --target bench_micro_primitives bench_ablation_txn_batch
+  --target bench_micro_primitives bench_ablation_txn_batch bench_fault_sweep
 
 "$BENCH_DIR/bench/bench_micro_primitives" \
   --benchmark_filter=BM_CacheEntryCodec --benchmark_min_time=0.05 \
@@ -40,7 +40,14 @@ cmake --build "$BENCH_DIR" -j "$(nproc)" \
 "$BENCH_DIR/bench/bench_ablation_txn_batch" \
   --json "$JSON_OUT/txn_batch.json" > /dev/null
 
-python3 - "$JSON_OUT/micro.json" "$JSON_OUT/txn_batch.json" <<'EOF'
+# Fault-fuzz smoke (DESIGN.md §9): 1000 randomized fault schedules per stack
+# at a fixed seed.  The binary exits nonzero on any recovery-invariant
+# violation, so this line is the gate.
+"$BENCH_DIR/bench/bench_fault_sweep" --schedules 1000 --seed 1 \
+  --json "$JSON_OUT/fault_sweep.json" > /dev/null
+
+python3 - "$JSON_OUT/micro.json" "$JSON_OUT/txn_batch.json" \
+  "$JSON_OUT/fault_sweep.json" <<'EOF'
 import json, numbers, sys
 
 for path in sys.argv[1:]:
@@ -57,4 +64,17 @@ for path in sys.argv[1:]:
             assert isinstance(value, numbers.Real), \
                 f"{path}: {row['label']}/{name} is not numeric: {value!r}"
     print(f"{path}: OK ({len(doc['rows'])} rows)")
+
+# Fault-sweep specifics: all four stacks present, full schedule count, and
+# zero recovery-invariant violations.
+with open(sys.argv[3]) as f:
+    sweep = json.load(f)
+labels = {row["label"] for row in sweep["rows"]}
+assert labels == {"Tinca", "Classic", "UBJ", "Sharded"}, f"stacks ran: {labels}"
+for row in sweep["rows"]:
+    m = row["metrics"]
+    assert m["schedules"] >= 1000, f"{row['label']}: only {m['schedules']} schedules"
+    assert m["violations"] == 0, f"{row['label']}: {m['violations']} violations"
+    assert m["crashes"] > 0, f"{row['label']}: campaign never crashed"
+print(f"fault sweep: OK ({len(sweep['rows'])} stacks, 0 violations)")
 EOF

@@ -1,0 +1,440 @@
+// Randomized fault-fuzz harness shared by tests/fault_fuzz_test.cc and
+// bench/bench_fault_sweep.cc.
+//
+// Each *schedule* builds a fresh stack (SimClock → NvmDevice → MemBlockDevice
+// ← FaultyBlockDevice), formats the backend under test, runs a random
+// transactional workload while the disk injects transient errors, bad
+// sectors and torn writes, and optionally arms a deterministic power-cut
+// point (CrashInjector) or torn-write point.  After a crash the NVM loses a
+// random fraction of unflushed lines, the backend recovers, and the
+// recovered state is checked against the DESIGN.md §6 invariant: it must
+// equal the committed history, or committed history + the one transaction
+// that was mid-commit (atomicity: nothing in between, nothing lost).
+//
+// Everything is derived from FuzzOptions::seed, so any failure reproduces
+// from the seed alone — harness users print it on failure.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "backend/stack_builder.h"
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "tinca/verify.h"
+
+namespace tinca::backend {
+
+/// Parameters of one fuzz campaign (one backend kind, many schedules).
+struct FuzzOptions {
+  StackKind kind = StackKind::kTinca;
+  std::uint64_t seed = 1;
+  std::uint32_t schedules = 200;
+  /// Transactions attempted per schedule (a crash may cut a schedule short).
+  std::uint32_t txns_per_schedule = 12;
+  /// Blocks per transaction: 1..min(this, backend max_txn_blocks()).
+  std::uint32_t max_blocks_per_txn = 6;
+  /// Data-block universe [0, data_blocks) — deliberately larger than the
+  /// small NVM cache so evictions and write-backs run under fault pressure.
+  std::uint64_t data_blocks = 320;
+  /// Probability a schedule arms a deterministic crash (power cut or torn
+  /// write); random torn writes can still crash unarmed schedules.
+  double crash_prob = 0.6;
+  /// Disk fault rates (per operation).
+  double transient_read_rate = 0.01;
+  double transient_write_rate = 0.02;
+  double bad_sector_rate = 0.002;
+  double torn_write_rate = 0.001;
+  /// 0 = pick a per-kind default small enough to force evictions.
+  std::uint64_t nvm_bytes = 0;
+  std::uint64_t disk_blocks = 1ull << 12;
+  std::uint64_t ring_bytes = 64 * 1024;    ///< Tinca ring (per shard)
+  std::uint64_t journal_blocks = 512;      ///< Classic journal reservation
+  std::uint32_t shards = 2;                ///< kShardedTinca only
+  blockdev::RetryPolicy retry{};
+};
+
+/// Campaign outcome.  `violations` is the only failure signal; everything
+/// else is telemetry (how hard the campaign actually exercised the stack).
+struct FuzzReport {
+  std::uint64_t schedules = 0;
+  std::uint64_t crashes = 0;          ///< schedules ended by CrashException
+  std::uint64_t clean_remounts = 0;   ///< crash-free recover() round trips
+  std::uint64_t io_errors = 0;        ///< unrecoverable-read IoError throws
+  std::uint64_t wedges = 0;           ///< documented capacity wedges hit
+  std::uint64_t violations = 0;       ///< invariant violations (must be 0)
+  std::vector<std::string> violation_messages;  ///< first few, with seeds
+  std::uint64_t io_retries = 0;
+  std::uint64_t io_quarantined = 0;
+  std::uint64_t io_degraded_writes = 0;
+  blockdev::FaultStats faults;        ///< summed over all schedules
+};
+
+namespace detail {
+
+inline std::uint64_t fuzz_mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a + 0x9E3779B97F4A7C15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Per-kind NVM size: small enough that `data_blocks` overcommits the cache
+/// (evictions + threshold cleaning run under faults), big enough for a
+/// valid layout (FlashCache needs one full 256-slot set + metadata).
+inline std::uint64_t fuzz_nvm_bytes(const FuzzOptions& o) {
+  if (o.nvm_bytes != 0) return o.nvm_bytes;
+  switch (o.kind) {
+    case StackKind::kClassic:
+    case StackKind::kClassicNoJournal:
+      return 3ull << 19;  // 1.5 MB → one 256-slot set
+    case StackKind::kShardedTinca:
+      return (1ull << 19) * 2;  // two 512 KB shards
+    default:
+      return 1ull << 19;  // 512 KB → ~100 Tinca/UBJ blocks
+  }
+}
+
+inline std::unique_ptr<TxnBackend> fuzz_build(const FuzzOptions& o,
+                                              nvm::NvmDevice& nvm,
+                                              blockdev::BlockDevice& disk,
+                                              bool recover) {
+  switch (o.kind) {
+    case StackKind::kTinca: {
+      core::TincaConfig c;
+      c.ring_bytes = o.ring_bytes;
+      c.io = o.retry;
+      return recover ? TincaBackend::recover(nvm, disk, c)
+                     : TincaBackend::format(nvm, disk, c);
+    }
+    case StackKind::kClassic:
+    case StackKind::kClassicNoJournal: {
+      classic::ClassicConfig c;
+      c.journaling = o.kind == StackKind::kClassic;
+      c.journal_blocks = o.journal_blocks;
+      c.cache.io = o.retry;
+      return recover ? ClassicBackend::recover(nvm, disk, c)
+                     : ClassicBackend::format(nvm, disk, c);
+    }
+    case StackKind::kUbj: {
+      ubj::UbjConfig c;
+      c.io = o.retry;
+      return recover ? UbjBackend::recover(nvm, disk, c)
+                     : UbjBackend::format(nvm, disk, c);
+    }
+    case StackKind::kShardedTinca: {
+      shard::ShardedConfig s;
+      s.num_shards = o.shards;
+      s.shard.ring_bytes = o.ring_bytes;
+      s.shard.io = o.retry;
+      return recover ? ShardedBackend::recover(nvm, disk, s)
+                     : ShardedBackend::format(nvm, disk, s);
+    }
+  }
+  TINCA_ENSURE(false, "unknown StackKind");
+  return nullptr;
+}
+
+/// Fold the backend's retry/quarantine/degradation counters into `rep`.
+inline void fuzz_collect(const FuzzOptions& o, TxnBackend& be,
+                         FuzzReport& rep) {
+  const auto add = [&rep](std::uint64_t retries, std::uint64_t quarantined,
+                          std::uint64_t degraded) {
+    rep.io_retries += retries;
+    rep.io_quarantined += quarantined;
+    rep.io_degraded_writes += degraded;
+  };
+  switch (o.kind) {
+    case StackKind::kTinca: {
+      const core::TincaCacheStats& s =
+          static_cast<TincaBackend&>(be).cache().stats();
+      add(s.io_retries, s.io_quarantined, s.io_degraded_writes);
+      break;
+    }
+    case StackKind::kClassic:
+    case StackKind::kClassicNoJournal: {
+      const classic::FlashCacheStats& s =
+          static_cast<ClassicBackend&>(be).stack().cache().stats();
+      add(s.io_retries, s.io_quarantined, s.io_degraded_writes);
+      break;
+    }
+    case StackKind::kUbj: {
+      const ubj::UbjStats& s = static_cast<UbjBackend&>(be).store().stats();
+      add(s.io_retries, s.io_quarantined, s.io_degraded_writes);
+      break;
+    }
+    case StackKind::kShardedTinca: {
+      const core::TincaCacheStats s =
+          static_cast<ShardedBackend&>(be).sharded().aggregated_stats();
+      add(s.io_retries, s.io_quarantined, s.io_degraded_writes);
+      break;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Run the campaign.  Never throws for injected faults — every anomaly is
+/// classified into the report; only harness misuse (bad options) throws.
+inline FuzzReport run_fault_fuzz(const FuzzOptions& opts) {
+  using detail::fuzz_mix;
+  FuzzReport rep;
+  std::vector<std::byte> buf(blockdev::kBlockSize);
+  fill_pattern(buf, 0);
+  std::fill(buf.begin(), buf.end(), std::byte{0});
+  const std::uint64_t zero_fp = fingerprint(buf);
+
+  const auto fp_of = [&buf](std::uint64_t value) {
+    fill_pattern(buf, value);
+    return fingerprint(buf);
+  };
+
+  const auto record_violation = [&rep](std::uint32_t sched,
+                                       std::uint64_t sseed,
+                                       const std::string& what) {
+    ++rep.violations;
+    if (rep.violation_messages.size() < 16) {
+      rep.violation_messages.push_back(
+          "schedule " + std::to_string(sched) + " (seed " +
+          std::to_string(sseed) + "): " + what);
+    }
+  };
+
+  for (std::uint32_t sched = 0; sched < opts.schedules; ++sched) {
+    ++rep.schedules;
+    const std::uint64_t sseed = fuzz_mix(opts.seed, sched);
+    Rng rng(sseed);
+
+    sim::SimClock clock;
+    nvm::NvmDevice nvm(detail::fuzz_nvm_bytes(opts), nvdimm_profile(), clock);
+    blockdev::MemBlockDevice mem(opts.disk_blocks);
+    blockdev::FaultConfig fcfg;
+    fcfg.seed = fuzz_mix(sseed, 0xFA01);
+    fcfg.transient_read_rate = opts.transient_read_rate;
+    fcfg.transient_write_rate = opts.transient_write_rate;
+    fcfg.bad_sector_rate = opts.bad_sector_rate;
+    fcfg.torn_write_rate = opts.torn_write_rate;
+    blockdev::FaultyBlockDevice disk(mem, fcfg, &clock, &nvm.injector);
+
+    std::unique_ptr<TxnBackend> be = detail::fuzz_build(opts, nvm, disk, false);
+    TINCA_EXPECT(opts.data_blocks <= be->data_block_limit(),
+                 "fuzz universe exceeds the backend's data block limit");
+    const std::uint64_t max_blocks = std::max<std::uint64_t>(
+        1, std::min<std::uint64_t>(opts.max_blocks_per_txn,
+                                   be->max_txn_blocks()));
+
+    // Arm at most one deterministic crash; half the armed schedules cut
+    // power at an NVM persistence point, the rest tear a disk write.
+    if (rng.chance(opts.crash_prob)) {
+      if (rng.chance(0.5)) {
+        nvm.injector.arm(1 + rng.below(300));
+      } else {
+        nvm.injector.arm_torn(1 + rng.below(40));
+      }
+    }
+
+    // --- Workload ----------------------------------------------------------
+    std::map<std::uint64_t, std::uint64_t> committed;  // blkno → pattern seed
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> txn;  // in flight
+    std::set<std::uint64_t> touched;
+    std::uint64_t pat = 0;
+    bool crashed = false;
+    bool wedged = false;
+
+    try {
+      for (std::uint32_t t = 0; t < opts.txns_per_schedule; ++t) {
+        // Occasionally re-read a committed block mid-run: committed data
+        // must be visible long before any crash.
+        if (!committed.empty() && rng.chance(0.3)) {
+          auto it = committed.begin();
+          std::advance(it, static_cast<long>(rng.below(committed.size())));
+          be->read_block(it->first, buf);
+          const std::uint64_t got_fp = fingerprint(buf);
+          if (got_fp != fp_of(it->second)) {
+            record_violation(sched, sseed,
+                             "live read of committed block " +
+                                 std::to_string(it->first) +
+                                 " returned wrong contents");
+            break;
+          }
+        }
+
+        txn.clear();
+        const std::uint64_t nblocks = 1 + rng.below(max_blocks);
+        while (txn.size() < nblocks) {
+          const std::uint64_t blkno = rng.below(opts.data_blocks);
+          bool dup = false;
+          for (const auto& [b, v] : txn) dup |= b == blkno;
+          if (dup) continue;
+          txn.emplace_back(blkno, (sseed << 16) + ++pat);
+        }
+        be->begin();
+        for (const auto& [blkno, value] : txn) {
+          fill_pattern(buf, value);
+          be->stage(blkno, buf);
+          touched.insert(blkno);
+        }
+        be->commit();
+        for (const auto& [blkno, value] : txn) committed[blkno] = value;
+        txn.clear();
+        if (rng.chance(0.1)) be->flush();
+      }
+    } catch (const nvm::CrashException&) {
+      crashed = true;
+    } catch (const blockdev::IoError&) {
+      ++rep.io_errors;  // unrecoverable read; state stays consistent
+    } catch (const ContractViolation& e) {
+      if (std::string(e.what()).find("wedged") != std::string::npos) {
+        ++rep.wedges;  // documented capacity degradation, not a bug
+        wedged = true;
+      } else {
+        record_violation(sched, sseed, e.what());
+      }
+    }
+
+    // Stop injecting *new* faults; already-bad sectors keep failing.
+    nvm.injector.disarm();
+    nvm.injector.disarm_torn();
+    disk.quiesce();
+    detail::fuzz_collect(opts, *be, rep);
+
+    if (wedged) {
+      // A wedge aborts mid-operation by design; the interrupted operation's
+      // partial state is reconciled by recovery, which the crash schedules
+      // already cover.  Nothing further to verify here.
+      const blockdev::FaultStats& f = disk.fault_stats();
+      rep.faults.transient_read_errors += f.transient_read_errors;
+      rep.faults.transient_write_errors += f.transient_write_errors;
+      rep.faults.bad_sectors += f.bad_sectors;
+      rep.faults.bad_sector_errors += f.bad_sector_errors;
+      rep.faults.torn_writes += f.torn_writes;
+      rep.faults.latency_spikes += f.latency_spikes;
+      continue;
+    }
+
+    // --- Crash + recovery --------------------------------------------------
+    if (crashed) {
+      ++rep.crashes;
+      static constexpr double kSurvive[] = {0.0, 0.3, 0.7, 1.0};
+      nvm.crash(rng, kSurvive[rng.below(4)]);
+      be.reset();
+      try {
+        be = detail::fuzz_build(opts, nvm, disk, true);
+      } catch (const std::exception& e) {
+        record_violation(sched, sseed,
+                         std::string("recovery failed: ") + e.what());
+        continue;
+      }
+    } else if (rng.chance(0.5)) {
+      // Crash-free round trip: a clean remount must preserve everything.
+      ++rep.clean_remounts;
+      be.reset();
+      try {
+        be = detail::fuzz_build(opts, nvm, disk, true);
+      } catch (const std::exception& e) {
+        record_violation(sched, sseed,
+                         std::string("clean remount failed: ") + e.what());
+        continue;
+      }
+      txn.clear();  // nothing was in flight
+    } else {
+      txn.clear();  // verify the live instance; nothing in flight
+    }
+
+    // --- Verification ------------------------------------------------------
+    // Acceptable states: committed history, or (crash during commit only)
+    // committed history + the in-flight transaction.  The sharded stack's
+    // documented contract (DESIGN.md §7) is per-shard all-or-nothing with
+    // ascending-shard publication, so there an ascending-shard *prefix* of
+    // the in-flight transaction is also acceptable.  Anything else — a torn
+    // block, a lost committed block, a half-applied shard portion — is a
+    // violation.
+    try {
+      const auto matches =
+          [&](const std::map<std::uint64_t, std::uint64_t>& expect,
+              std::string* why) {
+            std::vector<std::byte> got(blockdev::kBlockSize);
+            for (const std::uint64_t blkno : touched) {
+              be->read_block(blkno, got);
+              const auto it = expect.find(blkno);
+              const std::uint64_t want =
+                  it == expect.end() ? zero_fp : fp_of(it->second);
+              if (fingerprint(got) != want) {
+                *why = "block " + std::to_string(blkno) + " mismatch";
+                return false;
+              }
+            }
+            return true;
+          };
+
+      std::vector<std::map<std::uint64_t, std::uint64_t>> candidates;
+      candidates.push_back(committed);
+      if (!txn.empty()) {
+        if (opts.kind == StackKind::kShardedTinca) {
+          const shard::ShardedTinca& st =
+              static_cast<ShardedBackend&>(*be).sharded();
+          std::map<std::uint32_t,
+                   std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+              by_shard;
+          for (const auto& [blkno, value] : txn)
+            by_shard[st.shard_of(blkno)].emplace_back(blkno, value);
+          std::map<std::uint64_t, std::uint64_t> acc = committed;
+          for (const auto& [sid, part] : by_shard) {  // ascending shard id
+            for (const auto& [blkno, value] : part) acc[blkno] = value;
+            candidates.push_back(acc);
+          }
+        } else {
+          std::map<std::uint64_t, std::uint64_t> with_txn = committed;
+          for (const auto& [blkno, value] : txn) with_txn[blkno] = value;
+          candidates.push_back(with_txn);
+        }
+      }
+
+      bool ok = false;
+      std::string why;
+      for (const auto& cand : candidates) {
+        if (matches(cand, &why)) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) {
+        record_violation(sched, sseed,
+                         "recovered state matches no acceptable history (" +
+                             why + ")");
+      }
+
+      // Tinca media must also be *structurally* sound after recovery.
+      if (ok && crashed && opts.kind == StackKind::kTinca) {
+        const core::MediaReport mr = core::verify_media(
+            nvm, core::Layout::compute(nvm.size(), opts.ring_bytes));
+        if (!mr.ok) {
+          record_violation(sched, sseed,
+                           "verify_media: " + (mr.problems.empty()
+                                                   ? std::string("not ok")
+                                                   : mr.problems.front()));
+        }
+      }
+      if (crashed) detail::fuzz_collect(opts, *be, rep);
+    } catch (const std::exception& e) {
+      record_violation(sched, sseed,
+                       std::string("verification threw: ") + e.what());
+    }
+
+    const blockdev::FaultStats& f = disk.fault_stats();
+    rep.faults.transient_read_errors += f.transient_read_errors;
+    rep.faults.transient_write_errors += f.transient_write_errors;
+    rep.faults.bad_sectors += f.bad_sectors;
+    rep.faults.bad_sector_errors += f.bad_sector_errors;
+    rep.faults.torn_writes += f.torn_writes;
+    rep.faults.latency_spikes += f.latency_spikes;
+  }
+  return rep;
+}
+
+}  // namespace tinca::backend

@@ -1,6 +1,7 @@
 // One-stop assembly of a full storage stack for benches, examples and
-// cluster nodes: virtual clock → NVM device → (mem + latency) disk →
-// transactional backend (Tinca or Classic or a §3 ablation variant).
+// cluster nodes: virtual clock → NVM device → (mem + fault-injection +
+// latency) disk → transactional backend (Tinca or Classic or a §3 ablation
+// variant).
 #pragma once
 
 #include <memory>
@@ -11,6 +12,7 @@
 #include "backend/tinca_backend.h"
 #include "backend/txn_backend.h"
 #include "backend/ubj_backend.h"
+#include "blockdev/faulty_block_device.h"
 #include "blockdev/latency_block_device.h"
 #include "blockdev/mem_block_device.h"
 #include "common/expect.h"
@@ -48,6 +50,13 @@ struct StackConfig {
   ubj::UbjConfig ubj;
   /// Shard count for kShardedTinca (per-shard config comes from `tinca`).
   std::uint32_t tinca_shards = 4;
+  /// Disk fault schedule (DESIGN.md §9).  The defaults inject nothing, so
+  /// the decorator is a transparent pass-through unless rates are raised or
+  /// faults are scripted through Stack::faulty_disk().
+  blockdev::FaultConfig disk_faults{};
+  /// Retry/backoff policy applied to every backend's disk I/O (copied into
+  /// the selected backend's own config at assembly time).
+  blockdev::RetryPolicy disk_retry{};
 };
 
 /// The assembled stack; owns every layer.
@@ -57,31 +66,45 @@ class Stack {
       : cfg_(cfg),
         nvm_(cfg.nvm_bytes, nvm_profile_by_name(cfg.nvm_profile), clock_),
         mem_(cfg.disk_blocks),
-        disk_(mem_, disk_profile_by_name(cfg.disk_profile), clock_,
+        // Device chain: mem ← fault injection ← latency model.  A failed
+        // attempt costs time (the latency layer charges it) but never
+        // reaches mem, so blocks_written counts only landed writes and the
+        // write accounting below stays exact.
+        faulty_(mem_, cfg.disk_faults, &clock_, &nvm_.injector),
+        disk_(faulty_, disk_profile_by_name(cfg.disk_profile), clock_,
               cfg.disk_writes) {
     switch (cfg.kind) {
-      case StackKind::kTinca:
-        backend_ = TincaBackend::format(nvm_, disk_, cfg.tinca);
+      case StackKind::kTinca: {
+        core::TincaConfig c = cfg.tinca;
+        c.io = cfg.disk_retry;
+        backend_ = TincaBackend::format(nvm_, disk_, c);
         break;
+      }
       case StackKind::kClassic: {
         classic::ClassicConfig c = cfg.classic;
         c.journaling = true;
+        c.cache.io = cfg.disk_retry;
         backend_ = ClassicBackend::format(nvm_, disk_, c);
         break;
       }
       case StackKind::kClassicNoJournal: {
         classic::ClassicConfig c = cfg.classic;
         c.journaling = false;
+        c.cache.io = cfg.disk_retry;
         backend_ = ClassicBackend::format(nvm_, disk_, c);
         break;
       }
-      case StackKind::kUbj:
-        backend_ = UbjBackend::format(nvm_, disk_, cfg.ubj);
+      case StackKind::kUbj: {
+        ubj::UbjConfig c = cfg.ubj;
+        c.io = cfg.disk_retry;
+        backend_ = UbjBackend::format(nvm_, disk_, c);
         break;
+      }
       case StackKind::kShardedTinca: {
         shard::ShardedConfig s;
         s.num_shards = cfg.tinca_shards;
         s.shard = cfg.tinca;
+        s.shard.io = cfg.disk_retry;
         backend_ = ShardedBackend::format(nvm_, disk_, s);
         break;
       }
@@ -91,6 +114,10 @@ class Stack {
   [[nodiscard]] sim::SimClock& clock() { return clock_; }
   [[nodiscard]] nvm::NvmDevice& nvm() { return nvm_; }
   [[nodiscard]] blockdev::BlockDevice& disk() { return disk_; }
+
+  /// The fault-injection layer, for scripting faults (mark_bad,
+  /// fail_next_writes, tear_write_after) and reading FaultStats.
+  [[nodiscard]] blockdev::FaultyBlockDevice& faulty_disk() { return faulty_; }
   [[nodiscard]] TxnBackend& backend() { return *backend_; }
   [[nodiscard]] const StackConfig& config() const { return cfg_; }
 
@@ -131,6 +158,15 @@ class Stack {
     reg.add_counter("disk.blocks_written", &disk_.stats().blocks_written);
     reg.add_counter("disk.blocks_read", &disk_.stats().blocks_read);
     reg.add_counter("disk.seeks", &disk_.stats().seeks);
+    const blockdev::FaultStats& f = faulty_.fault_stats();
+    reg.add_counter("disk.faults.transient_read_errors",
+                    &f.transient_read_errors);
+    reg.add_counter("disk.faults.transient_write_errors",
+                    &f.transient_write_errors);
+    reg.add_counter("disk.faults.bad_sectors", &f.bad_sectors);
+    reg.add_counter("disk.faults.bad_sector_errors", &f.bad_sector_errors);
+    reg.add_counter("disk.faults.torn_writes", &f.torn_writes);
+    reg.add_counter("disk.faults.latency_spikes", &f.latency_spikes);
     reg.add_gauge("sim.now_ns", [this] { return clock_.now(); });
     backend_->register_metrics(reg, "");
   }
@@ -170,6 +206,7 @@ class Stack {
   sim::SimClock clock_;
   nvm::NvmDevice nvm_;
   blockdev::MemBlockDevice mem_;
+  blockdev::FaultyBlockDevice faulty_;
   blockdev::LatencyBlockDevice disk_;
   std::unique_ptr<TxnBackend> backend_;
 };

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <span>
 
+#include "blockdev/io_status.h"
+
 namespace tinca::blockdev {
 
 /// Fixed 4 KB block size, matching the paper's cache unit (§4.2).
@@ -35,11 +37,13 @@ class BlockDevice {
   /// Capacity in blocks.
   [[nodiscard]] virtual std::uint64_t block_count() const = 0;
 
-  /// Read block `blkno` into `dst` (exactly kBlockSize bytes).
-  virtual void read(std::uint64_t blkno, std::span<std::byte> dst) = 0;
+  /// Read block `blkno` into `dst` (exactly kBlockSize bytes).  On a
+  /// non-kOk result `dst` contents are unspecified.
+  virtual IoStatus read(std::uint64_t blkno, std::span<std::byte> dst) = 0;
 
-  /// Write `src` (exactly kBlockSize bytes) to block `blkno`.
-  virtual void write(std::uint64_t blkno, std::span<const std::byte> src) = 0;
+  /// Write `src` (exactly kBlockSize bytes) to block `blkno`.  On a non-kOk
+  /// result the block retains its previous contents.
+  virtual IoStatus write(std::uint64_t blkno, std::span<const std::byte> src) = 0;
 
   /// I/O counters.
   [[nodiscard]] virtual const BlockStats& stats() const = 0;

@@ -1,0 +1,97 @@
+// I/O result type and retry policy for the block-device layer.
+//
+// The devices underneath a production cache are not perfect: reads and
+// writes fail transiently (bus resets, controller timeouts) or permanently
+// (grown media defects).  Every BlockDevice operation therefore returns an
+// IoStatus, and the cache layers above translate it into policy — bounded
+// retries with exponential backoff for transient errors, per-block
+// quarantine and write-through degradation for permanent ones (DESIGN.md
+// §9).  Statuses are deliberately not [[nodiscard]]: the in-memory devices
+// cannot fail, and forcing every test call site to consume kOk would bury
+// the paths that matter.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <string>
+
+#include "common/sim_clock.h"
+
+namespace tinca::blockdev {
+
+/// Outcome of one block read or write.
+enum class IoStatus : std::uint8_t {
+  kOk = 0,         ///< the operation completed
+  kTransient = 1,  ///< failed, but a retry may succeed (timeout, bus reset)
+  kBadSector = 2,  ///< failed permanently: the target sector is bad
+};
+
+/// True iff `s` reports success.
+[[nodiscard]] constexpr bool io_ok(IoStatus s) { return s == IoStatus::kOk; }
+
+/// The worse of two statuses (kBadSector > kTransient > kOk) — used by
+/// layers that perform several device operations per logical request and
+/// report one status for the whole request.
+[[nodiscard]] constexpr IoStatus worse(IoStatus a, IoStatus b) {
+  return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b) ? a : b;
+}
+
+/// Retry policy for transient I/O errors: up to `max_retries` re-issues,
+/// waiting backoff_ns, then backoff_ns * backoff_mult, ... before each.
+/// The waits are charged to the layer's SimClock, so retry storms are
+/// visible in every latency result.
+struct RetryPolicy {
+  std::uint32_t max_retries = 4;
+  std::uint64_t backoff_ns = 100'000;  ///< first-retry wait (100 µs)
+  std::uint32_t backoff_mult = 4;      ///< exponential backoff factor
+};
+
+/// Thrown when a read that has no other source of the data fails past the
+/// retry budget (a cache read miss whose disk read keeps erroring).  Writes
+/// never throw: the cache layers keep the NVM copy and degrade instead.
+class IoError : public std::exception {
+ public:
+  IoError(const std::string& context, std::uint64_t blkno, IoStatus status)
+      : blkno_(blkno), status_(status) {
+    what_ = context + " (block " + std::to_string(blkno) + ")";
+  }
+
+  [[nodiscard]] const char* what() const noexcept override {
+    return what_.c_str();
+  }
+  [[nodiscard]] std::uint64_t blkno() const { return blkno_; }
+  [[nodiscard]] IoStatus status() const { return status_; }
+
+ private:
+  std::string what_;
+  std::uint64_t blkno_;
+  IoStatus status_;
+};
+
+/// Result of a retried operation: the final status plus how many retries
+/// were spent getting there.
+struct RetryResult {
+  IoStatus status = IoStatus::kOk;
+  std::uint32_t retries = 0;
+};
+
+/// Run `io` (a callable returning IoStatus), retrying per `policy` while it
+/// reports kTransient.  Backoff waits are charged to `clock` when non-null.
+/// Layers with trace instrumentation on the retry path implement the same
+/// loop inline; this helper serves tests and uninstrumented callers.
+template <typename Fn>
+RetryResult with_retries(const RetryPolicy& policy, sim::SimClock* clock,
+                         Fn&& io) {
+  RetryResult r;
+  r.status = io();
+  std::uint64_t wait = policy.backoff_ns;
+  while (r.status == IoStatus::kTransient && r.retries < policy.max_retries) {
+    if (clock != nullptr) clock->advance(wait);
+    wait *= policy.backoff_mult == 0 ? 1 : policy.backoff_mult;
+    ++r.retries;
+    r.status = io();
+  }
+  return r;
+}
+
+}  // namespace tinca::blockdev

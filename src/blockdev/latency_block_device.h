@@ -39,14 +39,15 @@ class LatencyBlockDevice final : public BlockDevice {
     return inner_.block_count();
   }
 
-  void read(std::uint64_t blkno, std::span<std::byte> dst) override {
+  IoStatus read(std::uint64_t blkno, std::span<std::byte> dst) override {
     charge(blkno, profile_.read_block_ns);
-    inner_.read(blkno, dst);
+    const IoStatus st = inner_.read(blkno, dst);
     stats_ = inner_.stats();
     stats_.seeks = seeks_;
+    return st;
   }
 
-  void write(std::uint64_t blkno, std::span<const std::byte> src) override {
+  IoStatus write(std::uint64_t blkno, std::span<const std::byte> src) override {
     if (policy_ == WritePolicy::kSync) {
       charge(blkno, profile_.write_block_ns);
     } else {
@@ -67,9 +68,10 @@ class LatencyBlockDevice final : public BlockDevice {
       if (queue_busy_ > now + max_queue_lag_)
         clock_.advance(queue_busy_ - (now + max_queue_lag_));
     }
-    inner_.write(blkno, src);
+    const IoStatus st = inner_.write(blkno, src);
     stats_ = inner_.stats();
     stats_.seeks = seeks_;
+    return st;
   }
 
   /// Time at which all queued writes will have reached the media.

@@ -28,14 +28,14 @@ class LockedBlockDevice final : public BlockDevice {
     return inner_.block_count();
   }
 
-  void read(std::uint64_t blkno, std::span<std::byte> dst) override {
+  IoStatus read(std::uint64_t blkno, std::span<std::byte> dst) override {
     std::lock_guard<std::mutex> lock(mu_);
-    inner_.read(blkno, dst);
+    return inner_.read(blkno, dst);
   }
 
-  void write(std::uint64_t blkno, std::span<const std::byte> src) override {
+  IoStatus write(std::uint64_t blkno, std::span<const std::byte> src) override {
     std::lock_guard<std::mutex> lock(mu_);
-    inner_.write(blkno, src);
+    return inner_.write(blkno, src);
   }
 
   /// Counters of the wrapped device.  Only stable once concurrent users have

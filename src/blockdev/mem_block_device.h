@@ -27,7 +27,7 @@ class MemBlockDevice final : public BlockDevice {
     return block_count_;
   }
 
-  void read(std::uint64_t blkno, std::span<std::byte> dst) override {
+  IoStatus read(std::uint64_t blkno, std::span<std::byte> dst) override {
     TINCA_EXPECT(blkno < block_count_, "read beyond device");
     TINCA_EXPECT(dst.size() == kBlockSize, "short read buffer");
     auto it = blocks_.find(blkno);
@@ -37,15 +37,17 @@ class MemBlockDevice final : public BlockDevice {
       std::memcpy(dst.data(), it->second->data(), kBlockSize);
     }
     ++stats_.blocks_read;
+    return IoStatus::kOk;
   }
 
-  void write(std::uint64_t blkno, std::span<const std::byte> src) override {
+  IoStatus write(std::uint64_t blkno, std::span<const std::byte> src) override {
     TINCA_EXPECT(blkno < block_count_, "write beyond device");
     TINCA_EXPECT(src.size() == kBlockSize, "short write buffer");
     auto& slot = blocks_[blkno];
     if (!slot) slot = std::make_unique<Block>();
     std::memcpy(slot->data(), src.data(), kBlockSize);
     ++stats_.blocks_written;
+    return IoStatus::kOk;
   }
 
   [[nodiscard]] const BlockStats& stats() const override { return stats_; }

@@ -124,33 +124,93 @@ void FlashCache::persist_data(std::uint32_t slot,
   if (cfg_.use_flush) nvm_.persist(data_off(slot), kBlockSize);
 }
 
+blockdev::IoStatus FlashCache::disk_write(std::uint64_t blkno,
+                                          std::span<const std::byte> buf) {
+  blockdev::IoStatus st = disk_.write(blkno, buf);
+  std::uint64_t wait = cfg_.io.backoff_ns;
+  for (std::uint32_t attempt = 0;
+       st == blockdev::IoStatus::kTransient && attempt < cfg_.io.max_retries;
+       ++attempt) {
+    nvm_.clock().advance(wait);
+    wait *= cfg_.io.backoff_mult == 0 ? 1 : cfg_.io.backoff_mult;
+    ++stats_.io_retries;
+    st = disk_.write(blkno, buf);
+  }
+  op_st_ = blockdev::worse(op_st_, st);
+  return st;
+}
+
+blockdev::IoStatus FlashCache::disk_read(std::uint64_t blkno,
+                                         std::span<std::byte> buf) {
+  blockdev::IoStatus st = disk_.read(blkno, buf);
+  std::uint64_t wait = cfg_.io.backoff_ns;
+  for (std::uint32_t attempt = 0;
+       st == blockdev::IoStatus::kTransient && attempt < cfg_.io.max_retries;
+       ++attempt) {
+    nvm_.clock().advance(wait);
+    wait *= cfg_.io.backoff_mult == 0 ? 1 : cfg_.io.backoff_mult;
+    ++stats_.io_retries;
+    st = disk_.read(blkno, buf);
+  }
+  op_st_ = blockdev::worse(op_st_, st);
+  return st;
+}
+
+void FlashCache::note_bad_block(std::uint64_t disk_blkno) {
+  if (quarantine_.insert(disk_blkno).second) ++stats_.io_quarantined;
+  degraded_ = true;
+}
+
+bool FlashCache::writeback_slot(std::uint32_t slot) {
+  const Slot& s = slots_[slot];
+  if (quarantine_.contains(s.disk_blkno)) return false;
+  std::vector<std::byte> buf(kBlockSize);
+  nvm_.load(data_off(slot), buf);
+  const blockdev::IoStatus st = disk_write(s.disk_blkno, buf);
+  if (st == blockdev::IoStatus::kOk) return true;
+  if (st == blockdev::IoStatus::kBadSector) note_bad_block(s.disk_blkno);
+  return false;
+}
+
 std::uint32_t FlashCache::provision_slot(std::uint32_t set,
                                          std::uint64_t disk_blkno) {
   const std::uint32_t base = set * FlashCacheConfig::kAssoc;
+  // LRU victim selection, re-run when a dirty victim's writeback fails:
+  // such a slot cannot be evicted (its data exists nowhere else), so it is
+  // excluded and the next-oldest slot tried instead.
+  std::vector<bool> excluded(FlashCacheConfig::kAssoc, false);
   std::uint32_t victim = UINT32_MAX;
-  std::uint64_t victim_tick = UINT64_MAX;
-  for (std::uint32_t i = 0; i < FlashCacheConfig::kAssoc; ++i) {
-    Slot& s = slots_[base + i];
-    if (!s.valid) {
-      victim = base + i;
-      victim_tick = 0;
+  for (;;) {
+    victim = UINT32_MAX;
+    std::uint64_t victim_tick = UINT64_MAX;
+    for (std::uint32_t i = 0; i < FlashCacheConfig::kAssoc; ++i) {
+      Slot& s = slots_[base + i];
+      if (excluded[i]) continue;
+      if (!s.valid) {
+        victim = base + i;
+        victim_tick = 0;
+        break;
+      }
+      if (s.lru_tick < victim_tick) {
+        victim_tick = s.lru_tick;
+        victim = base + i;
+      }
+    }
+    TINCA_ENSURE(victim != UINT32_MAX,
+                 "Flashcache set wedged: every slot is dirty behind a failing "
+                 "disk");
+    Slot& s = slots_[victim];
+    if (!s.valid || !s.dirty) break;
+    if (writeback_slot(victim)) {
+      ++stats_.dirty_writebacks;
+      s.dirty = false;
+      --set_dirty_[set];
       break;
     }
-    if (s.lru_tick < victim_tick) {
-      victim_tick = s.lru_tick;
-      victim = base + i;
-    }
+    excluded[victim - base] = true;
   }
-  TINCA_ENSURE(victim != UINT32_MAX, "empty Flashcache set scan");
   Slot& v = slots_[victim];
   if (v.valid) {
-    if (v.dirty) {
-      std::vector<std::byte> buf(kBlockSize);
-      nvm_.load(data_off(victim), buf);
-      disk_.write(v.disk_blkno, buf);
-      ++stats_.dirty_writebacks;
-      --set_dirty_[set];
-    }
     index_.erase(v.disk_blkno);
     ++stats_.evictions;
     // Persist the invalidation *before* the slot's data block is reused:
@@ -169,10 +229,11 @@ std::uint32_t FlashCache::provision_slot(std::uint32_t set,
   return victim;
 }
 
-void FlashCache::write_block(std::uint64_t disk_blkno,
-                             std::span<const std::byte> data) {
+blockdev::IoStatus FlashCache::write_block(std::uint64_t disk_blkno,
+                                           std::span<const std::byte> data) {
   TINCA_EXPECT(data.size() == kBlockSize, "writes are whole 4 KB blocks");
   nvm_.clock().advance(cfg_.cpu_op_ns);
+  op_st_ = blockdev::IoStatus::kOk;
   const std::uint32_t set = set_of(disk_blkno);
   auto it = index_.find(disk_blkno);
   std::uint32_t slot;
@@ -193,9 +254,18 @@ void FlashCache::write_block(std::uint64_t disk_blkno,
   if (!s.dirty) ++set_dirty_[set];
   s.dirty = true;
   s.lru_tick = ++lru_clock_;
+  // Degraded mode (bad sector seen): force the block straight to disk so
+  // disk health surfaces per write instead of at eviction time.  Failure —
+  // including a quarantined target — just leaves the block dirty in NVM.
+  if (degraded_ && writeback_slot(slot)) {
+    ++stats_.io_degraded_writes;
+    s.dirty = false;
+    --set_dirty_[set];
+  }
   clean_set_to_threshold(set);
   persist_set_metadata(set);
   nvm_.injector.point();  // CP: write acknowledged
+  return op_st_;
 }
 
 void FlashCache::clean_set_to_threshold(std::uint32_t set) {
@@ -203,58 +273,64 @@ void FlashCache::clean_set_to_threshold(std::uint32_t set) {
   const std::uint32_t limit =
       FlashCacheConfig::kAssoc * cfg_.dirty_thresh_pct / 100;
   if (set_dirty_[set] <= limit) return;
-  // Oldest-first cleaning, as Flashcache's background cleaner does.
-  std::vector<std::byte> buf(kBlockSize);
+  // Oldest-first cleaning, as Flashcache's background cleaner does.  Slots
+  // whose writeback fails are excluded for this pass — otherwise a
+  // perma-failing slot would keep the minimum lru_tick and spin the loop
+  // forever — and the pass ends early once only failing slots remain dirty.
+  const std::uint32_t base = set * FlashCacheConfig::kAssoc;
+  std::vector<bool> excluded(FlashCacheConfig::kAssoc, false);
   while (set_dirty_[set] > limit) {
     std::uint32_t victim = UINT32_MAX;
     std::uint64_t victim_tick = UINT64_MAX;
-    const std::uint32_t base = set * FlashCacheConfig::kAssoc;
     for (std::uint32_t i = 0; i < FlashCacheConfig::kAssoc; ++i) {
       const Slot& s = slots_[base + i];
-      if (s.valid && s.dirty && s.lru_tick < victim_tick) {
+      if (!excluded[i] && s.valid && s.dirty && s.lru_tick < victim_tick) {
         victim_tick = s.lru_tick;
         victim = base + i;
       }
     }
-    TINCA_ENSURE(victim != UINT32_MAX, "dirty count disagrees with slots");
-    Slot& s = slots_[victim];
-    nvm_.load(data_off(victim), buf);
-    disk_.write(s.disk_blkno, buf);
-    s.dirty = false;
+    if (victim == UINT32_MAX) break;  // nothing cleanable left
+    if (!writeback_slot(victim)) {
+      excluded[victim - base] = true;
+      continue;
+    }
+    slots_[victim].dirty = false;
     --set_dirty_[set];
     ++stats_.dirty_writebacks;
     ++stats_.threshold_cleanings;
   }
 }
 
-void FlashCache::read_block(std::uint64_t disk_blkno, std::span<std::byte> dst) {
+blockdev::IoStatus FlashCache::read_block(std::uint64_t disk_blkno,
+                                          std::span<std::byte> dst) {
   TINCA_EXPECT(dst.size() == kBlockSize, "reads are whole 4 KB blocks");
   nvm_.clock().advance(cfg_.cpu_op_ns);
+  op_st_ = blockdev::IoStatus::kOk;
   auto it = index_.find(disk_blkno);
   if (it != index_.end()) {
     ++stats_.read_hits;
     nvm_.load(data_off(it->second), dst);
     slots_[it->second].lru_tick = ++lru_clock_;
-    return;
+    return blockdev::IoStatus::kOk;
   }
   ++stats_.read_misses;
-  disk_.read(disk_blkno, dst);
-  if (!cfg_.cache_reads) return;
+  if (disk_read(disk_blkno, dst) != blockdev::IoStatus::kOk) return op_st_;
+  if (!cfg_.cache_reads) return op_st_;
   const std::uint32_t set = set_of(disk_blkno);
   const std::uint32_t slot = provision_slot(set, disk_blkno);
   persist_data(slot, dst);
   persist_set_metadata(set);
+  return op_st_;
 }
 
 void FlashCache::flush_dirty() {
-  std::vector<std::byte> buf(kBlockSize);
   for (std::uint32_t set = 0; set < num_sets_; ++set) {
     bool touched = false;
     for (std::uint32_t i = 0; i < FlashCacheConfig::kAssoc; ++i) {
-      Slot& s = slots_[set * FlashCacheConfig::kAssoc + i];
+      const std::uint32_t slot = set * FlashCacheConfig::kAssoc + i;
+      Slot& s = slots_[slot];
       if (!s.valid || !s.dirty) continue;
-      nvm_.load(data_off(set * FlashCacheConfig::kAssoc + i), buf);
-      disk_.write(s.disk_blkno, buf);
+      if (!writeback_slot(slot)) continue;  // stays dirty for the next flush
       s.dirty = false;
       --set_dirty_[set];
       touched = true;
@@ -282,6 +358,9 @@ void FlashCache::register_metrics(obs::MetricsRegistry& reg,
   reg.add_counter(prefix + "threshold_cleanings", &stats_.threshold_cleanings);
   reg.add_counter(prefix + "metadata_block_writes",
                   &stats_.metadata_block_writes);
+  reg.add_counter(prefix + "io.retries", &stats_.io_retries);
+  reg.add_counter(prefix + "io.quarantined", &stats_.io_quarantined);
+  reg.add_counter(prefix + "io.degraded_writes", &stats_.io_degraded_writes);
   reg.add_gauge(prefix + "capacity_blocks", [this] { return capacity_blocks(); });
   reg.add_gauge(prefix + "cached_blocks", [this] { return cached_blocks(); });
 }

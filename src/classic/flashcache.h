@@ -25,6 +25,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "blockdev/block_device.h"
@@ -60,6 +61,8 @@ struct FlashCacheConfig {
   std::uint32_t dirty_thresh_pct = 20;
   /// Modelled software overhead per cache operation.
   std::uint64_t cpu_op_ns = 150;
+  /// Retry/backoff policy for disk I/O (DESIGN.md §9).
+  blockdev::RetryPolicy io{};
 };
 
 /// Counters for one FlashCache instance.
@@ -74,6 +77,9 @@ struct FlashCacheStats {
   std::uint64_t dirty_writebacks = 0;
   std::uint64_t threshold_cleanings = 0;  ///< dirty-threshold writebacks
   std::uint64_t metadata_block_writes = 0;
+  std::uint64_t io_retries = 0;          ///< disk retries after kTransient
+  std::uint64_t io_quarantined = 0;      ///< blocks quarantined (bad sector)
+  std::uint64_t io_degraded_writes = 0;  ///< forced write-through writes
 };
 
 /// Set-associative write-back NVM cache with block-format metadata.
@@ -90,11 +96,18 @@ class FlashCache {
                                              blockdev::BlockDevice& disk,
                                              FlashCacheConfig cfg = {});
 
-  /// Write one 4 KB block through the cache (write-back).
-  void write_block(std::uint64_t disk_blkno, std::span<const std::byte> data);
+  /// Write one 4 KB block through the cache (write-back).  Returns the
+  /// worst disk-I/O status encountered while servicing the call (internal
+  /// writebacks, degraded write-through); the cached copy itself is always
+  /// updated, so a non-kOk result means reduced durability, not data loss.
+  blockdev::IoStatus write_block(std::uint64_t disk_blkno,
+                                 std::span<const std::byte> data);
 
-  /// Read one 4 KB block through the cache.
-  void read_block(std::uint64_t disk_blkno, std::span<std::byte> dst);
+  /// Read one 4 KB block through the cache.  On a miss whose disk read
+  /// fails even after retries, returns the failure status and leaves `dst`
+  /// unspecified (the block is not cached).
+  blockdev::IoStatus read_block(std::uint64_t disk_blkno,
+                                std::span<std::byte> dst);
 
   /// Write every dirty block back to disk (blocks stay cached clean).
   void flush_dirty();
@@ -115,6 +128,16 @@ class FlashCache {
 
   [[nodiscard]] const FlashCacheStats& stats() const { return stats_; }
   [[nodiscard]] nvm::NvmDevice& nvm() { return nvm_; }
+
+  /// Blocks quarantined after hitting a permanent bad sector (DRAM-only:
+  /// they stay dirty in NVM, so a restart re-discovers them on the next
+  /// writeback attempt).
+  [[nodiscard]] std::size_t quarantined_blocks() const {
+    return quarantine_.size();
+  }
+
+  /// Whether a permanent disk fault has forced write-through degradation.
+  [[nodiscard]] bool degraded() const { return degraded_; }
 
   /// Register the cache counters and occupancy gauges under `prefix`.
   void register_metrics(obs::MetricsRegistry& reg,
@@ -143,6 +166,18 @@ class FlashCache {
   void persist_set_metadata(std::uint32_t set);
   void persist_data(std::uint32_t slot, std::span<const std::byte> data);
 
+  /// Disk I/O with the configured retry policy; folds the final status into
+  /// the running per-operation aggregate (`op_st_`).
+  blockdev::IoStatus disk_write(std::uint64_t blkno,
+                                std::span<const std::byte> buf);
+  blockdev::IoStatus disk_read(std::uint64_t blkno, std::span<std::byte> buf);
+  /// Quarantine `disk_blkno` after a kBadSector write and degrade the cache
+  /// to forced write-through.
+  void note_bad_block(std::uint64_t disk_blkno);
+  /// Write slot `slot` back to disk; false when it could not be written
+  /// (quarantined or failing) and must stay dirty.
+  bool writeback_slot(std::uint32_t slot);
+
   [[nodiscard]] std::uint64_t metadata_off(std::uint32_t set) const;
   [[nodiscard]] std::uint64_t data_off(std::uint32_t slot) const;
 
@@ -158,6 +193,12 @@ class FlashCache {
   std::unordered_map<std::uint64_t, std::uint32_t> index_;
   std::uint64_t lru_clock_ = 0;
   FlashCacheStats stats_;
+  /// Disk blocks that hit a permanent bad sector (DRAM-only; see
+  /// quarantined_blocks()).
+  std::unordered_set<std::uint64_t> quarantine_;
+  bool degraded_ = false;
+  /// Worst disk status seen while servicing the current public operation.
+  blockdev::IoStatus op_st_ = blockdev::IoStatus::kOk;
 };
 
 }  // namespace tinca::classic

@@ -50,12 +50,16 @@ std::uint64_t Journal::max_txn_blocks() const {
                     : 1;
 }
 
+void Journal::observe(blockdev::IoStatus st) {
+  if (st != blockdev::IoStatus::kOk) ++stats_.io_errors_observed;
+}
+
 void Journal::write_superblock() {
   std::vector<std::byte> sb(kBlockSize, std::byte{0});
   store_le(sb.data(), kSuperMagic, 8);
   store_le(sb.data() + 8, tail_seq_, 8);
   store_le(sb.data() + 16, tail_off_, 8);
-  cache_.write_block(cfg_.base_blkno, sb);
+  observe(cache_.write_block(cfg_.base_blkno, sb));
   ++stats_.superblock_writes;
 }
 
@@ -95,14 +99,14 @@ void Journal::commit(
     store_le(desc.data() + 16, tags, 8);
     for (std::uint64_t t = 0; t < tags; ++t)
       store_le(desc.data() + 24 + t * 8, blocks[i + t].first, 8);
-    cache_.write_block(ring_blkno(head_off_++), desc);
+    observe(cache_.write_block(ring_blkno(head_off_++), desc));
     ++stats_.descriptor_blocks_written;
 
     // The log blocks this descriptor covers.
     for (std::uint64_t t = 0; t < tags; ++t) {
       const auto& [home, data] = blocks[i + t];
       TINCA_EXPECT(data.size() == kBlockSize, "journal logs whole 4 KB blocks");
-      cache_.write_block(ring_blkno(head_off_++), data);
+      observe(cache_.write_block(ring_blkno(head_off_++), data));
       ++stats_.log_blocks_written;
       rec.home_blknos.push_back(home);
       Pending& p = pending_[home];
@@ -116,7 +120,7 @@ void Journal::commit(
   std::vector<std::byte> commit_blk(kBlockSize, std::byte{0});
   store_le(commit_blk.data(), kCommitMagic, 8);
   store_le(commit_blk.data() + 8, rec.seq, 8);
-  cache_.write_block(ring_blkno(head_off_++), commit_blk);
+  observe(cache_.write_block(ring_blkno(head_off_++), commit_blk));
   ++stats_.commit_blocks_written;
 
   unchkpt_.push_back(std::move(rec));
@@ -141,7 +145,7 @@ void Journal::checkpoint_one() {
       // write of the double write.  (A block re-logged by a newer
       // transaction is skipped here, as JBD2 skips buffers that have moved
       // to a newer transaction; the newer one will checkpoint it.)
-      cache_.write_block(home, it->second.data);
+      observe(cache_.write_block(home, it->second.data));
       ++stats_.checkpoint_writes;
       pending_.erase(it);
     }
@@ -172,7 +176,7 @@ void Journal::checkpoint_all() {
 void Journal::run_recovery() {
   TINCA_TRACE_SPAN(trace_, ts_replay_);
   std::vector<std::byte> sb(kBlockSize);
-  cache_.read_block(cfg_.base_blkno, sb);
+  observe(cache_.read_block(cfg_.base_blkno, sb));
   TINCA_EXPECT(load_le(sb.data(), 8) == kSuperMagic,
                "no journal superblock found");
   tail_seq_ = load_le(sb.data() + 8, 8);
@@ -212,8 +216,8 @@ void Journal::run_recovery() {
 
     // Replay: copy every log block to its home location.
     for (const auto& [home, log_off] : tags_and_offs) {
-      cache_.read_block(ring_blkno(log_off), blk);
-      cache_.write_block(home, blk);
+      observe(cache_.read_block(ring_blkno(log_off), blk));
+      observe(cache_.write_block(home, blk));
     }
     ++stats_.txns_replayed;
     off = scan;
@@ -239,6 +243,7 @@ void Journal::register_metrics(obs::MetricsRegistry& reg,
   reg.add_counter(prefix + "checkpoint_writes", &stats_.checkpoint_writes);
   reg.add_counter(prefix + "superblock_writes", &stats_.superblock_writes);
   reg.add_counter(prefix + "txns_replayed", &stats_.txns_replayed);
+  reg.add_counter(prefix + "io_errors_observed", &stats_.io_errors_observed);
   reg.add_gauge(prefix + "free_ring_blocks",
                 [this] { return free_ring_blocks(); });
   trace_.register_into(reg, prefix + "lat.");

@@ -46,6 +46,10 @@ struct JournalStats {
   std::uint64_t checkpoint_writes = 0;  ///< second (home-location) writes
   std::uint64_t superblock_writes = 0;
   std::uint64_t txns_replayed = 0;      ///< recovered by replay
+  /// Cache operations that reported a disk fault (non-kOk status from the
+  /// FlashCache below).  The journal's own data is safe in NVM either way;
+  /// this counts how often the backing disk degraded under journal traffic.
+  std::uint64_t io_errors_observed = 0;
 };
 
 /// Redo journal over a FlashCache-managed device.
@@ -103,6 +107,8 @@ class Journal {
   void write_superblock();
   void checkpoint_one();
   void make_room(std::uint64_t needed_blocks);
+  /// Fold a cache-returned status into io_errors_observed.
+  void observe(blockdev::IoStatus st);
 
   [[nodiscard]] std::uint64_t ring_len() const { return cfg_.length_blocks - 1; }
   [[nodiscard]] std::uint64_t ring_blkno(std::uint64_t off) const {

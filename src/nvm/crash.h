@@ -71,10 +71,56 @@ class CrashInjector {
     return armed_.load(std::memory_order_relaxed);
   }
 
+  // --- Torn-write points ----------------------------------------------------
+  //
+  // A power cut can also land *inside* a write, leaving the target half-old /
+  // half-new.  Torn points count on an independent counter so arming them
+  // never perturbs the step numbering of the ordinary point() sweeps (the
+  // existing crash suites learn step counts disarmed and replay them).
+  // Unlike point(), point_torn() does not throw: it returns true when the
+  // armed step fires and the *caller* applies the partial write it models —
+  // a prefix of an NvmDevice store, a half-and-half 4 KB disk block — before
+  // raising CrashException itself.
+
+  /// Arm the torn counter: the `step`-th future point_torn() (1-based) fires.
+  void arm_torn(std::uint64_t step) {
+    torn_fire_at_.store(step, std::memory_order_relaxed);
+    torn_seen_.store(0, std::memory_order_relaxed);
+    torn_armed_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Disarm the torn counter; point_torn() only counts.
+  void disarm_torn() {
+    torn_armed_.store(false, std::memory_order_relaxed);
+    torn_seen_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Torn-write marker.  Returns true when the armed torn step is hit; the
+  /// caller tears its in-flight write and then throws CrashException.
+  [[nodiscard]] bool point_torn() {
+    const std::uint64_t n =
+        torn_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return torn_armed_.load(std::memory_order_relaxed) &&
+           n == torn_fire_at_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of torn points passed since the last arm_torn()/disarm_torn().
+  [[nodiscard]] std::uint64_t torn_steps_seen() const {
+    return torn_seen_.load(std::memory_order_relaxed);
+  }
+
+  /// Whether the torn counter is armed.
+  [[nodiscard]] bool torn_armed() const {
+    return torn_armed_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<bool> armed_ = false;
   std::atomic<std::uint64_t> fire_at_ = 0;
   std::atomic<std::uint64_t> seen_ = 0;
+  std::atomic<bool> torn_armed_ = false;
+  std::atomic<std::uint64_t> torn_fire_at_ = 0;
+  std::atomic<std::uint64_t> torn_seen_ = 0;
 };
 
 }  // namespace tinca::nvm

@@ -48,6 +48,19 @@ void NvmDevice::mark_dirty(std::size_t line) {
 void NvmDevice::store(std::uint64_t off, std::span<const std::byte> src) {
   TINCA_EXPECT(off + src.size() <= span_, "store out of range");
   const std::uint64_t abs = base_ + off;
+  if (injector.point_torn()) {
+    // Power cut mid-store: only a prefix of the bytes made it into the CPU
+    // cache.  Apply that prefix (marking its lines dirty so crash() applies
+    // the usual per-line survival lottery) and die.
+    const std::size_t keep = src.size() / 2;
+    if (keep > 0) {
+      std::memcpy(root_->volatile_.data() + abs, src.data(), keep);
+      const std::size_t f = abs / kLineSize;
+      const std::size_t l = (abs + keep - 1) / kLineSize;
+      for (std::size_t line = f; line <= l; ++line) mark_dirty(line);
+    }
+    throw CrashException();
+  }
   std::memcpy(root_->volatile_.data() + abs, src.data(), src.size());
   const std::size_t first = abs / kLineSize;
   const std::size_t last = (abs + src.size() - 1) / kLineSize;

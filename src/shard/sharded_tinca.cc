@@ -205,6 +205,9 @@ core::TincaCacheStats ShardedTinca::aggregated_stats() const {
     agg.revoked_blocks += s.revoked_blocks;
     agg.dropped_clean_entries += s.dropped_clean_entries;
     agg.recovered_entries += s.recovered_entries;
+    agg.io_retries += s.io_retries;
+    agg.io_quarantined += s.io_quarantined;
+    agg.io_degraded_writes += s.io_degraded_writes;
     agg.blocks_per_txn.merge(s.blocks_per_txn);
   }
   return agg;

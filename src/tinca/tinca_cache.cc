@@ -45,7 +45,8 @@ TincaCache::TincaCache(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
       ts_evict_(trace_.site("evict")),
       ts_writeback_(trace_.site("writeback")),
       ts_recovery_(trace_.site("recovery")),
-      ts_read_(trace_.site("read")) {}
+      ts_read_(trace_.site("read")),
+      ts_io_retry_(trace_.site("io_retry")) {}
 
 std::unique_ptr<TincaCache> TincaCache::format(nvm::NvmDevice& nvm,
                                                blockdev::BlockDevice& disk,
@@ -202,33 +203,96 @@ void TincaCache::write_data_block(std::uint32_t nvm_block,
 // Replacement (§4.6)
 // ---------------------------------------------------------------------------
 
+// Disk write with the configured retry policy: transient errors are retried
+// with exponential backoff (each retry is a traced span covering its wait);
+// a bad sector comes back to the caller unhealed.
+blockdev::IoStatus TincaCache::disk_write(std::uint64_t blkno,
+                                          std::span<const std::byte> buf) {
+  blockdev::IoStatus st = disk_.write(blkno, buf);
+  std::uint64_t wait = cfg_.io.backoff_ns;
+  for (std::uint32_t attempt = 0;
+       st == blockdev::IoStatus::kTransient && attempt < cfg_.io.max_retries;
+       ++attempt) {
+    TINCA_TRACE_SPAN(trace_, ts_io_retry_);
+    nvm_.clock().advance(wait);
+    wait *= cfg_.io.backoff_mult == 0 ? 1 : cfg_.io.backoff_mult;
+    ++stats_.io_retries;
+    st = disk_.write(blkno, buf);
+  }
+  return st;
+}
+
+blockdev::IoStatus TincaCache::disk_read(std::uint64_t blkno,
+                                         std::span<std::byte> buf) {
+  blockdev::IoStatus st = disk_.read(blkno, buf);
+  std::uint64_t wait = cfg_.io.backoff_ns;
+  for (std::uint32_t attempt = 0;
+       st == blockdev::IoStatus::kTransient && attempt < cfg_.io.max_retries;
+       ++attempt) {
+    TINCA_TRACE_SPAN(trace_, ts_io_retry_);
+    nvm_.clock().advance(wait);
+    wait *= cfg_.io.backoff_mult == 0 ? 1 : cfg_.io.backoff_mult;
+    ++stats_.io_retries;
+    st = disk_.read(blkno, buf);
+  }
+  return st;
+}
+
+// A write hit a permanent bad sector: quarantine the block (it stays dirty
+// in NVM, never evicted) and degrade to forced write-through so future
+// commits surface disk health instead of accumulating unsyncable state.
+// The quarantine set is DRAM-only on purpose — a quarantined block is by
+// definition dirty, recovery keeps dirty entries, and the next writeback
+// attempt after a restart re-discovers the bad sector, so nothing is lost
+// across a crash.
+void TincaCache::note_bad_block(std::uint64_t disk_blkno) {
+  if (quarantine_.insert(disk_blkno).second) ++stats_.io_quarantined;
+  degraded_ = true;
+}
+
 // Pushes the block to disk without touching the entry.  Callers account the
 // write: replacement paths bump `dirty_writebacks`, the write-through commit
 // path bumps `writethrough_writes` — conflating the two skewed the Fig 12
-// media accounting.
-void TincaCache::writeback(std::uint32_t slot) {
+// media accounting.  Returns false when the block could not be written
+// (quarantined, bad sector, or retries exhausted); the caller must then
+// leave the entry dirty.
+bool TincaCache::writeback(std::uint32_t slot) {
   TINCA_TRACE_SPAN(trace_, ts_writeback_);
   const CacheEntry& e = mirror_[slot];
+  if (quarantine_.contains(e.disk_blkno)) return false;
   std::vector<std::byte> buf(kBlockSize);
   nvm_.load(layout_.data_block_off(e.curr_nvm), buf);
-  disk_.write(e.disk_blkno, buf);
+  const blockdev::IoStatus st = disk_write(e.disk_blkno, buf);
+  if (st == blockdev::IoStatus::kOk) return true;
+  if (st == blockdev::IoStatus::kBadSector) note_bad_block(e.disk_blkno);
+  return false;
 }
 
 void TincaCache::evict_one() {
   TINCA_TRACE_SPAN(trace_, ts_evict_);
   // LRU with the §4.6 pinning rule: log-role blocks (the committing
   // transaction, including implicitly their previous versions) are skipped.
+  // Dirty victims whose writeback fails are skipped too — evicting them
+  // would drop the only durable copy of committed data.
   std::uint32_t victim = lru_.lru();
-  while (victim != SlotLru::kNil && mirror_[victim].role == Role::kLog)
+  bool wrote_back = false;
+  while (victim != SlotLru::kNil) {
+    if (mirror_[victim].role == Role::kLog) {
+      victim = lru_.newer(victim);
+      continue;
+    }
+    if (!mirror_[victim].modified) break;
+    if (writeback(victim)) {
+      wrote_back = true;
+      break;
+    }
     victim = lru_.newer(victim);
+  }
   TINCA_ENSURE(victim != SlotLru::kNil,
                "cache wedged: every cached block is pinned by the committing "
-               "transaction");
+               "transaction or stuck dirty behind a failing disk");
   const CacheEntry e = mirror_[victim];
-  if (e.modified) {
-    writeback(victim);
-    ++stats_.dirty_writebacks;
-  }
+  if (wrote_back) ++stats_.dirty_writebacks;
   invalidate_entry(victim);
   index_.erase(e.disk_blkno);
   lru_.remove(victim);
@@ -254,8 +318,7 @@ void TincaCache::clean_to_threshold() {
   while (slot != SlotLru::kNil && dirty_count_ > limit) {
     const std::uint32_t next = lru_.newer(slot);
     CacheEntry e = mirror_[slot];
-    if (e.valid && e.modified && e.role == Role::kBuffer) {
-      writeback(slot);
+    if (e.valid && e.modified && e.role == Role::kBuffer && writeback(slot)) {
       e.modified = false;
       write_entry(slot, e);  // decrements dirty_count_
       ++stats_.dirty_writebacks;
@@ -418,12 +481,16 @@ void TincaCache::tinca_commit(Transaction& txn) {
 
   // Write-through mode: propagate to disk now and mark clean.  Crash-safe
   // at any point — until the entry is rewritten clean, the block simply
-  // stays dirty in NVM and recovery keeps it.
-  if (cfg_.write_through) {
+  // stays dirty in NVM and recovery keeps it.  A degraded cache (bad sector
+  // seen) forces write-through even when configured write-back, so disk
+  // health surfaces per commit instead of at eviction time.  A failed
+  // writeback just leaves the block dirty.
+  if (cfg_.write_through || degraded_) {
     for (std::uint64_t blkno : txn.order_) {
       const std::uint32_t slot = index_.at(blkno);
-      writeback(slot);
+      if (!writeback(slot)) continue;
       ++stats_.writethrough_writes;
+      if (degraded_ && !cfg_.write_through) ++stats_.io_degraded_writes;
       CacheEntry e = mirror_[slot];
       e.modified = false;
       write_entry(slot, e);
@@ -458,7 +525,9 @@ void TincaCache::read_block(std::uint64_t disk_blkno, std::span<std::byte> dst) 
     return;
   }
   ++stats_.read_misses;
-  disk_.read(disk_blkno, dst);
+  const blockdev::IoStatus st = disk_read(disk_blkno, dst);
+  if (st != blockdev::IoStatus::kOk)
+    throw blockdev::IoError("tinca: unrecoverable disk read", disk_blkno, st);
   if (!cfg_.cache_reads) return;
 
   // Clean fill: stored but *not* flushed — recovery drops clean entries, so
@@ -494,7 +563,7 @@ void TincaCache::flush_dirty() {
     if (mirror_[slot].modified) dirty.emplace_back(blkno, slot);
   std::sort(dirty.begin(), dirty.end());
   for (auto [blkno, slot] : dirty) {
-    writeback(slot);
+    if (!writeback(slot)) continue;  // stays dirty; retried on the next flush
     ++stats_.dirty_writebacks;
     CacheEntry e = mirror_[slot];
     e.modified = false;
@@ -570,6 +639,9 @@ void TincaCache::register_metrics(obs::MetricsRegistry& reg,
   reg.add_counter(prefix + "dropped_clean_entries",
                   &stats_.dropped_clean_entries);
   reg.add_counter(prefix + "recovered_entries", &stats_.recovered_entries);
+  reg.add_counter(prefix + "io.retries", &stats_.io_retries);
+  reg.add_counter(prefix + "io.quarantined", &stats_.io_quarantined);
+  reg.add_counter(prefix + "io.degraded_writes", &stats_.io_degraded_writes);
   reg.add_histogram(prefix + "blocks_per_txn", &stats_.blocks_per_txn);
   reg.add_gauge(prefix + "capacity_blocks",
                 [this] { return capacity_blocks(); });

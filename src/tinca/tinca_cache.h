@@ -35,6 +35,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "blockdev/block_device.h"
@@ -70,6 +71,10 @@ struct TincaConfig {
   /// Chrome-trace thread-track id for this instance's trace spans (the
   /// sharded front-end assigns each shard its own track).
   int trace_tid = 0;
+  /// Retry policy for disk I/O that fails transiently.  Permanent (bad
+  /// sector) write failures additionally quarantine the block in NVM and
+  /// force write-through degradation (DESIGN.md §9).
+  blockdev::RetryPolicy io{};
 };
 
 /// Runtime counters; everything the benches need to reproduce the paper's
@@ -95,6 +100,9 @@ struct TincaCacheStats {
   std::uint64_t revoked_blocks = 0;       ///< rolled back by recovery/abort
   std::uint64_t dropped_clean_entries = 0;  ///< clean entries shed at mount
   std::uint64_t recovered_entries = 0;    ///< entries kept by recovery
+  std::uint64_t io_retries = 0;           ///< disk I/O retry attempts
+  std::uint64_t io_quarantined = 0;       ///< blocks quarantined (bad sector)
+  std::uint64_t io_degraded_writes = 0;   ///< forced write-through disk writes
   Histogram blocks_per_txn;               ///< Fig 13 source data
 };
 
@@ -195,6 +203,15 @@ class TincaCache {
   /// Largest transaction (in blocks) this cache can commit.
   [[nodiscard]] std::uint64_t max_txn_blocks() const;
 
+  /// Disk blocks currently quarantined after a permanent write failure
+  /// (their newest data is pinned dirty in NVM; DESIGN.md §9).
+  [[nodiscard]] std::uint64_t quarantined_blocks() const {
+    return quarantine_.size();
+  }
+
+  /// Whether a permanent disk fault forced write-through degradation.
+  [[nodiscard]] bool degraded() const { return degraded_; }
+
   [[nodiscard]] const TincaCacheStats& stats() const { return stats_; }
   [[nodiscard]] const Layout& layout() const { return layout_; }
   [[nodiscard]] nvm::NvmDevice& nvm() { return nvm_; }
@@ -204,7 +221,8 @@ class TincaCache {
 
   /// Per-op trace spans: tinca.commit / tinca.cow_write / tinca.ring_append /
   /// tinca.role_switch / tinca.evict / tinca.writeback / tinca.recovery /
-  /// tinca.read / tinca.abort.  Disabled by default (one branch per span);
+  /// tinca.read / tinca.abort / tinca.io_retry (one span per disk retry,
+  /// covering its backoff wait).  Disabled by default (one branch per span);
   /// enable() for latency histograms, attach_sink() for Chrome traces.
   [[nodiscard]] obs::Tracer& tracer() { return trace_; }
   [[nodiscard]] const obs::Tracer& tracer() const { return trace_; }
@@ -234,8 +252,14 @@ class TincaCache {
   // Replacement.
   void ensure_free(std::uint32_t entries, std::uint32_t blocks);
   void evict_one();
-  void writeback(std::uint32_t slot);
+  bool writeback(std::uint32_t slot);
   void clean_to_threshold();
+
+  // Disk I/O with the retry/quarantine policy (DESIGN.md §9).
+  blockdev::IoStatus disk_write(std::uint64_t blkno,
+                                std::span<const std::byte> buf);
+  blockdev::IoStatus disk_read(std::uint64_t blkno, std::span<std::byte> dst);
+  void note_bad_block(std::uint64_t blkno);
 
   // Debug-build cross-check of the incremental dirty counter against a full
   // index scan (compiled out under NDEBUG).
@@ -258,6 +282,12 @@ class TincaCache {
 
   std::uint64_t next_txn_id_ = 1;
   std::uint64_t dirty_count_ = 0;  ///< valid+modified entries (incremental)
+  /// Disk blocks with permanent write failures; their data stays pinned
+  /// dirty in NVM.  DRAM-only: quarantined blocks remain dirty, recovery
+  /// keeps dirty entries, and the next writeback attempt re-discovers the
+  /// fault, so nothing is lost by forgetting the set across a crash.
+  std::unordered_set<std::uint64_t> quarantine_;
+  bool degraded_ = false;  ///< permanent fault seen → forced write-through
   TincaCacheStats stats_;
 
   obs::Tracer trace_;  ///< virtual-time tracer (nvm_'s clock)
@@ -270,6 +300,7 @@ class TincaCache {
   obs::Tracer::Site* ts_writeback_;
   obs::Tracer::Site* ts_recovery_;
   obs::Tracer::Site* ts_read_;
+  obs::Tracer::Site* ts_io_retry_;
 };
 
 }  // namespace tinca::core

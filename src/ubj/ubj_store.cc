@@ -31,7 +31,8 @@ UbjStore::UbjStore(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
       trace_(nvm.clock(), /*tid=*/0, "ubj."),
       ts_freeze_(trace_.site("freeze")),
       ts_checkpoint_(trace_.site("checkpoint")),
-      ts_recovery_(trace_.site("recovery")) {
+      ts_recovery_(trace_.site("recovery")),
+      ts_io_retry_(trace_.site("io_retry")) {
   // Geometry: superblock | 16 B entry per block | 4 KB data per block.
   const std::uint64_t usable = nvm_.size() - kSuperBytes;
   num_blocks_ = usable / (kBlockSize + 16);
@@ -133,6 +134,43 @@ std::uint32_t UbjStore::allocate_slot() {
   return free_.take();
 }
 
+blockdev::IoStatus UbjStore::disk_write(std::uint64_t blkno,
+                                        std::span<const std::byte> buf) {
+  blockdev::IoStatus st = disk_.write(blkno, buf);
+  std::uint64_t wait = cfg_.io.backoff_ns;
+  for (std::uint32_t attempt = 0;
+       st == blockdev::IoStatus::kTransient && attempt < cfg_.io.max_retries;
+       ++attempt) {
+    TINCA_TRACE_SPAN(trace_, ts_io_retry_);
+    nvm_.clock().advance(wait);
+    wait *= cfg_.io.backoff_mult == 0 ? 1 : cfg_.io.backoff_mult;
+    ++stats_.io_retries;
+    st = disk_.write(blkno, buf);
+  }
+  return st;
+}
+
+blockdev::IoStatus UbjStore::disk_read(std::uint64_t blkno,
+                                       std::span<std::byte> buf) {
+  blockdev::IoStatus st = disk_.read(blkno, buf);
+  std::uint64_t wait = cfg_.io.backoff_ns;
+  for (std::uint32_t attempt = 0;
+       st == blockdev::IoStatus::kTransient && attempt < cfg_.io.max_retries;
+       ++attempt) {
+    TINCA_TRACE_SPAN(trace_, ts_io_retry_);
+    nvm_.clock().advance(wait);
+    wait *= cfg_.io.backoff_mult == 0 ? 1 : cfg_.io.backoff_mult;
+    ++stats_.io_retries;
+    st = disk_.read(blkno, buf);
+  }
+  return st;
+}
+
+void UbjStore::note_bad_block(std::uint64_t disk_blkno) {
+  if (quarantine_.insert(disk_blkno).second) ++stats_.io_quarantined;
+  degraded_ = true;
+}
+
 void UbjStore::checkpoint_batch() {
   TINCA_TRACE_SPAN(trace_, ts_checkpoint_);
   TINCA_EXPECT(!unchkpt_.empty(), "checkpoint with nothing outstanding");
@@ -147,9 +185,19 @@ void UbjStore::checkpoint_batch() {
     for (std::uint32_t slot : rec.slots) {
       Slot& s = slots_[slot];
       if (!s.valid || !s.frozen || s.seq != rec.seq) continue;  // re-frozen
+      // A block that cannot reach disk (quarantined, or discovering a bad
+      // sector right now) keeps its slot frozen forever: the journal copy
+      // is the only durable one, so the slot is pinned and NVM capacity
+      // degrades — UBJ has no other home for the data.
+      if (quarantine_.contains(s.disk_blkno)) continue;
       nvm_.load(data_off(slot), buf);
-      disk_.write(s.disk_blkno, buf);
+      const blockdev::IoStatus st = disk_write(s.disk_blkno, buf);
+      if (st != blockdev::IoStatus::kOk) {
+        if (st == blockdev::IoStatus::kBadSector) note_bad_block(s.disk_blkno);
+        continue;
+      }
       ++stats_.checkpoint_writes;
+      if (degraded_) ++stats_.io_degraded_writes;
       auto it = latest_.find(s.disk_blkno);
       if (it != latest_.end() && it->second == slot) {
         // Newest copy: unfreeze, keep cached clean.
@@ -244,6 +292,10 @@ void UbjStore::commit_txn(
   stats_.blocks_committed += blocks.size();
   ++stats_.txns_committed;
   unchkpt_.push_back(std::move(rec));
+
+  // Degraded mode (bad sector seen): checkpoint eagerly so every commit is
+  // pushed toward disk immediately — UBJ's analogue of forced write-through.
+  if (degraded_) checkpoint_all();
 }
 
 void UbjStore::read_block(std::uint64_t disk_blkno, std::span<std::byte> dst) {
@@ -257,7 +309,9 @@ void UbjStore::read_block(std::uint64_t disk_blkno, std::span<std::byte> dst) {
     return;
   }
   ++stats_.read_misses;
-  disk_.read(disk_blkno, dst);
+  const blockdev::IoStatus st = disk_read(disk_blkno, dst);
+  if (st != blockdev::IoStatus::kOk)
+    throw blockdev::IoError("ubj: unrecoverable disk read", disk_blkno, st);
   // Clean fill, unflushed: recovery discards unfrozen entries anyway.
   if (!free_.any() && lru_.lru() == core::SlotLru::kNil) return;  // all frozen
   const std::uint32_t slot = allocate_slot();
@@ -345,6 +399,9 @@ void UbjStore::register_metrics(obs::MetricsRegistry& reg,
   reg.add_counter(prefix + "recovered_entries", &stats_.recovered_entries);
   reg.add_counter(prefix + "discarded_uncommitted",
                   &stats_.discarded_uncommitted);
+  reg.add_counter(prefix + "io.retries", &stats_.io_retries);
+  reg.add_counter(prefix + "io.quarantined", &stats_.io_quarantined);
+  reg.add_counter(prefix + "io.degraded_writes", &stats_.io_degraded_writes);
   reg.add_histogram(prefix + "blocks_per_txn", &stats_.blocks_per_txn);
   reg.add_gauge(prefix + "capacity_blocks", [this] { return capacity_blocks(); });
   reg.add_gauge(prefix + "frozen_blocks", [this] { return frozen_blocks(); });

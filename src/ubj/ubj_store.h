@@ -28,6 +28,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "blockdev/block_device.h"
@@ -46,6 +47,8 @@ struct UbjConfig {
   std::uint32_t checkpoint_txn_batch = 8;
   /// Modelled software overhead per operation.
   std::uint64_t cpu_op_ns = 150;
+  /// Retry/backoff policy for disk I/O (DESIGN.md §9).
+  blockdev::RetryPolicy io{};
 };
 
 /// Counters.
@@ -63,6 +66,9 @@ struct UbjStats {
   std::uint64_t evictions = 0;
   std::uint64_t recovered_entries = 0;
   std::uint64_t discarded_uncommitted = 0;
+  std::uint64_t io_retries = 0;          ///< disk retries after kTransient
+  std::uint64_t io_quarantined = 0;      ///< blocks quarantined (bad sector)
+  std::uint64_t io_degraded_writes = 0;  ///< eager checkpoint writes while degraded
   Histogram blocks_per_txn;
 };
 
@@ -93,6 +99,17 @@ class UbjStore {
   [[nodiscard]] std::uint64_t frozen_blocks() const { return frozen_count_; }
   [[nodiscard]] const UbjStats& stats() const { return stats_; }
 
+  /// Blocks quarantined after a permanent bad sector.  Their frozen NVM
+  /// slots stay pinned forever (UBJ's checkpoint cannot retire them), so
+  /// quarantine shows up as capacity degradation.
+  [[nodiscard]] std::size_t quarantined_blocks() const {
+    return quarantine_.size();
+  }
+
+  /// Whether a permanent disk fault has switched the store to eager
+  /// (write-through-like) checkpointing.
+  [[nodiscard]] bool degraded() const { return degraded_; }
+
   /// Trace spans: ubj.freeze (commit-in-place) / ubj.checkpoint /
   /// ubj.recovery (virtual-time; disabled by default).
   [[nodiscard]] obs::Tracer& tracer() { return trace_; }
@@ -119,6 +136,11 @@ class UbjStore {
   std::uint32_t allocate_slot();
   void checkpoint_batch();
   void evict_one_clean();
+  /// Disk I/O with the configured retry policy (traced per retry).
+  blockdev::IoStatus disk_write(std::uint64_t blkno,
+                                std::span<const std::byte> buf);
+  blockdev::IoStatus disk_read(std::uint64_t blkno, std::span<std::byte> buf);
+  void note_bad_block(std::uint64_t disk_blkno);
 
   [[nodiscard]] std::uint64_t entry_off(std::uint32_t slot) const;
   [[nodiscard]] std::uint64_t data_off(std::uint32_t slot) const;
@@ -146,11 +168,16 @@ class UbjStore {
   std::deque<TxnRecord> unchkpt_;
 
   UbjStats stats_;
+  /// Disk blocks that hit a permanent bad sector (DRAM-only: their slots
+  /// stay frozen in NVM, so a restart re-discovers them at checkpoint time).
+  std::unordered_set<std::uint64_t> quarantine_;
+  bool degraded_ = false;
 
   obs::Tracer trace_;  ///< virtual-time tracer (nvm_'s clock)
   obs::Tracer::Site* ts_freeze_;
   obs::Tracer::Site* ts_checkpoint_;
   obs::Tracer::Site* ts_recovery_;
+  obs::Tracer::Site* ts_io_retry_;
 };
 
 }  // namespace tinca::ubj

@@ -1,6 +1,9 @@
 // Unit tests for the block-device substrate.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "blockdev/faulty_block_device.h"
 #include "blockdev/latency_block_device.h"
 #include "blockdev/mem_block_device.h"
 #include "common/bytes.h"
@@ -110,6 +113,111 @@ TEST(LatencyBlockDevice, HddRandomIsSlowerThanSsdRandom) {
     hdd.write(blk, buf);
   }
   EXPECT_GT(c_hdd.now(), 5 * c_ssd.now());
+}
+
+TEST(FaultyBlockDevice, DefaultConfigIsTransparent) {
+  MemBlockDevice mem(64);
+  FaultyBlockDevice dev(mem, {});
+  const auto data = block_with(7);
+  std::vector<std::byte> got(kBlockSize);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(dev.write(i % 64, data), IoStatus::kOk);
+    EXPECT_EQ(dev.read(i % 64, got), IoStatus::kOk);
+  }
+  EXPECT_EQ(got, data);
+  EXPECT_EQ(dev.fault_stats().transient_write_errors, 0u);
+  EXPECT_EQ(dev.bad_sector_count(), 0u);
+}
+
+TEST(FaultyBlockDevice, MarkBadFailsWritesButReadsKeepLastGoodContents) {
+  MemBlockDevice mem(64);
+  FaultyBlockDevice dev(mem, {});
+  const auto old_data = block_with(1);
+  ASSERT_EQ(dev.write(5, old_data), IoStatus::kOk);
+  dev.mark_bad(5);
+  EXPECT_TRUE(dev.is_bad(5));
+  EXPECT_EQ(dev.write(5, block_with(2)), IoStatus::kBadSector);
+  std::vector<std::byte> got(kBlockSize);
+  EXPECT_EQ(dev.read(5, got), IoStatus::kOk);
+  EXPECT_EQ(got, old_data);  // the failed write never reached the media
+  EXPECT_EQ(dev.fault_stats().bad_sectors, 1u);
+  EXPECT_EQ(dev.fault_stats().bad_sector_errors, 1u);
+}
+
+TEST(FaultyBlockDevice, ScriptedTransientsFailExactlyNTimes) {
+  MemBlockDevice mem(64);
+  FaultyBlockDevice dev(mem, {});
+  const auto data = block_with(3);
+  std::vector<std::byte> got(kBlockSize);
+  dev.fail_next_writes(2);
+  EXPECT_EQ(dev.write(1, data), IoStatus::kTransient);
+  EXPECT_EQ(dev.write(1, data), IoStatus::kTransient);
+  EXPECT_EQ(dev.write(1, data), IoStatus::kOk);  // the retry that lands
+  dev.fail_next_reads(1);
+  EXPECT_EQ(dev.read(1, got), IoStatus::kTransient);
+  EXPECT_EQ(dev.read(1, got), IoStatus::kOk);
+  EXPECT_EQ(got, data);
+  EXPECT_EQ(dev.fault_stats().transient_write_errors, 2u);
+  EXPECT_EQ(dev.fault_stats().transient_read_errors, 1u);
+}
+
+TEST(FaultyBlockDevice, ScriptedTearLeavesHalfOldHalfNewAndCrashes) {
+  MemBlockDevice mem(64);
+  FaultyBlockDevice dev(mem, {});
+  const auto old_data = block_with(1);
+  const auto new_data = block_with(2);
+  ASSERT_EQ(dev.write(9, old_data), IoStatus::kOk);
+  dev.tear_write_after(2);
+  ASSERT_EQ(dev.write(9, old_data), IoStatus::kOk);  // write 1: intact
+  EXPECT_THROW(dev.write(9, new_data), nvm::CrashException);  // write 2 tears
+  std::vector<std::byte> got(kBlockSize);
+  ASSERT_EQ(mem.read(9, got), IoStatus::kOk);
+  EXPECT_TRUE(std::equal(got.begin(), got.begin() + kBlockSize / 2,
+                         new_data.begin()));
+  EXPECT_TRUE(std::equal(got.begin() + kBlockSize / 2, got.end(),
+                         old_data.begin() + kBlockSize / 2));
+  EXPECT_EQ(dev.fault_stats().torn_writes, 1u);
+}
+
+TEST(FaultyBlockDevice, InjectorTornPointTearsDiskWrites) {
+  MemBlockDevice mem(64);
+  nvm::CrashInjector inj;
+  FaultyBlockDevice dev(mem, {}, nullptr, &inj);
+  const auto data = block_with(4);
+  ASSERT_EQ(dev.write(0, data), IoStatus::kOk);
+  inj.arm_torn(2);
+  EXPECT_EQ(dev.write(0, data), IoStatus::kOk);  // torn step 1: passes
+  EXPECT_THROW(dev.write(0, block_with(5)), nvm::CrashException);
+  EXPECT_EQ(dev.fault_stats().torn_writes, 1u);
+}
+
+TEST(FaultyBlockDevice, RandomScheduleIsReproducibleFromSeed) {
+  FaultConfig cfg;
+  cfg.seed = 1234;
+  cfg.transient_write_rate = 0.2;
+  cfg.bad_sector_rate = 0.02;
+  const auto data = block_with(6);
+  std::vector<IoStatus> a, b;
+  for (std::vector<IoStatus>* out : {&a, &b}) {
+    MemBlockDevice mem(64);
+    FaultyBlockDevice dev(mem, cfg);
+    for (int i = 0; i < 300; ++i) out->push_back(dev.write(i % 64, data));
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(std::find(a.begin(), a.end(), IoStatus::kTransient) != a.end());
+}
+
+TEST(FaultyBlockDevice, QuiesceStopsRandomFaultsButKeepsBadSectors) {
+  FaultConfig cfg;
+  cfg.seed = 9;
+  cfg.transient_write_rate = 0.5;
+  MemBlockDevice mem(64);
+  FaultyBlockDevice dev(mem, cfg);
+  const auto data = block_with(8);
+  dev.mark_bad(3);
+  dev.quiesce();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dev.write(10, data), IoStatus::kOk);
+  EXPECT_EQ(dev.write(3, data), IoStatus::kBadSector);  // bad stays bad
 }
 
 }  // namespace

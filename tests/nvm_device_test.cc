@@ -240,5 +240,67 @@ TEST(CrashInjector, DisarmStopsFiring) {
   EXPECT_NO_THROW(inj.point());
 }
 
+TEST(CrashInjector, TornCounterIsIndependentOfPointCounter) {
+  CrashInjector inj;
+  inj.arm_torn(2);
+  // Ordinary points never advance (or trip) the torn counter, so arming a
+  // torn step cannot perturb an existing point() sweep's numbering.
+  EXPECT_NO_THROW(inj.point());
+  EXPECT_NO_THROW(inj.point());
+  EXPECT_EQ(inj.torn_steps_seen(), 0u);
+  EXPECT_FALSE(inj.point_torn());  // torn step 1
+  EXPECT_TRUE(inj.point_torn());   // torn step 2 fires
+  EXPECT_EQ(inj.torn_steps_seen(), 2u);
+  EXPECT_EQ(inj.steps_seen(), 2u);  // point() count untouched by torn calls
+  inj.disarm_torn();
+  EXPECT_FALSE(inj.torn_armed());
+  EXPECT_FALSE(inj.point_torn());
+}
+
+TEST(NvmDevice, TornStoreAppliesPrefixThenCrashes) {
+  Fixture f;
+  std::vector<std::byte> old_data(128);
+  fill_pattern(old_data, 1);
+  f.dev.store(0, old_data);
+  f.dev.clflush(0, old_data.size());
+  f.dev.sfence();
+
+  std::vector<std::byte> new_data(128);
+  fill_pattern(new_data, 2);
+  f.dev.injector.arm_torn(1);
+  EXPECT_THROW(f.dev.store(0, new_data), CrashException);
+  f.dev.injector.disarm_torn();
+
+  // Every torn-prefix line survives the power cut: the first half of the
+  // store is new, the second half still old — a torn write, not a lost one.
+  f.dev.crash(f.rng, 1.0);
+  std::vector<std::byte> got(128);
+  f.dev.load(0, got);
+  EXPECT_TRUE(std::equal(got.begin(), got.begin() + 64, new_data.begin()));
+  EXPECT_TRUE(std::equal(got.begin() + 64, got.end(), old_data.begin() + 64));
+}
+
+TEST(NvmDevice, TornStorePrefixStillFacesLineSurvivalLottery) {
+  Fixture f;
+  std::vector<std::byte> old_data(128);
+  fill_pattern(old_data, 1);
+  f.dev.store(0, old_data);
+  f.dev.clflush(0, old_data.size());
+  f.dev.sfence();
+
+  std::vector<std::byte> new_data(128);
+  fill_pattern(new_data, 2);
+  f.dev.injector.arm_torn(1);
+  EXPECT_THROW(f.dev.store(0, new_data), CrashException);
+  f.dev.injector.disarm_torn();
+
+  // The torn prefix was only in the CPU cache; with zero survival it is
+  // dropped wholesale and the flushed old contents are intact.
+  f.dev.crash(f.rng, 0.0);
+  std::vector<std::byte> got(128);
+  f.dev.load(0, got);
+  EXPECT_EQ(got, old_data);
+}
+
 }  // namespace
 }  // namespace tinca::nvm

@@ -1,9 +1,16 @@
 // Tests for the persistent ring buffer and its Head/Tail protocol (§4.4).
 #include <gtest/gtest.h>
 
+#include <map>
+
+#include "blockdev/faulty_block_device.h"
+#include "blockdev/mem_block_device.h"
+#include "common/bytes.h"
 #include "nvm/nvm_device.h"
 #include "tinca/layout.h"
 #include "tinca/ring_buffer.h"
+#include "tinca/tinca_cache.h"
+#include "tinca/verify.h"
 
 namespace tinca::core {
 namespace {
@@ -133,6 +140,65 @@ TEST(RingBuffer, CorruptPointersRejectedOnLoad) {
   f.dev.persist(Layout::kTailOff, 8);
   RingBuffer other(f.dev, f.layout);
   EXPECT_THROW(other.load(), ContractViolation);
+}
+
+// Integration: the monotonic Head/Tail indices wrap their slot capacity many
+// times while the backing disk throws transient errors into the write-back
+// stream (every retry happens between ring appends).  The ring protocol must
+// stay consistent, committed data must stay readable, and a remount after
+// the wraps must still verify and serve everything.
+TEST(RingBuffer, WrapAroundSurvivesDiskErrorsMidAppendStream) {
+  constexpr std::size_t kNvm = 1 << 20;
+  constexpr std::uint64_t kRing = 4096;  // 512 slots — wraps fast
+  sim::SimClock clock;
+  nvm::NvmDevice nvm(kNvm, nvdimm_profile(), clock);
+  blockdev::MemBlockDevice mem(1 << 12);
+  blockdev::FaultyBlockDevice disk(mem, {}, &clock, &nvm.injector);
+
+  TincaConfig cfg;
+  cfg.ring_bytes = kRing;
+  cfg.clean_thresh_pct = 50;  // cleaning keeps write-backs in the commit loop
+  auto cache = TincaCache::format(nvm, disk, cfg);
+
+  // 150 transactions × 4 blocks = 600 ring records > 512 slots: > 1 wrap.
+  constexpr std::uint64_t kTxns = 150;
+  constexpr std::uint64_t kUniverse = 300;  // > capacity → steady eviction
+  std::map<std::uint64_t, std::uint64_t> expected;
+  std::vector<std::byte> buf(kBlockSize);
+  for (std::uint64_t t = 0; t < kTxns; ++t) {
+    if (t % 3 == 0) disk.fail_next_writes(1);  // mid-stream transient error
+    Transaction txn = cache->tinca_init_txn();
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      const std::uint64_t blkno = (t * 37 + i * 11) % kUniverse;
+      const std::uint64_t seed = t * 8 + i + 1;
+      fill_pattern(buf, seed);
+      txn.add(blkno, buf);
+      expected[blkno] = seed;
+    }
+    cache->tinca_commit(txn);
+  }
+  EXPECT_GT(cache->stats().io_retries, 0u);  // the transients really hit
+
+  // The monotonic indices wrapped the slot capacity and drained.
+  const Layout layout = Layout::compute(kNvm, kRing);
+  RingBuffer ring(nvm, layout);
+  ring.load();
+  EXPECT_GT(ring.head(), ring.capacity());
+  EXPECT_EQ(ring.in_flight(), 0u);
+
+  const MediaReport before = verify_media(nvm, layout);
+  EXPECT_TRUE(before.ok) << (before.problems.empty() ? ""
+                                                     : before.problems[0]);
+
+  // Remount: every committed block must still be intact after the wraps.
+  cache.reset();
+  cache = TincaCache::recover(nvm, disk, cfg);
+  for (const auto& [blkno, seed] : expected) {
+    cache->read_block(blkno, buf);
+    const std::uint64_t got = fingerprint(buf);
+    fill_pattern(buf, seed);
+    EXPECT_EQ(got, fingerprint(buf)) << "block " << blkno;
+  }
 }
 
 }  // namespace
