@@ -32,7 +32,8 @@ trap 'rm -rf "$JSON_OUT"' EXIT
 
 cmake -B "$BENCH_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BENCH_DIR" -j "$(nproc)" \
-  --target bench_micro_primitives bench_ablation_txn_batch bench_fault_sweep
+  --target bench_micro_primitives bench_ablation_txn_batch bench_fault_sweep \
+  bench_fs_fuzz_sweep
 
 "$BENCH_DIR/bench/bench_micro_primitives" \
   --benchmark_filter=BM_CacheEntryCodec --benchmark_min_time=0.05 \
@@ -46,8 +47,23 @@ cmake --build "$BENCH_DIR" -j "$(nproc)" \
 "$BENCH_DIR/bench/bench_fault_sweep" --schedules 1000 --seed 1 \
   --json "$JSON_OUT/fault_sweep.json" > /dev/null
 
+# FS-level fuzz smoke (DESIGN.md §10): 500 randomized MiniFs op histories per
+# stack plus a crash-point sweep, fixed seed.  Nonzero exit on any tree-model
+# mismatch or dirty fsck — this line is the file-system consistency gate.
+"$BENCH_DIR/bench/bench_fs_fuzz_sweep" --schedules 500 --seed 1 \
+  --json "$JSON_OUT/fs_fuzz.json" > /dev/null
+
+# Oracle self-test: a sabotaged run (harness corrupts a committed data block
+# behind the backend's back) must FAIL, proving the oracle has teeth.
+if "$BENCH_DIR/bench/bench_fs_fuzz_sweep" --schedules 20 --seed 1 \
+    --sabotage data > /dev/null 2>&1; then
+  echo "FATAL: sabotaged fs-fuzz run passed — the oracle is blind" >&2
+  exit 1
+fi
+echo "fs fuzz sabotage self-test: correctly rejected"
+
 python3 - "$JSON_OUT/micro.json" "$JSON_OUT/txn_batch.json" \
-  "$JSON_OUT/fault_sweep.json" <<'EOF'
+  "$JSON_OUT/fault_sweep.json" "$JSON_OUT/fs_fuzz.json" <<'EOF'
 import json, numbers, sys
 
 for path in sys.argv[1:]:
@@ -77,4 +93,21 @@ for row in sweep["rows"]:
     assert m["violations"] == 0, f"{row['label']}: {m['violations']} violations"
     assert m["crashes"] > 0, f"{row['label']}: campaign never crashed"
 print(f"fault sweep: OK ({len(sweep['rows'])} stacks, 0 violations)")
+
+# FS-fuzz specifics: all four stacks, full schedule count, zero tree-model
+# violations, zero dirty fscks, and the campaign actually exercised the
+# machinery (crashes happened, fsck ran, the sweep covered commit points).
+with open(sys.argv[4]) as f:
+    fsf = json.load(f)
+labels = {row["label"] for row in fsf["rows"]}
+assert labels == {"Tinca", "Classic", "UBJ", "Sharded"}, f"stacks ran: {labels}"
+for row in fsf["rows"]:
+    m = row["metrics"]
+    assert m["schedules"] >= 500, f"{row['label']}: only {m['schedules']} schedules"
+    assert m["violations"] == 0, f"{row['label']}: {m['violations']} violations"
+    assert m["fsck_dirty"] == 0, f"{row['label']}: {m['fsck_dirty']} dirty fscks"
+    assert m["crashes"] > 0, f"{row['label']}: campaign never crashed"
+    assert m["fsck_runs"] > 0, f"{row['label']}: fsck never ran"
+    assert m["sweep_points"] > 0, f"{row['label']}: sweep covered no points"
+print(f"fs fuzz: OK ({len(fsf['rows'])} stacks, 0 violations, 0 dirty)")
 EOF

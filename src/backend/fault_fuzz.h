@@ -1,5 +1,5 @@
-// Randomized fault-fuzz harness shared by tests/fault_fuzz_test.cc and
-// bench/bench_fault_sweep.cc.
+// Randomized block-level fault-fuzz harness shared by
+// tests/fault_fuzz_test.cc and bench/bench_fault_sweep.cc.
 //
 // Each *schedule* builds a fresh stack (SimClock → NvmDevice → MemBlockDevice
 // ← FaultyBlockDevice), formats the backend under test, runs a random
@@ -11,8 +11,11 @@
 // equal the committed history, or committed history + the one transaction
 // that was mid-commit (atomicity: nothing in between, nothing lost).
 //
-// Everything is derived from FuzzOptions::seed, so any failure reproduces
-// from the seed alone — harness users print it on failure.
+// The campaign plumbing (options, per-kind stack construction, reproduce
+// tags) lives in fuzz_common.h and is shared with the file-system-level
+// harness in src/fs/fs_fuzz.h.  Every violation message embeds the failing
+// schedule's seed and fault schedule verbatim plus a "reproduce:" tag that
+// replays it alone.
 #pragma once
 
 #include <algorithm>
@@ -23,161 +26,12 @@
 #include <string>
 #include <vector>
 
-#include "backend/stack_builder.h"
+#include "backend/fuzz_common.h"
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "tinca/verify.h"
 
 namespace tinca::backend {
-
-/// Parameters of one fuzz campaign (one backend kind, many schedules).
-struct FuzzOptions {
-  StackKind kind = StackKind::kTinca;
-  std::uint64_t seed = 1;
-  std::uint32_t schedules = 200;
-  /// Transactions attempted per schedule (a crash may cut a schedule short).
-  std::uint32_t txns_per_schedule = 12;
-  /// Blocks per transaction: 1..min(this, backend max_txn_blocks()).
-  std::uint32_t max_blocks_per_txn = 6;
-  /// Data-block universe [0, data_blocks) — deliberately larger than the
-  /// small NVM cache so evictions and write-backs run under fault pressure.
-  std::uint64_t data_blocks = 320;
-  /// Probability a schedule arms a deterministic crash (power cut or torn
-  /// write); random torn writes can still crash unarmed schedules.
-  double crash_prob = 0.6;
-  /// Disk fault rates (per operation).
-  double transient_read_rate = 0.01;
-  double transient_write_rate = 0.02;
-  double bad_sector_rate = 0.002;
-  double torn_write_rate = 0.001;
-  /// 0 = pick a per-kind default small enough to force evictions.
-  std::uint64_t nvm_bytes = 0;
-  std::uint64_t disk_blocks = 1ull << 12;
-  std::uint64_t ring_bytes = 64 * 1024;    ///< Tinca ring (per shard)
-  std::uint64_t journal_blocks = 512;      ///< Classic journal reservation
-  std::uint32_t shards = 2;                ///< kShardedTinca only
-  blockdev::RetryPolicy retry{};
-};
-
-/// Campaign outcome.  `violations` is the only failure signal; everything
-/// else is telemetry (how hard the campaign actually exercised the stack).
-struct FuzzReport {
-  std::uint64_t schedules = 0;
-  std::uint64_t crashes = 0;          ///< schedules ended by CrashException
-  std::uint64_t clean_remounts = 0;   ///< crash-free recover() round trips
-  std::uint64_t io_errors = 0;        ///< unrecoverable-read IoError throws
-  std::uint64_t wedges = 0;           ///< documented capacity wedges hit
-  std::uint64_t violations = 0;       ///< invariant violations (must be 0)
-  std::vector<std::string> violation_messages;  ///< first few, with seeds
-  std::uint64_t io_retries = 0;
-  std::uint64_t io_quarantined = 0;
-  std::uint64_t io_degraded_writes = 0;
-  blockdev::FaultStats faults;        ///< summed over all schedules
-};
-
-namespace detail {
-
-inline std::uint64_t fuzz_mix(std::uint64_t a, std::uint64_t b) {
-  std::uint64_t z = a + 0x9E3779B97F4A7C15ULL * (b + 1);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
-/// Per-kind NVM size: small enough that `data_blocks` overcommits the cache
-/// (evictions + threshold cleaning run under faults), big enough for a
-/// valid layout (FlashCache needs one full 256-slot set + metadata).
-inline std::uint64_t fuzz_nvm_bytes(const FuzzOptions& o) {
-  if (o.nvm_bytes != 0) return o.nvm_bytes;
-  switch (o.kind) {
-    case StackKind::kClassic:
-    case StackKind::kClassicNoJournal:
-      return 3ull << 19;  // 1.5 MB → one 256-slot set
-    case StackKind::kShardedTinca:
-      return (1ull << 19) * 2;  // two 512 KB shards
-    default:
-      return 1ull << 19;  // 512 KB → ~100 Tinca/UBJ blocks
-  }
-}
-
-inline std::unique_ptr<TxnBackend> fuzz_build(const FuzzOptions& o,
-                                              nvm::NvmDevice& nvm,
-                                              blockdev::BlockDevice& disk,
-                                              bool recover) {
-  switch (o.kind) {
-    case StackKind::kTinca: {
-      core::TincaConfig c;
-      c.ring_bytes = o.ring_bytes;
-      c.io = o.retry;
-      return recover ? TincaBackend::recover(nvm, disk, c)
-                     : TincaBackend::format(nvm, disk, c);
-    }
-    case StackKind::kClassic:
-    case StackKind::kClassicNoJournal: {
-      classic::ClassicConfig c;
-      c.journaling = o.kind == StackKind::kClassic;
-      c.journal_blocks = o.journal_blocks;
-      c.cache.io = o.retry;
-      return recover ? ClassicBackend::recover(nvm, disk, c)
-                     : ClassicBackend::format(nvm, disk, c);
-    }
-    case StackKind::kUbj: {
-      ubj::UbjConfig c;
-      c.io = o.retry;
-      return recover ? UbjBackend::recover(nvm, disk, c)
-                     : UbjBackend::format(nvm, disk, c);
-    }
-    case StackKind::kShardedTinca: {
-      shard::ShardedConfig s;
-      s.num_shards = o.shards;
-      s.shard.ring_bytes = o.ring_bytes;
-      s.shard.io = o.retry;
-      return recover ? ShardedBackend::recover(nvm, disk, s)
-                     : ShardedBackend::format(nvm, disk, s);
-    }
-  }
-  TINCA_ENSURE(false, "unknown StackKind");
-  return nullptr;
-}
-
-/// Fold the backend's retry/quarantine/degradation counters into `rep`.
-inline void fuzz_collect(const FuzzOptions& o, TxnBackend& be,
-                         FuzzReport& rep) {
-  const auto add = [&rep](std::uint64_t retries, std::uint64_t quarantined,
-                          std::uint64_t degraded) {
-    rep.io_retries += retries;
-    rep.io_quarantined += quarantined;
-    rep.io_degraded_writes += degraded;
-  };
-  switch (o.kind) {
-    case StackKind::kTinca: {
-      const core::TincaCacheStats& s =
-          static_cast<TincaBackend&>(be).cache().stats();
-      add(s.io_retries, s.io_quarantined, s.io_degraded_writes);
-      break;
-    }
-    case StackKind::kClassic:
-    case StackKind::kClassicNoJournal: {
-      const classic::FlashCacheStats& s =
-          static_cast<ClassicBackend&>(be).stack().cache().stats();
-      add(s.io_retries, s.io_quarantined, s.io_degraded_writes);
-      break;
-    }
-    case StackKind::kUbj: {
-      const ubj::UbjStats& s = static_cast<UbjBackend&>(be).store().stats();
-      add(s.io_retries, s.io_quarantined, s.io_degraded_writes);
-      break;
-    }
-    case StackKind::kShardedTinca: {
-      const core::TincaCacheStats s =
-          static_cast<ShardedBackend&>(be).sharded().aggregated_stats();
-      add(s.io_retries, s.io_quarantined, s.io_degraded_writes);
-      break;
-    }
-  }
-}
-
-}  // namespace detail
 
 /// Run the campaign.  Never throws for injected faults — every anomaly is
 /// classified into the report; only harness misuse (bad options) throws.
@@ -194,24 +48,27 @@ inline FuzzReport run_fault_fuzz(const FuzzOptions& opts) {
     return fingerprint(buf);
   };
 
-  const auto record_violation = [&rep](std::uint32_t sched,
-                                       std::uint64_t sseed,
-                                       const std::string& what) {
-    ++rep.violations;
-    if (rep.violation_messages.size() < 16) {
-      rep.violation_messages.push_back(
-          "schedule " + std::to_string(sched) + " (seed " +
-          std::to_string(sseed) + "): " + what);
-    }
-  };
-
-  for (std::uint32_t sched = 0; sched < opts.schedules; ++sched) {
+  const std::uint64_t last_schedule =
+      static_cast<std::uint64_t>(opts.first_schedule) + opts.schedules;
+  for (std::uint64_t sched = opts.first_schedule; sched < last_schedule;
+       ++sched) {
     ++rep.schedules;
     const std::uint64_t sseed = fuzz_mix(opts.seed, sched);
     Rng rng(sseed);
+    std::string armed = "none";
+
+    const auto record_violation = [&](const std::string& what) {
+      ++rep.violations;
+      if (rep.violation_messages.size() < 16) {
+        rep.violation_messages.push_back(
+            fuzz_schedule_tag(opts, sched, sseed, armed) + ": " + what +
+            " | " + fuzz_reproduce_tag(opts.seed, sched));
+      }
+    };
 
     sim::SimClock clock;
-    nvm::NvmDevice nvm(detail::fuzz_nvm_bytes(opts), nvdimm_profile(), clock);
+    nvm::NvmDevice nvm(detail::fuzz_nvm_bytes(opts.kind, opts.nvm_bytes),
+                       nvdimm_profile(), clock);
     blockdev::MemBlockDevice mem(opts.disk_blocks);
     blockdev::FaultConfig fcfg;
     fcfg.seed = fuzz_mix(sseed, 0xFA01);
@@ -232,9 +89,13 @@ inline FuzzReport run_fault_fuzz(const FuzzOptions& opts) {
     // power at an NVM persistence point, the rest tear a disk write.
     if (rng.chance(opts.crash_prob)) {
       if (rng.chance(0.5)) {
-        nvm.injector.arm(1 + rng.below(300));
+        const std::uint64_t step = 1 + rng.below(300);
+        nvm.injector.arm(step);
+        armed = "point@" + std::to_string(step);
       } else {
-        nvm.injector.arm_torn(1 + rng.below(40));
+        const std::uint64_t step = 1 + rng.below(40);
+        nvm.injector.arm_torn(step);
+        armed = "torn@" + std::to_string(step);
       }
     }
 
@@ -256,10 +117,9 @@ inline FuzzReport run_fault_fuzz(const FuzzOptions& opts) {
           be->read_block(it->first, buf);
           const std::uint64_t got_fp = fingerprint(buf);
           if (got_fp != fp_of(it->second)) {
-            record_violation(sched, sseed,
-                             "live read of committed block " +
-                                 std::to_string(it->first) +
-                                 " returned wrong contents");
+            record_violation("live read of committed block " +
+                             std::to_string(it->first) +
+                             " returned wrong contents");
             break;
           }
         }
@@ -293,7 +153,7 @@ inline FuzzReport run_fault_fuzz(const FuzzOptions& opts) {
         ++rep.wedges;  // documented capacity degradation, not a bug
         wedged = true;
       } else {
-        record_violation(sched, sseed, e.what());
+        record_violation(e.what());
       }
     }
 
@@ -307,13 +167,7 @@ inline FuzzReport run_fault_fuzz(const FuzzOptions& opts) {
       // A wedge aborts mid-operation by design; the interrupted operation's
       // partial state is reconciled by recovery, which the crash schedules
       // already cover.  Nothing further to verify here.
-      const blockdev::FaultStats& f = disk.fault_stats();
-      rep.faults.transient_read_errors += f.transient_read_errors;
-      rep.faults.transient_write_errors += f.transient_write_errors;
-      rep.faults.bad_sectors += f.bad_sectors;
-      rep.faults.bad_sector_errors += f.bad_sector_errors;
-      rep.faults.torn_writes += f.torn_writes;
-      rep.faults.latency_spikes += f.latency_spikes;
+      detail::fuzz_fold_faults(rep.faults, disk.fault_stats());
       continue;
     }
 
@@ -326,8 +180,7 @@ inline FuzzReport run_fault_fuzz(const FuzzOptions& opts) {
       try {
         be = detail::fuzz_build(opts, nvm, disk, true);
       } catch (const std::exception& e) {
-        record_violation(sched, sseed,
-                         std::string("recovery failed: ") + e.what());
+        record_violation(std::string("recovery failed: ") + e.what());
         continue;
       }
     } else if (rng.chance(0.5)) {
@@ -337,13 +190,28 @@ inline FuzzReport run_fault_fuzz(const FuzzOptions& opts) {
       try {
         be = detail::fuzz_build(opts, nvm, disk, true);
       } catch (const std::exception& e) {
-        record_violation(sched, sseed,
-                         std::string("clean remount failed: ") + e.what());
+        record_violation(std::string("clean remount failed: ") + e.what());
         continue;
       }
       txn.clear();  // nothing was in flight
     } else {
       txn.clear();  // verify the live instance; nothing in flight
+    }
+
+    // Oracle self-test: corrupt one committed block behind the harness's
+    // bookkeeping.  The recovered/live state then matches no acceptable
+    // history and verification below MUST flag it.
+    if (opts.sabotage == FuzzSabotage::kCorruptCommitted && !crashed &&
+        !committed.empty()) {
+      try {
+        fill_pattern(buf, fuzz_mix(sseed, 0x5AB0));
+        be->begin();
+        be->stage(committed.begin()->first, buf);
+        be->commit();
+      } catch (const std::exception&) {
+        // A sabotage commit lost to residual faults just means this
+        // schedule doesn't self-test; others will.
+      }
     }
 
     // --- Verification ------------------------------------------------------
@@ -404,9 +272,8 @@ inline FuzzReport run_fault_fuzz(const FuzzOptions& opts) {
         }
       }
       if (!ok) {
-        record_violation(sched, sseed,
-                         "recovered state matches no acceptable history (" +
-                             why + ")");
+        record_violation("recovered state matches no acceptable history (" +
+                         why + ")");
       }
 
       // Tinca media must also be *structurally* sound after recovery.
@@ -414,25 +281,17 @@ inline FuzzReport run_fault_fuzz(const FuzzOptions& opts) {
         const core::MediaReport mr = core::verify_media(
             nvm, core::Layout::compute(nvm.size(), opts.ring_bytes));
         if (!mr.ok) {
-          record_violation(sched, sseed,
-                           "verify_media: " + (mr.problems.empty()
+          record_violation("verify_media: " + (mr.problems.empty()
                                                    ? std::string("not ok")
                                                    : mr.problems.front()));
         }
       }
       if (crashed) detail::fuzz_collect(opts, *be, rep);
     } catch (const std::exception& e) {
-      record_violation(sched, sseed,
-                       std::string("verification threw: ") + e.what());
+      record_violation(std::string("verification threw: ") + e.what());
     }
 
-    const blockdev::FaultStats& f = disk.fault_stats();
-    rep.faults.transient_read_errors += f.transient_read_errors;
-    rep.faults.transient_write_errors += f.transient_write_errors;
-    rep.faults.bad_sectors += f.bad_sectors;
-    rep.faults.bad_sector_errors += f.bad_sector_errors;
-    rep.faults.torn_writes += f.torn_writes;
-    rep.faults.latency_spikes += f.latency_spikes;
+    detail::fuzz_fold_faults(rep.faults, disk.fault_stats());
   }
   return rep;
 }

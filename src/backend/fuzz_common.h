@@ -1,0 +1,246 @@
+// Shared schedule/seed/campaign machinery for the randomized fault-fuzz
+// harnesses: the block-level harness (src/backend/fault_fuzz.h) and the
+// file-system-level harness (src/fs/fs_fuzz.h) both derive their schedules
+// from the same option block, build their stacks through the same per-kind
+// constructors, and report failures with the same reproduce-from-seed tag.
+//
+// Everything is a function of FuzzOptions::seed and the schedule index, so a
+// failure anywhere reproduces from the printed "reproduce:" tag alone:
+// re-run the campaign with the printed seed, first_schedule and schedules=1.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/classic_backend.h"
+#include "backend/sharded_backend.h"
+#include "backend/stack_builder.h"
+#include "backend/tinca_backend.h"
+#include "backend/txn_backend.h"
+#include "backend/ubj_backend.h"
+
+namespace tinca::backend {
+
+/// Deliberate harness sabotage for oracle self-tests ("does the harness
+/// actually catch a corruption?").  kNone in every real campaign.
+enum class FuzzSabotage : std::uint8_t {
+  kNone = 0,
+  /// Commit one unrecorded update over a committed block right before
+  /// verification — the recovered/live state then matches no acceptable
+  /// history, and the harness must flag it.
+  kCorruptCommitted,
+};
+
+/// Parameters of one fuzz campaign (one backend kind, many schedules).
+struct FuzzOptions {
+  StackKind kind = StackKind::kTinca;
+  std::uint64_t seed = 1;
+  std::uint32_t schedules = 200;
+  /// First schedule index to run (schedule seeds depend only on the campaign
+  /// seed and the *absolute* index, so seed + first_schedule + schedules=1
+  /// replays exactly one schedule of a larger campaign).
+  std::uint32_t first_schedule = 0;
+  /// Transactions attempted per schedule (a crash may cut a schedule short).
+  std::uint32_t txns_per_schedule = 12;
+  /// Blocks per transaction: 1..min(this, backend max_txn_blocks()).
+  std::uint32_t max_blocks_per_txn = 6;
+  /// Data-block universe [0, data_blocks) — deliberately larger than the
+  /// small NVM cache so evictions and write-backs run under fault pressure.
+  std::uint64_t data_blocks = 320;
+  /// Probability a schedule arms a deterministic crash (power cut or torn
+  /// write); random torn writes can still crash unarmed schedules.
+  double crash_prob = 0.6;
+  /// Disk fault rates (per operation).
+  double transient_read_rate = 0.01;
+  double transient_write_rate = 0.02;
+  double bad_sector_rate = 0.002;
+  double torn_write_rate = 0.001;
+  /// 0 = pick a per-kind default small enough to force evictions.
+  std::uint64_t nvm_bytes = 0;
+  std::uint64_t disk_blocks = 1ull << 12;
+  std::uint64_t ring_bytes = 64 * 1024;    ///< Tinca ring (per shard)
+  std::uint64_t journal_blocks = 512;      ///< Classic journal reservation
+  std::uint32_t shards = 2;                ///< kShardedTinca only
+  blockdev::RetryPolicy retry{};
+  /// Oracle self-test hook; leave kNone outside harness self-tests.
+  FuzzSabotage sabotage = FuzzSabotage::kNone;
+};
+
+/// Campaign outcome.  `violations` is the only failure signal; everything
+/// else is telemetry (how hard the campaign actually exercised the stack).
+struct FuzzReport {
+  std::uint64_t schedules = 0;
+  std::uint64_t crashes = 0;          ///< schedules ended by CrashException
+  std::uint64_t clean_remounts = 0;   ///< crash-free recover() round trips
+  std::uint64_t io_errors = 0;        ///< unrecoverable-read IoError throws
+  std::uint64_t wedges = 0;           ///< documented capacity wedges hit
+  std::uint64_t violations = 0;       ///< invariant violations (must be 0)
+  std::vector<std::string> violation_messages;  ///< first few, with seeds
+  std::uint64_t io_retries = 0;
+  std::uint64_t io_quarantined = 0;
+  std::uint64_t io_degraded_writes = 0;
+  blockdev::FaultStats faults;        ///< summed over all schedules
+};
+
+namespace detail {
+
+inline std::uint64_t fuzz_mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a + 0x9E3779B97F4A7C15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Per-kind NVM size: small enough that the workload's block universe
+/// overcommits the cache (evictions + threshold cleaning run under faults),
+/// big enough for a valid layout (FlashCache needs one full 256-slot set).
+inline std::uint64_t fuzz_nvm_bytes(StackKind kind, std::uint64_t override) {
+  if (override != 0) return override;
+  switch (kind) {
+    case StackKind::kClassic:
+    case StackKind::kClassicNoJournal:
+      return 3ull << 19;  // 1.5 MB → one 256-slot set
+    case StackKind::kShardedTinca:
+      return (1ull << 19) * 2;  // two 512 KB shards
+    default:
+      return 1ull << 19;  // 512 KB → ~100 Tinca/UBJ blocks
+  }
+}
+
+inline std::unique_ptr<TxnBackend> fuzz_build(const FuzzOptions& o,
+                                              nvm::NvmDevice& nvm,
+                                              blockdev::BlockDevice& disk,
+                                              bool recover) {
+  switch (o.kind) {
+    case StackKind::kTinca: {
+      core::TincaConfig c;
+      c.ring_bytes = o.ring_bytes;
+      c.io = o.retry;
+      return recover ? TincaBackend::recover(nvm, disk, c)
+                     : TincaBackend::format(nvm, disk, c);
+    }
+    case StackKind::kClassic:
+    case StackKind::kClassicNoJournal: {
+      classic::ClassicConfig c;
+      c.journaling = o.kind == StackKind::kClassic;
+      c.journal_blocks = o.journal_blocks;
+      c.cache.io = o.retry;
+      return recover ? ClassicBackend::recover(nvm, disk, c)
+                     : ClassicBackend::format(nvm, disk, c);
+    }
+    case StackKind::kUbj: {
+      ubj::UbjConfig c;
+      c.io = o.retry;
+      return recover ? UbjBackend::recover(nvm, disk, c)
+                     : UbjBackend::format(nvm, disk, c);
+    }
+    case StackKind::kShardedTinca: {
+      shard::ShardedConfig s;
+      s.num_shards = o.shards;
+      s.shard.ring_bytes = o.ring_bytes;
+      s.shard.io = o.retry;
+      return recover ? ShardedBackend::recover(nvm, disk, s)
+                     : ShardedBackend::format(nvm, disk, s);
+    }
+  }
+  TINCA_ENSURE(false, "unknown StackKind");
+  return nullptr;
+}
+
+/// Fold the backend's retry/quarantine/degradation counters into `rep`.
+inline void fuzz_collect(const FuzzOptions& o, TxnBackend& be,
+                         FuzzReport& rep) {
+  const auto add = [&rep](std::uint64_t retries, std::uint64_t quarantined,
+                          std::uint64_t degraded) {
+    rep.io_retries += retries;
+    rep.io_quarantined += quarantined;
+    rep.io_degraded_writes += degraded;
+  };
+  switch (o.kind) {
+    case StackKind::kTinca: {
+      const core::TincaCacheStats& s =
+          static_cast<TincaBackend&>(be).cache().stats();
+      add(s.io_retries, s.io_quarantined, s.io_degraded_writes);
+      break;
+    }
+    case StackKind::kClassic:
+    case StackKind::kClassicNoJournal: {
+      const classic::FlashCacheStats& s =
+          static_cast<ClassicBackend&>(be).stack().cache().stats();
+      add(s.io_retries, s.io_quarantined, s.io_degraded_writes);
+      break;
+    }
+    case StackKind::kUbj: {
+      const ubj::UbjStats& s = static_cast<UbjBackend&>(be).store().stats();
+      add(s.io_retries, s.io_quarantined, s.io_degraded_writes);
+      break;
+    }
+    case StackKind::kShardedTinca: {
+      const core::TincaCacheStats s =
+          static_cast<ShardedBackend&>(be).sharded().aggregated_stats();
+      add(s.io_retries, s.io_quarantined, s.io_degraded_writes);
+      break;
+    }
+  }
+}
+
+/// Fold one schedule's disk-fault telemetry into the campaign totals.
+inline void fuzz_fold_faults(blockdev::FaultStats& total,
+                             const blockdev::FaultStats& f) {
+  total.transient_read_errors += f.transient_read_errors;
+  total.transient_write_errors += f.transient_write_errors;
+  total.bad_sectors += f.bad_sectors;
+  total.bad_sector_errors += f.bad_sector_errors;
+  total.torn_writes += f.torn_writes;
+  total.latency_spikes += f.latency_spikes;
+}
+
+}  // namespace detail
+
+/// Machine-parseable reproduce tag appended to every violation message.
+/// Re-running the same harness with these exact options replays the failing
+/// schedule alone (schedule seeds depend only on seed + absolute index).
+inline std::string fuzz_reproduce_tag(std::uint64_t campaign_seed,
+                                      std::uint64_t schedule) {
+  return "reproduce: seed=" + std::to_string(campaign_seed) +
+         " first_schedule=" + std::to_string(schedule) + " schedules=1";
+}
+
+/// Parse a violation message's reproduce tag back into campaign options.
+/// Returns false when the message carries no tag.
+inline bool fuzz_parse_reproduce(const std::string& message,
+                                 std::uint64_t* seed,
+                                 std::uint32_t* first_schedule) {
+  const auto grab = [&message](const char* key, std::uint64_t* out) {
+    const std::size_t at = message.rfind(key);
+    if (at == std::string::npos) return false;
+    *out = std::strtoull(message.c_str() + at + std::strlen(key), nullptr, 10);
+    return true;
+  };
+  std::uint64_t first = 0;
+  if (!grab("reproduce: seed=", seed) || !grab(" first_schedule=", &first))
+    return false;
+  *first_schedule = static_cast<std::uint32_t>(first);
+  return true;
+}
+
+/// The full schedule context embedded verbatim in every violation message:
+/// campaign seed, schedule index and seed, the fault rates in force, and the
+/// armed deterministic crash (if any).
+inline std::string fuzz_schedule_tag(const FuzzOptions& o,
+                                     std::uint64_t schedule,
+                                     std::uint64_t schedule_seed,
+                                     const std::string& armed) {
+  return "schedule " + std::to_string(schedule) + " (schedule_seed=" +
+         std::to_string(schedule_seed) + " faults[tr=" +
+         std::to_string(o.transient_read_rate) + " tw=" +
+         std::to_string(o.transient_write_rate) + " bad=" +
+         std::to_string(o.bad_sector_rate) + " torn=" +
+         std::to_string(o.torn_write_rate) + "] arm=" + armed + ")";
+}
+
+}  // namespace tinca::backend

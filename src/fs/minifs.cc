@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <set>
 
 #include "blockdev/block_device.h"
 #include "common/bytes.h"
@@ -682,11 +683,35 @@ std::uint64_t MiniFs::file_size(std::string_view path) {
 // fsck
 // ---------------------------------------------------------------------------
 
+const char* fsck_code_name(FsckCode code) {
+  switch (code) {
+    case FsckCode::kNone: return "none";
+    case FsckCode::kPtrOutOfRange: return "ptr-out-of-range";
+    case FsckCode::kCrossLinkedBlock: return "cross-linked-block";
+    case FsckCode::kBadDirType: return "bad-dir-type";
+    case FsckCode::kBadDirSize: return "bad-dir-size";
+    case FsckCode::kEntryBadInode: return "entry-bad-inode";
+    case FsckCode::kEntryFreeInode: return "entry-free-inode";
+    case FsckCode::kMultiplyLinkedInode: return "multiply-linked-inode";
+    case FsckCode::kEntryUntypedInode: return "entry-untyped-inode";
+    case FsckCode::kDupName: return "dup-name";
+    case FsckCode::kFileTooLarge: return "file-too-large";
+    case FsckCode::kBlockPastEof: return "block-past-eof";
+    case FsckCode::kBlockLeak: return "block-leak";
+    case FsckCode::kBlockFreeButUsed: return "block-free-but-used";
+    case FsckCode::kInodeLeak: return "inode-leak";
+    case FsckCode::kInodeFreeButLinked: return "inode-free-but-linked";
+  }
+  return "?";
+}
+
 FsckReport MiniFs::fsck() {
   FsckReport report;
-  auto complain = [&](std::string msg) {
+  auto complain = [&](FsckCode code, std::string msg) {
     report.ok = false;
-    report.problems.push_back(std::move(msg));
+    report.codes.push_back(code);
+    report.problems.push_back("[" + std::string(fsck_code_name(code)) + "] " +
+                              std::move(msg));
   };
 
   const std::uint64_t data_blocks = geo_.total_blocks - geo_.data_start;
@@ -695,26 +720,70 @@ FsckReport MiniFs::fsck() {
 
   auto mark_block = [&](std::uint64_t blkno, const char* what) {
     if (blkno < geo_.data_start || blkno >= geo_.total_blocks) {
-      complain(std::string(what) + ": pointer outside data area");
+      complain(FsckCode::kPtrOutOfRange,
+               std::string(what) + ": pointer outside data area");
       return;
     }
     const std::uint64_t i = blkno - geo_.data_start;
-    if (reached_blocks[i]) complain(std::string(what) + ": block doubly referenced");
+    if (reached_blocks[i])
+      complain(FsckCode::kCrossLinkedBlock,
+               std::string(what) + ": block " + std::to_string(blkno) +
+                   " doubly referenced");
     reached_blocks[i] = 1;
     ++report.used_blocks;
+  };
+
+  // Mark every payload block of `inode` reachable, and flag blocks that are
+  // mapped wholly past the file's size ceiling — truncate must free them.
+  auto mark_file_blocks = [&](const Inode& node, const char* what) {
+    const std::uint64_t size_blocks =
+        (node.size + kBlockSize - 1) / kBlockSize;
+    for (std::uint64_t d = 0; d < kDirectPtrs; ++d)
+      if (node.direct[d]) {
+        mark_block(node.direct[d], what);
+        if (d >= size_blocks)
+          complain(FsckCode::kBlockPastEof,
+                   std::string(what) + ": block mapped at index " +
+                       std::to_string(d) + " past size " +
+                       std::to_string(node.size));
+      }
+    if (node.indirect) {
+      mark_block(node.indirect, what);
+      // An indirect block with every slot empty and size within the direct
+      // area is also past-EOF garbage; flag it via its populated slots.
+      std::vector<std::byte> iblk(kBlockSize);
+      read_blk(node.indirect, iblk);
+      for (std::uint64_t i = 0; i < kPtrsPerIndirect; ++i) {
+        const std::uint64_t ptr = load_le(iblk.data() + i * 8, 8);
+        if (ptr == 0) continue;
+        mark_block(ptr, what);
+        if (kDirectPtrs + i >= size_blocks)
+          complain(FsckCode::kBlockPastEof,
+                   std::string(what) + ": indirect block mapped at index " +
+                       std::to_string(kDirectPtrs + i) + " past size " +
+                       std::to_string(node.size));
+      }
+    }
   };
 
   // Walk the tree from the root.
   std::vector<std::uint64_t> dirs{kRootIno};
   reached_inodes[kRootIno] = 1;
+  std::vector<std::byte> blk(kBlockSize);
   while (!dirs.empty()) {
     const std::uint64_t dino = dirs.back();
     dirs.pop_back();
     Inode dir = read_inode(dino);
     if (dir.type != 2) {
-      complain("directory inode has wrong type");
+      complain(FsckCode::kBadDirType,
+               "directory inode " + std::to_string(dino) + " has type " +
+                   std::to_string(dir.type));
       continue;
     }
+    if (dir.size % kBlockSize != 0)
+      complain(FsckCode::kBadDirSize,
+               "directory inode " + std::to_string(dino) + " size " +
+                   std::to_string(dir.size) + " is not block-aligned");
     ++report.directories;
     // Account the directory's own blocks.
     for (std::uint64_t d = 0; d < kDirectPtrs; ++d)
@@ -729,8 +798,8 @@ FsckReport MiniFs::fsck() {
       }
     }
     // Visit children.
+    std::set<std::string> names_seen;
     const std::uint64_t nblocks = (dir.size + kBlockSize - 1) / kBlockSize;
-    std::vector<std::byte> blk(kBlockSize);
     for (std::uint64_t b = 0; b < nblocks; ++b) {
       const std::uint64_t blkno = file_block(dir, b, false, nullptr);
       if (blkno == 0) continue;
@@ -738,15 +807,27 @@ FsckReport MiniFs::fsck() {
       for (std::uint64_t e = 0; e < kEntriesPerBlock; ++e) {
         const std::byte* p = blk.data() + e * kDirEntryBytes;
         if (static_cast<std::uint8_t>(p[8]) == 0) continue;
+        const char* n = reinterpret_cast<const char*>(p + 9);
+        std::string name(n, strnlen(n, kNameMax));
+        if (!names_seen.insert(name).second)
+          complain(FsckCode::kDupName,
+                   "directory inode " + std::to_string(dino) +
+                       " has two entries named '" + name + "'");
         const std::uint64_t cino = load_le(p, 8);
         if (cino >= geo_.inode_count) {
-          complain("directory entry points past the inode table");
+          complain(FsckCode::kEntryBadInode,
+                   "entry '" + name + "' points past the inode table (" +
+                       std::to_string(cino) + ")");
           continue;
         }
         if (!(inode_bitmap_[cino / 8] & (1u << (cino % 8))))
-          complain("directory entry points to a free inode");
+          complain(FsckCode::kEntryFreeInode,
+                   "entry '" + name + "' points to free inode " +
+                       std::to_string(cino));
         if (reached_inodes[cino]) {
-          complain("inode reachable twice (hard links unsupported)");
+          complain(FsckCode::kMultiplyLinkedInode,
+                   "inode " + std::to_string(cino) +
+                       " reachable twice (hard links unsupported)");
           continue;
         }
         reached_inodes[cino] = 1;
@@ -755,29 +836,18 @@ FsckReport MiniFs::fsck() {
           dirs.push_back(cino);
         } else if (child.type == 1) {
           ++report.files;
-          std::uint64_t payload = 0;
-          for (std::uint64_t d = 0; d < kDirectPtrs; ++d)
-            if (child.direct[d]) {
-              mark_block(child.direct[d], "file direct");
-              ++payload;
-            }
-          if (child.indirect) {
-            mark_block(child.indirect, "file indirect");
-            std::vector<std::byte> iblk(kBlockSize);
-            read_blk(child.indirect, iblk);
-            for (std::uint64_t i = 0; i < kPtrsPerIndirect; ++i) {
-              const std::uint64_t ptr = load_le(iblk.data() + i * 8, 8);
-              if (ptr) {
-                mark_block(ptr, "file indirect leaf");
-                ++payload;
-              }
-            }
-          }
           if (child.size > max_file_bytes())
-            complain("file size exceeds representable payload");
-          (void)payload;  // holes are legal: size may exceed payload blocks
+            complain(FsckCode::kFileTooLarge,
+                     "inode " + std::to_string(cino) + " size " +
+                         std::to_string(child.size) +
+                         " exceeds representable payload");
+          else
+            mark_file_blocks(child, "file");
+          // Holes are legal: size may exceed the number of payload blocks.
         } else {
-          complain("directory entry points to an untyped inode");
+          complain(FsckCode::kEntryUntypedInode,
+                   "entry '" + name + "' points to untyped inode " +
+                       std::to_string(cino));
         }
       }
     }
@@ -786,16 +856,25 @@ FsckReport MiniFs::fsck() {
   // Bitmaps must match reachability exactly.
   for (std::uint64_t i = 0; i < data_blocks; ++i) {
     const bool marked = (block_bitmap_[i / 8] & (1u << (i % 8))) != 0;
-    if (marked != (reached_blocks[i] != 0)) {
-      complain(marked ? "block bitmap leak (marked but unreachable)"
-                      : "block bitmap corruption (reachable but free)");
-    }
+    if (marked == (reached_blocks[i] != 0)) continue;
+    if (marked)
+      complain(FsckCode::kBlockLeak,
+               "block " + std::to_string(geo_.data_start + i) +
+                   " marked used but unreachable");
+    else
+      complain(FsckCode::kBlockFreeButUsed,
+               "block " + std::to_string(geo_.data_start + i) +
+                   " reachable but free in the bitmap");
   }
   for (std::uint64_t i = 0; i < geo_.inode_count; ++i) {
     const bool marked = (inode_bitmap_[i / 8] & (1u << (i % 8))) != 0;
-    if (marked != (reached_inodes[i] != 0)) {
-      complain(marked ? "inode bitmap leak" : "inode bitmap corruption");
-    }
+    if (marked == (reached_inodes[i] != 0)) continue;
+    if (marked)
+      complain(FsckCode::kInodeLeak,
+               "inode " + std::to_string(i) + " marked used but unreachable");
+    else
+      complain(FsckCode::kInodeFreeButLinked,
+               "inode " + std::to_string(i) + " reachable but free");
   }
   return report;
 }

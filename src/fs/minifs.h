@@ -52,13 +52,57 @@ struct MiniFsStats {
   std::uint64_t blocks_staged = 0;
 };
 
-/// Result of a consistency check.
+/// Machine-checkable fsck problem classes.  Every invariant the checker
+/// enforces has exactly one code, so harnesses can assert on *which*
+/// invariant broke instead of string-matching prose.
+enum class FsckCode : std::uint8_t {
+  kNone = 0,
+  kPtrOutOfRange,        ///< block pointer outside the data area
+  kCrossLinkedBlock,     ///< one block referenced from two places
+  kBadDirType,           ///< inode walked as a directory has another type
+  kBadDirSize,           ///< directory size not a whole number of blocks
+  kEntryBadInode,        ///< directory entry's inode number past the table
+  kEntryFreeInode,       ///< directory entry points to a free inode
+  kMultiplyLinkedInode,  ///< inode reachable via two entries (no hard links)
+  kEntryUntypedInode,    ///< directory entry points to a type-0 inode
+  kDupName,              ///< two live entries in one directory share a name
+  kFileTooLarge,         ///< file size exceeds the representable payload
+  kBlockPastEof,         ///< mapped file block wholly past the size ceiling
+  kBlockLeak,            ///< block marked used but unreachable
+  kBlockFreeButUsed,     ///< block reachable but free in the bitmap
+  kInodeLeak,            ///< inode marked used but unreachable (orphan)
+  kInodeFreeButLinked,   ///< inode reachable but free in the bitmap
+};
+
+/// Stable short name for a code ("cross-linked-block", ...).
+const char* fsck_code_name(FsckCode code);
+
+/// Result of a consistency check.  `problems[i]` is the human-readable
+/// message for `codes[i]` (parallel vectors, same length).
 struct FsckReport {
   bool ok = true;
   std::vector<std::string> problems;
+  std::vector<FsckCode> codes;
   std::uint64_t files = 0;
   std::uint64_t directories = 0;
   std::uint64_t used_blocks = 0;
+
+  /// Whether any problem with this code was recorded.
+  [[nodiscard]] bool has(FsckCode code) const {
+    for (const FsckCode c : codes)
+      if (c == code) return true;
+    return false;
+  }
+
+  /// All problems joined into one line (empty when clean).
+  [[nodiscard]] std::string summary() const {
+    std::string s;
+    for (const std::string& p : problems) {
+      if (!s.empty()) s += "; ";
+      s += p;
+    }
+    return s;
+  }
 };
 
 /// The file system.  Paths are absolute, '/'-separated; components are
@@ -134,9 +178,9 @@ class MiniFs {
   /// Largest file MiniFs can represent (direct + single indirect).
   [[nodiscard]] std::uint64_t max_file_bytes() const;
 
- private:
-  MiniFs(backend::TxnBackend& backend, MiniFsConfig cfg);
-
+  /// On-media layout (block numbers), fixed at mkfs.  Public so corruption
+  /// tests and the fuzz harness can aim raw-block mutations at a specific
+  /// metadata region.
   struct Geometry {
     std::uint64_t total_blocks = 0;
     std::uint64_t inode_count = 0;
@@ -145,6 +189,11 @@ class MiniFs {
     std::uint64_t itable_start = 0, itable_blocks = 0;
     std::uint64_t data_start = 0;
   };
+
+  [[nodiscard]] const Geometry& geometry() const { return geo_; }
+
+ private:
+  MiniFs(backend::TxnBackend& backend, MiniFsConfig cfg);
 
   struct Inode {
     std::uint64_t type = 0;  // 0 free, 1 file, 2 dir

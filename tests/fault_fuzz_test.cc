@@ -101,5 +101,48 @@ TEST(FaultFuzzScripted, TornDiskWriteNeverSplitsACommit) {
   EXPECT_EQ(rep.crashes, rep.faults.torn_writes) << describe(rep);
 }
 
+// Every violation message embeds a machine-parseable reproduce tag (seed +
+// absolute schedule index).  Sabotage a campaign so the oracle fires, parse
+// the tag out of the first message, and replay exactly that one schedule —
+// the violation must come back.  This is the contract debugging relies on.
+TEST(FaultFuzzScripted, ViolationReproducesFromItsPrintedTag) {
+  FuzzOptions opts;
+  opts.kind = StackKind::kTinca;
+  opts.seed = 424242;
+  opts.schedules = 8;
+  opts.crash_prob = 0.0;  // sabotage targets crash-free schedules
+  opts.transient_read_rate = 0.0;
+  opts.transient_write_rate = 0.0;
+  opts.bad_sector_rate = 0.0;
+  opts.torn_write_rate = 0.0;
+  opts.sabotage = FuzzSabotage::kCorruptCommitted;
+
+  const FuzzReport first = run_fault_fuzz(opts);
+  ASSERT_GT(first.violations, 0u) << "sabotage failed to trip the oracle";
+  ASSERT_FALSE(first.violation_messages.empty());
+
+  std::uint64_t seed = 0;
+  std::uint32_t first_schedule = 0;
+  ASSERT_TRUE(fuzz_parse_reproduce(first.violation_messages.front(), &seed,
+                                   &first_schedule))
+      << "no reproduce tag in: " << first.violation_messages.front();
+  EXPECT_EQ(seed, opts.seed);
+
+  FuzzOptions replay = opts;
+  replay.seed = seed;
+  replay.first_schedule = first_schedule;
+  replay.schedules = 1;
+  const FuzzReport second = run_fault_fuzz(replay);
+  EXPECT_GT(second.violations, 0u)
+      << "replaying seed=" << seed << " first_schedule=" << first_schedule
+      << " did not reproduce the violation";
+  ASSERT_FALSE(second.violation_messages.empty());
+  // The replayed schedule carries the same schedule tag (same schedule seed).
+  EXPECT_NE(second.violation_messages.front().find(
+                "schedule " + std::to_string(first_schedule) + " "),
+            std::string::npos)
+      << second.violation_messages.front();
+}
+
 }  // namespace
 }  // namespace tinca::backend

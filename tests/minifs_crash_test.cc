@@ -241,5 +241,153 @@ TEST(MiniFsCrash, RepeatedCrashRecoverCyclesConverge) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Directed crash-point sweeps for the two weakest structural ops: rename
+// (two directories mutated in one compound commit) and truncate (blocks
+// freed back out of the single-indirect area).  Every injector step inside
+// the op's commit is swept; recovery must always land on exactly the old or
+// exactly the new state, with a clean fsck.
+// ---------------------------------------------------------------------------
+
+TEST(MiniFsCrash, RenameIsNeverTornAcrossTheCommitBoundary) {
+  constexpr std::size_t kSize = 20000;
+  constexpr std::uint64_t kSeed = 77;
+
+  // One run: committed setup, then rename /d0/a → /d1/b committed by an
+  // fsync with the injector armed at `crash_step` (0 = never, learn steps).
+  const auto run = [&](nvm::NvmDevice& dev, blockdev::MemBlockDevice& disk,
+                       std::uint64_t crash_step, std::uint64_t* steps_out) {
+    auto be = backend::TincaBackend::format(
+        dev, disk, core::TincaConfig{.ring_bytes = kRing});
+    MiniFsConfig cfg;
+    cfg.group_commit_ops = 1000;  // only explicit fsync commits
+    auto fsys = MiniFs::mkfs(*be, cfg);
+    fsys->mkdir("/d0");
+    fsys->mkdir("/d1");
+    fsys->create("/d0/a");
+    fsys->write("/d0/a", 0, bytes_of(kSize, kSeed));
+    fsys->fsync();
+    dev.injector.disarm();
+    if (crash_step) dev.injector.arm(crash_step);
+    bool crashed = false;
+    try {
+      fsys->rename("/d0/a", "/d1/b");
+      fsys->fsync();
+    } catch (const nvm::CrashException&) {
+      crashed = true;
+    }
+    if (steps_out) *steps_out = dev.injector.steps_seen();
+    dev.injector.disarm();
+    return crashed;
+  };
+
+  std::uint64_t total_steps = 0;
+  {
+    sim::SimClock clock;
+    nvm::NvmDevice dev(kNvmBytes, nvdimm_profile(), clock);
+    blockdev::MemBlockDevice disk(kDiskBlocks);
+    ASSERT_FALSE(run(dev, disk, 0, &total_steps));
+  }
+  ASSERT_GT(total_steps, 0u);
+
+  Rng rng(42);
+  for (std::uint64_t step = 1; step <= total_steps; ++step) {
+    sim::SimClock clock;
+    nvm::NvmDevice dev(kNvmBytes, nvdimm_profile(), clock);
+    blockdev::MemBlockDevice disk(kDiskBlocks);
+    ASSERT_TRUE(run(dev, disk, step, nullptr))
+        << "armed run did not crash at step " << step;
+    dev.crash(rng, 0.5);
+
+    auto be = backend::TincaBackend::recover(
+        dev, disk, core::TincaConfig{.ring_bytes = kRing});
+    auto fsys = MiniFs::mount(*be);
+    const FsckReport report = fsys->fsck();
+    ASSERT_TRUE(report.ok) << "fsck dirty after crash at step " << step
+                           << ": " << report.summary();
+
+    // Exactly one of the two names survives — never both, never neither.
+    const bool old_there = fsys->exists("/d0/a");
+    const bool new_there = fsys->exists("/d1/b");
+    ASSERT_NE(old_there, new_there)
+        << "rename torn at step " << step << " (old=" << old_there
+        << " new=" << new_there << ")";
+    const std::string path = old_there ? "/d0/a" : "/d1/b";
+    std::vector<std::byte> got(kSize);
+    ASSERT_EQ(fsys->read(path, 0, got), kSize);
+    ASSERT_EQ(fingerprint(got), fingerprint(bytes_of(kSize, kSeed)))
+        << path << " corrupted by crash at step " << step;
+  }
+}
+
+TEST(MiniFsCrash, TruncateOutOfIndirectBlockNeverLeaks) {
+  constexpr std::size_t kBigSize = 100 * 1024;  // 25 blocks → single-indirect
+  constexpr std::size_t kSmallSize = 8 * 1024;  // back to 2 direct blocks
+  constexpr std::uint64_t kSeed = 88;
+
+  const auto run = [&](nvm::NvmDevice& dev, blockdev::MemBlockDevice& disk,
+                       std::uint64_t crash_step, std::uint64_t* steps_out) {
+    auto be = backend::TincaBackend::format(
+        dev, disk, core::TincaConfig{.ring_bytes = kRing});
+    MiniFsConfig cfg;
+    cfg.group_commit_ops = 1000;
+    auto fsys = MiniFs::mkfs(*be, cfg);
+    fsys->create("/big");
+    fsys->write("/big", 0, bytes_of(kBigSize, kSeed));
+    fsys->fsync();
+    dev.injector.disarm();
+    if (crash_step) dev.injector.arm(crash_step);
+    bool crashed = false;
+    try {
+      fsys->truncate("/big", kSmallSize);
+      fsys->fsync();
+    } catch (const nvm::CrashException&) {
+      crashed = true;
+    }
+    if (steps_out) *steps_out = dev.injector.steps_seen();
+    dev.injector.disarm();
+    return crashed;
+  };
+
+  std::uint64_t total_steps = 0;
+  {
+    sim::SimClock clock;
+    nvm::NvmDevice dev(kNvmBytes, nvdimm_profile(), clock);
+    blockdev::MemBlockDevice disk(kDiskBlocks);
+    ASSERT_FALSE(run(dev, disk, 0, &total_steps));
+  }
+  ASSERT_GT(total_steps, 0u);
+
+  Rng rng(43);
+  for (std::uint64_t step = 1; step <= total_steps; ++step) {
+    sim::SimClock clock;
+    nvm::NvmDevice dev(kNvmBytes, nvdimm_profile(), clock);
+    blockdev::MemBlockDevice disk(kDiskBlocks);
+    ASSERT_TRUE(run(dev, disk, step, nullptr))
+        << "armed run did not crash at step " << step;
+    dev.crash(rng, 0.5);
+
+    auto be = backend::TincaBackend::recover(
+        dev, disk, core::TincaConfig{.ring_bytes = kRing});
+    auto fsys = MiniFs::mount(*be);
+
+    // fsck's bitmap cross-check and block-past-EOF rule prove the indirect
+    // block and its leaves were freed atomically with the size change.
+    const FsckReport report = fsys->fsck();
+    ASSERT_TRUE(report.ok) << "fsck dirty after crash at step " << step
+                           << ": " << report.summary();
+
+    const std::uint64_t size = fsys->file_size("/big");
+    ASSERT_TRUE(size == kBigSize || size == kSmallSize)
+        << "truncate half-applied at step " << step << ": size " << size;
+    std::vector<std::byte> got(size);
+    ASSERT_EQ(fsys->read("/big", 0, got), size);
+    const auto want = bytes_of(kBigSize, kSeed);
+    ASSERT_EQ(fingerprint(got),
+              fingerprint(std::span<const std::byte>(want.data(), size)))
+        << "content corrupted by crash at step " << step;
+  }
+}
+
 }  // namespace
 }  // namespace tinca::fs

@@ -202,5 +202,222 @@ INSTANTIATE_TEST_SUITE_P(Backends, MiniFsOnBackend,
                            }
                          });
 
+// ---------------------------------------------------------------------------
+// fsck problem codes: corrupt a committed image one invariant at a time and
+// assert the checker reports exactly the machine-checkable code for it.
+// One stack suffices — fsck only sees blocks through the TxnBackend surface.
+// ---------------------------------------------------------------------------
+
+// On-media inode field offsets (see minifs.cc: read_inode/write_inode).
+constexpr std::uint64_t kInodeBytes = 128;
+constexpr std::uint64_t kInodesPerBlock = 4096 / kInodeBytes;
+constexpr std::uint64_t kTypeOff = 0;
+constexpr std::uint64_t kSizeOff = 8;
+constexpr std::uint64_t kDirect0Off = 16;
+constexpr std::uint64_t kDirEntryBytes = 64;
+
+class FsckCodes : public ::testing::Test {
+ protected:
+  FsckCodes() : stack_(fs_stack(StackKind::kTinca)) {
+    fsys_ = MiniFs::mkfs(stack_.backend());
+  }
+
+  /// Read–modify–write one raw media block behind the file system's back
+  /// (committed through the backend, so a remount sees it).
+  template <typename Fn>
+  void corrupt(std::uint64_t blkno, Fn mutate) {
+    std::vector<std::byte> blk(4096);
+    stack_.backend().read_block(blkno, blk);
+    mutate(std::span<std::byte>(blk));
+    stack_.backend().begin();
+    stack_.backend().stage(blkno, blk);
+    stack_.backend().commit();
+  }
+
+  /// Poke one little-endian u64 field of inode `ino` on media.
+  void poke_inode(std::uint64_t ino, std::uint64_t field_off,
+                  std::uint64_t value) {
+    const MiniFs::Geometry& g = fsys_->geometry();
+    corrupt(g.itable_start + ino / kInodesPerBlock, [&](std::span<std::byte> b) {
+      store_le(b.data() + (ino % kInodesPerBlock) * kInodeBytes + field_off,
+               value, 8);
+    });
+  }
+
+  /// Read one little-endian u64 field of inode `ino` from media.
+  std::uint64_t peek_inode(std::uint64_t ino, std::uint64_t field_off) {
+    const MiniFs::Geometry& g = fsys_->geometry();
+    std::vector<std::byte> blk(4096);
+    stack_.backend().read_block(g.itable_start + ino / kInodesPerBlock, blk);
+    return load_le(
+        blk.data() + (ino % kInodesPerBlock) * kInodeBytes + field_off, 8);
+  }
+
+  /// Flip one bit of the inode (or block) allocation bitmap on media.
+  void flip_bitmap_bit(bool inode_bitmap, std::uint64_t index) {
+    const MiniFs::Geometry& g = fsys_->geometry();
+    const std::uint64_t start = inode_bitmap ? g.ibmap_start : g.bbmap_start;
+    corrupt(start + index / (4096 * 8), [&](std::span<std::byte> b) {
+      b[(index / 8) % 4096] ^= static_cast<std::byte>(1u << (index % 8));
+    });
+  }
+
+  /// Drop caches and re-mount so fsck sees the corrupted media.
+  FsckReport fsck_fresh() {
+    fsys_.reset();
+    fsys_ = MiniFs::mount(stack_.backend());
+    return fsys_->fsck();
+  }
+
+  Stack stack_;
+  std::unique_ptr<MiniFs> fsys_;
+};
+
+// Root is inode 0; the first created file gets inode 1, the next inode 2.
+
+TEST_F(FsckCodes, PtrOutOfRange) {
+  fsys_->create("/f");
+  fsys_->write("/f", 0, bytes_of(4096, 1));
+  fsys_->fsync();
+  poke_inode(1, kDirect0Off, fsys_->geometry().total_blocks + 7);
+  const FsckReport r = fsck_fresh();
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.has(FsckCode::kPtrOutOfRange)) << r.summary();
+}
+
+TEST_F(FsckCodes, CrossLinkedBlock) {
+  fsys_->create("/a");
+  fsys_->create("/b");
+  fsys_->write("/a", 0, bytes_of(4096, 1));
+  fsys_->write("/b", 0, bytes_of(4096, 2));
+  fsys_->fsync();
+  poke_inode(2, kDirect0Off, peek_inode(1, kDirect0Off));
+  const FsckReport r = fsck_fresh();
+  EXPECT_TRUE(r.has(FsckCode::kCrossLinkedBlock)) << r.summary();
+  EXPECT_TRUE(r.has(FsckCode::kBlockLeak)) << r.summary();  // b's old block
+}
+
+TEST_F(FsckCodes, BadDirType) {
+  fsys_->create("/f");
+  fsys_->fsync();
+  poke_inode(0, kTypeOff, 1);  // root is "a file" now
+  EXPECT_TRUE(fsck_fresh().has(FsckCode::kBadDirType));
+}
+
+TEST_F(FsckCodes, BadDirSize) {
+  fsys_->create("/f");
+  fsys_->fsync();
+  poke_inode(0, kSizeOff, peek_inode(0, kSizeOff) + 100);
+  EXPECT_TRUE(fsck_fresh().has(FsckCode::kBadDirSize));
+}
+
+TEST_F(FsckCodes, EntryBadInodeAndOrphanLeak) {
+  fsys_->create("/f");
+  fsys_->write("/f", 0, bytes_of(4096, 1));
+  fsys_->fsync();
+  // Point /f's root-directory entry past the inode table; /f's inode and
+  // data block become unreachable.
+  corrupt(peek_inode(0, kDirect0Off), [&](std::span<std::byte> b) {
+    store_le(b.data(), fsys_->geometry().inode_count + 9, 8);
+  });
+  const FsckReport r = fsck_fresh();
+  EXPECT_TRUE(r.has(FsckCode::kEntryBadInode)) << r.summary();
+  EXPECT_TRUE(r.has(FsckCode::kInodeLeak)) << r.summary();
+  EXPECT_TRUE(r.has(FsckCode::kBlockLeak)) << r.summary();
+}
+
+TEST_F(FsckCodes, EntryFreeInode) {
+  fsys_->create("/f");
+  fsys_->fsync();
+  flip_bitmap_bit(true, 1);  // free /f's inode under the live entry
+  const FsckReport r = fsck_fresh();
+  EXPECT_TRUE(r.has(FsckCode::kEntryFreeInode)) << r.summary();
+  EXPECT_TRUE(r.has(FsckCode::kInodeFreeButLinked)) << r.summary();
+}
+
+TEST_F(FsckCodes, MultiplyLinkedInode) {
+  fsys_->create("/a");
+  fsys_->create("/b");
+  fsys_->fsync();
+  // Rewrite /b's entry to point at /a's inode (a forbidden hard link).
+  corrupt(peek_inode(0, kDirect0Off), [&](std::span<std::byte> b) {
+    store_le(b.data() + kDirEntryBytes, 1, 8);
+  });
+  const FsckReport r = fsck_fresh();
+  EXPECT_TRUE(r.has(FsckCode::kMultiplyLinkedInode)) << r.summary();
+  EXPECT_TRUE(r.has(FsckCode::kInodeLeak)) << r.summary();  // b's inode
+}
+
+TEST_F(FsckCodes, EntryUntypedInode) {
+  fsys_->create("/f");
+  fsys_->fsync();
+  poke_inode(1, kTypeOff, 0);
+  EXPECT_TRUE(fsck_fresh().has(FsckCode::kEntryUntypedInode));
+}
+
+TEST_F(FsckCodes, DupName) {
+  fsys_->create("/a");
+  fsys_->create("/b");
+  fsys_->fsync();
+  // Rename /b's entry to "a" in place: two live entries, one name.
+  corrupt(peek_inode(0, kDirect0Off), [&](std::span<std::byte> b) {
+    b[kDirEntryBytes + 9] = static_cast<std::byte>('a');
+    b[kDirEntryBytes + 10] = std::byte{0};
+  });
+  EXPECT_TRUE(fsck_fresh().has(FsckCode::kDupName));
+}
+
+TEST_F(FsckCodes, FileTooLarge) {
+  fsys_->create("/f");
+  fsys_->write("/f", 0, bytes_of(4096, 1));
+  fsys_->fsync();
+  poke_inode(1, kSizeOff, fsys_->max_file_bytes() + 4096);
+  EXPECT_TRUE(fsck_fresh().has(FsckCode::kFileTooLarge));
+}
+
+TEST_F(FsckCodes, BlockPastEof) {
+  fsys_->create("/f");
+  fsys_->write("/f", 0, bytes_of(2 * 4096, 1));
+  fsys_->fsync();
+  // Shrink the size on media without freeing the second block — exactly the
+  // state a buggy truncate would leave behind.
+  poke_inode(1, kSizeOff, 4096);
+  EXPECT_TRUE(fsck_fresh().has(FsckCode::kBlockPastEof));
+}
+
+TEST_F(FsckCodes, BlockLeak) {
+  fsys_->create("/f");
+  fsys_->fsync();
+  const MiniFs::Geometry& g = fsys_->geometry();
+  flip_bitmap_bit(false, g.total_blocks - g.data_start - 1);  // mark a free block used
+  EXPECT_TRUE(fsck_fresh().has(FsckCode::kBlockLeak));
+}
+
+TEST_F(FsckCodes, BlockFreeButUsed) {
+  fsys_->create("/f");
+  fsys_->write("/f", 0, bytes_of(4096, 1));
+  fsys_->fsync();
+  const std::uint64_t blkno = peek_inode(1, kDirect0Off);
+  flip_bitmap_bit(false, blkno - fsys_->geometry().data_start);
+  EXPECT_TRUE(fsck_fresh().has(FsckCode::kBlockFreeButUsed));
+}
+
+TEST_F(FsckCodes, InodeLeak) {
+  fsys_->create("/f");
+  fsys_->fsync();
+  flip_bitmap_bit(true, 5);  // mark an unused inode allocated
+  EXPECT_TRUE(fsck_fresh().has(FsckCode::kInodeLeak));
+}
+
+TEST_F(FsckCodes, CleanImageStaysClean) {
+  fsys_->mkdir("/d");
+  fsys_->create("/d/f");
+  fsys_->write("/d/f", 0, bytes_of(60 * 1024, 3));  // into the indirect block
+  fsys_->fsync();
+  const FsckReport r = fsck_fresh();
+  EXPECT_TRUE(r.ok) << r.summary();
+  EXPECT_TRUE(r.codes.empty());
+}
+
 }  // namespace
 }  // namespace tinca::fs
