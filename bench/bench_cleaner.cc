@@ -1,0 +1,193 @@
+// Bench — background cleaner: commit latency with dirty write-back on vs
+// off the commit path (DESIGN.md §11).
+//
+// Workload: uniform random whole-block writes over a universe ~4x the NVM
+// cache capacity, 1–4 blocks per transaction, with *synchronous* disk
+// writes so every write-back stalls whoever issues it.  With the cleaner
+// disabled, a full cache means each commit's eviction lands on a dirty LRU
+// victim and pays the disk write inline.  With the cleaner armed (stepped
+// mode, one quantum between commits), dirty blocks retire in the
+// background, evictions find clean victims, and the commit path keeps only
+// its two 8 B ring persists.
+//
+// Usage:
+//   bench_cleaner [--txns N] [--json <path>]
+//
+// Exit status is nonzero unless cleaner-on commit p95 beats cleaner-off
+// (the headline claim is >= 2x; CI gates on strictly-better so a noisy run
+// cannot silently regress the cleaner into a no-op).
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <random>
+#include <vector>
+
+#include "backend/tinca_backend.h"
+#include "bench_reporter.h"
+#include "bench_util.h"
+#include "cleaner/cleaner.h"
+#include "common/bytes.h"
+#include "obs/metrics.h"
+
+using namespace tinca;
+using namespace tinca::bench;
+
+namespace {
+
+struct RunResult {
+  Histogram commit_lat;                ///< per-commit span (virtual ns)
+  core::TincaCacheStats cache;
+  cleaner::CleanerStats cleaner;      ///< zeroed when the cleaner is off
+  std::uint64_t disk_writes = 0;       ///< measured window only
+  double queue_depth = 0.0;            ///< cleaner.queue_depth gauge at end
+};
+
+RunResult run_one(bool cleaner_on, std::uint64_t txns) {
+  backend::StackConfig cfg = scaled_stack(backend::StackKind::kTinca);
+  // Synchronous disk writes: a write-back stalls its issuer, so the commit
+  // span shows exactly who pays for retiring dirty blocks.
+  cfg.disk_writes = blockdev::WritePolicy::kSync;
+  if (cleaner_on) cfg.tinca.cleaner.mode = cleaner::CleanerMode::kStepped;
+  backend::Stack stack(cfg);
+  backend::TxnBackend& be = stack.backend();
+  core::TincaCache& cache = static_cast<backend::TincaBackend&>(be).cache();
+
+  obs::MetricsRegistry reg;
+  stack.register_metrics(reg);
+
+  const std::uint64_t universe =
+      std::min<std::uint64_t>(cfg.disk_blocks, 4 * cache.capacity_blocks());
+  std::mt19937_64 rng(20260806);
+  std::uniform_int_distribution<std::uint64_t> pick(0, universe - 1);
+  std::uniform_int_distribution<int> batch_pick(1, 4);
+  std::vector<std::byte> blk(4096);
+
+  const auto run_txns = [&](std::uint64_t n) {
+    for (std::uint64_t t = 0; t < n; ++t) {
+      be.begin();
+      const int batch = batch_pick(rng);
+      for (int b = 0; b < batch; ++b) {
+        const std::uint64_t blkno = pick(rng);
+        fill_pattern(blk, blkno ^ t);
+        be.stage(blkno, blk);
+      }
+      be.commit();
+      be.cleaner_step();  // no-op with the cleaner disabled
+    }
+  };
+
+  // Warm until the cache is full and dirty — the steady state the cleaner
+  // exists for.  Not measured.
+  run_txns(2 * cache.capacity_blocks());
+
+  stack.enable_tracing();
+  const std::uint64_t disk_before = stack.disk_blocks_written();
+  const core::TincaCacheStats warm = cache.stats();
+  const cleaner::CleanerStats warm_cl =
+      cache.cleaner() ? cache.cleaner()->stats() : cleaner::CleanerStats{};
+  run_txns(txns);
+
+  RunResult r;
+  if (const Histogram* h = be.tracer()->histogram("commit")) r.commit_lat = *h;
+  r.cache = cache.stats();
+  if (cache.cleaner() != nullptr) {
+    r.cleaner = cache.cleaner()->stats();
+    // Report the measured window, not the warmup.
+    r.cleaner.retired -= warm_cl.retired;
+    r.cleaner.steps -= warm_cl.steps;
+    r.cleaner.batches -= warm_cl.batches;
+    r.cleaner.coalesced_blocks -= warm_cl.coalesced_blocks;
+    r.cleaner.backpressure_drains -= warm_cl.backpressure_drains;
+  }
+  r.cache.dirty_writebacks -= warm.dirty_writebacks;
+  r.cache.writethrough_writes -= warm.writethrough_writes;
+  r.cache.background_cleanings -= warm.background_cleanings;
+  r.cache.evictions -= warm.evictions;
+  r.disk_writes = stack.disk_blocks_written() - disk_before;
+  if (reg.has("tinca.cleaner.queue_depth"))
+    r.queue_depth = reg.value("tinca.cleaner.queue_depth");
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchReporter reporter("cleaner", argc, argv);
+
+  std::uint64_t txns = 6000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--txns") == 0 && i + 1 < argc) {
+      txns = std::strtoull(argv[++i], nullptr, 0);
+    } else {
+      std::cerr << "usage: bench_cleaner [--txns N] [--json <path>]\n";
+      return 2;
+    }
+  }
+  reporter.config("txns", txns);
+  reporter.config("blocks_per_txn", "1-4 uniform");
+  reporter.config("universe_over_capacity", std::uint64_t{4});
+  reporter.config("disk_writes", "sync");
+  reporter.config("nvm_profile", "pcm");
+  reporter.config("disk_profile", "ssd");
+
+  banner("Background cleaner",
+         "commit latency: dirty write-back on vs off the commit path");
+
+  const RunResult off = run_one(false, txns);
+  const RunResult on = run_one(true, txns);
+
+  Table t({"cleaner", "commits", "p50 us", "p95 us", "p99 us", "mean us",
+           "evictions", "wb inline", "bg cleaned", "disk writes"});
+  const struct {
+    const char* label;
+    const RunResult* r;
+  } rows[] = {{"off", &off}, {"on", &on}};
+  for (const auto& [label, r] : rows) {
+    t.add_row({label, Table::num(r->commit_lat.count()),
+               Table::num(static_cast<double>(r->commit_lat.quantile(0.50)) / 1000.0, 1),
+               Table::num(static_cast<double>(r->commit_lat.quantile(0.95)) / 1000.0, 1),
+               Table::num(static_cast<double>(r->commit_lat.quantile(0.99)) / 1000.0, 1),
+               Table::num(r->commit_lat.mean() / 1000.0, 1),
+               Table::num(r->cache.evictions),
+               Table::num(r->cache.dirty_writebacks - r->cache.background_cleanings),
+               Table::num(r->cache.background_cleanings),
+               Table::num(r->disk_writes)});
+    BenchReporter::Row& row =
+        reporter.add_row(std::string("cleaner-") + label);
+    row.latency("commit", r->commit_lat)
+        .metric("evictions", static_cast<double>(r->cache.evictions))
+        .metric("dirty_writebacks", static_cast<double>(r->cache.dirty_writebacks))
+        .metric("background_cleanings",
+                static_cast<double>(r->cache.background_cleanings))
+        .metric("disk_writes", static_cast<double>(r->disk_writes))
+        .metric("cleaner_retired", static_cast<double>(r->cleaner.retired))
+        .metric("cleaner_steps", static_cast<double>(r->cleaner.steps))
+        .metric("cleaner_batches", static_cast<double>(r->cleaner.batches))
+        .metric("cleaner_coalesced_blocks",
+                static_cast<double>(r->cleaner.coalesced_blocks))
+        .metric("cleaner_backpressure_drains",
+                static_cast<double>(r->cleaner.backpressure_drains))
+        .metric("cleaner_queue_depth", r->queue_depth);
+    row.latency("drain_lag", r->cleaner.drain_lag);
+  }
+  std::cout << t.render();
+
+  const std::uint64_t off_p95 = off.commit_lat.quantile(0.95);
+  const std::uint64_t on_p95 = on.commit_lat.quantile(0.95);
+  const double ratio = on_p95 == 0
+                           ? 0.0
+                           : static_cast<double>(off_p95) /
+                                 static_cast<double>(on_p95);
+  std::cout << "\nCommit p95 off/on = " << Table::num(ratio, 2)
+            << "x (goal >= 2x: dirty write-backs retired off the commit"
+               " path).\n";
+  reporter.config("p95_speedup", ratio);
+
+  if (!reporter.finish()) return 1;
+  if (on_p95 >= off_p95) {
+    std::cerr << "FAIL: cleaner-on commit p95 (" << on_p95
+              << " ns) is not below cleaner-off (" << off_p95 << " ns)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -26,15 +26,26 @@ using namespace tinca::bench;
 
 namespace {
 
-const char* kind_name(backend::StackKind kind) {
-  switch (kind) {
-    case backend::StackKind::kTinca: return "Tinca";
-    case backend::StackKind::kClassic: return "Classic";
-    case backend::StackKind::kUbj: return "UBJ";
-    case backend::StackKind::kShardedTinca: return "Sharded";
-    default: return "?";
-  }
-}
+/// One sweep row: a stack kind with the background cleaner off or armed in
+/// deterministic stepped mode (DESIGN.md §11).  Classic has no cleaner.
+struct Campaign {
+  backend::StackKind kind;
+  cleaner::CleanerMode cleaner;
+  const char* label;
+};
+
+constexpr Campaign kCampaigns[] = {
+    {backend::StackKind::kTinca, cleaner::CleanerMode::kDisabled, "Tinca"},
+    {backend::StackKind::kClassic, cleaner::CleanerMode::kDisabled, "Classic"},
+    {backend::StackKind::kUbj, cleaner::CleanerMode::kDisabled, "UBJ"},
+    {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kDisabled,
+     "Sharded"},
+    {backend::StackKind::kTinca, cleaner::CleanerMode::kStepped,
+     "Tinca+cleaner"},
+    {backend::StackKind::kUbj, cleaner::CleanerMode::kStepped, "UBJ+cleaner"},
+    {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kStepped,
+     "Sharded+cleaner"},
+};
 
 }  // namespace
 
@@ -70,24 +81,23 @@ int main(int argc, char** argv) {
            "retries", "quarant", "degraded", "wedges", "violations"});
   std::uint64_t total_violations = 0;
 
-  for (const backend::StackKind kind :
-       {backend::StackKind::kTinca, backend::StackKind::kClassic,
-        backend::StackKind::kUbj, backend::StackKind::kShardedTinca}) {
+  for (const Campaign& c : kCampaigns) {
     backend::FuzzOptions opts;
-    opts.kind = kind;
+    opts.kind = c.kind;
+    opts.cleaner = c.cleaner;
     opts.seed = seed;
     opts.schedules = static_cast<std::uint32_t>(schedules);
     const backend::FuzzReport r = backend::run_fault_fuzz(opts);
 
     const std::uint64_t transients = r.faults.transient_read_errors +
                                      r.faults.transient_write_errors;
-    t.add_row({kind_name(kind), Table::num(r.crashes),
+    t.add_row({c.label, Table::num(r.crashes),
                Table::num(r.clean_remounts), Table::num(transients),
                Table::num(r.faults.bad_sectors), Table::num(r.faults.torn_writes),
                Table::num(r.io_retries), Table::num(r.io_quarantined),
                Table::num(r.io_degraded_writes), Table::num(r.wedges),
                Table::num(r.violations)});
-    reporter.add_row(kind_name(kind))
+    reporter.add_row(c.label)
         .metric("schedules", static_cast<double>(r.schedules))
         .metric("crashes", static_cast<double>(r.crashes))
         .metric("clean_remounts", static_cast<double>(r.clean_remounts))
@@ -103,7 +113,7 @@ int main(int argc, char** argv) {
 
     total_violations += r.violations;
     for (const std::string& m : r.violation_messages)
-      std::cerr << kind_name(kind) << " VIOLATION: " << m << "\n";
+      std::cerr << c.label << " VIOLATION: " << m << "\n";
   }
 
   std::cout << t.render();

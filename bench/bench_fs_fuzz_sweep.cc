@@ -32,15 +32,26 @@ using namespace tinca::bench;
 
 namespace {
 
-const char* kind_name(backend::StackKind kind) {
-  switch (kind) {
-    case backend::StackKind::kTinca: return "Tinca";
-    case backend::StackKind::kClassic: return "Classic";
-    case backend::StackKind::kUbj: return "UBJ";
-    case backend::StackKind::kShardedTinca: return "Sharded";
-    default: return "?";
-  }
-}
+/// One sweep row: a stack kind with the background cleaner off or armed in
+/// deterministic stepped mode (DESIGN.md §11).  Classic has no cleaner.
+struct Campaign {
+  backend::StackKind kind;
+  cleaner::CleanerMode cleaner;
+  const char* label;
+};
+
+constexpr Campaign kCampaigns[] = {
+    {backend::StackKind::kTinca, cleaner::CleanerMode::kDisabled, "Tinca"},
+    {backend::StackKind::kClassic, cleaner::CleanerMode::kDisabled, "Classic"},
+    {backend::StackKind::kUbj, cleaner::CleanerMode::kDisabled, "UBJ"},
+    {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kDisabled,
+     "Sharded"},
+    {backend::StackKind::kTinca, cleaner::CleanerMode::kStepped,
+     "Tinca+cleaner"},
+    {backend::StackKind::kUbj, cleaner::CleanerMode::kStepped, "UBJ+cleaner"},
+    {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kStepped,
+     "Sharded+cleaner"},
+};
 
 }  // namespace
 
@@ -98,11 +109,10 @@ int main(int argc, char** argv) {
   std::uint64_t total_violations = 0;
   std::uint64_t total_dirty = 0;
 
-  for (const backend::StackKind kind :
-       {backend::StackKind::kTinca, backend::StackKind::kClassic,
-        backend::StackKind::kUbj, backend::StackKind::kShardedTinca}) {
+  for (const Campaign& c : kCampaigns) {
     fs::FsFuzzOptions opts;
-    opts.kind = kind;
+    opts.kind = c.kind;
+    opts.cleaner = c.cleaner;
     opts.seed = seed;
     opts.schedules = static_cast<std::uint32_t>(schedules);
     opts.sabotage = sabotage;
@@ -116,14 +126,14 @@ int main(int argc, char** argv) {
 
     const std::uint64_t violations = r.violations + s.violations;
     const std::uint64_t dirty = r.fsck_dirty + s.fsck_dirty;
-    t.add_row({kind_name(kind), Table::num(r.ops_executed),
+    t.add_row({c.label, Table::num(r.ops_executed),
                Table::num(r.txns_committed), Table::num(r.crashes + s.crashes),
                Table::num(r.clean_remounts + s.clean_remounts),
                Table::num(r.shard_prefix_cuts + s.shard_prefix_cuts),
                Table::num(r.fsck_runs + s.fsck_runs), Table::num(dirty),
                Table::num(s.sweep_points), Table::num(s.sweep_torn_points),
                Table::num(violations)});
-    reporter.add_row(kind_name(kind))
+    reporter.add_row(c.label)
         .metric("schedules", static_cast<double>(r.schedules))
         .metric("ops", static_cast<double>(r.ops_executed))
         .metric("txns_committed", static_cast<double>(r.txns_committed))
@@ -145,9 +155,9 @@ int main(int argc, char** argv) {
     total_violations += violations;
     total_dirty += dirty;
     for (const std::string& m : r.violation_messages)
-      std::cerr << kind_name(kind) << " VIOLATION: " << m << "\n";
+      std::cerr << c.label << " VIOLATION: " << m << "\n";
     for (const std::string& m : s.violation_messages)
-      std::cerr << kind_name(kind) << " SWEEP VIOLATION: " << m << "\n";
+      std::cerr << c.label << " SWEEP VIOLATION: " << m << "\n";
   }
 
   std::cout << t.render();

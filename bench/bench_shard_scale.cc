@@ -45,19 +45,31 @@ struct RunResult {
   std::uint64_t p99_ns = 0;
   Histogram span_commit;     ///< tinca.commit tracer spans, all shards (ns)
   Histogram span_lock_wait;  ///< shard.lock_wait front-end spans (host ns)
+  std::uint64_t background_cleanings = 0;  ///< cleaner-thread write-backs
 };
 
 /// One sweep cell: `threads` committing threads over `shards` shards.
 /// Every thread owns a key pool routed entirely to shard (thread % shards).
 /// With a `sink` the measured phase additionally emits a Chrome trace.
+/// With `cleaner_threads` each shard also runs a real kThread cleaner
+/// (DESIGN.md §11) racing the committers under the shard mutexes.
 RunResult run_cell(std::uint32_t shards, std::uint32_t threads,
-                   bool cross_shard, obs::TraceSink* sink = nullptr) {
+                   bool cross_shard, obs::TraceSink* sink = nullptr,
+                   bool cleaner_threads = false) {
   sim::SimClock clock;
   nvm::NvmDevice dev(kPerShardNvm * shards, nvdimm_profile(), clock);
   blockdev::MemBlockDevice disk(kDiskBlocks);
   shard::ShardedConfig cfg;
   cfg.num_shards = shards;
   cfg.shard.ring_bytes = 1 << 20;
+  if (cleaner_threads) {
+    cfg.shard.cleaner.mode = cleaner::CleanerMode::kThread;
+    cfg.shard.cleaner.thread_poll_us = 50;
+    // Aggressive watermarks: the warm working set sits below the default
+    // high water, so without this the threads would idle the whole run.
+    cfg.shard.cleaner.low_water_pct = 0;
+    cfg.shard.cleaner.high_water_pct = 10;
+  }
   auto st = shard::ShardedTinca::format(dev, disk, cfg);
 
   // Per-thread key pools.  Affinity mode: keys homed on one shard per
@@ -88,6 +100,8 @@ RunResult run_cell(std::uint32_t shards, std::uint32_t threads,
   std::vector<sim::Ns> start(shards);
   for (std::uint32_t s = 0; s < shards; ++s) start[s] = st->shard_clock(s).now();
 
+  if (cleaner_threads) st->start_cleaner_threads();
+
   std::vector<Histogram> lat(threads);  // per-commit latency, virtual ns
   std::vector<std::thread> workers;
   for (std::uint32_t t = 0; t < threads; ++t) {
@@ -114,6 +128,7 @@ RunResult run_cell(std::uint32_t shards, std::uint32_t threads,
     });
   }
   for (auto& w : workers) w.join();
+  if (cleaner_threads) st->stop_cleaner_threads();
 
   // Makespan: the busiest shard's virtual-time advance.
   sim::Ns makespan = 0;
@@ -134,6 +149,7 @@ RunResult run_cell(std::uint32_t shards, std::uint32_t threads,
       r.span_commit.merge(*h);
   if (const Histogram* h = st->tracer().histogram("lock_wait"))
     r.span_lock_wait = *h;
+  r.background_cleanings = st->aggregated_stats().background_cleanings;
   return r;
 }
 
@@ -209,6 +225,27 @@ int main(int argc, char** argv) {
         .latency("lock_wait", r.span_lock_wait);
   }
   std::cout << xtable.render();
+
+  std::cout << "\nbackground cleaner threads (one kThread cleaner per shard"
+               " racing the committers):\n";
+  Table ctable({"shards", "threads", "commits/s", "bg cleaned"});
+  for (std::uint32_t shards : {2u, 4u}) {
+    const RunResult r = run_cell(shards, shards, /*cross_shard=*/false,
+                                 /*sink=*/nullptr, /*cleaner_threads=*/true);
+    char tput[32];
+    std::snprintf(tput, sizeof tput, "%.0f", r.commits_per_sec);
+    ctable.add_row({std::to_string(shards), std::to_string(shards), tput,
+                    std::to_string(r.background_cleanings)});
+    reporter
+        .add_row("cleaner/shards=" + std::to_string(shards) +
+                 "/threads=" + std::to_string(shards))
+        .metric("commits_per_sec", r.commits_per_sec)
+        .metric("background_cleanings",
+                static_cast<double>(r.background_cleanings))
+        .latency("commit", r.span_commit)
+        .latency("lock_wait", r.span_lock_wait);
+  }
+  std::cout << ctable.render();
 
   if (!trace_path.empty()) {
     obs::TraceSink sink;

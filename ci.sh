@@ -33,7 +33,7 @@ trap 'rm -rf "$JSON_OUT"' EXIT
 cmake -B "$BENCH_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BENCH_DIR" -j "$(nproc)" \
   --target bench_micro_primitives bench_ablation_txn_batch bench_fault_sweep \
-  bench_fs_fuzz_sweep
+  bench_fs_fuzz_sweep bench_cleaner
 
 "$BENCH_DIR/bench/bench_micro_primitives" \
   --benchmark_filter=BM_CacheEntryCodec --benchmark_min_time=0.05 \
@@ -53,6 +53,12 @@ cmake --build "$BENCH_DIR" -j "$(nproc)" \
 "$BENCH_DIR/bench/bench_fs_fuzz_sweep" --schedules 500 --seed 1 \
   --json "$JSON_OUT/fs_fuzz.json" > /dev/null
 
+# Background-cleaner smoke (DESIGN.md §11): off-vs-on commit latency.  The
+# binary exits nonzero unless cleaner-on commit p95 beats cleaner-off, so
+# this line gates "the cleaner actually moves write-backs off the commit
+# path" — a cleaner regressed into a no-op fails CI here.
+"$BENCH_DIR/bench/bench_cleaner" --json "$JSON_OUT/cleaner.json" > /dev/null
+
 # Oracle self-test: a sabotaged run (harness corrupts a committed data block
 # behind the backend's back) must FAIL, proving the oracle has teeth.
 if "$BENCH_DIR/bench/bench_fs_fuzz_sweep" --schedules 20 --seed 1 \
@@ -63,7 +69,8 @@ fi
 echo "fs fuzz sabotage self-test: correctly rejected"
 
 python3 - "$JSON_OUT/micro.json" "$JSON_OUT/txn_batch.json" \
-  "$JSON_OUT/fault_sweep.json" "$JSON_OUT/fs_fuzz.json" <<'EOF'
+  "$JSON_OUT/fault_sweep.json" "$JSON_OUT/fs_fuzz.json" \
+  "$JSON_OUT/cleaner.json" <<'EOF'
 import json, numbers, sys
 
 for path in sys.argv[1:]:
@@ -81,26 +88,31 @@ for path in sys.argv[1:]:
                 f"{path}: {row['label']}/{name} is not numeric: {value!r}"
     print(f"{path}: OK ({len(doc['rows'])} rows)")
 
-# Fault-sweep specifics: all four stacks present, full schedule count, and
+# The seven fault/fs campaigns: the four bare stacks plus the three
+# cleaner-capable ones re-run with the background cleaner armed (§11).
+CAMPAIGNS = {"Tinca", "Classic", "UBJ", "Sharded",
+             "Tinca+cleaner", "UBJ+cleaner", "Sharded+cleaner"}
+
+# Fault-sweep specifics: every campaign present, full schedule count, and
 # zero recovery-invariant violations.
 with open(sys.argv[3]) as f:
     sweep = json.load(f)
 labels = {row["label"] for row in sweep["rows"]}
-assert labels == {"Tinca", "Classic", "UBJ", "Sharded"}, f"stacks ran: {labels}"
+assert labels == CAMPAIGNS, f"campaigns ran: {labels}"
 for row in sweep["rows"]:
     m = row["metrics"]
     assert m["schedules"] >= 1000, f"{row['label']}: only {m['schedules']} schedules"
     assert m["violations"] == 0, f"{row['label']}: {m['violations']} violations"
     assert m["crashes"] > 0, f"{row['label']}: campaign never crashed"
-print(f"fault sweep: OK ({len(sweep['rows'])} stacks, 0 violations)")
+print(f"fault sweep: OK ({len(sweep['rows'])} campaigns, 0 violations)")
 
-# FS-fuzz specifics: all four stacks, full schedule count, zero tree-model
+# FS-fuzz specifics: every campaign, full schedule count, zero tree-model
 # violations, zero dirty fscks, and the campaign actually exercised the
 # machinery (crashes happened, fsck ran, the sweep covered commit points).
 with open(sys.argv[4]) as f:
     fsf = json.load(f)
 labels = {row["label"] for row in fsf["rows"]}
-assert labels == {"Tinca", "Classic", "UBJ", "Sharded"}, f"stacks ran: {labels}"
+assert labels == CAMPAIGNS, f"campaigns ran: {labels}"
 for row in fsf["rows"]:
     m = row["metrics"]
     assert m["schedules"] >= 500, f"{row['label']}: only {m['schedules']} schedules"
@@ -109,5 +121,21 @@ for row in fsf["rows"]:
     assert m["crashes"] > 0, f"{row['label']}: campaign never crashed"
     assert m["fsck_runs"] > 0, f"{row['label']}: fsck never ran"
     assert m["sweep_points"] > 0, f"{row['label']}: sweep covered no points"
-print(f"fs fuzz: OK ({len(fsf['rows'])} stacks, 0 violations, 0 dirty)")
+print(f"fs fuzz: OK ({len(fsf['rows'])} campaigns, 0 violations, 0 dirty)")
+
+# Cleaner smoke specifics: both rows present, the armed run retired work in
+# the background, and its commit p95 is strictly better than cleaner-off.
+with open(sys.argv[5]) as f:
+    cl = json.load(f)
+rows = {row["label"]: row["metrics"] for row in cl["rows"]}
+assert set(rows) == {"cleaner-off", "cleaner-on"}, f"rows: {set(rows)}"
+off, on = rows["cleaner-off"], rows["cleaner-on"]
+assert on["commit_p95_ns"] < off["commit_p95_ns"], \
+    f"cleaner-on commit p95 {on['commit_p95_ns']} !< off {off['commit_p95_ns']}"
+assert on["cleaner_retired"] > 0, "armed run never retired a block"
+assert on["background_cleanings"] > 0, "armed run did no background write-backs"
+assert off["dirty_writebacks"] > 0, "off run never paid an inline write-back"
+assert on["drain_lag_count"] > 0, "drain-lag histogram is empty"
+print(f"cleaner: OK (commit p95 off/on = "
+      f"{off['commit_p95_ns'] / on['commit_p95_ns']:.2f}x)")
 EOF

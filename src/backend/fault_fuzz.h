@@ -142,6 +142,11 @@ inline FuzzReport run_fault_fuzz(const FuzzOptions& opts) {
         be->commit();
         for (const auto& [blkno, value] : txn) committed[blkno] = value;
         txn.clear();
+        // Cleaner-armed campaigns drain between commits.  A crash inside the
+        // step lands after the oracle bookkeeping with txn empty, so the only
+        // acceptable state is exactly the committed history — precisely the
+        // crash-safety claim under test (re-clean on recovery, lose nothing).
+        be->cleaner_step();
         if (rng.chance(0.1)) be->flush();
       }
     } catch (const nvm::CrashException&) {

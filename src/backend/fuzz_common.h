@@ -33,6 +33,10 @@ enum class FuzzSabotage : std::uint8_t {
   /// verification — the recovered/live state then matches no acceptable
   /// history, and the harness must flag it.
   kCorruptCommitted,
+  /// The background cleaner marks blocks clean WITHOUT their pre-writeback
+  /// disk flush (DESIGN.md §11).  Stale disk data then leaks into reads
+  /// after eviction or a clean remount, and the oracle must flag it.
+  kCleanerSkipsFlush,
 };
 
 /// Parameters of one fuzz campaign (one backend kind, many schedules).
@@ -66,6 +70,16 @@ struct FuzzOptions {
   std::uint64_t journal_blocks = 512;      ///< Classic journal reservation
   std::uint32_t shards = 2;                ///< kShardedTinca only
   blockdev::RetryPolicy retry{};
+  /// Background cleaner mode for the cache under test (kStepped arms the
+  /// cleaner deterministically: the harness calls cleaner_step() after each
+  /// commit, and crash points inside the drain are swept like any other).
+  cleaner::CleanerMode cleaner = cleaner::CleanerMode::kDisabled;
+  /// Cleaner watermarks for cleaner-armed campaigns.  The aggressive
+  /// self-test campaigns drop these so the cleaner provably does work on
+  /// every schedule; real campaigns keep the production defaults.
+  std::uint32_t cleaner_low_water_pct = cleaner::CleanerConfig{}.low_water_pct;
+  std::uint32_t cleaner_high_water_pct =
+      cleaner::CleanerConfig{}.high_water_pct;
   /// Oracle self-test hook; leave kNone outside harness self-tests.
   FuzzSabotage sabotage = FuzzSabotage::kNone;
 };
@@ -120,6 +134,11 @@ inline std::unique_ptr<TxnBackend> fuzz_build(const FuzzOptions& o,
       core::TincaConfig c;
       c.ring_bytes = o.ring_bytes;
       c.io = o.retry;
+      c.cleaner.mode = o.cleaner;
+      c.cleaner.low_water_pct = o.cleaner_low_water_pct;
+      c.cleaner.high_water_pct = o.cleaner_high_water_pct;
+      c.cleaner.sabotage_skip_write =
+          o.sabotage == FuzzSabotage::kCleanerSkipsFlush;
       return recover ? TincaBackend::recover(nvm, disk, c)
                      : TincaBackend::format(nvm, disk, c);
     }
@@ -135,6 +154,11 @@ inline std::unique_ptr<TxnBackend> fuzz_build(const FuzzOptions& o,
     case StackKind::kUbj: {
       ubj::UbjConfig c;
       c.io = o.retry;
+      c.cleaner.mode = o.cleaner;
+      c.cleaner.low_water_pct = o.cleaner_low_water_pct;
+      c.cleaner.high_water_pct = o.cleaner_high_water_pct;
+      c.cleaner.sabotage_skip_write =
+          o.sabotage == FuzzSabotage::kCleanerSkipsFlush;
       return recover ? UbjBackend::recover(nvm, disk, c)
                      : UbjBackend::format(nvm, disk, c);
     }
@@ -143,6 +167,11 @@ inline std::unique_ptr<TxnBackend> fuzz_build(const FuzzOptions& o,
       s.num_shards = o.shards;
       s.shard.ring_bytes = o.ring_bytes;
       s.shard.io = o.retry;
+      s.shard.cleaner.mode = o.cleaner;
+      s.shard.cleaner.low_water_pct = o.cleaner_low_water_pct;
+      s.shard.cleaner.high_water_pct = o.cleaner_high_water_pct;
+      s.shard.cleaner.sabotage_skip_write =
+          o.sabotage == FuzzSabotage::kCleanerSkipsFlush;
       return recover ? ShardedBackend::recover(nvm, disk, s)
                      : ShardedBackend::format(nvm, disk, s);
     }

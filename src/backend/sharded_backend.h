@@ -71,6 +71,8 @@ class ShardedBackend final : public TxnBackend {
 
   [[nodiscard]] std::string name() const override { return "ShardedTinca"; }
 
+  void cleaner_step() override { sharded_->step_cleaners(); }
+
   void enable_tracing(bool on = true) override { sharded_->enable_tracing(on); }
 
   void attach_trace_sink(obs::TraceSink* sink) override {

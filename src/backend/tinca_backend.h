@@ -66,10 +66,12 @@ class TincaBackend final : public TxnBackend {
 
   [[nodiscard]] std::string name() const override { return "Tinca"; }
 
-  void enable_tracing(bool on = true) override { cache_->tracer().enable(on); }
+  void cleaner_step() override { cache_->cleaner_step(); }
+
+  void enable_tracing(bool on = true) override { cache_->enable_tracing(on); }
 
   void attach_trace_sink(obs::TraceSink* sink) override {
-    cache_->tracer().attach_sink(sink);
+    cache_->attach_trace_sink(sink);
   }
 
   [[nodiscard]] const obs::Tracer* tracer() const override {

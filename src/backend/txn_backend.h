@@ -53,6 +53,11 @@ class TxnBackend {
   /// Human-readable backend name for bench output.
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// One background-cleaner pacing quantum (DESIGN.md §11).  Harness loops
+  /// call this between transactions; backends without a cleaner (or with it
+  /// disabled) treat it as a no-op, so callers need not special-case.
+  virtual void cleaner_step() {}
+
   // --- Observability (src/obs/) --------------------------------------------
   // Default implementations are no-ops so backends without instrumentation
   // keep compiling; every shipped backend overrides them.

@@ -70,10 +70,12 @@ class UbjBackend final : public TxnBackend {
 
   [[nodiscard]] std::string name() const override { return "UBJ"; }
 
-  void enable_tracing(bool on = true) override { store_->tracer().enable(on); }
+  void cleaner_step() override { store_->cleaner_step(); }
+
+  void enable_tracing(bool on = true) override { store_->enable_tracing(on); }
 
   void attach_trace_sink(obs::TraceSink* sink) override {
-    store_->tracer().attach_sink(sink);
+    store_->attach_trace_sink(sink);
   }
 
   [[nodiscard]] const obs::Tracer* tracer() const override {

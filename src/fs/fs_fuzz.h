@@ -68,6 +68,11 @@ enum class FsSabotage : std::uint8_t {
   /// Same, but flip bits in the block allocation bitmap.  Only fsck()'s
   /// bitmap cross-check can catch it.
   kCorruptBitmap,
+  /// Arm the *stack-level* cleaner sabotage (FuzzSabotage::kCleanerSkipsFlush):
+  /// the cleaner marks blocks clean without their disk flush, so stale disk
+  /// data surfaces after remount and the image check must flag it.  Requires
+  /// a cleaner mode other than kDisabled.
+  kCleanerSkipsFlush,
 };
 
 /// Parameters of one fs-level fuzz campaign (one stack kind, many schedules).
@@ -100,6 +105,14 @@ struct FsFuzzOptions {
   /// window (many small compound txns → many commit boundaries to cut).
   std::uint64_t inode_count = 512;
   std::uint64_t group_commit_ops = 6;
+  /// Background cleaner mode for the stack under test (kStepped drains one
+  /// cleaner quantum after every completed commit, deterministically).
+  cleaner::CleanerMode cleaner = cleaner::CleanerMode::kDisabled;
+  /// Cleaner watermarks (self-tests drop them so the cleaner provably does
+  /// work on every schedule; campaigns keep the production defaults).
+  std::uint32_t cleaner_low_water_pct = cleaner::CleanerConfig{}.low_water_pct;
+  std::uint32_t cleaner_high_water_pct =
+      cleaner::CleanerConfig{}.high_water_pct;
   /// Oracle self-test hook; leave kNone outside harness self-tests.
   FsSabotage sabotage = FsSabotage::kNone;
 };
@@ -179,6 +192,10 @@ class RecordingBackend final : public backend::TxnBackend {
     for (const auto& [blkno, fp] : pending_) committed_[blkno] = fp;
     pending_.clear();
     ++boundaries_;
+    // Cleaner-armed campaigns drain between commits; a crash inside the
+    // drain lands with nothing pending, so the acceptable image is exactly
+    // the committed history (re-clean on recovery, lose nothing).
+    real_.cleaner_step();
   }
 
   void abort() override {
@@ -582,6 +599,11 @@ inline backend::FuzzOptions fs_stack_opts(const FsFuzzOptions& o) {
   s.journal_blocks = o.journal_blocks;
   s.shards = o.shards;
   s.retry = o.retry;
+  s.cleaner = o.cleaner;
+  s.cleaner_low_water_pct = o.cleaner_low_water_pct;
+  s.cleaner_high_water_pct = o.cleaner_high_water_pct;
+  if (o.sabotage == FsSabotage::kCleanerSkipsFlush)
+    s.sabotage = backend::FuzzSabotage::kCleanerSkipsFlush;
   return s;
 }
 
@@ -822,7 +844,12 @@ inline ScheduleOutcome run_fs_schedule(const FsFuzzOptions& opts,
   }
 
   // --- sabotage (oracle self-test, clean schedules only) --------------------
-  if (!interrupted && mkfs_done && opts.sabotage != FsSabotage::kNone) {
+  // kCleanerSkipsFlush is not handled here: it is a continuous stack-level
+  // sabotage (armed via the cleaner config in fs_stack_opts), not a one-shot
+  // block overwrite.
+  if (!interrupted && mkfs_done &&
+      (opts.sabotage == FsSabotage::kCorruptData ||
+       opts.sabotage == FsSabotage::kCorruptBitmap)) {
     try {
       const MiniFs::Geometry& g = fsys->geometry();
       std::vector<std::byte> junk(blockdev::kBlockSize);
@@ -934,9 +961,17 @@ inline ScheduleOutcome run_fs_schedule(const FsFuzzOptions& opts,
     }
 
     // Full fsync boundary: the mounted tree must equal the model snapshot.
+    // A crash can also land *after* a commit published but before the op
+    // returned — e.g., inside the cleaner's post-commit quantum.  Then the
+    // pending set is empty but the boundary count advanced past the last
+    // snapshot, and the new boundary's tree is the live model plus the
+    // interrupted op (MiniFs commits are the final mutating action of an
+    // op), i.e. exactly the role-1 construction.
+    const bool committed_then_crashed =
+        matched_role == 0 && interrupted && shim.boundaries() != last_boundary;
     const ModelNode* want = &committed_model;
     ModelNode committed_plus;
-    if (matched_role == 1) {
+    if (matched_role == 1 || committed_then_crashed) {
       // The interrupted txn carries every op since the previous boundary,
       // ending with the in-flight one: that is exactly the live model (plus
       // the interrupted op, which validated against the live model).

@@ -36,13 +36,24 @@ ShardedTinca::ShardedTinca(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
   const std::uint64_t part =
       nvm.size() / cfg.num_shards / core::kBlockSize * core::kBlockSize;
   TINCA_EXPECT(part > 0, "NVM device too small for this many shards");
+
+  // Shared pacing budget: one Pacer for all shards' cleaners, each step
+  // granting a 1/num_shards slice of the global batch budget (DESIGN.md §11).
+  if (cfg_.shard.cleaner.mode != cleaner::CleanerMode::kDisabled &&
+      cfg_.shard.cleaner.pacer == nullptr) {
+    cfg_.shard.cleaner.pacer = std::make_shared<cleaner::Pacer>(
+        static_cast<std::int64_t>(cfg_.shard.cleaner.max_batch_blocks));
+    cfg_.shard.cleaner.pacer_grant_per_step =
+        std::max(1u, cfg_.shard.cleaner.max_batch_blocks / cfg.num_shards);
+  }
+
   shards_.reserve(cfg.num_shards);
   for (std::uint32_t s = 0; s < cfg.num_shards; ++s) {
     auto sh = std::make_unique<Shard>();
     sh->clock = std::make_unique<sim::SimClock>();
     sh->view = std::make_unique<nvm::NvmDevice>(
         nvm, static_cast<std::uint64_t>(s) * part, part, *sh->clock);
-    core::TincaConfig shard_cfg = cfg.shard;
+    core::TincaConfig shard_cfg = cfg_.shard;
     shard_cfg.trace_tid = static_cast<int>(s);  // own Chrome track per shard
     sh->cache = do_format
                     ? core::TincaCache::format(*sh->view, disk_, shard_cfg)
@@ -63,6 +74,30 @@ std::unique_ptr<ShardedTinca> ShardedTinca::recover(nvm::NvmDevice& nvm,
                                                     ShardedConfig cfg) {
   return std::unique_ptr<ShardedTinca>(
       new ShardedTinca(nvm, disk, cfg, /*do_format=*/false));
+}
+
+ShardedTinca::~ShardedTinca() { stop_cleaner_threads(); }
+
+// ---------------------------------------------------------------------------
+// Background cleaners
+// ---------------------------------------------------------------------------
+
+void ShardedTinca::step_cleaners() {
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    sh->cache->cleaner_step();
+  }
+}
+
+void ShardedTinca::start_cleaner_threads() {
+  for (auto& sh : shards_)
+    if (sh->cache->cleaner() != nullptr)
+      sh->cache->cleaner()->start_thread(&sh->mu);
+}
+
+void ShardedTinca::stop_cleaner_threads() {
+  for (auto& sh : shards_)
+    if (sh->cache->cleaner() != nullptr) sh->cache->cleaner()->stop_thread();
 }
 
 // ---------------------------------------------------------------------------
@@ -219,13 +254,13 @@ core::TincaCacheStats ShardedTinca::aggregated_stats() const {
 
 void ShardedTinca::enable_tracing(bool on) {
   trace_.enable(on);
-  for (auto& sh : shards_) sh->cache->tracer().enable(on);
+  for (auto& sh : shards_) sh->cache->enable_tracing(on);
 }
 
 void ShardedTinca::attach_trace_sink(obs::TraceSink* sink) {
   trace_.attach_sink(sink);
   for (std::uint32_t s = 0; s < shards_.size(); ++s)
-    shards_[s]->cache->tracer().attach_sink(sink);
+    shards_[s]->cache->attach_trace_sink(sink);
   if (sink != nullptr)
     for (std::uint32_t s = 0; s < shards_.size(); ++s)
       sink->set_track_name(obs::kVirtualPid, static_cast<int>(s),

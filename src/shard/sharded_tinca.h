@@ -93,6 +93,28 @@ class ShardedTinca {
                                                blockdev::BlockDevice& disk,
                                                ShardedConfig cfg = {});
 
+  /// Stops any running cleaner threads before the shards go away.
+  ~ShardedTinca();
+
+  // --- Background cleaners (DESIGN.md §11) ---------------------------------
+  //
+  // With cfg.shard.cleaner.mode != kDisabled, every shard owns a private
+  // cleaner, but all of them pull from ONE shared Pacer (created here unless
+  // the caller supplied one): each step deposits a fair slice of the global
+  // batch budget, so N hot shards do not multiply the background write rate
+  // by N.
+
+  /// Stepped mode: run one cleaner quantum on every shard, locking each
+  /// shard's mutex.  No-op for shards without a cleaner.
+  void step_cleaners();
+
+  /// Thread mode: spawn each shard's cleaner thread, serialized against
+  /// foreground commits via the shard mutex.
+  void start_cleaner_threads();
+
+  /// Stop and join all cleaner threads (idempotent; implied by destruction).
+  void stop_cleaner_threads();
+
   // --- Transactional primitives -------------------------------------------
 
   /// Initiate a running transaction (DRAM staging only).
@@ -178,8 +200,10 @@ class ShardedTinca {
   struct Shard {
     std::unique_ptr<sim::SimClock> clock;
     std::unique_ptr<nvm::NvmDevice> view;
-    std::unique_ptr<core::TincaCache> cache;
+    /// Declared before `cache`: the cache's cleaner thread locks this mutex,
+    /// so it must outlive the cache during destruction.
     std::mutex mu;
+    std::unique_ptr<core::TincaCache> cache;
   };
 
   ShardedTinca(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,

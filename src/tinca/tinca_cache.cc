@@ -46,7 +46,14 @@ TincaCache::TincaCache(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
       ts_writeback_(trace_.site("writeback")),
       ts_recovery_(trace_.site("recovery")),
       ts_read_(trace_.site("read")),
-      ts_io_retry_(trace_.site("io_retry")) {}
+      ts_io_retry_(trace_.site("io_retry")) {
+  if (cfg_.cleaner.mode != cleaner::CleanerMode::kDisabled) {
+    cleaner::CleanerConfig cc = cfg_.cleaner;
+    cc.trace_tid = cfg_.trace_tid;
+    cleaner_ = std::make_unique<cleaner::Cleaner>(
+        cc, static_cast<cleaner::CleanerClient&>(*this), nvm_.clock());
+  }
+}
 
 std::unique_ptr<TincaCache> TincaCache::format(nvm::NvmDevice& nvm,
                                                blockdev::BlockDevice& disk,
@@ -205,9 +212,12 @@ void TincaCache::write_data_block(std::uint32_t nvm_block,
 
 // Disk write with the configured retry policy: transient errors are retried
 // with exponential backoff (each retry is a traced span covering its wait);
-// a bad sector comes back to the caller unhealed.
+// a bad sector comes back to the caller unhealed.  Retries are charged to
+// `*retry_counter` so cleaner-driven writes book their storms under
+// cleaner.io_retries, not the foreground's io.retries.
 blockdev::IoStatus TincaCache::disk_write(std::uint64_t blkno,
-                                          std::span<const std::byte> buf) {
+                                          std::span<const std::byte> buf,
+                                          std::uint64_t* retry_counter) {
   blockdev::IoStatus st = disk_.write(blkno, buf);
   std::uint64_t wait = cfg_.io.backoff_ns;
   for (std::uint32_t attempt = 0;
@@ -216,10 +226,15 @@ blockdev::IoStatus TincaCache::disk_write(std::uint64_t blkno,
     TINCA_TRACE_SPAN(trace_, ts_io_retry_);
     nvm_.clock().advance(wait);
     wait *= cfg_.io.backoff_mult == 0 ? 1 : cfg_.io.backoff_mult;
-    ++stats_.io_retries;
+    ++*retry_counter;
     st = disk_.write(blkno, buf);
   }
   return st;
+}
+
+blockdev::IoStatus TincaCache::disk_write(std::uint64_t blkno,
+                                          std::span<const std::byte> buf) {
+  return disk_write(blkno, buf, &stats_.io_retries);
 }
 
 blockdev::IoStatus TincaCache::disk_read(std::uint64_t blkno,
@@ -268,45 +283,97 @@ bool TincaCache::writeback(std::uint32_t slot) {
   return false;
 }
 
-void TincaCache::evict_one() {
+std::uint32_t TincaCache::evict_one(std::uint32_t scan_from) {
   TINCA_TRACE_SPAN(trace_, ts_evict_);
   // LRU with the §4.6 pinning rule: log-role blocks (the committing
   // transaction, including implicitly their previous versions) are skipped.
   // Dirty victims whose writeback fails are skipped too — evicting them
   // would drop the only durable copy of committed data.
-  std::uint32_t victim = lru_.lru();
-  bool wrote_back = false;
-  while (victim != SlotLru::kNil) {
-    if (mirror_[victim].role == Role::kLog) {
+  //
+  // The scan resumes from `scan_from` (the caller threads the cursor through
+  // an ensure_free pass) so a run of quarantined / unwritable victims at the
+  // LRU end is skipped once per pass, not once per eviction: the old
+  // restart-from-the-tail loop made ensure_free O(n²) against a failing disk.
+  //
+  // With a cleaner configured, dirty victims are *enqueued* rather than
+  // written back inline; the scan keeps looking for a clean victim and only
+  // falls back to a blocking cleaner drain when none exists.
+  for (;;) {
+    std::uint32_t victim =
+        (scan_from != SlotLru::kNil && lru_.contains(scan_from))
+            ? scan_from
+            : lru_.lru();
+    bool wrote_back = false;
+    while (victim != SlotLru::kNil) {
+      if (mirror_[victim].role == Role::kLog) {
+        victim = lru_.newer(victim);
+        continue;
+      }
+      if (!mirror_[victim].modified) break;
+      if (cleaner_) {
+        // Off the commit path: hand the dirty victim to the cleaner and keep
+        // scanning for a clean one.  (A full queue is fine — the watermark
+        // pull will find the block later.)
+        cleaner_->try_enqueue(mirror_[victim].disk_blkno);
+        victim = lru_.newer(victim);
+        continue;
+      }
+      if (writeback(victim)) {
+        wrote_back = true;
+        break;
+      }
       victim = lru_.newer(victim);
+    }
+    if (victim == SlotLru::kNil && cleaner_ && cleaner_->drain_blocking() > 0) {
+      // Backpressure: the cleaner retired at least one block, so a clean
+      // victim now exists.  Restart from the LRU end (slots may have moved).
+      scan_from = SlotLru::kNil;
       continue;
     }
-    if (!mirror_[victim].modified) break;
-    if (writeback(victim)) {
-      wrote_back = true;
-      break;
-    }
-    victim = lru_.newer(victim);
+    TINCA_ENSURE(victim != SlotLru::kNil,
+                 "cache wedged: every cached block is pinned by the committing "
+                 "transaction or stuck dirty behind a failing disk");
+    const std::uint32_t next = lru_.newer(victim);
+    const CacheEntry e = mirror_[victim];
+    if (wrote_back) ++stats_.dirty_writebacks;
+    invalidate_entry(victim);
+    index_.erase(e.disk_blkno);
+    lru_.remove(victim);
+    free_blocks_.give(e.curr_nvm);
+    free_entries_.give(victim);
+    ++stats_.evictions;
+    return next;
   }
-  TINCA_ENSURE(victim != SlotLru::kNil,
-               "cache wedged: every cached block is pinned by the committing "
-               "transaction or stuck dirty behind a failing disk");
-  const CacheEntry e = mirror_[victim];
-  if (wrote_back) ++stats_.dirty_writebacks;
-  invalidate_entry(victim);
-  index_.erase(e.disk_blkno);
-  lru_.remove(victim);
-  free_blocks_.give(e.curr_nvm);
-  free_entries_.give(victim);
-  ++stats_.evictions;
 }
 
 void TincaCache::ensure_free(std::uint32_t entries, std::uint32_t blocks) {
+  std::uint32_t cursor = SlotLru::kNil;
   while (free_entries_.count() < entries || free_blocks_.count() < blocks)
-    evict_one();
+    cursor = evict_one(cursor);
 }
 
 void TincaCache::clean_to_threshold() {
+  if (cleaner_) {
+    // Cleaner configured: this path only *nominates* blocks; the actual disk
+    // writes happen on cleaner steps.  Above the high watermark, feed the
+    // queue oldest-first so the next steps have something batched to drain.
+    const std::uint64_t high =
+        layout_.num_blocks * cleaner_->config().high_water_pct / 100;
+    if (dirty_count_ <= high) return;
+    std::uint64_t excess = dirty_count_ - high;
+    std::uint32_t slot = lru_.lru();
+    while (slot != SlotLru::kNil && excess > 0) {
+      const CacheEntry& e = mirror_[slot];
+      if (e.valid && e.modified && e.role == Role::kBuffer &&
+          !quarantine_.contains(e.disk_blkno) &&
+          !cleaner_->pending(e.disk_blkno)) {
+        if (!cleaner_->try_enqueue(e.disk_blkno)) break;  // queue full
+        --excess;
+      }
+      slot = lru_.newer(slot);
+    }
+    return;
+  }
   if (cfg_.clean_thresh_pct >= 100) return;
   const std::uint64_t limit =
       layout_.num_blocks * cfg_.clean_thresh_pct / 100;
@@ -325,6 +392,71 @@ void TincaCache::clean_to_threshold() {
       ++stats_.background_cleanings;
     }
     slot = next;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CleanerClient (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+// Clean one disk block: write its newest NVM copy to disk durably, *then*
+// clear the modified bit.  That ordering is the whole crash-safety argument —
+// a power cut anywhere in here leaves the entry dirty, recovery keeps dirty
+// entries, and the block is simply cleaned again (write-back is idempotent).
+cleaner::CleanOutcome TincaCache::cleaner_clean(std::uint64_t key,
+                                                std::uint64_t* io_retries) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return cleaner::CleanOutcome::kStale;
+  const std::uint32_t slot = it->second;
+  CacheEntry e = mirror_[slot];
+  if (!e.valid || !e.modified) return cleaner::CleanOutcome::kStale;
+  if (e.role == Role::kLog) return cleaner::CleanOutcome::kPinned;
+
+  if (!cfg_.cleaner.sabotage_skip_write) {
+    std::vector<std::byte> buf(kBlockSize);
+    nvm_.load(layout_.data_block_off(e.curr_nvm), buf);
+    nvm_.injector.point();  // CP: cut mid-drain, before the disk write
+    const blockdev::IoStatus st = disk_write(key, buf, io_retries);
+    if (st != blockdev::IoStatus::kOk) {
+      // Unlike the foreground path, a bad sector does NOT give up for good:
+      // the cleaner keeps the block on its backoff queue, so quarantine is a
+      // state the cache can *leave* if the sector recovers.
+      if (st == blockdev::IoStatus::kBadSector) note_bad_block(key);
+      return cleaner::CleanOutcome::kFailed;
+    }
+    quarantine_.erase(key);
+    ++stats_.dirty_writebacks;
+    ++stats_.background_cleanings;
+    nvm_.injector.point();  // CP: durable on disk, entry still dirty
+  }
+  // Sabotage mode (oracle self-test) falls through to here without writing:
+  // the entry goes clean while disk holds stale data — the recovery oracle
+  // must flag the resulting state as matching no acceptable history.
+
+  e.modified = false;
+  write_entry(slot, e);
+  return cleaner::CleanOutcome::kRetired;
+}
+
+std::uint64_t TincaCache::cleaner_dirty_blocks() const { return dirty_count_; }
+
+std::uint64_t TincaCache::cleaner_capacity_blocks() const {
+  return layout_.num_blocks;
+}
+
+void TincaCache::cleaner_collect(std::uint32_t max,
+                                 std::vector<std::uint64_t>& out) {
+  // Oldest-first along the LRU list — deterministic, and the blocks most
+  // likely to be eviction victims soon.  Quarantined blocks are not pulled
+  // (they ride the cleaner's failure-retry queue instead), and keys already
+  // pending would only bounce off the dup filter.
+  std::uint32_t slot = lru_.lru();
+  while (slot != SlotLru::kNil && out.size() < max) {
+    const CacheEntry& e = mirror_[slot];
+    if (e.valid && e.modified && e.role == Role::kBuffer &&
+        !quarantine_.contains(e.disk_blkno) && !cleaner_->pending(e.disk_blkno))
+      out.push_back(e.disk_blkno);
+    slot = lru_.newer(slot);
   }
 }
 
@@ -486,14 +618,21 @@ void TincaCache::tinca_commit(Transaction& txn) {
   // health surfaces per commit instead of at eviction time.  A failed
   // writeback just leaves the block dirty.
   if (cfg_.write_through || degraded_) {
-    for (std::uint64_t blkno : txn.order_) {
-      const std::uint32_t slot = index_.at(blkno);
-      if (!writeback(slot)) continue;
-      ++stats_.writethrough_writes;
-      if (degraded_ && !cfg_.write_through) ++stats_.io_degraded_writes;
-      CacheEntry e = mirror_[slot];
-      e.modified = false;
-      write_entry(slot, e);
+    if (degraded_ && !cfg_.write_through && cleaner_) {
+      // Forced (degradation-driven) write-through with a cleaner: the commit
+      // only *enqueues*; retries and backoff against the sick disk run on
+      // the cleaner's budget, not this commit's latency.
+      for (std::uint64_t blkno : txn.order_) cleaner_->try_enqueue(blkno);
+    } else {
+      for (std::uint64_t blkno : txn.order_) {
+        const std::uint32_t slot = index_.at(blkno);
+        if (!writeback(slot)) continue;
+        ++stats_.writethrough_writes;
+        if (degraded_ && !cfg_.write_through) ++stats_.io_degraded_writes;
+        CacheEntry e = mirror_[slot];
+        e.modified = false;
+        write_entry(slot, e);
+      }
     }
   }
 
@@ -648,6 +787,7 @@ void TincaCache::register_metrics(obs::MetricsRegistry& reg,
   reg.add_gauge(prefix + "cached_blocks", [this] { return cached_blocks(); });
   reg.add_gauge(prefix + "dirty_blocks", [this] { return dirty_blocks(); });
   reg.add_gauge(prefix + "free_blocks", [this] { return free_blocks(); });
+  if (cleaner_) cleaner_->register_metrics(reg, prefix + "cleaner.");
   trace_.register_into(reg, prefix + "lat.");
 }
 

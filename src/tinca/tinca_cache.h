@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "blockdev/block_device.h"
+#include "cleaner/cleaner.h"
 #include "common/histogram.h"
 #include "nvm/nvm_device.h"
 #include "obs/trace.h"
@@ -75,6 +76,11 @@ struct TincaConfig {
   /// sector) write failures additionally quarantine the block in NVM and
   /// force write-through degradation (DESIGN.md §9).
   blockdev::RetryPolicy io{};
+  /// Background cleaner (DESIGN.md §11).  With mode != kDisabled, eviction
+  /// of dirty victims, threshold cleaning and degraded write-through enqueue
+  /// to the cleaner instead of writing to disk on the commit path;
+  /// clean_thresh_pct is superseded by the cleaner's watermarks.
+  cleaner::CleanerConfig cleaner{};
 };
 
 /// Runtime counters; everything the benches need to reproduce the paper's
@@ -137,7 +143,7 @@ class Transaction {
 };
 
 /// The transactional NVM disk cache.
-class TincaCache {
+class TincaCache : private cleaner::CleanerClient {
  public:
   /// Initialize a fresh cache on `nvm` (like mkfs): formats the superblock,
   /// ring and entry table.
@@ -175,6 +181,20 @@ class TincaCache {
 
   /// Write every dirty cached block back to disk (blocks stay cached clean).
   void flush_dirty();
+
+  // --- Background cleaner (DESIGN.md §11) ----------------------------------
+
+  /// One cleaner pacing quantum (stepped mode).  No-op when no cleaner is
+  /// configured, so harness loops can call it unconditionally.
+  void cleaner_step() {
+    if (cleaner_) cleaner_->step();
+  }
+
+  /// The cleaner instance, or nullptr when mode is kDisabled.
+  [[nodiscard]] cleaner::Cleaner* cleaner() { return cleaner_.get(); }
+  [[nodiscard]] const cleaner::Cleaner* cleaner() const {
+    return cleaner_.get();
+  }
 
   // --- Introspection -------------------------------------------------------
 
@@ -227,6 +247,18 @@ class TincaCache {
   [[nodiscard]] obs::Tracer& tracer() { return trace_; }
   [[nodiscard]] const obs::Tracer& tracer() const { return trace_; }
 
+  /// Enable/disable span recording for this cache *and* its cleaner.
+  void enable_tracing(bool on = true) {
+    trace_.enable(on);
+    if (cleaner_) cleaner_->tracer().enable(on);
+  }
+
+  /// Attach a Chrome-trace sink to this cache *and* its cleaner.
+  void attach_trace_sink(obs::TraceSink* sink) {
+    trace_.attach_sink(sink);
+    if (cleaner_) cleaner_->tracer().attach_sink(sink);
+  }
+
   /// Register every stats counter, the capacity/occupancy gauges and the
   /// span histograms into `reg` under `prefix` (e.g. "tinca.").  The
   /// registry must not outlive this cache.
@@ -249,15 +281,31 @@ class TincaCache {
   [[nodiscard]] CacheEntry read_entry_from_nvm(std::uint32_t slot) const;
   void write_data_block(std::uint32_t nvm_block, std::span<const std::byte> data);
 
-  // Replacement.
+  // Replacement.  evict_one scans from `scan_from` (SlotLru::kNil → the LRU
+  // end) and returns the slot to resume scanning from, so that one
+  // ensure_free pass visits each skipped victim at most once (O(n) total
+  // instead of O(n²) rescans from the tail).
   void ensure_free(std::uint32_t entries, std::uint32_t blocks);
-  void evict_one();
+  std::uint32_t evict_one(std::uint32_t scan_from);
   bool writeback(std::uint32_t slot);
   void clean_to_threshold();
 
-  // Disk I/O with the retry/quarantine policy (DESIGN.md §9).
+  // CleanerClient (the cleaner retires dirty blocks through these).
+  cleaner::CleanOutcome cleaner_clean(std::uint64_t key,
+                                      std::uint64_t* io_retries) override;
+  [[nodiscard]] std::uint64_t cleaner_dirty_blocks() const override;
+  [[nodiscard]] std::uint64_t cleaner_capacity_blocks() const override;
+  void cleaner_collect(std::uint32_t max,
+                       std::vector<std::uint64_t>& out) override;
+
+  // Disk I/O with the retry/quarantine policy (DESIGN.md §9).  The 3-arg
+  // overload charges retry waits to `retry_counter` (foreground commits use
+  // stats_.io_retries; the cleaner passes its own counter).
   blockdev::IoStatus disk_write(std::uint64_t blkno,
                                 std::span<const std::byte> buf);
+  blockdev::IoStatus disk_write(std::uint64_t blkno,
+                                std::span<const std::byte> buf,
+                                std::uint64_t* retry_counter);
   blockdev::IoStatus disk_read(std::uint64_t blkno, std::span<std::byte> dst);
   void note_bad_block(std::uint64_t blkno);
 
@@ -301,6 +349,11 @@ class TincaCache {
   obs::Tracer::Site* ts_recovery_;
   obs::Tracer::Site* ts_read_;
   obs::Tracer::Site* ts_io_retry_;
+
+  /// Background cleaner (DESIGN.md §11); null when cfg_.cleaner.mode is
+  /// kDisabled.  Declared last: it references this cache as its client, so
+  /// it must be destroyed first.
+  std::unique_ptr<cleaner::Cleaner> cleaner_;
 };
 
 }  // namespace tinca::core

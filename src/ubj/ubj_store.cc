@@ -50,6 +50,10 @@ UbjStore::UbjStore(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
   slots_.resize(num_blocks_);
   lru_ = core::SlotLru(static_cast<std::uint32_t>(num_blocks_));
   free_ = core::FreeMonitor(static_cast<std::uint32_t>(num_blocks_));
+  if (cfg_.cleaner.mode != cleaner::CleanerMode::kDisabled)
+    cleaner_ = std::make_unique<cleaner::Cleaner>(
+        cfg_.cleaner, static_cast<cleaner::CleanerClient&>(*this),
+        nvm_.clock());
 }
 
 std::uint64_t UbjStore::entry_off(std::uint32_t slot) const {
@@ -126,6 +130,10 @@ void UbjStore::evict_one_clean() {
 std::uint32_t UbjStore::allocate_slot() {
   while (!free_.any()) {
     if (!unchkpt_.empty()) {
+      // With a cleaner, let it retire queued transactions first (its drain
+      // pops front records just like checkpoint_batch, so this terminates);
+      // fall back to an inline batch when the cleaner made no progress.
+      if (cleaner_ && cleaner_->drain_blocking() > 0) continue;
       checkpoint_batch();
     } else {
       evict_one_clean();
@@ -135,7 +143,8 @@ std::uint32_t UbjStore::allocate_slot() {
 }
 
 blockdev::IoStatus UbjStore::disk_write(std::uint64_t blkno,
-                                        std::span<const std::byte> buf) {
+                                        std::span<const std::byte> buf,
+                                        std::uint64_t* retry_counter) {
   blockdev::IoStatus st = disk_.write(blkno, buf);
   std::uint64_t wait = cfg_.io.backoff_ns;
   for (std::uint32_t attempt = 0;
@@ -144,10 +153,15 @@ blockdev::IoStatus UbjStore::disk_write(std::uint64_t blkno,
     TINCA_TRACE_SPAN(trace_, ts_io_retry_);
     nvm_.clock().advance(wait);
     wait *= cfg_.io.backoff_mult == 0 ? 1 : cfg_.io.backoff_mult;
-    ++stats_.io_retries;
+    ++*retry_counter;
     st = disk_.write(blkno, buf);
   }
   return st;
+}
+
+blockdev::IoStatus UbjStore::disk_write(std::uint64_t blkno,
+                                        std::span<const std::byte> buf) {
+  return disk_write(blkno, buf, &stats_.io_retries);
 }
 
 blockdev::IoStatus UbjStore::disk_read(std::uint64_t blkno,
@@ -171,50 +185,91 @@ void UbjStore::note_bad_block(std::uint64_t disk_blkno) {
   degraded_ = true;
 }
 
-void UbjStore::checkpoint_batch() {
-  TINCA_TRACE_SPAN(trace_, ts_checkpoint_);
+// Checkpoint exactly the oldest outstanding transaction.  Crash-safe in the
+// same way as Tinca's cleaner: each block's disk write completes before its
+// slot is unfrozen (persist_slot), so a cut mid-checkpoint leaves the
+// remaining blocks frozen and recovery simply re-checkpoints them.
+void UbjStore::checkpoint_front(std::uint64_t* io_retries) {
   TINCA_EXPECT(!unchkpt_.empty(), "checkpoint with nothing outstanding");
   std::vector<std::byte> buf(kBlockSize);
-  for (std::uint32_t i = 0;
-       i < cfg_.checkpoint_txn_batch && !unchkpt_.empty(); ++i) {
-    TxnRecord rec = std::move(unchkpt_.front());
-    unchkpt_.pop_front();
-    // Transaction-granular checkpoint: every frozen block of the txn goes
-    // to disk in one burst — the §5.4.4 "takes longer for multiple blocks"
-    // behaviour.
-    for (std::uint32_t slot : rec.slots) {
-      Slot& s = slots_[slot];
-      if (!s.valid || !s.frozen || s.seq != rec.seq) continue;  // re-frozen
-      // A block that cannot reach disk (quarantined, or discovering a bad
-      // sector right now) keeps its slot frozen forever: the journal copy
-      // is the only durable one, so the slot is pinned and NVM capacity
-      // degrades — UBJ has no other home for the data.
-      if (quarantine_.contains(s.disk_blkno)) continue;
+  TxnRecord rec = std::move(unchkpt_.front());
+  unchkpt_.pop_front();
+  // Transaction-granular checkpoint: every frozen block of the txn goes
+  // to disk in one burst — the §5.4.4 "takes longer for multiple blocks"
+  // behaviour.
+  for (std::uint32_t slot : rec.slots) {
+    Slot& s = slots_[slot];
+    if (!s.valid || !s.frozen || s.seq != rec.seq) continue;  // re-frozen
+    // A block that cannot reach disk (quarantined, or discovering a bad
+    // sector right now) keeps its slot frozen forever: the journal copy
+    // is the only durable one, so the slot is pinned and NVM capacity
+    // degrades — UBJ has no other home for the data.
+    if (quarantine_.contains(s.disk_blkno)) continue;
+    if (!cfg_.cleaner.sabotage_skip_write) {
       nvm_.load(data_off(slot), buf);
-      const blockdev::IoStatus st = disk_write(s.disk_blkno, buf);
+      nvm_.injector.point();  // CP: cut mid-checkpoint, before the write
+      const blockdev::IoStatus st = disk_write(s.disk_blkno, buf, io_retries);
       if (st != blockdev::IoStatus::kOk) {
         if (st == blockdev::IoStatus::kBadSector) note_bad_block(s.disk_blkno);
         continue;
       }
       ++stats_.checkpoint_writes;
       if (degraded_) ++stats_.io_degraded_writes;
-      auto it = latest_.find(s.disk_blkno);
-      if (it != latest_.end() && it->second == slot) {
-        // Newest copy: unfreeze, keep cached clean.
-        s.frozen = false;
-        persist_slot(slot);
-        lru_.push_mru(slot);
-      } else {
-        // Superseded by a newer transaction: the write above was stale.
-        ++stats_.stale_checkpoint_writes;
-        s.valid = false;
-        s.frozen = false;
-        persist_slot(slot);
-        free_.give(slot);
-      }
-      --frozen_count_;
+      nvm_.injector.point();  // CP: durable on disk, slot still frozen
     }
-    ++stats_.checkpointed_txns;
+    // Sabotage mode (oracle self-test) unfreezes WITHOUT the disk write.
+    auto it = latest_.find(s.disk_blkno);
+    if (it != latest_.end() && it->second == slot) {
+      // Newest copy: unfreeze, keep cached clean.
+      s.frozen = false;
+      persist_slot(slot);
+      lru_.push_mru(slot);
+    } else {
+      // Superseded by a newer transaction: the write above was stale.
+      ++stats_.stale_checkpoint_writes;
+      s.valid = false;
+      s.frozen = false;
+      persist_slot(slot);
+      free_.give(slot);
+    }
+    --frozen_count_;
+  }
+  ++stats_.checkpointed_txns;
+}
+
+void UbjStore::checkpoint_batch() {
+  TINCA_TRACE_SPAN(trace_, ts_checkpoint_);
+  TINCA_EXPECT(!unchkpt_.empty(), "checkpoint with nothing outstanding");
+  for (std::uint32_t i = 0;
+       i < cfg_.checkpoint_txn_batch && !unchkpt_.empty(); ++i)
+    checkpoint_front(&stats_.io_retries);
+}
+
+// ---------------------------------------------------------------------------
+// CleanerClient (DESIGN.md §11): keys are txn sequence numbers, FIFO only
+// ---------------------------------------------------------------------------
+
+cleaner::CleanOutcome UbjStore::cleaner_clean(std::uint64_t key,
+                                              std::uint64_t* io_retries) {
+  if (unchkpt_.empty() || unchkpt_.front().seq > key)
+    return cleaner::CleanOutcome::kStale;  // already checkpointed inline
+  if (unchkpt_.front().seq < key)
+    // Not this txn's turn yet — UBJ checkpoints strictly in commit order.
+    // Requeue; it retires once the earlier sequences have drained.
+    return cleaner::CleanOutcome::kPinned;
+  checkpoint_front(io_retries);
+  return cleaner::CleanOutcome::kRetired;
+}
+
+std::uint64_t UbjStore::cleaner_dirty_blocks() const { return frozen_count_; }
+
+std::uint64_t UbjStore::cleaner_capacity_blocks() const { return num_blocks_; }
+
+void UbjStore::cleaner_collect(std::uint32_t max,
+                               std::vector<std::uint64_t>& out) {
+  for (const TxnRecord& rec : unchkpt_) {
+    if (out.size() >= max) break;
+    if (!cleaner_->pending(rec.seq)) out.push_back(rec.seq);
   }
 }
 
@@ -234,8 +289,12 @@ void UbjStore::commit_txn(
   // Space pressure: checkpoint old transactions before taking new blocks.
   const auto low_water = static_cast<std::uint64_t>(
       cfg_.checkpoint_low_water * static_cast<double>(num_blocks_));
-  while (free_.count() < blocks.size() + low_water && !unchkpt_.empty())
+  while (free_.count() < blocks.size() + low_water && !unchkpt_.empty()) {
+    // Prefer the cleaner's drain (it pops the same front records, so every
+    // iteration still consumes at least one outstanding transaction).
+    if (cleaner_ && cleaner_->drain_blocking() > 0) continue;
     checkpoint_batch();
+  }
 
   TxnRecord rec;
   rec.seq = next_seq_;
@@ -291,11 +350,23 @@ void UbjStore::commit_txn(
   stats_.blocks_per_txn.record(blocks.size());
   stats_.blocks_committed += blocks.size();
   ++stats_.txns_committed;
+  const std::uint64_t seq = rec.seq;
   unchkpt_.push_back(std::move(rec));
+  // Nominate the new transaction for background checkpointing: cleaner steps
+  // retire it off the commit path, shrinking the frozen set before the next
+  // frozen-copy memcpy or space-pressure stall would pay for it.
+  if (cleaner_) cleaner_->try_enqueue(seq);
 
   // Degraded mode (bad sector seen): checkpoint eagerly so every commit is
   // pushed toward disk immediately — UBJ's analogue of forced write-through.
-  if (degraded_) checkpoint_all();
+  // With a cleaner the push happens on its budget, not this commit's.
+  if (degraded_) {
+    if (cleaner_) {
+      for (const TxnRecord& r : unchkpt_) cleaner_->try_enqueue(r.seq);
+    } else {
+      checkpoint_all();
+    }
+  }
 }
 
 void UbjStore::read_block(std::uint64_t disk_blkno, std::span<std::byte> dst) {
@@ -405,6 +476,7 @@ void UbjStore::register_metrics(obs::MetricsRegistry& reg,
   reg.add_histogram(prefix + "blocks_per_txn", &stats_.blocks_per_txn);
   reg.add_gauge(prefix + "capacity_blocks", [this] { return capacity_blocks(); });
   reg.add_gauge(prefix + "frozen_blocks", [this] { return frozen_blocks(); });
+  if (cleaner_) cleaner_->register_metrics(reg, prefix + "cleaner.");
   trace_.register_into(reg, prefix + "lat.");
 }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "blockdev/block_device.h"
+#include "cleaner/cleaner.h"
 #include "common/histogram.h"
 #include "nvm/nvm_device.h"
 #include "obs/trace.h"
@@ -49,6 +50,10 @@ struct UbjConfig {
   std::uint64_t cpu_op_ns = 150;
   /// Retry/backoff policy for disk I/O (DESIGN.md §9).
   blockdev::RetryPolicy io{};
+  /// Background cleaner (DESIGN.md §11).  Keys are transaction sequence
+  /// numbers: one retired key = one whole transaction checkpointed off the
+  /// commit path (UBJ checkpointing stays txn-granular and FIFO).
+  cleaner::CleanerConfig cleaner{};
 };
 
 /// Counters.
@@ -73,7 +78,7 @@ struct UbjStats {
 };
 
 /// The UBJ store: NVM buffer cache with in-place commit and txn checkpoints.
-class UbjStore {
+class UbjStore : private cleaner::CleanerClient {
  public:
   static std::unique_ptr<UbjStore> format(nvm::NvmDevice& nvm,
                                           blockdev::BlockDevice& disk,
@@ -93,6 +98,28 @@ class UbjStore {
 
   /// Checkpoint everything (unmount path).
   void checkpoint_all();
+
+  // --- Background cleaner (DESIGN.md §11) ----------------------------------
+
+  /// One cleaner pacing quantum; no-op without a configured cleaner.
+  void cleaner_step() {
+    if (cleaner_) cleaner_->step();
+  }
+
+  /// The cleaner instance, or nullptr when mode is kDisabled.
+  [[nodiscard]] cleaner::Cleaner* cleaner() { return cleaner_.get(); }
+
+  /// Enable/disable span recording for this store *and* its cleaner.
+  void enable_tracing(bool on = true) {
+    trace_.enable(on);
+    if (cleaner_) cleaner_->tracer().enable(on);
+  }
+
+  /// Attach a Chrome-trace sink to this store *and* its cleaner.
+  void attach_trace_sink(obs::TraceSink* sink) {
+    trace_.attach_sink(sink);
+    if (cleaner_) cleaner_->tracer().attach_sink(sink);
+  }
 
   [[nodiscard]] bool cached(std::uint64_t disk_blkno) const;
   [[nodiscard]] std::uint64_t capacity_blocks() const { return num_blocks_; }
@@ -134,11 +161,27 @@ class UbjStore {
   void persist_slot(std::uint32_t slot);
   void publish_seq(std::uint64_t seq);
   std::uint32_t allocate_slot();
+  /// Checkpoint the oldest outstanding transaction (always consumes the
+  /// front record); retry backoff spent on disk is charged to `*io_retries`.
+  void checkpoint_front(std::uint64_t* io_retries);
   void checkpoint_batch();
   void evict_one_clean();
-  /// Disk I/O with the configured retry policy (traced per retry).
+
+  // CleanerClient: keys are txn sequence numbers, cleaned strictly FIFO.
+  cleaner::CleanOutcome cleaner_clean(std::uint64_t key,
+                                      std::uint64_t* io_retries) override;
+  [[nodiscard]] std::uint64_t cleaner_dirty_blocks() const override;
+  [[nodiscard]] std::uint64_t cleaner_capacity_blocks() const override;
+  void cleaner_collect(std::uint32_t max,
+                       std::vector<std::uint64_t>& out) override;
+
+  /// Disk I/O with the configured retry policy (traced per retry); the 3-arg
+  /// write charges retries to `retry_counter` (the cleaner's or our own).
   blockdev::IoStatus disk_write(std::uint64_t blkno,
                                 std::span<const std::byte> buf);
+  blockdev::IoStatus disk_write(std::uint64_t blkno,
+                                std::span<const std::byte> buf,
+                                std::uint64_t* retry_counter);
   blockdev::IoStatus disk_read(std::uint64_t blkno, std::span<std::byte> buf);
   void note_bad_block(std::uint64_t disk_blkno);
 
@@ -178,6 +221,10 @@ class UbjStore {
   obs::Tracer::Site* ts_checkpoint_;
   obs::Tracer::Site* ts_recovery_;
   obs::Tracer::Site* ts_io_retry_;
+
+  /// Background cleaner; null when cfg_.cleaner.mode is kDisabled.  Last
+  /// member: it references this store as its client.
+  std::unique_ptr<cleaner::Cleaner> cleaner_;
 };
 
 }  // namespace tinca::ubj

@@ -81,6 +81,68 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, FaultFuzz,
                            }
                          });
 
+// The same randomized campaign with the background cleaner armed in
+// deterministic stepped mode: every commit is followed by a cleaner
+// quantum, so power cuts land mid-drain as often as mid-commit.  The §6
+// invariant must hold unchanged — a block leaves the dirty set only after
+// its disk write is durable, so a cut mid-drain just re-cleans on recovery.
+class FaultFuzzCleaner : public ::testing::TestWithParam<StackKind> {};
+
+TEST_P(FaultFuzzCleaner, CleanerArmedSchedulesUpholdRecoveryInvariants) {
+  FuzzOptions opts;
+  opts.kind = GetParam();
+  opts.cleaner = cleaner::CleanerMode::kStepped;
+  opts.seed = env_u64("TINCA_FUZZ_SEED", 20260806);
+  opts.schedules =
+      static_cast<std::uint32_t>(env_u64("TINCA_FUZZ_SCHEDULES", 120));
+
+  const FuzzReport rep = run_fault_fuzz(opts);
+  EXPECT_EQ(rep.violations, 0u)
+      << describe(rep) << "reproduce: TINCA_FUZZ_SEED=" << opts.seed
+      << " TINCA_FUZZ_SCHEDULES=" << opts.schedules << " (cleaner armed)";
+  EXPECT_EQ(rep.schedules, opts.schedules);
+  EXPECT_GT(rep.crashes, 0u) << describe(rep);
+  EXPECT_GT(rep.faults.transient_write_errors, 0u) << describe(rep);
+}
+
+INSTANTIATE_TEST_SUITE_P(CleanerBackends, FaultFuzzCleaner,
+                         ::testing::Values(StackKind::kTinca,
+                                           StackKind::kUbj,
+                                           StackKind::kShardedTinca),
+                         [](const auto& pinfo) {
+                           switch (pinfo.param) {
+                             case StackKind::kTinca: return "Tinca";
+                             case StackKind::kUbj: return "Ubj";
+                             case StackKind::kShardedTinca: return "Sharded";
+                             default: return "Other";
+                           }
+                         });
+
+// Oracle self-test for the cleaner: a cleaner that marks blocks clean
+// WITHOUT the pre-writeback disk flush leaks stale disk data into reads
+// after eviction or remount, and the campaign must flag it.  Fault-free,
+// crash-free schedules: the cleaner's lie is the only anomaly in play.
+TEST(FaultFuzzScripted, CleanerSkippingFlushIsCaught) {
+  FuzzOptions opts;
+  opts.kind = StackKind::kTinca;
+  opts.cleaner = cleaner::CleanerMode::kStepped;
+  opts.sabotage = FuzzSabotage::kCleanerSkipsFlush;
+  opts.seed = 515151;
+  opts.schedules = 12;
+  opts.txns_per_schedule = 40;  // deep schedules: drain + evict + remount
+  opts.crash_prob = 0.0;
+  opts.transient_read_rate = 0.0;
+  opts.transient_write_rate = 0.0;
+  opts.bad_sector_rate = 0.0;
+  opts.torn_write_rate = 0.0;
+
+  const FuzzReport rep = run_fault_fuzz(opts);
+  EXPECT_GT(rep.violations, 0u)
+      << "oracle has no teeth: a cleaner that skips the pre-writeback "
+         "flush went unnoticed\n"
+      << describe(rep);
+}
+
 // A hand-scripted torn write through the full stack: the Nth disk write
 // tears (half new, half old), the machine dies, and recovery must still
 // present exactly the committed history — the §9 "torn write" row.

@@ -86,7 +86,73 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, FsFuzz,
                            }
                          });
 
+// The full file-system campaign with the background cleaner armed in
+// deterministic stepped mode: every committed MiniFs operation is followed
+// by a cleaner quantum, so power cuts land mid-drain under a real
+// metadata/data workload.  Recovery must still land on an fsync boundary.
+class FsFuzzCleaner : public ::testing::TestWithParam<StackKind> {};
+
+TEST_P(FsFuzzCleaner, CleanerArmedHistoriesRecoverToAnFsyncBoundary) {
+  FsFuzzOptions opts;
+  opts.kind = GetParam();
+  opts.cleaner = cleaner::CleanerMode::kStepped;
+  opts.seed = env_u64("TINCA_FS_FUZZ_SEED", 20260806);
+  opts.schedules =
+      static_cast<std::uint32_t>(env_u64("TINCA_FS_FUZZ_SCHEDULES", 30));
+
+  const FsFuzzReport rep = run_fs_fuzz(opts);
+  EXPECT_EQ(rep.violations, 0u)
+      << describe(rep) << "reproduce: TINCA_FS_FUZZ_SEED=" << opts.seed
+      << " TINCA_FS_FUZZ_SCHEDULES=" << opts.schedules << " (cleaner armed)";
+  EXPECT_EQ(rep.fsck_dirty, 0u) << describe(rep);
+  EXPECT_GT(rep.crashes, 0u) << describe(rep);
+  EXPECT_GT(rep.fsck_runs, 0u) << describe(rep);
+}
+
+INSTANTIATE_TEST_SUITE_P(CleanerBackends, FsFuzzCleaner,
+                         ::testing::Values(StackKind::kTinca,
+                                           StackKind::kUbj,
+                                           StackKind::kShardedTinca),
+                         [](const auto& pinfo) {
+                           switch (pinfo.param) {
+                             case StackKind::kTinca: return "Tinca";
+                             case StackKind::kUbj: return "Ubj";
+                             case StackKind::kShardedTinca: return "Sharded";
+                             default: return "Other";
+                           }
+                         });
+
 // --- Oracle self-tests: the harness must catch corruption it didn't cause.
+
+// A cleaner that marks cache blocks clean WITHOUT their pre-writeback disk
+// flush: stale disk data then surfaces through the file system after
+// evictions or a remount, and the tree-vs-model comparison (or fsck) must
+// notice.  Fault-free and crash-free so the cleaner's lie is the only
+// anomaly in play.
+TEST(FsFuzzSabotage, CleanerSkippingFlushIsCaught) {
+  FsFuzzOptions opts;
+  opts.kind = StackKind::kTinca;
+  opts.cleaner = cleaner::CleanerMode::kStepped;
+  // Aggressive watermarks: the cleaner "cleans" (i.e. lies about) blocks on
+  // every schedule, so stale disk data is guaranteed to exist.
+  opts.cleaner_low_water_pct = 0;
+  opts.cleaner_high_water_pct = 1;
+  opts.sabotage = FsSabotage::kCleanerSkipsFlush;
+  opts.seed = 407;
+  opts.schedules = 8;
+  opts.ops_per_schedule = 120;  // enough writes to evict lying-clean blocks
+  opts.crash_prob = 0.0;
+  opts.transient_read_rate = 0.0;
+  opts.transient_write_rate = 0.0;
+  opts.bad_sector_rate = 0.0;
+  opts.torn_write_rate = 0.0;
+
+  const FsFuzzReport rep = run_fs_fuzz(opts);
+  EXPECT_GT(rep.violations + rep.fsck_dirty, 0u)
+      << "oracle has no teeth: a cleaner that skips the pre-writeback "
+         "flush went unnoticed\n"
+      << describe(rep);
+}
 
 // A committed data (or directory) block is silently replaced behind the
 // harness's block-image bookkeeping; only the tree-vs-model comparison or
