@@ -22,6 +22,27 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 # ---------------------------------------------------------------------------
+# ThreadSanitizer stage: the MVCC lock-free read path (DESIGN.md §12) and the
+# sharded front-end are the only truly multi-threaded code in the tree, and
+# ASan cannot see data races.  TSan is incompatible with ASan, so this is a
+# separate build; only the threaded suites run under it.
+TSAN_DIR=${TSAN_DIR:-build-ci-tsan}
+TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+
+cmake -B "$TSAN_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DTINCA_WERROR=ON \
+  -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
+cmake --build "$TSAN_DIR" -j "$(nproc)" \
+  --target mvcc_stress_test shard_test cleaner_test
+
+"$TSAN_DIR/tests/mvcc_stress_test"
+"$TSAN_DIR/tests/shard_test"
+"$TSAN_DIR/tests/cleaner_test"
+echo "tsan stage: OK (mvcc stress + shard + cleaner suites race-free)"
+
+# ---------------------------------------------------------------------------
 # Bench smoke: Release build, run two benches with --json and validate the
 # machine-readable output against the tinca-bench-v1 schema.  Release because
 # the JSON contract must hold in the configuration people actually benchmark,
@@ -33,7 +54,7 @@ trap 'rm -rf "$JSON_OUT"' EXIT
 cmake -B "$BENCH_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BENCH_DIR" -j "$(nproc)" \
   --target bench_micro_primitives bench_ablation_txn_batch bench_fault_sweep \
-  bench_fs_fuzz_sweep bench_cleaner
+  bench_fs_fuzz_sweep bench_cleaner bench_mvcc_reads
 
 "$BENCH_DIR/bench/bench_micro_primitives" \
   --benchmark_filter=BM_CacheEntryCodec --benchmark_min_time=0.05 \
@@ -59,6 +80,13 @@ cmake --build "$BENCH_DIR" -j "$(nproc)" \
 # path" — a cleaner regressed into a no-op fails CI here.
 "$BENCH_DIR/bench/bench_cleaner" --json "$JSON_OUT/cleaner.json" > /dev/null
 
+# MVCC read-path smoke (DESIGN.md §12): lock-free reads vs the mutex
+# baseline in virtual time, with a writer committing throughout and every
+# read verified against a committed image.  The binary exits nonzero unless
+# the 4-reader speedup is >= 3x, so this line gates "clean read hits never
+# take the shard mutex" — a fast path regressed onto the lock fails here.
+"$BENCH_DIR/bench/bench_mvcc_reads" --json "$JSON_OUT/mvcc.json" > /dev/null
+
 # Oracle self-test: a sabotaged run (harness corrupts a committed data block
 # behind the backend's back) must FAIL, proving the oracle has teeth.
 if "$BENCH_DIR/bench/bench_fs_fuzz_sweep" --schedules 20 --seed 1 \
@@ -70,7 +98,7 @@ echo "fs fuzz sabotage self-test: correctly rejected"
 
 python3 - "$JSON_OUT/micro.json" "$JSON_OUT/txn_batch.json" \
   "$JSON_OUT/fault_sweep.json" "$JSON_OUT/fs_fuzz.json" \
-  "$JSON_OUT/cleaner.json" <<'EOF'
+  "$JSON_OUT/cleaner.json" "$JSON_OUT/mvcc.json" <<'EOF'
 import json, numbers, sys
 
 for path in sys.argv[1:]:
@@ -138,4 +166,24 @@ assert off["dirty_writebacks"] > 0, "off run never paid an inline write-back"
 assert on["drain_lag_count"] > 0, "drain-lag histogram is empty"
 print(f"cleaner: OK (commit p95 off/on = "
       f"{off['commit_p95_ns'] / on['commit_p95_ns']:.2f}x)")
+
+# MVCC read smoke specifics: both modes at every reader count, the gate
+# speedup, every read content-verified, and the fast path actually resolved
+# through version chains (not silently falling back to the mutex).
+with open(sys.argv[6]) as f:
+    mv = json.load(f)
+rows = {row["label"]: row["metrics"] for row in mv["rows"]}
+expect = {f"{mode}/readers={n}" for mode in ("locked", "mvcc") for n in (1, 2, 4, 8)}
+assert set(rows) == expect, f"rows: {set(rows)}"
+speedup = rows["mvcc/readers=4"]["reads_per_sec_m"] / \
+    rows["locked/readers=4"]["reads_per_sec_m"]
+assert speedup >= 3.0, f"mvcc read speedup at 4 readers only {speedup:.2f}x"
+for label, m in rows.items():
+    assert m["verified"] == 1, f"{label}: unverified read content"
+    assert m["commit_count"] > 0, f"{label}: writer never committed"
+    if label.startswith("mvcc"):
+        assert m["snapshot_reads"] >= m["reads"], \
+            f"{label}: only {m['snapshot_reads']} chain-resolved reads"
+        assert m["lock_fallbacks"] == 0, f"{label}: fast path fell back to lock"
+print(f"mvcc reads: OK (speedup at 4 readers = {speedup:.2f}x)")
 EOF

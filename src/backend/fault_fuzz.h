@@ -107,8 +107,48 @@ inline FuzzReport run_fault_fuzz(const FuzzOptions& opts) {
     bool crashed = false;
     bool wedged = false;
 
+    // Snapshot oracle (DESIGN.md §12): pin a committed boundary mid-run,
+    // keep committing/cleaning/faulting past it, and every pinned read must
+    // keep returning exactly the boundary image.
+    bool snap_open = false;
+    bool snap_bad = false;
+    std::uint64_t snap_token = 0;
+    std::uint32_t snap_close_at = 0;
+    std::map<std::uint64_t, std::uint64_t> snap_frozen;
+
     try {
       for (std::uint32_t t = 0; t < opts.txns_per_schedule; ++t) {
+        if (be->supports_snapshots()) {
+          if (!snap_open && !committed.empty() && rng.chance(0.25)) {
+            snap_token = be->snapshot_open();
+            snap_frozen = committed;
+            snap_open = true;
+            snap_close_at = t + 1 + static_cast<std::uint32_t>(rng.below(3));
+          } else if (snap_open) {
+            for (int probe = 0; probe < 3 && !touched.empty(); ++probe) {
+              auto it = touched.begin();
+              std::advance(it, static_cast<long>(rng.below(touched.size())));
+              be->snapshot_read(snap_token, *it, buf);
+              const std::uint64_t got_fp = fingerprint(buf);  // before fp_of
+              const auto want = snap_frozen.find(*it);
+              const std::uint64_t want_fp =
+                  want == snap_frozen.end() ? zero_fp : fp_of(want->second);
+              if (got_fp != want_fp) {
+                record_violation(
+                    "snapshot read of block " + std::to_string(*it) +
+                    " is not the pinned committed-boundary image");
+                snap_bad = true;
+                break;
+              }
+            }
+            if (snap_bad) break;
+            if (t >= snap_close_at) {
+              be->snapshot_close(snap_token);
+              snap_open = false;
+            }
+          }
+        }
+
         // Occasionally re-read a committed block mid-run: committed data
         // must be visible long before any crash.
         if (!committed.empty() && rng.chance(0.3)) {
@@ -160,6 +200,18 @@ inline FuzzReport run_fault_fuzz(const FuzzOptions& opts) {
       } else {
         record_violation(e.what());
       }
+    }
+
+    // Release any open snapshot before verification: pins defer disk
+    // writebacks, and the sabotage/verify phases should run unthrottled.
+    // (After a crash the backend is rebuilt anyway, so unpinning the dying
+    // instance is merely tidy.)
+    if (snap_open) {
+      try {
+        be->snapshot_close(snap_token);
+      } catch (const std::exception&) {
+      }
+      snap_open = false;
     }
 
     // Stop injecting *new* faults; already-bad sectors keep failing.

@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <optional>
+#include <unordered_map>
 
 #include "backend/txn_backend.h"
 #include "shard/sharded_tinca.h"
@@ -73,6 +74,26 @@ class ShardedBackend final : public TxnBackend {
 
   void cleaner_step() override { sharded_->step_cleaners(); }
 
+  [[nodiscard]] bool supports_snapshots() const override { return true; }
+
+  std::uint64_t snapshot_open() override {
+    const std::uint64_t token = next_snap_++;
+    snaps_.emplace(token, sharded_->open_snapshot());
+    return token;
+  }
+
+  void snapshot_read(std::uint64_t token, std::uint64_t blkno,
+                     std::span<std::byte> dst) override {
+    sharded_->snapshot_read(snaps_.at(token), blkno, dst);
+  }
+
+  void snapshot_close(std::uint64_t token) override {
+    auto it = snaps_.find(token);
+    TINCA_EXPECT(it != snaps_.end(), "close of an unknown snapshot token");
+    sharded_->close_snapshot(it->second);
+    snaps_.erase(it);
+  }
+
   void enable_tracing(bool on = true) override { sharded_->enable_tracing(on); }
 
   void attach_trace_sink(obs::TraceSink* sink) override {
@@ -99,6 +120,8 @@ class ShardedBackend final : public TxnBackend {
   std::unique_ptr<shard::ShardedTinca> sharded_;
   blockdev::BlockDevice& disk_;
   std::optional<shard::ShardedTxn> txn_;
+  std::unordered_map<std::uint64_t, shard::ShardedSnapshot> snaps_;
+  std::uint64_t next_snap_ = 1;
 };
 
 }  // namespace tinca::backend

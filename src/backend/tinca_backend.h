@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <optional>
+#include <unordered_map>
 
 #include "backend/txn_backend.h"
 #include "tinca/tinca_cache.h"
@@ -68,6 +69,32 @@ class TincaBackend final : public TxnBackend {
 
   void cleaner_step() override { cache_->cleaner_step(); }
 
+  [[nodiscard]] bool supports_snapshots() const override { return true; }
+
+  std::uint64_t snapshot_open() override {
+    const std::uint64_t token = next_snap_++;
+    snaps_.emplace(token, cache_->snapshot_pin());
+    return token;
+  }
+
+  void snapshot_read(std::uint64_t token, std::uint64_t blkno,
+                     std::span<std::byte> dst) override {
+    const core::SnapshotPin& pin = snaps_.at(token);
+    // A failed pin (registry full) degrades to a current read — same
+    // contract as a reader that could not start a snapshot at all.
+    if (pin.valid())
+      cache_->snapshot_read(pin, blkno, dst);
+    else
+      cache_->read_block(blkno, dst);
+  }
+
+  void snapshot_close(std::uint64_t token) override {
+    auto it = snaps_.find(token);
+    TINCA_EXPECT(it != snaps_.end(), "close of an unknown snapshot token");
+    cache_->snapshot_unpin(it->second);
+    snaps_.erase(it);
+  }
+
   void enable_tracing(bool on = true) override { cache_->enable_tracing(on); }
 
   void attach_trace_sink(obs::TraceSink* sink) override {
@@ -94,6 +121,8 @@ class TincaBackend final : public TxnBackend {
   std::unique_ptr<core::TincaCache> cache_;
   blockdev::BlockDevice& disk_;
   std::optional<core::Transaction> txn_;
+  std::unordered_map<std::uint64_t, core::SnapshotPin> snaps_;
+  std::uint64_t next_snap_ = 1;
 };
 
 }  // namespace tinca::backend

@@ -58,6 +58,30 @@ class TxnBackend {
   /// disabled) treat it as a no-op, so callers need not special-case.
   virtual void cleaner_step() {}
 
+  // --- Snapshot reads (MVCC backends, DESIGN.md §12) -----------------------
+  // Backends over version-chained caches pin a committed boundary and serve
+  // reads as of that boundary without blocking (or being blocked by)
+  // writers.  The defaults degrade to plain current reads so uninstrumented
+  // backends keep compiling; harnesses gate snapshot assertions on
+  // supports_snapshots().
+
+  /// Whether snapshot_open() pins a real committed-boundary snapshot.
+  [[nodiscard]] virtual bool supports_snapshots() const { return false; }
+
+  /// Open a read snapshot pinned at the current committed boundary and
+  /// return an opaque token for snapshot_read()/snapshot_close().  Multiple
+  /// snapshots may be open at once.
+  virtual std::uint64_t snapshot_open() { return 0; }
+
+  /// Read `blkno` as of the snapshot.  Default: a plain current read.
+  virtual void snapshot_read(std::uint64_t /*token*/, std::uint64_t blkno,
+                             std::span<std::byte> dst) {
+    read_block(blkno, dst);
+  }
+
+  /// Release the snapshot's pins.  Must be called once per snapshot_open().
+  virtual void snapshot_close(std::uint64_t /*token*/) {}
+
   // --- Observability (src/obs/) --------------------------------------------
   // Default implementations are no-ops so backends without instrumentation
   // keep compiling; every shipped backend overrides them.

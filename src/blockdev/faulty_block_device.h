@@ -85,6 +85,11 @@ class FaultyBlockDevice final : public BlockDevice {
   /// Permanently mark `blkno` bad: every future write to it fails.
   void mark_bad(std::uint64_t blkno);
 
+  /// Heal a bad sector: writes to `blkno` succeed again.  Models sector
+  /// remapping / a transient controller fault clearing, and lets tests
+  /// drive the quarantine-then-recover paths deterministically.
+  void heal(std::uint64_t blkno) { bad_.erase(blkno); }
+
   /// Fail the next `n` reads with kTransient (counts down per read).
   void fail_next_reads(std::uint32_t n) { forced_read_failures_ = n; }
 

@@ -219,6 +219,18 @@ class RecordingBackend final : public backend::TxnBackend {
 
   [[nodiscard]] std::string name() const override { return real_.name(); }
 
+  [[nodiscard]] bool supports_snapshots() const override {
+    return real_.supports_snapshots();
+  }
+  std::uint64_t snapshot_open() override { return real_.snapshot_open(); }
+  void snapshot_read(std::uint64_t token, std::uint64_t blkno,
+                     std::span<std::byte> dst) override {
+    real_.snapshot_read(token, blkno, dst);
+  }
+  void snapshot_close(std::uint64_t token) override {
+    real_.snapshot_close(token);
+  }
+
   [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>& committed()
       const {
     return committed_;
@@ -725,6 +737,15 @@ inline ScheduleOutcome run_fs_schedule(const FsFuzzOptions& opts,
   FsOp last_op;  // the op interrupted by a crash (if any)
   bool op_in_flight = false;
 
+  // Snapshot oracle (DESIGN.md §12): pin one fsync boundary mid-workload
+  // and hold it across later compound commits; every pinned block read must
+  // keep returning that boundary's image even while the tree churns on.
+  bool snap_open = false;
+  std::uint64_t snap_token = 0;
+  std::uint64_t snap_close_boundary = 0;
+  std::map<std::uint64_t, std::uint64_t> snap_frozen;
+  std::vector<std::byte> snap_buf(blockdev::kBlockSize);
+
   // --- workload -------------------------------------------------------------
   if (mkfs_done) {
     const std::size_t total_ops =
@@ -763,6 +784,41 @@ inline ScheduleOutcome run_fs_schedule(const FsFuzzOptions& opts,
           last_boundary = shim.boundaries();
           committed_model = live;  // new fsync boundary reached
         }
+        // Snapshot oracle — fuzz mode only: the sweep's step numbering must
+        // stay identical across its learning and replay passes, and pinned
+        // snapshots shift when deferred writebacks reach the disk.
+        if (!script && shim.supports_snapshots()) {
+          if (!snap_open && shim.boundaries() != 0 && rng.chance(0.15)) {
+            snap_token = shim.snapshot_open();
+            snap_frozen = shim.committed();
+            snap_open = true;
+            snap_close_boundary = shim.boundaries() + 2;
+          } else if (snap_open) {
+            bool snap_bad = false;
+            for (int probe = 0; probe < 2 && !shim.universe().empty();
+                 ++probe) {
+              auto it = shim.universe().begin();
+              std::advance(it,
+                           static_cast<long>(rng.below(shim.universe().size())));
+              shim.snapshot_read(snap_token, *it, snap_buf);
+              const auto want = snap_frozen.find(*it);
+              const std::uint64_t want_fp =
+                  want == snap_frozen.end() ? zero_fp : want->second;
+              if (fingerprint(snap_buf) != want_fp) {
+                record_violation(
+                    "snapshot read of block " + std::to_string(*it) +
+                    " is not the pinned fsync-boundary image");
+                snap_bad = true;
+                break;
+              }
+            }
+            if (snap_bad) break;
+            if (shim.boundaries() >= snap_close_boundary) {
+              shim.snapshot_close(snap_token);
+              snap_open = false;
+            }
+          }
+        }
       }
       if (end == ScheduleEnd::kClean && !script) {
         // Close the history at a boundary so the clean path verifies a
@@ -790,6 +846,16 @@ inline ScheduleOutcome run_fs_schedule(const FsFuzzOptions& opts,
   ScheduleOutcome out;
   out.marked_points = nvm.injector.steps_seen();
   out.marked_torn = nvm.injector.torn_steps_seen();
+
+  // Release any open snapshot before verification: pins defer disk
+  // writebacks, and fsck plus the image check should run unthrottled.
+  if (snap_open) {
+    try {
+      shim.snapshot_close(snap_token);
+    } catch (const std::exception&) {
+    }
+    snap_open = false;
+  }
 
   // Stop injecting *new* faults; already-bad sectors keep failing.
   nvm.injector.disarm();

@@ -179,8 +179,63 @@ void ShardedTinca::abort(ShardedTxn& txn) {
 void ShardedTinca::read_block(std::uint64_t disk_blkno,
                               std::span<std::byte> dst) {
   Shard& sh = *shards_[shard_of(disk_blkno)];
+  // Lock-free fast path: pin the shard's commit epoch, resolve through the
+  // version chains, copy, unpin — no mutex, no clock, no LRU traffic.  The
+  // pin covers the copy, so a concurrent commit/reclaim cannot reuse the
+  // NVM block mid-read.
+  const core::SnapshotPin pin = sh.cache->snapshot_pin();
+  if (pin.valid()) {
+    const bool hit = sh.cache->snapshot_try_read(pin, disk_blkno, dst);
+    sh.cache->snapshot_unpin(pin);
+    if (hit) return;
+  }
+  read_block_locked(disk_blkno, dst);
+}
+
+void ShardedTinca::read_block_locked(std::uint64_t disk_blkno,
+                                     std::span<std::byte> dst) {
+  Shard& sh = *shards_[shard_of(disk_blkno)];
   std::lock_guard<std::mutex> lock(sh.mu);
   sh.cache->read_block(disk_blkno, dst);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot reads (MVCC, DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+ShardedSnapshot ShardedTinca::open_snapshot() {
+  ShardedSnapshot snap;
+  snap.pins_.reserve(shards_.size());
+  for (auto& sh : shards_) snap.pins_.push_back(sh->cache->snapshot_pin());
+  snap.open_ = true;
+  return snap;
+}
+
+void ShardedTinca::snapshot_read(const ShardedSnapshot& snap,
+                                 std::uint64_t disk_blkno,
+                                 std::span<std::byte> dst) {
+  TINCA_EXPECT(snap.open_, "read against a closed snapshot");
+  const std::uint32_t sid = shard_of(disk_blkno);
+  const core::SnapshotPin& pin = snap.pins_[sid];
+  if (pin.valid()) {
+    // Chain hit or disk fallback — both lock-free (the shared disk is
+    // behind LockedBlockDevice, and the defer rule keeps its content from
+    // advancing past the pin).
+    shards_[sid]->cache->snapshot_read(pin, disk_blkno, dst);
+    return;
+  }
+  // Pin registry was full at open time: degrade to the locked path.  The
+  // result is a current read, not a pinned one — same contract as a reader
+  // that failed to start a snapshot at all.
+  read_block_locked(disk_blkno, dst);
+}
+
+void ShardedTinca::close_snapshot(ShardedSnapshot& snap) {
+  TINCA_EXPECT(snap.open_, "close of a closed snapshot");
+  for (std::uint32_t s = 0; s < shards_.size(); ++s)
+    shards_[s]->cache->snapshot_unpin(snap.pins_[s]);
+  snap.pins_.clear();
+  snap.open_ = false;
 }
 
 void ShardedTinca::write_block(std::uint64_t disk_blkno,
@@ -223,6 +278,8 @@ std::uint64_t ShardedTinca::max_txn_blocks() const {
 core::TincaCacheStats ShardedTinca::aggregated_stats() const {
   core::TincaCacheStats agg;
   for (const auto& sh : shards_) {
+    // A kThread cleaner mutates this shard's stats under its mutex.
+    std::lock_guard<std::mutex> lock(sh->mu);
     const core::TincaCacheStats& s = sh->cache->stats();
     agg.txns_committed += s.txns_committed;
     agg.txns_aborted += s.txns_aborted;

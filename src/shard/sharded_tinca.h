@@ -78,6 +78,30 @@ class ShardedTxn {
   std::unordered_map<std::uint64_t, std::vector<std::byte>> blocks_;
 };
 
+/// A pinned multi-shard read snapshot: one commit-epoch pin per shard,
+/// captured together at open_snapshot().  Consistency is per shard — each
+/// shard's pin freezes a committed boundary of that shard's history, the
+/// same per-shard atomicity commit() provides (DESIGN.md §7/§12).  Reads
+/// against a snapshot never take a shard mutex unless a shard's pin
+/// registry was full at open time.  One owner thread.
+class ShardedSnapshot {
+ public:
+  ShardedSnapshot() = default;
+
+  /// Whether the snapshot is open (pins held).
+  [[nodiscard]] bool open() const { return open_; }
+
+  /// The epoch pinned on shard `s` (diagnostic/test hook).
+  [[nodiscard]] std::uint64_t epoch(std::uint32_t s) const {
+    return pins_[s].epoch;
+  }
+
+ private:
+  friend class ShardedTinca;
+  bool open_ = false;
+  std::vector<core::SnapshotPin> pins_;  ///< indexed by shard id
+};
+
 /// The sharded transactional NVM cache front-end.  All public methods are
 /// thread-safe; per-shard mutexes serialize only the shards a call touches.
 class ShardedTinca {
@@ -130,8 +154,33 @@ class ShardedTinca {
 
   // --- Cached block I/O ----------------------------------------------------
 
-  /// Read one block through its home shard.
+  /// Read one block through its home shard.  Clean hits on committed blocks
+  /// take the LOCK-FREE fast path: an epoch pin plus a version-chain lookup
+  /// under acquire/release atomics, no shard mutex (DESIGN.md §12).  Blocks
+  /// without a chain version (uncached, or clean read fills) fall back to
+  /// the locked path, which fills the cache and updates the LRU.
   void read_block(std::uint64_t disk_blkno, std::span<std::byte> dst);
+
+  /// The pre-MVCC read path: always acquires the home shard's mutex.  Kept
+  /// public as the baseline for bench_mvcc_reads and for callers that need
+  /// the LRU touched unconditionally.
+  void read_block_locked(std::uint64_t disk_blkno, std::span<std::byte> dst);
+
+  // --- Snapshot reads (MVCC, DESIGN.md §12) --------------------------------
+
+  /// Pin every shard's current commit epoch.  Lock-free; a shard whose pin
+  /// registry is full is marked in the snapshot and its reads degrade to
+  /// the locked path (counted in that shard's mvcc.lock_fallbacks).
+  [[nodiscard]] ShardedSnapshot open_snapshot();
+
+  /// Read `disk_blkno` as of the snapshot.  Lock-free on shards with a
+  /// valid pin: version-chain hit or a disk fallback through the serialized
+  /// shared disk, never the shard mutex.
+  void snapshot_read(const ShardedSnapshot& snap, std::uint64_t disk_blkno,
+                     std::span<std::byte> dst);
+
+  /// Release all pins.  Must be called exactly once per open_snapshot().
+  void close_snapshot(ShardedSnapshot& snap);
 
   /// Convenience: durably write one block as a single-block transaction.
   void write_block(std::uint64_t disk_blkno, std::span<const std::byte> data);
@@ -202,7 +251,7 @@ class ShardedTinca {
     std::unique_ptr<nvm::NvmDevice> view;
     /// Declared before `cache`: the cache's cleaner thread locks this mutex,
     /// so it must outlive the cache during destruction.
-    std::mutex mu;
+    mutable std::mutex mu;
     std::unique_ptr<core::TincaCache> cache;
   };
 

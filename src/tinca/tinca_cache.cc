@@ -36,6 +36,7 @@ TincaCache::TincaCache(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
       lru_(static_cast<std::uint32_t>(layout_.num_blocks)),
       free_entries_(static_cast<std::uint32_t>(layout_.num_blocks)),
       free_blocks_(static_cast<std::uint32_t>(layout_.num_blocks)),
+      mvcc_(layout_.num_blocks),
       trace_(nvm.clock(), cfg.trace_tid, "tinca."),
       ts_commit_(trace_.site("commit")),
       ts_abort_(trace_.site("abort")),
@@ -163,6 +164,17 @@ void TincaCache::run_recovery() {
     if (!mirror_[i].valid) free_entries_.give(i);
     if (!block_used[i]) free_blocks_.give(i);
   }
+
+  // 7. Seed the (DRAM-only) version chains: every survivor is dirty, i.e.
+  //    its NVM copy is ahead of disk, so snapshot readers must find it in a
+  //    chain — a disk fallback would hand them stale bytes the moment the
+  //    cleaner starts advancing disk again (DESIGN.md §12).
+  for (std::uint32_t slot = 0; slot < layout_.num_blocks; ++slot) {
+    const CacheEntry& e = mirror_[slot];
+    if (!e.valid) continue;
+    mvcc_.publish_baseline(e.disk_blkno, e.curr_nvm);
+    mvcc_.stats.recovery_seeded.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -275,6 +287,7 @@ bool TincaCache::writeback(std::uint32_t slot) {
   TINCA_TRACE_SPAN(trace_, ts_writeback_);
   const CacheEntry& e = mirror_[slot];
   if (quarantine_.contains(e.disk_blkno)) return false;
+  if (mvcc_defer_disk_write(e.disk_blkno)) return false;
   std::vector<std::byte> buf(kBlockSize);
   nvm_.load(layout_.data_block_off(e.curr_nvm), buf);
   const blockdev::IoStatus st = disk_write(e.disk_blkno, buf);
@@ -324,6 +337,14 @@ std::uint32_t TincaCache::evict_one(std::uint32_t scan_from) {
       }
       victim = lru_.newer(victim);
     }
+    if (victim == SlotLru::kNil && scan_from != SlotLru::kNil) {
+      // Cursor staleness: slots the cursor already skipped may have become
+      // evictable since they were visited — e.g. a quarantined victim the
+      // cleaner has drained and de-quarantined mid-pass.  One full rescan
+      // from the LRU end before concluding the cache is really stuck.
+      scan_from = SlotLru::kNil;
+      continue;
+    }
     if (victim == SlotLru::kNil && cleaner_ && cleaner_->drain_blocking() > 0) {
       // Backpressure: the cleaner retired at least one block, so a clean
       // victim now exists.  Restart from the LRU end (slots may have moved).
@@ -339,7 +360,14 @@ std::uint32_t TincaCache::evict_one(std::uint32_t scan_from) {
     invalidate_entry(victim);
     index_.erase(e.disk_blkno);
     lru_.remove(victim);
-    free_blocks_.give(e.curr_nvm);
+    // The evicted block's version chain (when it has one) keeps serving
+    // pinned snapshot readers, so it retains the NVM block; reclamation
+    // returns it to the pool once no pin can reach the chain.
+    if (mvcc_.owns(e.disk_blkno, e.curr_nvm)) {
+      mvcc_.retire(e.disk_blkno);
+    } else {
+      free_blocks_.give(e.curr_nvm);
+    }
     free_entries_.give(victim);
     ++stats_.evictions;
     return next;
@@ -348,8 +376,15 @@ std::uint32_t TincaCache::evict_one(std::uint32_t scan_from) {
 
 void TincaCache::ensure_free(std::uint32_t entries, std::uint32_t blocks) {
   std::uint32_t cursor = SlotLru::kNil;
-  while (free_entries_.count() < entries || free_blocks_.count() < blocks)
+  while (free_entries_.count() < entries || free_blocks_.count() < blocks) {
+    // Old versions parked in chains are the cheapest space to win back —
+    // reclaim before evicting live blocks (eviction itself parks more
+    // blocks in retired chains while readers hold pins).
+    mvcc_reclaim();
+    if (free_entries_.count() >= entries && free_blocks_.count() >= blocks)
+      break;
     cursor = evict_one(cursor);
+  }
 }
 
 void TincaCache::clean_to_threshold() {
@@ -411,6 +446,10 @@ cleaner::CleanOutcome TincaCache::cleaner_clean(std::uint64_t key,
   CacheEntry e = mirror_[slot];
   if (!e.valid || !e.modified) return cleaner::CleanOutcome::kStale;
   if (e.role == Role::kLog) return cleaner::CleanOutcome::kPinned;
+  // A pinned snapshot reader may still depend on the block's CURRENT disk
+  // content (no chain version <= its pin): advancing disk now would hand it
+  // torn history.  Requeue; pins are short-lived (DESIGN.md §12).
+  if (mvcc_defer_disk_write(key)) return cleaner::CleanOutcome::kPinned;
 
   if (!cfg_.cleaner.sabotage_skip_write) {
     std::vector<std::byte> buf(kBlockSize);
@@ -523,6 +562,12 @@ void TincaCache::commit_block(std::uint64_t disk_blkno,
       const std::uint32_t slot = it->second;
       ++stats_.write_hits;
       ++stats_.cow_writes;
+      // First COW over a chainless entry (a clean read fill): publish its
+      // current bytes as the epoch-1 baseline version so pinned readers keep
+      // resolving in NVM instead of depending on the disk copy (which the
+      // cleaner may advance).  The chain takes ownership of the block.
+      if (!mvcc_.owns(disk_blkno, mirror_[slot].curr_nvm))
+        mvcc_baseline(disk_blkno, mirror_[slot].curr_nvm);
       const std::uint32_t nb = free_blocks_.take();
       write_data_block(nb, data);
       nvm_.injector.point();  // CP: new version durable, entry still old
@@ -581,7 +626,13 @@ void TincaCache::role_switch_all(const std::vector<std::uint64_t>& blocks) {
     write_entry(slot, e);
     nvm_.injector.point();  // CP: this block switched
 
-    if (e.prev_nvm != CacheEntry::kFresh) free_blocks_.give(e.prev_nvm);
+    // The previous version usually lives on as the head of the block's
+    // version chain (commit_block guarantees a chain for every write hit);
+    // then the chain owns the NVM block and reclamation frees it once no
+    // pinned reader can resolve to it.  Only a chainless prev (impossible
+    // today, but cheap to keep correct) goes straight back to the pool.
+    if (e.prev_nvm != CacheEntry::kFresh && !mvcc_.owns(blkno, e.prev_nvm))
+      free_blocks_.give(e.prev_nvm);
     lru_.touch(slot);  // §4.6(2b): committed blocks become MRU
     ++stats_.role_switches;
   }
@@ -610,6 +661,15 @@ void TincaCache::tinca_commit(Transaction& txn) {
   // §4.4 step 5: Tail := Head — the transaction's atomic commit point.
   ring_.publish_tail();
   nvm_.injector.point();  // CP: transaction durable
+
+  // MVCC publication (DESIGN.md §12): append each block's new version to its
+  // chain at epoch E+1, then bump the commit epoch — readers pinned at E
+  // resolve past these recs, readers pinning afterwards see all of them.
+  // Strictly after the Tail publication so a visible epoch never exposes a
+  // transaction that is not yet durable.
+  for (std::uint64_t blkno : txn.order_)
+    mvcc_publish(blkno, mirror_[index_.at(blkno)].curr_nvm);
+  mvcc_.bump();
 
   // Write-through mode: propagate to disk now and mark clean.  Crash-safe
   // at any point — until the entry is rewritten clean, the block simply
@@ -644,6 +704,7 @@ void TincaCache::tinca_commit(Transaction& txn) {
   txn.order_.clear();
 
   clean_to_threshold();
+  mvcc_reclaim();  // amortized: trims versions this commit superseded
   assert_dirty_count();
 }
 
@@ -723,6 +784,18 @@ void TincaCache::revoke_slot(std::uint32_t slot) {
 
   if (e.prev_nvm == CacheEntry::kFresh) {
     // Write-miss block: revert to "not cached".
+    //
+    // Deliberate asymmetry with the marker below: revoke_marker() requires
+    // prev != kFresh, so a FRESH entry can never carry it — and never needs
+    // to.  Its rollback is a single atomic 16 B invalidation: a crash mid-
+    // revocation leaves either the old entry (re-revoked, taking this same
+    // branch) or an invalid entry (skipped by the !valid guard above).
+    // There is no intermediate state a marker would have to make idempotent.
+    // The assertion pins the encoding half of that argument: nothing writes
+    // prev == curr while prev is kFresh, because curr is always a real
+    // (allocated) NVM block number, and kFresh is no such number.
+    TINCA_ENSURE(e.curr_nvm != CacheEntry::kFresh,
+                 "a FRESH entry's curr must be a real NVM block");
     index_.erase(e.disk_blkno);
     invalidate_entry(slot);
   } else {
@@ -737,6 +810,70 @@ void TincaCache::revoke_slot(std::uint32_t slot) {
     write_entry(slot, rolled);
   }
   ++stats_.revoked_blocks;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot reads (MVCC, DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+void TincaCache::mvcc_publish(std::uint64_t disk_blkno,
+                              std::uint32_t nvm_block) {
+  mvcc_.publish(disk_blkno, nvm_block);
+}
+
+void TincaCache::mvcc_baseline(std::uint64_t disk_blkno,
+                               std::uint32_t nvm_block) {
+  mvcc_.publish_baseline(disk_blkno, nvm_block);
+}
+
+bool TincaCache::mvcc_defer_disk_write(std::uint64_t disk_blkno) const {
+  // Safe to advance disk unless some pinned reader sits below the chain's
+  // oldest version — only then is the current disk content that reader's
+  // single remaining copy.  Chains anchored by an epoch-1 baseline cover
+  // every possible pin, so they never defer.
+  const std::uint64_t oldest = mvcc_.oldest_live_epoch(disk_blkno);
+  return oldest > 1 && mvcc_.min_pin() < oldest;
+}
+
+void TincaCache::mvcc_reclaim() {
+  mvcc_freed_.clear();
+  mvcc_.reclaim(mvcc_freed_);
+  for (std::uint32_t nb : mvcc_freed_) free_blocks_.give(nb);
+  mvcc_freed_.clear();
+}
+
+bool TincaCache::snapshot_try_read(const SnapshotPin& pin,
+                                   std::uint64_t disk_blkno,
+                                   std::span<std::byte> dst) const {
+  TINCA_EXPECT(dst.size() == kBlockSize, "reads are whole 4 KB blocks");
+  TINCA_EXPECT(pin.valid(), "snapshot read requires a valid pin");
+  const VersionRec* rec = mvcc_.resolve(disk_blkno, pin.epoch);
+  if (rec == nullptr) return false;
+  // The data block is immutable while its chain rec is reachable (COW
+  // never rewrites, reclamation waits out the pins), so an uncharged raw
+  // copy is race-free.  No LRU / stats / clock traffic on this path.
+  nvm_.load_nocharge(layout_.data_block_off(rec->nvm_block), dst);
+  mvcc_.stats.snapshot_reads.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void TincaCache::snapshot_read(const SnapshotPin& pin,
+                               std::uint64_t disk_blkno,
+                               std::span<std::byte> dst) const {
+  if (snapshot_try_read(pin, disk_blkno, dst)) return;
+  // No version <= pin: the block was not committed at pin time, so its disk
+  // content — which the defer rule keeps from advancing past the pin — IS
+  // the snapshot version.  Bounded clock-free retries: this path must not
+  // touch the (thread-unsafe) simulated clock.
+  mvcc_.stats.disk_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  blockdev::IoStatus st = disk_.read(disk_blkno, dst);
+  for (std::uint32_t attempt = 0;
+       st == blockdev::IoStatus::kTransient && attempt < cfg_.io.max_retries;
+       ++attempt)
+    st = disk_.read(disk_blkno, dst);
+  if (st != blockdev::IoStatus::kOk)
+    throw blockdev::IoError("tinca: unrecoverable snapshot disk read",
+                            disk_blkno, st);
 }
 
 // ---------------------------------------------------------------------------
@@ -787,6 +924,28 @@ void TincaCache::register_metrics(obs::MetricsRegistry& reg,
   reg.add_gauge(prefix + "cached_blocks", [this] { return cached_blocks(); });
   reg.add_gauge(prefix + "dirty_blocks", [this] { return dirty_blocks(); });
   reg.add_gauge(prefix + "free_blocks", [this] { return free_blocks(); });
+  // MVCC counters are atomics (readers bump them without the owner's mutex),
+  // so they register as gauges over relaxed loads rather than plain counters.
+  const auto mv = [](const std::atomic<std::uint64_t>& a) {
+    return [&a] { return a.load(std::memory_order_relaxed); };
+  };
+  reg.add_gauge(prefix + "mvcc.epoch", [this] { return mvcc_.epoch(); });
+  reg.add_gauge(prefix + "mvcc.snapshot_reads", mv(mvcc_.stats.snapshot_reads));
+  reg.add_gauge(prefix + "mvcc.disk_fallbacks", mv(mvcc_.stats.disk_fallbacks));
+  reg.add_gauge(prefix + "mvcc.lock_fallbacks", mv(mvcc_.stats.lock_fallbacks));
+  reg.add_gauge(prefix + "mvcc.pin_retries", mv(mvcc_.stats.pin_retries));
+  reg.add_gauge(prefix + "mvcc.versions_published",
+                mv(mvcc_.stats.versions_published));
+  reg.add_gauge(prefix + "mvcc.versions_trimmed",
+                mv(mvcc_.stats.versions_trimmed));
+  reg.add_gauge(prefix + "mvcc.nodes_retired", mv(mvcc_.stats.nodes_retired));
+  reg.add_gauge(prefix + "mvcc.nodes_freed", mv(mvcc_.stats.nodes_freed));
+  reg.add_gauge(prefix + "mvcc.recovery_seeded",
+                mv(mvcc_.stats.recovery_seeded));
+  reg.add_gauge(prefix + "mvcc.live_versions",
+                [this] { return mvcc_.live_versions(); });
+  reg.add_gauge(prefix + "mvcc.retired_nodes",
+                [this] { return mvcc_.retired_nodes(); });
   if (cleaner_) cleaner_->register_metrics(reg, prefix + "cleaner.");
   trace_.register_into(reg, prefix + "lat.");
 }

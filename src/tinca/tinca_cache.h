@@ -45,6 +45,7 @@
 #include "obs/trace.h"
 #include "tinca/cache_entry.h"
 #include "tinca/layout.h"
+#include "tinca/mvcc.h"
 #include "tinca/ring_buffer.h"
 #include "tinca/slot_lru.h"
 
@@ -182,11 +183,54 @@ class TincaCache : private cleaner::CleanerClient {
   /// Write every dirty cached block back to disk (blocks stay cached clean).
   void flush_dirty();
 
+  // --- Snapshot reads (MVCC, DESIGN.md §12) --------------------------------
+
+  /// Pin the current commit epoch for lock-free snapshot reads.  The pin is
+  /// taken without the owner's mutex and MUST be released with
+  /// snapshot_unpin().  A failed pin (pin.valid() == false) means the pin
+  /// registry is full; callers fall back to the locked read path.
+  [[nodiscard]] SnapshotPin snapshot_pin() { return mvcc_.pin(); }
+
+  /// Release a pin from snapshot_pin().  Lock-free.
+  void snapshot_unpin(const SnapshotPin& pin) { mvcc_.unpin(pin); }
+
+  /// Read `disk_blkno` as of the pinned epoch, without taking any lock:
+  /// resolve the block's version chain to the newest version <= pin.epoch
+  /// and copy it out of NVM; blocks with no such version fall back to disk
+  /// (whose content is guaranteed not to have advanced past the pin — see
+  /// the writeback defer rule in DESIGN.md §12).  Thread-safe concurrently
+  /// with the owner thread iff `disk` is (the sharded front-end wraps the
+  /// shared disk in LockedBlockDevice).  Does not touch the LRU, the stats
+  /// block or the simulated clock.  Throws IoError on an unrecoverable
+  /// disk read.
+  void snapshot_read(const SnapshotPin& pin, std::uint64_t disk_blkno,
+                     std::span<std::byte> dst) const;
+
+  /// Chain-only variant of snapshot_read: returns false instead of falling
+  /// back to disk.  This is the sharded front-end's lock-free read fast
+  /// path — a false return sends the caller to the locked read path, which
+  /// fills the cache and updates the LRU as usual.
+  [[nodiscard]] bool snapshot_try_read(const SnapshotPin& pin,
+                                       std::uint64_t disk_blkno,
+                                       std::span<std::byte> dst) const;
+
+  /// The MVCC version-chain table (test/bench hook).
+  [[nodiscard]] const MvccTable& mvcc() const { return mvcc_; }
+
+  /// One epoch-based reclamation pass: trims version-chain suffixes no pin
+  /// can reach and returns their NVM blocks to the free pool.  Called
+  /// automatically from commits, cleaner_step() and eviction pressure; the
+  /// explicit hook exists for tests.  Owner thread only.
+  void mvcc_reclaim();
+
   // --- Background cleaner (DESIGN.md §11) ----------------------------------
 
-  /// One cleaner pacing quantum (stepped mode).  No-op when no cleaner is
-  /// configured, so harness loops can call it unconditionally.
+  /// One cleaner pacing quantum (stepped mode).  Also runs an MVCC
+  /// reclamation pass (the quantum is the natural amortization point).
+  /// No-op when no cleaner is configured, so harness loops can call it
+  /// unconditionally.
   void cleaner_step() {
+    mvcc_reclaim();
     if (cleaner_) cleaner_->step();
   }
 
@@ -316,6 +360,20 @@ class TincaCache : private cleaner::CleanerClient {
   // Recovery helpers.
   void revoke_slot(std::uint32_t slot);
 
+  // MVCC helpers (DESIGN.md §12).
+  // Publish `nvm_block` as the version of `disk_blkno` for the *next* epoch
+  // and track the chain's 1→2 transition for reclamation.
+  void mvcc_publish(std::uint64_t disk_blkno, std::uint32_t nvm_block);
+  // Ensure the block's *current* committed bytes are reachable through a
+  // chain before a COW overwrites the entry: clean fills and recovery
+  // survivors have no chain yet, so their NVM block is published as an
+  // epoch-1 baseline version (the chain takes ownership of the block).
+  void mvcc_baseline(std::uint64_t disk_blkno, std::uint32_t nvm_block);
+  // Whether writing this block's newest version to disk could rob a pinned
+  // reader of the only copy of the version it needs (no chain rec <= its
+  // pin).  Writebacks and cleaning defer while this is true.
+  [[nodiscard]] bool mvcc_defer_disk_write(std::uint64_t disk_blkno) const;
+
   nvm::NvmDevice& nvm_;
   blockdev::BlockDevice& disk_;
   TincaConfig cfg_;
@@ -337,6 +395,11 @@ class TincaCache : private cleaner::CleanerClient {
   std::unordered_set<std::uint64_t> quarantine_;
   bool degraded_ = false;  ///< permanent fault seen → forced write-through
   TincaCacheStats stats_;
+
+  /// Per-block version chains + commit epoch + pin registry (DRAM-only;
+  /// rebuilt from the entry table at mount like the index and LRU).
+  MvccTable mvcc_;
+  std::vector<std::uint32_t> mvcc_freed_;  ///< reclaim scratch buffer
 
   obs::Tracer trace_;  ///< virtual-time tracer (nvm_'s clock)
   obs::Tracer::Site* ts_commit_;

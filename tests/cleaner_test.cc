@@ -381,5 +381,159 @@ TEST(Cleaner, MetricsExposeQueueDepthAndDrainLag) {
   EXPECT_EQ(lag->count(), 6u);
 }
 
+TEST(Cleaner, QueueDepthGaugeIsExactAcrossFailureRequeues) {
+  // Regression for the queue_depth gauge: a key bouncing through the
+  // failure-retry queue must count exactly once (queue_ + retry_, never
+  // both, never neither), and its drain-lag sample must be recorded exactly
+  // once — at retirement, against the ORIGINAL enqueue time — no matter how
+  // many failed attempts happened in between.
+  sim::SimClock clock;
+  nvm::NvmDevice dev{kNvmBytes, pcm_profile(), clock};
+  blockdev::MemBlockDevice mem{1 << 16};
+  blockdev::FaultyBlockDevice disk(mem, blockdev::FaultConfig{}, &clock,
+                                   &dev.injector);
+  TincaConfig cfg;
+  cfg.ring_bytes = 8192;
+  cfg.cleaner.mode = cleaner::CleanerMode::kStepped;
+  auto cache = TincaCache::format(dev, disk, cfg);
+  cleaner::Cleaner& cl = *cache->cleaner();
+
+  std::vector<std::byte> b(kBlockSize);
+  fill_pattern(b, 1);
+  auto txn = cache->tinca_init_txn();
+  txn.add(5, b);
+  cache->tinca_commit(txn);
+
+  disk.mark_bad(5);
+  EXPECT_TRUE(cl.try_enqueue(5));
+  EXPECT_EQ(cl.queue_depth(), 1u);
+  // Stall well past any single I/O's virtual cost: if the failure requeue
+  // were to re-stamp the key's enqueue time, the final drain-lag sample
+  // would miss this window and come out far below kStallNs.
+  constexpr std::uint64_t kStallNs = 10'000'000;
+  clock.advance(kStallNs);
+
+  // First attempt fails: the key moves queue_ -> retry_.  The gauge must
+  // not drop to 0 (the key is still the cleaner's obligation) and must not
+  // read 2 (it is one key, not two), and no drain-lag sample exists yet.
+  cache->cleaner_step();
+  EXPECT_EQ(cl.stats().failures, 1u);
+  EXPECT_EQ(cl.queue_depth(), 1u);
+  EXPECT_TRUE(cl.pending(5));
+  EXPECT_EQ(cl.stats().drain_lag.count(), 0u);
+
+  // Through the whole backoff window the gauge stays pinned at 1.
+  for (std::uint32_t i = 0; i < cfg.cleaner.retry_backoff_steps - 1; ++i) {
+    cache->cleaner_step();
+    ASSERT_EQ(cl.queue_depth(), 1u) << "step " << i;
+  }
+
+  // Sector recovers; the due retry retires the key.
+  disk.heal(5);
+  for (int i = 0; i < 20 && cl.queue_depth() > 0; ++i) cache->cleaner_step();
+  EXPECT_EQ(cl.queue_depth(), 0u);
+  EXPECT_FALSE(cl.pending(5));
+  EXPECT_EQ(cl.stats().retired, 1u);
+  EXPECT_GE(cl.stats().retries, 1u);
+  // Exactly one drain-lag sample, measured from the original enqueue — the
+  // requeue must not have reset the key's enqueue timestamp, so the sample
+  // covers the whole failed-and-backed-off window including the stall.
+  ASSERT_EQ(cl.stats().drain_lag.count(), 1u);
+  EXPECT_GE(cl.stats().drain_lag.max(), kStallNs)
+      << "drain-lag sample lost the pre-failure wait: the requeue reset the "
+         "key's enqueue timestamp";
+}
+
+TEST(Cleaner, PinnedRequeueKeepsDepthAndDefersDrainLag) {
+  // Same gauge contract on the kPinned path: a snapshot pin makes the
+  // block's disk write deferrable (DESIGN.md §12), the cleaner requeues it
+  // each quantum, and the gauge must hold steady at 1 with no premature
+  // drain-lag sample until the pin is released and the key finally retires.
+  Fixture f;
+  const SnapshotPin pin = f.cache->snapshot_pin();
+  ASSERT_TRUE(pin.valid());
+  f.commit_one(7, 3);  // committed after the pin: disk write must defer
+
+  cleaner::Cleaner& cl = *f.cache->cleaner();
+  EXPECT_TRUE(cl.try_enqueue(7));
+  for (int i = 0; i < 5; ++i) {
+    f.cache->cleaner_step();
+    ASSERT_EQ(cl.queue_depth(), 1u) << "step " << i;
+  }
+  EXPECT_GE(cl.stats().pinned_requeues, 5u);
+  EXPECT_EQ(cl.stats().retired, 0u);
+  EXPECT_EQ(cl.stats().drain_lag.count(), 0u);
+  EXPECT_EQ(f.cache->dirty_blocks(), 1u);
+
+  f.cache->snapshot_unpin(pin);
+  for (int i = 0; i < 10 && cl.queue_depth() > 0; ++i) f.cache->cleaner_step();
+  EXPECT_EQ(cl.queue_depth(), 0u);
+  EXPECT_EQ(cl.stats().retired, 1u);
+  EXPECT_EQ(cl.stats().drain_lag.count(), 1u);
+  EXPECT_EQ(f.cache->dirty_blocks(), 0u);
+}
+
+TEST(Cleaner, FullyQuarantinedCacheRecoversEvictionAfterHeal) {
+  // Regression for the eviction scan-cursor staleness: fill the cache with
+  // dirty blocks, fail every disk write so the cleaner quarantines all of
+  // them, then heal the device.  The next write miss finds no evictable
+  // victim on its first scan (everything quarantined), must fall back to a
+  // blocking cleaner drain — which now succeeds and de-quarantines — and
+  // must then RESCAN FROM THE LRU END rather than resuming a stale cursor
+  // that has already walked past every victim.  One write_block call, no
+  // wedge.
+  sim::SimClock clock;
+  nvm::NvmDevice dev{kNvmBytes, pcm_profile(), clock};
+  blockdev::MemBlockDevice mem{1 << 16};
+  blockdev::FaultyBlockDevice disk(mem, blockdev::FaultConfig{}, &clock,
+                                   &dev.injector);
+  TincaConfig cfg;
+  cfg.ring_bytes = 8192;
+  cfg.cleaner.mode = cleaner::CleanerMode::kStepped;
+  auto cache = TincaCache::format(dev, disk, cfg);
+
+  // Fill to capacity with dirty blocks.
+  std::vector<std::uint64_t> blocks;
+  std::uint64_t next = 0;
+  std::vector<std::byte> b(kBlockSize);
+  while (cache->free_blocks() > 0) {
+    fill_pattern(b, next + 1);
+    auto txn = cache->tinca_init_txn();
+    txn.add(next, b);
+    cache->tinca_commit(txn);
+    blocks.push_back(next++);
+  }
+  ASSERT_GT(blocks.size(), 8u);
+
+  // Every sector is bad: cleaner attempts quarantine all of them (and keep
+  // them on the retry queue — quarantine must stay leavable, DESIGN.md §9).
+  for (std::uint64_t blkno : blocks) disk.mark_bad(blkno);
+  for (std::uint64_t blkno : blocks)
+    ASSERT_TRUE(cache->cleaner()->try_enqueue(blkno));
+  for (int i = 0; i < 40 && cache->quarantined_blocks() < blocks.size(); ++i)
+    cache->cleaner_step();
+  ASSERT_EQ(cache->quarantined_blocks(), blocks.size());
+  ASSERT_EQ(cache->cleaner()->queue_depth(), blocks.size());
+
+  // The disk comes back.  A single write miss must recover end to end:
+  // backpressure-drain the healed blocks, de-quarantine, evict one victim.
+  for (std::uint64_t blkno : blocks) disk.heal(blkno);
+  fill_pattern(b, 777);
+  cache->write_block(blocks.size(), b);
+
+  EXPECT_GE(cache->stats().evictions, 1u);
+  EXPECT_GT(cache->cleaner()->stats().backpressure_drains, 0u);
+  EXPECT_EQ(cache->quarantined_blocks(), 0u);
+  std::vector<std::byte> got(kBlockSize);
+  cache->read_block(blocks.size(), got);
+  EXPECT_EQ(got, b);
+  // Nothing was lost along the way.
+  for (std::uint64_t blkno : blocks) {
+    fill_pattern(b, blkno + 1);
+    cache->read_block(blkno, got);
+    ASSERT_EQ(got, b) << "blkno " << blkno;
+  }
+}
+
 }  // namespace
 }  // namespace tinca::core

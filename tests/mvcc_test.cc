@@ -1,0 +1,346 @@
+// Tests for the MVCC snapshot layer (DESIGN.md §12): the MvccTable version
+// chains in isolation, then the TincaCache snapshot surface built on them —
+// commit-boundary pinning, disk fallback with the write-defer rule, recovery
+// baseline seeding, and the parked-block lifecycle when a pinned reader
+// overlaps eviction pressure.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blockdev/mem_block_device.h"
+#include "common/bytes.h"
+#include "common/expect.h"
+#include "tinca/mvcc.h"
+#include "tinca/tinca_cache.h"
+
+namespace tinca::core {
+namespace {
+
+constexpr std::size_t kNvmBytes = 256 << 10;
+constexpr std::uint64_t kDiskBlocks = 1 << 14;
+
+TincaConfig small_cfg() { return TincaConfig{.ring_bytes = 4096}; }
+
+std::vector<std::byte> block_of(std::uint64_t seed) {
+  std::vector<std::byte> b(kBlockSize);
+  fill_pattern(b, seed);
+  return b;
+}
+
+/// Commit single-block write transactions for distinct blocks until exactly
+/// `leave_free` NVM data blocks remain free.
+std::vector<std::uint64_t> fill_cache(TincaCache& cache,
+                                      std::uint64_t leave_free) {
+  std::vector<std::uint64_t> blocks;
+  std::uint64_t next = 0;
+  while (cache.free_blocks() > leave_free) {
+    cache.write_block(next, block_of(next + 1));
+    blocks.push_back(next++);
+  }
+  return blocks;
+}
+
+// --- MvccTable in isolation --------------------------------------------------
+
+TEST(MvccTable, PinCapturesEpochAndResolvesNewestNotAbove) {
+  MvccTable t(64);
+  EXPECT_EQ(t.epoch(), 1u);
+
+  t.publish(7, 10);  // visible at epoch 2
+  t.bump();
+  const SnapshotPin p2 = t.pin();
+  ASSERT_TRUE(p2.valid());
+  EXPECT_EQ(p2.epoch, 2u);
+
+  t.publish(7, 11);  // epoch 3
+  t.bump();
+  t.publish(7, 12);  // epoch 4
+  t.bump();
+
+  // The old pin stops below the versions published after it...
+  const VersionRec* rec = t.resolve(7, p2.epoch);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->epoch, 2u);
+  EXPECT_EQ(rec->nvm_block, 10u);
+  // ... while a fresh pin resolves to the newest.
+  const SnapshotPin p4 = t.pin();
+  EXPECT_EQ(p4.epoch, 4u);
+  rec = t.resolve(7, p4.epoch);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->nvm_block, 12u);
+  // A block never published resolves to nothing (disk fallback).
+  EXPECT_EQ(t.resolve(8, p4.epoch), nullptr);
+
+  t.unpin(p2);
+  t.unpin(p4);
+}
+
+TEST(MvccTable, BaselineIsVisibleToEveryPossiblePin) {
+  MvccTable t(64);
+  t.publish_baseline(11, 50);  // epoch 1 <= every pin
+  const SnapshotPin p = t.pin();
+  ASSERT_TRUE(p.valid());
+  const VersionRec* rec = t.resolve(11, p.epoch);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->epoch, 1u);
+  EXPECT_EQ(rec->nvm_block, 50u);
+  t.unpin(p);
+}
+
+TEST(MvccTable, TrimWaitsForTheOldestPin) {
+  MvccTable t(64);
+  t.publish(7, 10);
+  t.bump();  // v@2
+  const SnapshotPin pin = t.pin();
+  t.publish(7, 11);
+  t.bump();  // v@3
+  t.publish(7, 12);
+  t.bump();  // v@4
+  EXPECT_EQ(t.live_versions(), 3u);
+
+  std::vector<std::uint32_t> freed;
+  t.reclaim(freed);
+  // The pin at epoch 2 still reaches v@2: nothing may be trimmed.
+  EXPECT_TRUE(freed.empty());
+  EXPECT_EQ(t.live_versions(), 3u);
+  ASSERT_NE(t.resolve(7, pin.epoch), nullptr);
+  EXPECT_EQ(t.resolve(7, pin.epoch)->nvm_block, 10u);
+
+  t.unpin(pin);
+  t.reclaim(freed);
+  // Floor rose to the current epoch: only the newest version survives and
+  // the suffix's NVM blocks come back for reuse.
+  EXPECT_EQ(t.live_versions(), 1u);
+  EXPECT_EQ(freed, (std::vector<std::uint32_t>{11, 10}));
+  EXPECT_EQ(t.stats.versions_trimmed.load(), 2u);
+  EXPECT_EQ(t.resolve(7, t.epoch())->nvm_block, 12u);
+}
+
+TEST(MvccTable, RetiredChainUnlinksUnderPinAndFreesAfterUnpin) {
+  MvccTable t(64);
+  t.publish(9, 20);
+  t.bump();  // v@2
+  const SnapshotPin pin = t.pin();
+
+  t.retire(9);
+  EXPECT_EQ(t.retired_nodes(), 1u);
+  // Still resolvable until reclamation decides otherwise.
+  ASSERT_NE(t.resolve(9, pin.epoch), nullptr);
+
+  std::vector<std::uint32_t> freed;
+  t.reclaim(freed);
+  // floor == head epoch: unlink is allowed (disk already holds the head's
+  // bytes, readers fall back there) but the free must wait out the pin.
+  EXPECT_EQ(t.resolve(9, pin.epoch), nullptr);
+  EXPECT_TRUE(freed.empty());
+  EXPECT_EQ(t.retired_nodes(), 1u);
+
+  t.unpin(pin);
+  t.reclaim(freed);
+  EXPECT_EQ(freed, (std::vector<std::uint32_t>{20}));
+  EXPECT_EQ(t.retired_nodes(), 0u);
+  EXPECT_EQ(t.stats.nodes_freed.load(), 1u);
+  EXPECT_EQ(t.live_versions(), 0u);
+}
+
+TEST(MvccTable, ReclaimWithEmptyRegistryFreesARetiredChainInOnePass) {
+  // Regression: eviction on a full cache calls reclaim() once and must see
+  // the NVM blocks of an unpinned retired chain immediately — unlink and
+  // free used to be forced into separate passes even with no pins live.
+  MvccTable t(64);
+  t.publish(5, 30);
+  t.bump();
+  t.retire(5);
+  std::vector<std::uint32_t> freed;
+  t.reclaim(freed);
+  EXPECT_EQ(freed, (std::vector<std::uint32_t>{30}));
+  EXPECT_EQ(t.retired_nodes(), 0u);
+}
+
+TEST(MvccTable, ReCachedBlockShadowsItsRetiredChain) {
+  MvccTable t(64);
+  t.publish(3, 40);
+  t.bump();  // v@2
+  const SnapshotPin old_pin = t.pin();
+  t.retire(3);         // evicted ...
+  t.publish(3, 41);    // ... and re-cached: a fresh node in the same bucket
+  t.bump();            // v@3
+
+  // The old pin resolves through the retired chain; a new pin sees only the
+  // fresh node.  Ownership follows the live chain.
+  ASSERT_NE(t.resolve(3, old_pin.epoch), nullptr);
+  EXPECT_EQ(t.resolve(3, old_pin.epoch)->nvm_block, 40u);
+  EXPECT_EQ(t.resolve(3, t.epoch())->nvm_block, 41u);
+  EXPECT_TRUE(t.owns(3, 41));
+  EXPECT_FALSE(t.owns(3, 40));
+
+  t.unpin(old_pin);
+  std::vector<std::uint32_t> freed;
+  t.reclaim(freed);
+  EXPECT_EQ(freed, (std::vector<std::uint32_t>{40}));
+  // Old history is gone; the live chain is untouched.
+  EXPECT_EQ(t.resolve(3, 2), nullptr);
+  EXPECT_EQ(t.resolve(3, t.epoch())->nvm_block, 41u);
+}
+
+TEST(MvccTable, PinRegistryExhaustionFailsTheExtraPin) {
+  MvccTable t(16);
+  std::vector<SnapshotPin> pins;
+  for (int i = 0; i < 256; ++i) {
+    pins.push_back(t.pin());
+    ASSERT_TRUE(pins.back().valid()) << "slot " << i;
+  }
+  const SnapshotPin extra = t.pin();
+  EXPECT_FALSE(extra.valid());
+  EXPECT_EQ(t.stats.lock_fallbacks.load(), 1u);
+  for (const SnapshotPin& p : pins) t.unpin(p);
+  EXPECT_TRUE(t.pin().valid());  // slots come back
+}
+
+// --- TincaCache snapshot surface ---------------------------------------------
+
+TEST(TincaSnapshot, PinFreezesTheCommittedBoundary) {
+  sim::SimClock clock;
+  nvm::NvmDevice dev(kNvmBytes, nvdimm_profile(), clock);
+  blockdev::MemBlockDevice disk(kDiskBlocks);
+  auto cache = TincaCache::format(dev, disk, small_cfg());
+
+  cache->write_block(7, block_of(1));
+  const SnapshotPin pin = cache->snapshot_pin();
+  ASSERT_TRUE(pin.valid());
+  cache->write_block(7, block_of(2));
+
+  std::vector<std::byte> got(kBlockSize);
+  cache->snapshot_read(pin, 7, got);
+  EXPECT_EQ(got, block_of(1)) << "snapshot must see the pinned boundary";
+  cache->read_block(7, got);
+  EXPECT_EQ(got, block_of(2)) << "ordinary reads see the newest commit";
+  EXPECT_GE(cache->mvcc().stats.snapshot_reads.load(), 1u);
+  cache->snapshot_unpin(pin);
+}
+
+TEST(TincaSnapshot, UnversionedBlockFallsBackToDiskAndDefersItsWriteback) {
+  sim::SimClock clock;
+  nvm::NvmDevice dev(kNvmBytes, nvdimm_profile(), clock);
+  blockdev::MemBlockDevice disk(kDiskBlocks);
+  auto cache = TincaCache::format(dev, disk, small_cfg());
+
+  const SnapshotPin pin = cache->snapshot_pin();
+  ASSERT_TRUE(pin.valid());
+  cache->write_block(9, block_of(5));  // committed after the pin
+
+  // No version <= the pin exists: the snapshot read falls through to disk,
+  // which still holds the pre-transaction (zero) image.
+  std::vector<std::byte> got(kBlockSize);
+  EXPECT_FALSE(cache->snapshot_try_read(pin, 9, got));
+  cache->snapshot_read(pin, 9, got);
+  EXPECT_EQ(got, std::vector<std::byte>(kBlockSize));
+  EXPECT_GE(cache->mvcc().stats.disk_fallbacks.load(), 1u);
+
+  // The defer rule: while the pin lives, nothing may advance block 9 on
+  // disk — flush_dirty must leave it dirty.
+  cache->flush_dirty();
+  EXPECT_EQ(cache->dirty_blocks(), 1u);
+  cache->snapshot_read(pin, 9, got);
+  EXPECT_EQ(got, std::vector<std::byte>(kBlockSize));
+
+  cache->snapshot_unpin(pin);
+  cache->flush_dirty();
+  EXPECT_EQ(cache->dirty_blocks(), 0u);
+  std::vector<std::byte> on_disk(kBlockSize);
+  disk.read(9, on_disk);
+  EXPECT_EQ(on_disk, block_of(5));
+}
+
+TEST(TincaSnapshot, RecoverySeedsBaselinesForDirtySurvivors) {
+  sim::SimClock clock;
+  nvm::NvmDevice dev(kNvmBytes, nvdimm_profile(), clock);
+  blockdev::MemBlockDevice disk(kDiskBlocks);
+  const TincaConfig cfg = small_cfg();
+  auto cache = TincaCache::format(dev, disk, cfg);
+  cache->write_block(3, block_of(1));
+  cache->write_block(4, block_of(2));
+
+  cache.reset();
+  cache = TincaCache::recover(dev, disk, cfg);
+  // Both dirty survivors got epoch-1 baseline chains: their committed bytes
+  // live in NVM only, so a pinned reader must resolve them through the
+  // chain, never through the (stale) disk.
+  EXPECT_EQ(cache->mvcc().stats.recovery_seeded.load(), 2u);
+
+  const SnapshotPin pin = cache->snapshot_pin();
+  ASSERT_TRUE(pin.valid());
+  cache->write_block(3, block_of(9));
+
+  std::vector<std::byte> got(kBlockSize);
+  ASSERT_TRUE(cache->snapshot_try_read(pin, 3, got));
+  EXPECT_EQ(got, block_of(1));
+  cache->read_block(3, got);
+  EXPECT_EQ(got, block_of(9));
+  cache->snapshot_unpin(pin);
+}
+
+TEST(TincaSnapshot, EvictionUnderAPinParksBlocksThenWedgesRecoverably) {
+  // A live pin forbids recycling any chain-owned NVM block, so a completely
+  // full cache under eviction pressure parks every victim in a retired
+  // chain and finally wedges.  This test nails down that whole degradation:
+  // the pinned reader keeps a consistent image throughout (chain first,
+  // disk after the unlink), the wedge is a clean ContractViolation, and a
+  // remount gets back to a fully working cache with no data loss.
+  sim::SimClock clock;
+  nvm::NvmDevice dev(kNvmBytes, nvdimm_profile(), clock);
+  blockdev::MemBlockDevice disk(kDiskBlocks);
+  const TincaConfig cfg = small_cfg();
+  auto cache = TincaCache::format(dev, disk, cfg);
+
+  const auto blocks = fill_cache(*cache, 0);
+  ASSERT_GT(blocks.size(), 4u);
+  const SnapshotPin pin = cache->snapshot_pin();
+  ASSERT_TRUE(pin.valid());
+
+  std::vector<std::byte> got(kBlockSize);
+  ASSERT_TRUE(cache->snapshot_try_read(pin, blocks[0], got));
+  EXPECT_EQ(got, block_of(blocks[0] + 1));
+
+  // One more distinct block: eviction evicts victims but their blocks stay
+  // pinned in retired chains, so no free block can materialize.
+  EXPECT_THROW(cache->write_block(blocks.size(), block_of(999)),
+               ContractViolation);
+  EXPECT_GE(cache->mvcc().stats.nodes_retired.load(), 1u);
+
+  // The pinned reader still sees the boundary image — the eviction wrote
+  // the block back, so the disk fallback serves the same bytes.
+  cache->snapshot_read(pin, blocks[0], got);
+  EXPECT_EQ(got, block_of(blocks[0] + 1));
+
+  cache->snapshot_unpin(pin);
+  cache.reset();
+  cache = TincaCache::recover(dev, disk, cfg);
+  for (std::uint64_t b : blocks) {
+    cache->read_block(b, got);
+    ASSERT_EQ(got, block_of(b + 1)) << "blkno " << b;
+  }
+  cache->write_block(blocks.size(), block_of(999));  // space is back
+  cache->read_block(blocks.size(), got);
+  EXPECT_EQ(got, block_of(999));
+}
+
+TEST(TincaSnapshot, CommitReclaimsVersionsNoPinNeeds) {
+  // Without any reader pinned, the per-commit reclaim keeps chains at one
+  // version: a write-hit stream must not grow memory or leak NVM blocks.
+  sim::SimClock clock;
+  nvm::NvmDevice dev(kNvmBytes, nvdimm_profile(), clock);
+  blockdev::MemBlockDevice disk(kDiskBlocks);
+  auto cache = TincaCache::format(dev, disk, small_cfg());
+
+  cache->write_block(7, block_of(1));
+  const std::uint64_t free_before = cache->free_blocks();
+  for (std::uint64_t i = 0; i < 32; ++i)
+    cache->write_block(7, block_of(100 + i));
+  EXPECT_EQ(cache->mvcc().live_versions(), 1u);
+  EXPECT_EQ(cache->free_blocks(), free_before);
+  EXPECT_GE(cache->mvcc().stats.versions_trimmed.load(), 31u);
+}
+
+}  // namespace
+}  // namespace tinca::core

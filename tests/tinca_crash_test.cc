@@ -233,6 +233,83 @@ TEST(TincaCrash, RecoveryIsIdempotentUnderRepeatedCrashes) {
   }
 }
 
+TEST(TincaCrash, WriteMissAbortedMidCommitIsDiscardedWholly) {
+  // Directed sweep over the revoke-marker blind spot: a WRITE-MISS block
+  // has prev_nvm == kFresh, so the marker encoding (prev == curr) cannot
+  // represent its rollback — revoke_slot must instead discard the whole
+  // entry.  Crash a single-block write-miss commit at every injector step
+  // and assert recovery leaves exactly one of two states: the block fully
+  // committed (Tail already published) or not cached at all with the disk
+  // untouched.  No step may yield a half-alive entry, and no step may trip
+  // the revoke-marker precondition (prev != kFresh) during recovery.
+  constexpr std::uint64_t kBlkno = 42;
+
+  sim::SimClock probe_clock;
+  nvm::NvmDevice probe_dev(kNvmBytes, nvdimm_profile(), probe_clock);
+  blockdev::MemBlockDevice probe_disk(1 << 16);
+  std::uint64_t steps = 0;
+  {
+    auto cache = TincaCache::format(probe_dev, probe_disk,
+                                    TincaConfig{.ring_bytes = kRing});
+    auto txn = cache->tinca_init_txn();
+    txn.add(kBlkno, block_of(7));
+    cache->tinca_commit(txn);
+    steps = probe_dev.injector.steps_seen();
+  }
+  ASSERT_GT(steps, 3u);
+
+  Rng rng(4242);
+  for (const double survive : {0.0, 0.5, 1.0}) {
+    for (std::uint64_t step = 1; step <= steps; ++step) {
+      sim::SimClock clock;
+      nvm::NvmDevice dev(kNvmBytes, nvdimm_profile(), clock);
+      blockdev::MemBlockDevice disk(1 << 16);
+      auto cache =
+          TincaCache::format(dev, disk, TincaConfig{.ring_bytes = kRing});
+      dev.injector.arm(step);
+      bool crashed = false;
+      try {
+        auto txn = cache->tinca_init_txn();
+        txn.add(kBlkno, block_of(7));
+        cache->tinca_commit(txn);
+      } catch (const nvm::CrashException&) {
+        crashed = true;
+      }
+      dev.injector.disarm();
+      if (!crashed) continue;  // step beyond the commit: nothing to check
+
+      dev.crash(rng, survive);
+      auto recovered =
+          TincaCache::recover(dev, disk, TincaConfig{.ring_bytes = kRing});
+
+      // Inspect the cache state BEFORE reading (read_block would fill the
+      // cache on a miss and mask a ghost entry).
+      const bool resident = recovered->cached(kBlkno);
+      std::vector<std::byte> got(kBlockSize);
+      recovered->read_block(kBlkno, got);
+      const bool committed = fingerprint(got) == fingerprint(block_of(7));
+      const bool discarded =
+          fingerprint(got) ==
+          fingerprint(std::vector<std::byte>(kBlockSize, std::byte{0}));
+      ASSERT_TRUE(committed || discarded)
+          << "half-alive write-miss block after crash at step " << step
+          << " (survive=" << survive << ")";
+      // A discarded write miss must leave no cache ghost: the entry is
+      // invalidated whole, never kept as a revoke marker.
+      if (discarded) {
+        EXPECT_FALSE(resident) << "step " << step << " survive " << survive;
+      }
+      // Write-back cache, single txn: the commit path must never have
+      // touched the disk, whichever way recovery resolved the crash.
+      std::vector<std::byte> raw(kBlockSize);
+      disk.read(kBlkno, raw);
+      EXPECT_EQ(raw, std::vector<std::byte>(kBlockSize))
+          << "disk advanced during an aborted write-miss commit, step "
+          << step;
+    }
+  }
+}
+
 TEST(TincaCrash, KillBeforeAnyCommitIsHarmless) {
   sim::SimClock clock;
   nvm::NvmDevice dev(kNvmBytes, nvdimm_profile(), clock);
