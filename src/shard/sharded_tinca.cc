@@ -203,10 +203,20 @@ void ShardedTinca::read_block_locked(std::uint64_t disk_blkno,
 // Snapshot reads (MVCC, DESIGN.md §12)
 // ---------------------------------------------------------------------------
 
+void ShardedSnapshot::release() noexcept {
+  if (!open_) return;
+  for (std::uint32_t s = 0; s < pins_.size(); ++s)
+    owner_->shards_[s]->cache->snapshot_unpin(pins_[s]);
+  pins_.clear();
+  open_ = false;
+  owner_ = nullptr;
+}
+
 ShardedSnapshot ShardedTinca::open_snapshot() {
   ShardedSnapshot snap;
   snap.pins_.reserve(shards_.size());
   for (auto& sh : shards_) snap.pins_.push_back(sh->cache->snapshot_pin());
+  snap.owner_ = this;
   snap.open_ = true;
   return snap;
 }
@@ -232,10 +242,8 @@ void ShardedTinca::snapshot_read(const ShardedSnapshot& snap,
 
 void ShardedTinca::close_snapshot(ShardedSnapshot& snap) {
   TINCA_EXPECT(snap.open_, "close of a closed snapshot");
-  for (std::uint32_t s = 0; s < shards_.size(); ++s)
-    shards_[s]->cache->snapshot_unpin(snap.pins_[s]);
-  snap.pins_.clear();
-  snap.open_ = false;
+  TINCA_EXPECT(snap.owner_ == this, "snapshot closed by a different cache");
+  snap.release();
 }
 
 void ShardedTinca::write_block(std::uint64_t disk_blkno,

@@ -78,15 +78,47 @@ class ShardedTxn {
   std::unordered_map<std::uint64_t, std::vector<std::byte>> blocks_;
 };
 
+class ShardedTinca;
+
 /// A pinned multi-shard read snapshot: one commit-epoch pin per shard,
 /// captured together at open_snapshot().  Consistency is per shard — each
 /// shard's pin freezes a committed boundary of that shard's history, the
 /// same per-shard atomicity commit() provides (DESIGN.md §7/§12).  Reads
 /// against a snapshot never take a shard mutex unless a shard's pin
 /// registry was full at open time.  One owner thread.
+///
+/// RAII: the destructor releases any still-held pins, so an early return or
+/// an exception between open and close (snapshot_read can throw IoError)
+/// cannot leak registry pins — a leaked pin silently blocks version
+/// trimming and defers writebacks forever.  Move-only: a copy would
+/// double-release its slots.  Must not outlive the ShardedTinca that
+/// opened it.
 class ShardedSnapshot {
  public:
   ShardedSnapshot() = default;
+  ~ShardedSnapshot() { release(); }
+
+  ShardedSnapshot(ShardedSnapshot&& other) noexcept
+      : open_(other.open_), owner_(other.owner_),
+        pins_(std::move(other.pins_)) {
+    other.open_ = false;
+    other.owner_ = nullptr;
+    other.pins_.clear();
+  }
+  ShardedSnapshot& operator=(ShardedSnapshot&& other) noexcept {
+    if (this != &other) {
+      release();
+      open_ = other.open_;
+      owner_ = other.owner_;
+      pins_ = std::move(other.pins_);
+      other.open_ = false;
+      other.owner_ = nullptr;
+      other.pins_.clear();
+    }
+    return *this;
+  }
+  ShardedSnapshot(const ShardedSnapshot&) = delete;
+  ShardedSnapshot& operator=(const ShardedSnapshot&) = delete;
 
   /// Whether the snapshot is open (pins held).
   [[nodiscard]] bool open() const { return open_; }
@@ -98,7 +130,10 @@ class ShardedSnapshot {
 
  private:
   friend class ShardedTinca;
+  void release() noexcept;  // unpin everything; idempotent
+
   bool open_ = false;
+  ShardedTinca* owner_ = nullptr;         ///< set by open_snapshot()
   std::vector<core::SnapshotPin> pins_;  ///< indexed by shard id
 };
 
@@ -179,7 +214,9 @@ class ShardedTinca {
   void snapshot_read(const ShardedSnapshot& snap, std::uint64_t disk_blkno,
                      std::span<std::byte> dst);
 
-  /// Release all pins.  Must be called exactly once per open_snapshot().
+  /// Release all pins now, ahead of the snapshot's destructor (which
+  /// releases whatever is still held).  Calling it twice is a contract
+  /// violation; letting the destructor do the work is not.
   void close_snapshot(ShardedSnapshot& snap);
 
   /// Convenience: durably write one block as a single-block transaction.
@@ -246,6 +283,8 @@ class ShardedTinca {
   }
 
  private:
+  friend class ShardedSnapshot;  // release() unpins through shards_
+
   struct Shard {
     std::unique_ptr<sim::SimClock> clock;
     std::unique_ptr<nvm::NvmDevice> view;

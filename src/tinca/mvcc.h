@@ -203,16 +203,32 @@ class MvccTable {
                epoch_.load(std::memory_order_relaxed) + 1);
   }
 
-  /// Publish an epoch-1 *baseline* version: the block's committed bytes as
-  /// they stood before this cache instance first versioned it (clean fill
-  /// or recovery survivor).  Epoch 1 is <= every possible pin, so any
-  /// reader resolves to it rather than falling through to a disk whose
-  /// content a concurrent cleaning may be advancing.  Must only be called
-  /// when the block has no live chain.
+  /// Publish a *baseline* version: the block's committed bytes as they
+  /// stood when the cache (re-)filled them from disk (clean fill or
+  /// recovery survivor).  Normally published at epoch 1, which is <= every
+  /// possible pin, so any reader resolves to it rather than falling through
+  /// to a disk whose content a concurrent cleaning may be advancing.
+  ///
+  /// When retired chains for the block still hang in the bucket (evicted
+  /// while a pinned reader kept them resolvable), the fill bytes are
+  /// exactly the newest retired head's bytes — its eviction writeback put
+  /// them on disk, and an uncached block's disk content never advances — so
+  /// the baseline is published at that head's epoch instead.  An epoch-1
+  /// rec on the fresh node would tie with the retired chain's own baseline
+  /// and capture old pins with post-pin bytes (snapshot-isolation
+  /// violation).  Must only be called when the block has no live chain.
   void publish_baseline(std::uint64_t disk_blkno, std::uint32_t nvm_block) {
     TINCA_EXPECT(find_mutable(disk_blkno) == nullptr,
                  "baseline publish over a live chain");
-    publish_at(disk_blkno, nvm_block, 1);
+    std::uint64_t at = 1;
+    for (const BlockNode* node =
+             buckets_[bucket_of(disk_blkno)].load(std::memory_order_relaxed);
+         node != nullptr; node = node->next.load(std::memory_order_relaxed)) {
+      if (node->disk_blkno != disk_blkno) continue;
+      const VersionRec* head = node->chain.load(std::memory_order_relaxed);
+      if (head != nullptr && head->epoch > at) at = head->epoch;
+    }
+    publish_at(disk_blkno, nvm_block, at);
   }
 
   /// Make every version published since the last bump visible to new pins.
@@ -251,19 +267,27 @@ class MvccTable {
     return false;
   }
 
-  /// Oldest version epoch in `disk_blkno`'s live (newest) chain, or 0 when
-  /// the block has no chain at all.  Writer side: the cache's disk-write
-  /// defer rule — a pin below this epoch depends on the CURRENT disk
-  /// content, so the disk must not be advanced while such a pin lives.
+  /// Oldest version epoch still resolvable for `disk_blkno` across ALL of
+  /// its chains — the live one and any retired generations still linked —
+  /// or 0 when the block has no chain at all.  Writer side: the cache's
+  /// disk-write defer rule — a pin below this epoch resolves to nothing in
+  /// NVM and depends on the CURRENT disk content, so the disk must not be
+  /// advanced while such a pin lives.  Retired chains count because they
+  /// keep covering old pins in NVM: a re-fill baseline published at the
+  /// retired head's epoch must not make the live chain alone look like it
+  /// strands pins the retired generation still serves.
   [[nodiscard]] std::uint64_t oldest_live_epoch(
       std::uint64_t disk_blkno) const {
-    const BlockNode* node = find(disk_blkno);
-    if (node == nullptr) return 0;
-    const VersionRec* rec = node->chain.load(std::memory_order_relaxed);
     std::uint64_t oldest = 0;
-    while (rec != nullptr) {
-      oldest = rec->epoch;
-      rec = rec->older.load(std::memory_order_relaxed);
+    const BlockNode* node =
+        buckets_[bucket_of(disk_blkno)].load(std::memory_order_relaxed);
+    for (; node != nullptr; node = node->next.load(std::memory_order_relaxed)) {
+      if (node->disk_blkno != disk_blkno) continue;
+      const VersionRec* rec = node->chain.load(std::memory_order_relaxed);
+      while (rec != nullptr) {
+        if (oldest == 0 || rec->epoch < oldest) oldest = rec->epoch;
+        rec = rec->older.load(std::memory_order_relaxed);
+      }
     }
     return oldest;
   }
@@ -348,8 +372,12 @@ class MvccTable {
 
  private:
   static constexpr std::uint32_t kPinSlots = 256;
-  /// Registry slot value while a reader is mid-handshake; counted as pinned
-  /// (conservative) by min_pin()/any_pin().
+  /// Registry slot value while a reader is mid-handshake.  any_pin() counts
+  /// it as pinned (conservative), but min_pin() deliberately skips it: the
+  /// store/re-check handshake forces a claiming reader to retry after any
+  /// epoch bump, so the pin it eventually lands on is >= every floor the
+  /// reclaimer could have computed while the slot still read kClaiming —
+  /// ignoring the slot can never let a trim strand that reader.
   static constexpr std::uint64_t kClaiming = ~std::uint64_t{0};
 
   struct Retired {

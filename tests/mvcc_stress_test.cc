@@ -23,6 +23,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "blockdev/mem_block_device.h"
@@ -162,6 +163,42 @@ TEST(MvccStress, SnapshotsSeeCommitBoundariesUnderConcurrentReaders) {
     EXPECT_EQ(fingerprint(buf), fingerprint(block_of(kRounds))) << "blk " << b;
   }
   sharded->close_snapshot(snap);
+}
+
+TEST(ShardedSnapshotRaii, AbandonedSnapshotReleasesItsPins) {
+  // A snapshot dropped without close_snapshot() (early return, exception
+  // from snapshot_read) must release its registry pins in the destructor —
+  // a leaked pin silently blocks version trimming and writebacks forever.
+  sim::SimClock clock;
+  nvm::NvmDevice dev(4 << 20, nvdimm_profile(), clock);
+  blockdev::MemBlockDevice disk(1 << 12);
+  ShardedConfig cfg;
+  cfg.num_shards = 2;
+  cfg.shard.ring_bytes = 4096;
+  auto sharded = ShardedTinca::format(dev, disk, cfg);
+  sharded->write_block(1, block_of(1));
+
+  {
+    ShardedSnapshot snap = sharded->open_snapshot();
+    ASSERT_TRUE(snap.open());
+    std::vector<std::byte> buf(kBlockSize);
+    sharded->snapshot_read(snap, 1, buf);
+    EXPECT_EQ(fingerprint(buf), fingerprint(block_of(1)));
+    // No close_snapshot: destruction must release every shard's pin.
+  }
+  for (std::uint32_t s = 0; s < sharded->shard_count(); ++s)
+    EXPECT_FALSE(sharded->shard_cache(s).mvcc().any_pin()) << "shard " << s;
+
+  // A moved-from snapshot is closed and releases nothing; the explicit
+  // close path still works on the destination.
+  ShardedSnapshot a = sharded->open_snapshot();
+  ShardedSnapshot b = std::move(a);
+  EXPECT_FALSE(a.open());
+  EXPECT_TRUE(b.open());
+  sharded->close_snapshot(b);
+  EXPECT_FALSE(b.open());
+  for (std::uint32_t s = 0; s < sharded->shard_count(); ++s)
+    EXPECT_FALSE(sharded->shard_cache(s).mvcc().any_pin()) << "shard " << s;
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // overlaps eviction pressure.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "blockdev/mem_block_device.h"
@@ -183,6 +184,52 @@ TEST(MvccTable, ReCachedBlockShadowsItsRetiredChain) {
   EXPECT_EQ(t.resolve(3, t.epoch())->nvm_block, 41u);
 }
 
+TEST(MvccTable, ReFillBaselineLandsAtTheRetiredHeadEpoch) {
+  // Regression: a block evicted under a pin and later re-cached gets a new
+  // baseline from its disk bytes — which ARE the retired head's bytes (the
+  // eviction writeback put them there).  Publishing that baseline at epoch 1
+  // tied with the retired chain's own baseline, and resolve() kept the
+  // first-found fresh rec, handing old pins the post-pin image.
+  MvccTable t(64);
+  t.publish(99, 10);
+  t.bump();  // epoch 2
+  const SnapshotPin pin = t.pin();
+  ASSERT_EQ(pin.epoch, 2u);
+
+  // Block 7: clean-fill baseline (block 40) + COW at epoch 3 (block 41).
+  t.publish_baseline(7, 40);
+  t.publish(7, 41);
+  t.bump();  // epoch 3
+
+  t.retire(7);  // evicted: disk now holds block 41's bytes
+  std::vector<std::uint32_t> freed;
+  t.reclaim(freed);
+  EXPECT_TRUE(freed.empty());  // pin 2 < head 3: chain stays linked
+
+  // Re-cached from disk: the new baseline carries the retired HEAD's bytes
+  // and must land at its epoch, leaving pins below it to the retired chain.
+  t.publish_baseline(7, 42);
+  ASSERT_NE(t.resolve(7, pin.epoch), nullptr);
+  EXPECT_EQ(t.resolve(7, pin.epoch)->nvm_block, 40u)
+      << "old pin must keep resolving the retired chain's baseline";
+  EXPECT_EQ(t.resolve(7, t.epoch())->nvm_block, 42u);
+  // The retired generation still anchors the block at epoch 1: every pin is
+  // covered in NVM, so the disk-write defer rule must not engage.
+  EXPECT_EQ(t.oldest_live_epoch(7), 1u);
+
+  t.publish(7, 43);
+  t.bump();  // epoch 4
+  EXPECT_EQ(t.resolve(7, pin.epoch)->nvm_block, 40u);
+
+  t.unpin(pin);
+  t.reclaim(freed);
+  // Retired generation fully reclaimed, live chain trimmed to its head.
+  std::sort(freed.begin(), freed.end());
+  EXPECT_EQ(freed, (std::vector<std::uint32_t>{40, 41, 42}));
+  EXPECT_EQ(t.retired_nodes(), 0u);
+  EXPECT_EQ(t.resolve(7, t.epoch())->nvm_block, 43u);
+}
+
 TEST(MvccTable, PinRegistryExhaustionFailsTheExtraPin) {
   MvccTable t(16);
   std::vector<SnapshotPin> pins;
@@ -323,6 +370,85 @@ TEST(TincaSnapshot, EvictionUnderAPinParksBlocksThenWedgesRecoverably) {
   cache->write_block(blocks.size(), block_of(999));  // space is back
   cache->read_block(blocks.size(), got);
   EXPECT_EQ(got, block_of(999));
+}
+
+TEST(TincaSnapshot, ReFillAfterEvictionDoesNotShadowAnOlderPin) {
+  // Directed regression for the re-baseline snapshot-isolation hole: pin,
+  // COW-commit a clean fill, evict it (writeback + retired chain), re-read
+  // it through the locked path, COW-commit again.  The second commit's
+  // baseline carries the *evicted head's* bytes; published at epoch 1 it
+  // used to tie with the retired chain's baseline and capture the old pin
+  // with post-pin content.
+  sim::SimClock clock;
+  nvm::NvmDevice dev(kNvmBytes, nvdimm_profile(), clock);
+  blockdev::MemBlockDevice disk(kDiskBlocks);
+  auto cache = TincaCache::format(dev, disk, small_cfg());
+
+  const std::uint64_t kB = 10000;     // target block, distinctive disk bytes
+  const std::uint64_t kSpare = 11000; // sacrificial clean fills
+  const std::uint64_t kNew = 12000;   // write miss that evicts kB
+  disk.write(kB, block_of(100));
+  for (std::uint64_t s = 0; s < 3; ++s) disk.write(kSpare + s, block_of(50 + s));
+
+  // Fill with committed blocks, flush them clean, then clean-fill the
+  // target plus three spares.  The spares are chainless, so eviction can
+  // recycle their NVM blocks even while the pin lives — everything else it
+  // evicts parks in a retired chain.
+  const auto filler = fill_cache(*cache, 5);
+  ASSERT_GE(filler.size(), 1u);
+  cache->flush_dirty();
+  std::vector<std::byte> got(kBlockSize);
+  for (std::uint64_t s = 0; s < 3; ++s) cache->read_block(kSpare + s, got);
+  cache->read_block(kB, got);
+  ASSERT_EQ(got, block_of(100));
+  ASSERT_EQ(cache->free_blocks(), 1u);
+
+  const SnapshotPin pin = cache->snapshot_pin();
+  ASSERT_TRUE(pin.valid());
+  ASSERT_GT(pin.epoch, 1u);
+
+  // First COW over the clean fill: baseline (fill bytes) + new version.
+  cache->write_block(kB, block_of(200));
+  ASSERT_TRUE(cache->snapshot_try_read(pin, kB, got));
+  ASSERT_EQ(got, block_of(100));
+  ASSERT_EQ(cache->free_blocks(), 0u);
+
+  // Line up eviction: target first, spares right behind it.
+  for (std::uint64_t s = 0; s < 3; ++s) cache->read_block(kSpare + s, got);
+  for (std::uint64_t b : filler) cache->read_block(b, got);
+
+  // The write miss needs a free NVM block: evicts kB (writeback allowed —
+  // its chain is anchored by the epoch-1 fill baseline, covering the pin)
+  // into a retired chain, then recycles a spare for the new block.
+  cache->write_block(kNew, block_of(300));
+  EXPECT_FALSE(cache->cached(kB));
+  EXPECT_GE(cache->mvcc().stats.nodes_retired.load(), 1u);
+  std::vector<std::byte> on_disk(kBlockSize);
+  disk.read(kB, on_disk);
+  EXPECT_EQ(on_disk, block_of(200)) << "eviction wrote the head back";
+  // The retired chain keeps serving the pin.
+  ASSERT_TRUE(cache->snapshot_try_read(pin, kB, got));
+  ASSERT_EQ(got, block_of(100));
+
+  // Locked re-read fills kB from disk (the evicted head's bytes) ...
+  cache->read_block(kB, got);
+  ASSERT_EQ(got, block_of(200));
+  // ... and the second COW publishes those bytes as the re-fill baseline.
+  cache->write_block(kB, block_of(400));
+
+  ASSERT_TRUE(cache->snapshot_try_read(pin, kB, got));
+  EXPECT_EQ(got, block_of(100))
+      << "old pin must keep the pre-pin image, not the re-fill baseline";
+  cache->read_block(kB, got);
+  EXPECT_EQ(got, block_of(400)) << "current reads see the newest commit";
+
+  // After the pin goes away one commit's piggybacked reclaim frees the
+  // retired generation whole.
+  cache->snapshot_unpin(pin);
+  cache->write_block(kB, block_of(500));
+  EXPECT_EQ(cache->mvcc().retired_nodes(), 0u);
+  cache->read_block(kB, got);
+  EXPECT_EQ(got, block_of(500));
 }
 
 TEST(TincaSnapshot, CommitReclaimsVersionsNoPinNeeds) {
