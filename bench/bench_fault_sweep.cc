@@ -45,6 +45,10 @@ constexpr Campaign kCampaigns[] = {
     {backend::StackKind::kUbj, cleaner::CleanerMode::kStepped, "UBJ+cleaner"},
     {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kStepped,
      "Sharded+cleaner"},
+    {backend::StackKind::kNvLogClassic, cleaner::CleanerMode::kDisabled,
+     "NvLog"},
+    {backend::StackKind::kNvLogClassic, cleaner::CleanerMode::kStepped,
+     "NvLog+cleaner"},
 };
 
 }  // namespace

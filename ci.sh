@@ -54,7 +54,7 @@ trap 'rm -rf "$JSON_OUT"' EXIT
 cmake -B "$BENCH_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BENCH_DIR" -j "$(nproc)" \
   --target bench_micro_primitives bench_ablation_txn_batch bench_fault_sweep \
-  bench_fs_fuzz_sweep bench_cleaner bench_mvcc_reads
+  bench_fs_fuzz_sweep bench_cleaner bench_mvcc_reads bench_nvlog
 
 "$BENCH_DIR/bench/bench_micro_primitives" \
   --benchmark_filter=BM_CacheEntryCodec --benchmark_min_time=0.05 \
@@ -87,6 +87,13 @@ cmake --build "$BENCH_DIR" -j "$(nproc)" \
 # take the shard mutex" — a fast path regressed onto the lock fails here.
 "$BENCH_DIR/bench/bench_mvcc_reads" --json "$JSON_OUT/mvcc.json" > /dev/null
 
+# NVM write-ahead tier smoke (DESIGN.md §13): fsync-heavy 1-block commits on
+# NvLog-Classic vs classic-journal vs Tinca.  The binary exits nonzero unless
+# NvLog-Classic's throughput is >= 2x classic-journal's AND its drain
+# coalesced at least one superseded record, so this line gates "the log tier
+# absorbs fsyncs off the disk journal and its coalescing is live".
+"$BENCH_DIR/bench/bench_nvlog" --json "$JSON_OUT/nvlog.json" > /dev/null
+
 # Oracle self-test: a sabotaged run (harness corrupts a committed data block
 # behind the backend's back) must FAIL, proving the oracle has teeth.
 if "$BENCH_DIR/bench/bench_fs_fuzz_sweep" --schedules 20 --seed 1 \
@@ -98,7 +105,8 @@ echo "fs fuzz sabotage self-test: correctly rejected"
 
 python3 - "$JSON_OUT/micro.json" "$JSON_OUT/txn_batch.json" \
   "$JSON_OUT/fault_sweep.json" "$JSON_OUT/fs_fuzz.json" \
-  "$JSON_OUT/cleaner.json" "$JSON_OUT/mvcc.json" <<'EOF'
+  "$JSON_OUT/cleaner.json" "$JSON_OUT/mvcc.json" \
+  "$JSON_OUT/nvlog.json" <<'EOF'
 import json, numbers, sys
 
 for path in sys.argv[1:]:
@@ -116,10 +124,12 @@ for path in sys.argv[1:]:
                 f"{path}: {row['label']}/{name} is not numeric: {value!r}"
     print(f"{path}: OK ({len(doc['rows'])} rows)")
 
-# The seven fault/fs campaigns: the four bare stacks plus the three
-# cleaner-capable ones re-run with the background cleaner armed (§11).
-CAMPAIGNS = {"Tinca", "Classic", "UBJ", "Sharded",
-             "Tinca+cleaner", "UBJ+cleaner", "Sharded+cleaner"}
+# The nine fault/fs campaigns: the five bare stacks plus the four
+# cleaner-capable ones re-run with the background cleaner armed (§11; the
+# NvLog stack's cleaner drives the log drain, §13).
+CAMPAIGNS = {"Tinca", "Classic", "UBJ", "Sharded", "NvLog",
+             "Tinca+cleaner", "UBJ+cleaner", "Sharded+cleaner",
+             "NvLog+cleaner"}
 
 # Fault-sweep specifics: every campaign present, full schedule count, and
 # zero recovery-invariant violations.
@@ -186,4 +196,22 @@ for label, m in rows.items():
             f"{label}: only {m['snapshot_reads']} chain-resolved reads"
         assert m["lock_fallbacks"] == 0, f"{label}: fast path fell back to lock"
 print(f"mvcc reads: OK (speedup at 4 readers = {speedup:.2f}x)")
+
+# NvLog smoke specifics: all three stacks ran, the headline >= 2x throughput
+# gate vs classic-journal, and the drain both moved records and coalesced
+# superseded ones (a log tier that never coalesces has lost its batching).
+with open(sys.argv[7]) as f:
+    nv = json.load(f)
+rows = {row["label"]: row["metrics"] for row in nv["rows"]}
+assert set(rows) == {"Classic-journal", "NvLog-Classic", "Tinca",
+                     "NvLog-drain"}, f"rows: {set(rows)}"
+drain = rows["NvLog-drain"]
+assert drain["speedup_vs_classic"] >= 2.0, \
+    f"NvLog speedup only {drain['speedup_vs_classic']:.2f}x"
+assert drain["coalesce_ratio"] > 0, "drain never coalesced a record"
+assert drain["absorbed_txns"] > 0, "log absorbed no commits"
+assert drain["drained_records"] > 0, "log drained no records"
+assert drain["segments_recycled"] > 0, "log never recycled a segment"
+print(f"nvlog: OK (speedup = {drain['speedup_vs_classic']:.2f}x, "
+      f"coalesce = {drain['coalesce_ratio']:.2f})")
 EOF

@@ -37,6 +37,10 @@ enum class FuzzSabotage : std::uint8_t {
   /// disk flush (DESIGN.md §11).  Stale disk data then leaks into reads
   /// after eviction or a clean remount, and the oracle must flag it.
   kCleanerSkipsFlush,
+  /// The NvLog tier's absorb returns WITHOUT its clflush + sfence pass
+  /// (DESIGN.md §13) — "committed" txns are only cache-resident.  Any
+  /// crash then loses acknowledged commits, and the oracle must flag it.
+  kNvLogSkipsCommitFlush,
 };
 
 /// Parameters of one fuzz campaign (one backend kind, many schedules).
@@ -120,6 +124,8 @@ inline std::uint64_t fuzz_nvm_bytes(StackKind kind, std::uint64_t override) {
       return 3ull << 19;  // 1.5 MB → one 256-slot set
     case StackKind::kShardedTinca:
       return (1ull << 19) * 2;  // two 512 KB shards
+    case StackKind::kNvLogClassic:
+      return (3ull << 19) + (1ull << 19);  // classic cache + 512 KB log
     default:
       return 1ull << 19;  // 512 KB → ~100 Tinca/UBJ blocks
   }
@@ -175,6 +181,22 @@ inline std::unique_ptr<TxnBackend> fuzz_build(const FuzzOptions& o,
       return recover ? ShardedBackend::recover(nvm, disk, s)
                      : ShardedBackend::format(nvm, disk, s);
     }
+    case StackKind::kNvLogClassic: {
+      NvLogStackConfig c;
+      c.log_bytes = 1ull << 19;      // 512 KB log in front of the cache
+      c.log.segment_bytes = 64 * 1024;  // 7 segments → frequent wrap + drain
+      c.inner.journal_blocks = o.journal_blocks;  // same data area as Classic
+      c.inner.cache.io = o.retry;
+      c.cleaner.mode = o.cleaner;
+      c.cleaner.low_water_pct = o.cleaner_low_water_pct;
+      c.cleaner.high_water_pct = o.cleaner_high_water_pct;
+      c.cleaner.sabotage_skip_write =
+          o.sabotage == FuzzSabotage::kCleanerSkipsFlush;
+      c.log.sabotage_skip_commit_flush =
+          o.sabotage == FuzzSabotage::kNvLogSkipsCommitFlush;
+      return recover ? NvLogBackend::recover(nvm, disk, c)
+                     : NvLogBackend::format(nvm, disk, c);
+    }
   }
   TINCA_ENSURE(false, "unknown StackKind");
   return nullptr;
@@ -211,6 +233,12 @@ inline void fuzz_collect(const FuzzOptions& o, TxnBackend& be,
     case StackKind::kShardedTinca: {
       const core::TincaCacheStats s =
           static_cast<ShardedBackend&>(be).sharded().aggregated_stats();
+      add(s.io_retries, s.io_quarantined, s.io_degraded_writes);
+      break;
+    }
+    case StackKind::kNvLogClassic: {
+      const classic::FlashCacheStats& s =
+          static_cast<NvLogBackend&>(be).inner().stack().cache().stats();
       add(s.io_retries, s.io_quarantined, s.io_degraded_writes);
       break;
     }

@@ -1,0 +1,247 @@
+// TxnBackend adapter stacking the NVM write-ahead tier (src/nvlog/) on top
+// of a journal-less Classic store: commits absorb into the log with one
+// flush + fence, a cleaner::Cleaner drains sealed segments to the inner
+// FlashCache as coalesced ascending batches, and reads consult the log
+// index before falling through.  The inner store runs WITHOUT its journal —
+// the log tier *is* the write-ahead journal, which is the whole point: any
+// BlockDevice-backed store gains crash consistency by being wrapped here.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "backend/classic_backend.h"
+#include "backend/txn_backend.h"
+#include "blockdev/io_status.h"
+#include "cleaner/cleaner.h"
+#include "nvlog/nvlog_tier.h"
+#include "obs/trace.h"
+
+namespace tinca::backend {
+
+/// Assembly parameters for the NvLog-over-Classic stack.
+struct NvLogStackConfig {
+  /// Leading bytes of the NVM device carved out for the log tier; the
+  /// remainder backs the inner FlashCache.
+  std::uint64_t log_bytes = 8ull << 20;
+  nvlog::NvLogConfig log;
+  /// Inner store config; `journaling` is forced off (the log replaces it).
+  classic::ClassicConfig inner;
+  /// Background drain driver; kDisabled leaves draining to backpressure
+  /// and explicit flush().
+  cleaner::CleanerConfig cleaner;
+};
+
+class NvLogBackend final : public TxnBackend,
+                           public cleaner::CleanerClient,
+                           public nvlog::NvLogTier::DrainSink {
+ public:
+  static std::unique_ptr<NvLogBackend> format(nvm::NvmDevice& nvm,
+                                              blockdev::BlockDevice& disk,
+                                              NvLogStackConfig cfg = {}) {
+    return std::unique_ptr<NvLogBackend>(
+        new NvLogBackend(nvm, disk, std::move(cfg), /*recover=*/false));
+  }
+
+  static std::unique_ptr<NvLogBackend> recover(nvm::NvmDevice& nvm,
+                                               blockdev::BlockDevice& disk,
+                                               NvLogStackConfig cfg = {}) {
+    return std::unique_ptr<NvLogBackend>(
+        new NvLogBackend(nvm, disk, std::move(cfg), /*recover=*/true));
+  }
+
+  void begin() override {
+    TINCA_EXPECT(!txn_open_, "transaction already open");
+    txn_open_ = true;
+  }
+
+  void stage(std::uint64_t blkno, std::span<const std::byte> data) override {
+    TINCA_EXPECT(txn_open_, "stage without begin");
+    auto [it, inserted] = staged_.try_emplace(blkno);
+    if (inserted) order_.push_back(blkno);
+    it->second.assign(data.begin(), data.end());
+  }
+
+  void commit() override {
+    TINCA_EXPECT(txn_open_, "commit without begin");
+    if (order_.empty()) {
+      txn_open_ = false;
+      return;
+    }
+    {
+      TINCA_TRACE_SPAN(trace_, site_commit_);
+      std::vector<std::pair<std::uint64_t, std::span<const std::byte>>> blocks;
+      blocks.reserve(order_.size());
+      for (std::uint64_t blkno : order_) {
+        TINCA_EXPECT(blkno < data_block_limit(), "write past the data area");
+        blocks.emplace_back(blkno, staged_[blkno]);
+      }
+      // Throws (disk error inside a backpressure drain) leave the staging
+      // intact — the txn stays open for the caller to retry or abort.
+      tier_->absorb_commit(blocks, *this);
+    }
+    txn_open_ = false;
+    staged_.clear();
+    order_.clear();
+    if (cleaner_) {
+      std::vector<std::uint64_t> seqs;
+      tier_->collect_drainable(cleaner_->config().trickle_per_step, seqs);
+      for (std::uint64_t s : seqs) cleaner_->try_enqueue(s);
+    }
+  }
+
+  void abort() override {
+    TINCA_EXPECT(txn_open_, "abort without begin");
+    txn_open_ = false;
+    staged_.clear();
+    order_.clear();
+  }
+
+  void read_block(std::uint64_t blkno, std::span<std::byte> dst) override {
+    if (tier_->lookup(blkno, dst)) return;
+    inner_->read_block(blkno, dst);
+  }
+
+  void flush() override {
+    tier_->drain_all(*this);
+    inner_->flush();
+  }
+
+  void cleaner_step() override {
+    if (cleaner_) cleaner_->step();
+  }
+
+  [[nodiscard]] std::uint64_t data_block_limit() const override {
+    return inner_->data_block_limit();
+  }
+
+  [[nodiscard]] std::uint64_t max_txn_blocks() const override {
+    return std::min(tier_->max_txn_blocks(), inner_->max_txn_blocks());
+  }
+
+  [[nodiscard]] std::string name() const override { return "NvLog-Classic"; }
+
+  void enable_tracing(bool on = true) override {
+    trace_.enable(on);
+    if (cleaner_) cleaner_->tracer().enable(on);
+    inner_->enable_tracing(on);
+  }
+
+  void attach_trace_sink(obs::TraceSink* sink) override {
+    trace_.attach_sink(sink);
+    if (cleaner_) cleaner_->tracer().attach_sink(sink);
+    inner_->attach_trace_sink(sink);
+  }
+
+  [[nodiscard]] const obs::Tracer* tracer() const override { return &trace_; }
+
+  void register_metrics(obs::MetricsRegistry& reg,
+                        const std::string& prefix) const override {
+    tier_->register_metrics(reg, prefix + "nvlog.");
+    trace_.register_into(reg, prefix + "nvlog.lat.");
+    if (cleaner_) cleaner_->register_metrics(reg, prefix + "nvlog.cleaner.");
+    inner_->register_metrics(reg, prefix);
+  }
+
+  // --- DrainSink -----------------------------------------------------------
+
+  void drain_apply(
+      const std::vector<std::pair<std::uint64_t, std::vector<std::byte>>>&
+          blocks) override {
+    // The inner store is journal-less: each committed block is individually
+    // durable on return, which is all draining needs — a crash between
+    // blocks just replays the segment (the drained prefix has not advanced).
+    const std::uint64_t chunk =
+        std::max<std::uint64_t>(1, inner_->max_txn_blocks());
+    for (std::size_t i = 0; i < blocks.size(); i += chunk) {
+      inner_->begin();
+      const std::size_t end = std::min(blocks.size(), i + chunk);
+      for (std::size_t k = i; k < end; ++k)
+        inner_->stage(blocks[k].first, blocks[k].second);
+      inner_->commit();
+    }
+  }
+
+  // --- CleanerClient (keys are log segment seqs) ---------------------------
+
+  cleaner::CleanOutcome cleaner_clean(std::uint64_t key,
+                                      std::uint64_t* io_retries) override {
+    (void)io_retries;  // inner retries charge its own flashcache counters
+    try {
+      switch (tier_->drain_segment(key, *this)) {
+        case nvlog::NvLogTier::DrainResult::kDrained:
+          return cleaner::CleanOutcome::kRetired;
+        case nvlog::NvLogTier::DrainResult::kStale:
+          return cleaner::CleanOutcome::kStale;
+        case nvlog::NvLogTier::DrainResult::kPinned:
+          return cleaner::CleanOutcome::kPinned;
+      }
+      return cleaner::CleanOutcome::kStale;
+    } catch (const blockdev::IoError&) {
+      return cleaner::CleanOutcome::kFailed;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t cleaner_dirty_blocks() const override {
+    return tier_->live_records();
+  }
+
+  [[nodiscard]] std::uint64_t cleaner_capacity_blocks() const override {
+    return tier_->record_capacity();
+  }
+
+  void cleaner_collect(std::uint32_t max,
+                       std::vector<std::uint64_t>& out) override {
+    tier_->collect_drainable(max, out);
+  }
+
+  /// The log tier, for stats and tests.
+  [[nodiscard]] nvlog::NvLogTier& tier() { return *tier_; }
+  /// The inner journal-less Classic store, for stats.
+  [[nodiscard]] ClassicBackend& inner() { return *inner_; }
+
+ private:
+  NvLogBackend(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
+               NvLogStackConfig cfg, bool recover)
+      : trace_(nvm.clock(), /*tid=*/0, "nvlog.") {
+    TINCA_EXPECT(cfg.log_bytes % nvm::NvmDevice::kLineSize == 0 &&
+                     cfg.log_bytes < nvm.size(),
+                 "log carve-out must be line-aligned and leave cache room");
+    log_view_ = std::make_unique<nvm::NvmDevice>(nvm, 0, cfg.log_bytes,
+                                                 nvm.clock());
+    store_view_ = std::make_unique<nvm::NvmDevice>(
+        nvm, cfg.log_bytes, nvm.size() - cfg.log_bytes, nvm.clock());
+    cfg.inner.journaling = false;
+    // The cleaner's oracle sabotage knob maps onto the tier's: "mark clean
+    // without writing" is exactly a drain that skips its apply.
+    cfg.log.sabotage_skip_drain_apply |= cfg.cleaner.sabotage_skip_write;
+    if (recover) {
+      inner_ = ClassicBackend::recover(*store_view_, disk, cfg.inner);
+      tier_ = nvlog::NvLogTier::recover(*log_view_, cfg.log);
+    } else {
+      inner_ = ClassicBackend::format(*store_view_, disk, cfg.inner);
+      tier_ = nvlog::NvLogTier::format(*log_view_, cfg.log);
+    }
+    if (cfg.cleaner.mode != cleaner::CleanerMode::kDisabled)
+      cleaner_ = std::make_unique<cleaner::Cleaner>(cfg.cleaner, *this,
+                                                    nvm.clock());
+    site_commit_ = trace_.site("commit");
+  }
+
+  obs::Tracer trace_;
+  obs::Tracer::Site* site_commit_ = nullptr;
+  std::unique_ptr<nvm::NvmDevice> log_view_;
+  std::unique_ptr<nvm::NvmDevice> store_view_;
+  std::unique_ptr<ClassicBackend> inner_;
+  std::unique_ptr<nvlog::NvLogTier> tier_;
+  std::unique_ptr<cleaner::Cleaner> cleaner_;
+
+  bool txn_open_ = false;
+  std::map<std::uint64_t, std::vector<std::byte>> staged_;
+  std::vector<std::uint64_t> order_;
+};
+
+}  // namespace tinca::backend

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "backend/classic_backend.h"
+#include "backend/nvlog_backend.h"
 #include "backend/sharded_backend.h"
 #include "backend/tinca_backend.h"
 #include "backend/txn_backend.h"
@@ -28,6 +29,7 @@ enum class StackKind : std::uint8_t {
   kClassicNoJournal,   ///< "Ext4 without journaling" ablation
   kUbj,                ///< UBJ unioned buffer cache + journal (§5.4.4)
   kShardedTinca,       ///< N-way sharded concurrent Tinca front-end
+  kNvLogClassic,       ///< NVM write-ahead log tier over journal-less Classic
 };
 
 /// Assembly parameters.
@@ -48,6 +50,9 @@ struct StackConfig {
   core::TincaConfig tinca;
   classic::ClassicConfig classic;
   ubj::UbjConfig ubj;
+  /// NvLog tier + inner store for kNvLogClassic (`nvlog.inner` is the inner
+  /// Classic config; the top-level `classic` field is ignored there).
+  NvLogStackConfig nvlog;
   /// Shard count for kShardedTinca (per-shard config comes from `tinca`).
   std::uint32_t tinca_shards = 4;
   /// Disk fault schedule (DESIGN.md §9).  The defaults inject nothing, so
@@ -106,6 +111,12 @@ class Stack {
         s.shard = cfg.tinca;
         s.shard.io = cfg.disk_retry;
         backend_ = ShardedBackend::format(nvm_, disk_, s);
+        break;
+      }
+      case StackKind::kNvLogClassic: {
+        NvLogStackConfig c = cfg.nvlog;
+        c.inner.cache.io = cfg.disk_retry;
+        backend_ = NvLogBackend::format(nvm_, disk_, c);
         break;
       }
     }
@@ -168,6 +179,22 @@ class Stack {
     reg.add_counter("disk.faults.torn_writes", &f.torn_writes);
     reg.add_counter("disk.faults.latency_spikes", &f.latency_spikes);
     reg.add_gauge("sim.now_ns", [this] { return clock_.now(); });
+    // Media-endurance view (Table 1: PCM/ReRAM cells endure 10^6–10^8
+    // writes): the hottest line, the average, and their ratio — a skew of
+    // 100 (= 1.00x) means perfectly levelled wear.
+    reg.add_gauge("nvm.wear_max_line_writes",
+                  [this] { return nvm_.wear().max_line_writes; });
+    reg.add_gauge("nvm.wear_mean_line_writes", [this] {
+      return static_cast<std::uint64_t>(nvm_.wear().mean_line_writes + 0.5);
+    });
+    reg.add_gauge("nvm.wear_skew_x100", [this] {
+      const nvm::NvmDevice::WearReport w = nvm_.wear();
+      return w.mean_line_writes <= 0.0
+                 ? std::uint64_t{0}
+                 : static_cast<std::uint64_t>(
+                       100.0 * static_cast<double>(w.max_line_writes) /
+                       w.mean_line_writes);
+    });
     backend_->register_metrics(reg, "");
   }
 

@@ -159,6 +159,8 @@ inline std::uint64_t fs_nvm_bytes(backend::StackKind kind,
       return 3ull << 19;  // 1.5 MB → one full 256-slot set
     case backend::StackKind::kShardedTinca:
       return 2ull << 20;  // two 1 MB shards
+    case backend::StackKind::kNvLogClassic:
+      return (3ull << 19) + (1ull << 19);  // classic cache + 512 KB log
     default:
       return 1ull << 20;  // 1 MB → ~230 Tinca/UBJ blocks, budget ~110
   }

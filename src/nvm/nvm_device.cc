@@ -178,6 +178,27 @@ NvmDevice::WearReport NvmDevice::wear() const {
   return report;
 }
 
+NvmDevice::WearReport NvmDevice::wear(std::uint64_t off,
+                                      std::size_t len) const {
+  TINCA_EXPECT(off % kLineSize == 0 && len % kLineSize == 0,
+               "wear range must be line-aligned");
+  TINCA_EXPECT(off + len <= span_, "wear range out of bounds");
+  WearReport report;
+  const std::size_t first = (base_ + off) / kLineSize;
+  const std::size_t count = len / kLineSize;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t w = root_->line_writes_[first + i];
+    report.total_line_writes += w;
+    if (w > report.max_line_writes) report.max_line_writes = w;
+    if (w > 0) ++report.lines_touched;
+  }
+  report.mean_line_writes =
+      count == 0 ? 0.0
+                 : static_cast<double>(report.total_line_writes) /
+                       static_cast<double>(count);
+  return report;
+}
+
 void NvmDevice::crash_discard_all() {
   TINCA_EXPECT(!is_view(), "power failure is a root-device event");
   ++stats_.crashes;

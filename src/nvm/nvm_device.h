@@ -176,6 +176,11 @@ class NvmDevice {
   /// Compute the wear report over the whole root device (O(lines)).
   [[nodiscard]] WearReport wear() const;
 
+  /// Wear report restricted to `[off, off + len)` of this device/view —
+  /// the hook wear-aware allocators rank candidate regions with.  `off` and
+  /// `len` must be line-aligned and inside the view.
+  [[nodiscard]] WearReport wear(std::uint64_t off, std::size_t len) const;
+
   /// Operation counters of this device/view.
   [[nodiscard]] const NvmStats& stats() const { return stats_; }
 

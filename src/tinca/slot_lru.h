@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <vector>
 
 #include "common/expect.h"
@@ -84,8 +86,14 @@ class SlotLru {
 /// O(1) per operation, so it is kept on in all build types.
 class FreeMonitor {
  public:
-  explicit FreeMonitor(std::uint32_t n) : in_pool_(n, 1) {
-    free_.reserve(n);
+  /// With `rotate` false (default) the pool is a LIFO stack: a just-freed
+  /// id is reused immediately (compact layouts, predictable tests).  With
+  /// `rotate` true it is a FIFO queue: freed ids go to the back and the
+  /// longest-free id is handed out next, so a hot disk block cycles over
+  /// the whole NVM data area instead of burning one region — the paper's
+  /// lifetime concern (PCM/ReRAM endure 10^6–10^8 writes per cell).
+  explicit FreeMonitor(std::uint32_t n, bool rotate = false)
+      : in_pool_(n, 1), rotate_(rotate) {
     // Hand out low ids first: keeps layouts compact and tests predictable.
     for (std::uint32_t i = n; i-- > 0;) free_.push_back(i);
   }
@@ -101,11 +109,26 @@ class FreeMonitor {
   /// Take a free id.  Requires any().
   std::uint32_t take() {
     TINCA_EXPECT(!free_.empty(), "allocation from empty free monitor");
-    const std::uint32_t id = free_.back();
-    free_.pop_back();
+    const std::uint32_t id = rotate_ ? free_.front() : free_.back();
+    if (rotate_)
+      free_.pop_front();
+    else
+      free_.pop_back();
     TINCA_ENSURE(in_pool_[id], "free monitor pool lost track of an id");
     in_pool_[id] = 0;
     return id;
+  }
+
+  /// Reorder the pool so the least-worn id is handed out first (`wear_of`
+  /// maps an id to its media-write count).  Called at format/recovery time
+  /// when wear levelling is on: the runtime rotation keeps the order fair
+  /// from there, this seeds it from the media's actual history.
+  void order_by_wear(const std::function<std::uint64_t(std::uint32_t)>& wear_of) {
+    std::stable_sort(free_.begin(), free_.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return rotate_ ? wear_of(a) < wear_of(b)
+                                      : wear_of(a) > wear_of(b);
+                     });
   }
 
   /// Return an id to the pool.  The id must be absent (no double-give).
@@ -129,8 +152,9 @@ class FreeMonitor {
   }
 
  private:
-  std::vector<std::uint32_t> free_;
+  std::deque<std::uint32_t> free_;
   std::vector<std::uint8_t> in_pool_;  ///< 1 iff the id is currently free
+  bool rotate_ = false;                ///< FIFO reuse (wear levelling)
 };
 
 }  // namespace tinca::core

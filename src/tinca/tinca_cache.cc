@@ -35,7 +35,8 @@ TincaCache::TincaCache(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
       mirror_(layout_.num_blocks),
       lru_(static_cast<std::uint32_t>(layout_.num_blocks)),
       free_entries_(static_cast<std::uint32_t>(layout_.num_blocks)),
-      free_blocks_(static_cast<std::uint32_t>(layout_.num_blocks)),
+      free_blocks_(static_cast<std::uint32_t>(layout_.num_blocks),
+                   cfg.wear_level),
       mvcc_(layout_.num_blocks),
       trace_(nvm.clock(), cfg.trace_tid, "tinca."),
       ts_commit_(trace_.site("commit")),
@@ -61,6 +62,7 @@ std::unique_ptr<TincaCache> TincaCache::format(nvm::NvmDevice& nvm,
                                                TincaConfig cfg) {
   auto cache = std::unique_ptr<TincaCache>(new TincaCache(nvm, disk, cfg));
   cache->format_media();
+  cache->order_free_blocks_by_wear();
   return cache;
 }
 
@@ -69,7 +71,16 @@ std::unique_ptr<TincaCache> TincaCache::recover(nvm::NvmDevice& nvm,
                                                 TincaConfig cfg) {
   auto cache = std::unique_ptr<TincaCache>(new TincaCache(nvm, disk, cfg));
   cache->run_recovery();
+  cache->order_free_blocks_by_wear();
   return cache;
+}
+
+void TincaCache::order_free_blocks_by_wear() {
+  if (!cfg_.wear_level) return;
+  free_blocks_.order_by_wear([this](std::uint32_t nb) {
+    return nvm_.wear(layout_.data_block_off(nb), kBlockSize)
+        .total_line_writes;
+  });
 }
 
 void TincaCache::format_media() {

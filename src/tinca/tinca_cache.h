@@ -68,6 +68,13 @@ struct TincaConfig {
   /// commits trigger oldest-first write-back until the threshold is met —
   /// making later evictions cheap.  100 disables cleaning (paper behaviour).
   std::uint32_t clean_thresh_pct = 100;
+  /// Wear-aware NVM data-block allocation: the free list becomes a FIFO
+  /// rotation (freed blocks rejoin at the back) and is seeded least-worn
+  /// first from NvmDevice::wear() at format/recovery, so hot disk blocks
+  /// cycle over the whole data area instead of rewriting one region.  Off
+  /// by default: the paper's prototype allocates LIFO, and rotation trades
+  /// a little DRAM locality for media lifetime.
+  bool wear_level = false;
   /// Modelled software overhead per cache operation (lookup, bookkeeping).
   std::uint64_t cpu_op_ns = 150;
   /// Chrome-trace thread-track id for this instance's trace spans (the
@@ -314,6 +321,8 @@ class TincaCache : private cleaner::CleanerClient {
 
   void format_media();
   void run_recovery();
+  /// Seed the free-block pool least-worn first (no-op unless wear_level).
+  void order_free_blocks_by_wear();
 
   // Commit-protocol steps.
   void commit_block(std::uint64_t disk_blkno, std::span<const std::byte> data);

@@ -70,13 +70,15 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, FaultFuzz,
                          ::testing::Values(StackKind::kTinca,
                                            StackKind::kClassic,
                                            StackKind::kUbj,
-                                           StackKind::kShardedTinca),
+                                           StackKind::kShardedTinca,
+                                           StackKind::kNvLogClassic),
                          [](const auto& pinfo) {
                            switch (pinfo.param) {
                              case StackKind::kTinca: return "Tinca";
                              case StackKind::kClassic: return "Classic";
                              case StackKind::kUbj: return "Ubj";
                              case StackKind::kShardedTinca: return "Sharded";
+                             case StackKind::kNvLogClassic: return "NvLog";
                              default: return "Other";
                            }
                          });
@@ -108,12 +110,14 @@ TEST_P(FaultFuzzCleaner, CleanerArmedSchedulesUpholdRecoveryInvariants) {
 INSTANTIATE_TEST_SUITE_P(CleanerBackends, FaultFuzzCleaner,
                          ::testing::Values(StackKind::kTinca,
                                            StackKind::kUbj,
-                                           StackKind::kShardedTinca),
+                                           StackKind::kShardedTinca,
+                                           StackKind::kNvLogClassic),
                          [](const auto& pinfo) {
                            switch (pinfo.param) {
                              case StackKind::kTinca: return "Tinca";
                              case StackKind::kUbj: return "Ubj";
                              case StackKind::kShardedTinca: return "Sharded";
+                             case StackKind::kNvLogClassic: return "NvLog";
                              default: return "Other";
                            }
                          });
@@ -140,6 +144,53 @@ TEST(FaultFuzzScripted, CleanerSkippingFlushIsCaught) {
   EXPECT_GT(rep.violations, 0u)
       << "oracle has no teeth: a cleaner that skips the pre-writeback "
          "flush went unnoticed\n"
+      << describe(rep);
+}
+
+// Oracle self-test for the NVM write-ahead tier: an absorb path that
+// acknowledges commits WITHOUT its clflush + sfence loses them on a power
+// cut, and the campaign's recovery oracle must flag the missing state.
+// Crash-heavy, fault-free schedules: the skipped flush is the only bug.
+TEST(FaultFuzzScripted, NvLogSkippingCommitFlushIsCaught) {
+  FuzzOptions opts;
+  opts.kind = StackKind::kNvLogClassic;
+  opts.sabotage = FuzzSabotage::kNvLogSkipsCommitFlush;
+  opts.seed = 616161;
+  opts.schedules = 20;
+  opts.crash_prob = 0.6;  // the lie only shows when the power goes out
+  opts.transient_read_rate = 0.0;
+  opts.transient_write_rate = 0.0;
+  opts.bad_sector_rate = 0.0;
+  opts.torn_write_rate = 0.0;
+
+  const FuzzReport rep = run_fault_fuzz(opts);
+  EXPECT_GT(rep.violations, 0u)
+      << "oracle has no teeth: an NvLog absorb that skips its commit "
+         "flush went unnoticed\n"
+      << describe(rep);
+}
+
+// And the drain-side lie on the same stack: the cleaner sabotage knob maps
+// onto a drain that marks segments clean without applying them, so reads
+// that fall through to the backing store see stale data.
+TEST(FaultFuzzScripted, NvLogDrainSkippingApplyIsCaught) {
+  FuzzOptions opts;
+  opts.kind = StackKind::kNvLogClassic;
+  opts.cleaner = cleaner::CleanerMode::kStepped;
+  opts.sabotage = FuzzSabotage::kCleanerSkipsFlush;
+  opts.seed = 525252;
+  opts.schedules = 12;
+  opts.txns_per_schedule = 40;  // deep schedules: drain + remount
+  opts.crash_prob = 0.0;
+  opts.transient_read_rate = 0.0;
+  opts.transient_write_rate = 0.0;
+  opts.bad_sector_rate = 0.0;
+  opts.torn_write_rate = 0.0;
+
+  const FuzzReport rep = run_fault_fuzz(opts);
+  EXPECT_GT(rep.violations, 0u)
+      << "oracle has no teeth: an NvLog drain that skips its apply "
+         "went unnoticed\n"
       << describe(rep);
 }
 

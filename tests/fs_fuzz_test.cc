@@ -75,13 +75,15 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, FsFuzz,
                          ::testing::Values(StackKind::kTinca,
                                            StackKind::kClassic,
                                            StackKind::kUbj,
-                                           StackKind::kShardedTinca),
+                                           StackKind::kShardedTinca,
+                                           StackKind::kNvLogClassic),
                          [](const auto& pinfo) {
                            switch (pinfo.param) {
                              case StackKind::kTinca: return "Tinca";
                              case StackKind::kClassic: return "Classic";
                              case StackKind::kUbj: return "Ubj";
                              case StackKind::kShardedTinca: return "Sharded";
+                             case StackKind::kNvLogClassic: return "NvLog";
                              default: return "Other";
                            }
                          });
@@ -112,12 +114,14 @@ TEST_P(FsFuzzCleaner, CleanerArmedHistoriesRecoverToAnFsyncBoundary) {
 INSTANTIATE_TEST_SUITE_P(CleanerBackends, FsFuzzCleaner,
                          ::testing::Values(StackKind::kTinca,
                                            StackKind::kUbj,
-                                           StackKind::kShardedTinca),
+                                           StackKind::kShardedTinca,
+                                           StackKind::kNvLogClassic),
                          [](const auto& pinfo) {
                            switch (pinfo.param) {
                              case StackKind::kTinca: return "Tinca";
                              case StackKind::kUbj: return "Ubj";
                              case StackKind::kShardedTinca: return "Sharded";
+                             case StackKind::kNvLogClassic: return "NvLog";
                              default: return "Other";
                            }
                          });
@@ -151,6 +155,33 @@ TEST(FsFuzzSabotage, CleanerSkippingFlushIsCaught) {
   EXPECT_GT(rep.violations + rep.fsck_dirty, 0u)
       << "oracle has no teeth: a cleaner that skips the pre-writeback "
          "flush went unnoticed\n"
+      << describe(rep);
+}
+
+// The same drain-side lie on the NVM write-ahead stack: segments marked
+// clean without their records ever reaching the backing store, so stale
+// store data surfaces through the file system once the log index forgets
+// them.  The fs-level oracle must notice on the new stack too.
+TEST(FsFuzzSabotage, NvLogDrainSkippingApplyIsCaught) {
+  FsFuzzOptions opts;
+  opts.kind = StackKind::kNvLogClassic;
+  opts.cleaner = cleaner::CleanerMode::kStepped;
+  opts.cleaner_low_water_pct = 0;
+  opts.cleaner_high_water_pct = 1;
+  opts.sabotage = FsSabotage::kCleanerSkipsFlush;
+  opts.seed = 408;
+  opts.schedules = 8;
+  opts.ops_per_schedule = 120;
+  opts.crash_prob = 0.0;
+  opts.transient_read_rate = 0.0;
+  opts.transient_write_rate = 0.0;
+  opts.bad_sector_rate = 0.0;
+  opts.torn_write_rate = 0.0;
+
+  const FsFuzzReport rep = run_fs_fuzz(opts);
+  EXPECT_GT(rep.violations + rep.fsck_dirty, 0u)
+      << "oracle has no teeth: an NvLog drain that skips its apply "
+         "went unnoticed\n"
       << describe(rep);
 }
 
