@@ -33,28 +33,36 @@ using namespace tinca::bench;
 namespace {
 
 /// One sweep row: a stack kind with the background cleaner off or armed in
-/// deterministic stepped mode (DESIGN.md §11).  Classic has no cleaner.
+/// deterministic stepped mode (DESIGN.md §11), and optionally with the
+/// sharded per-shard commit batcher armed (DESIGN.md §14) so the crash-point
+/// sweep cuts inside the batched commit pipeline.  Classic has no cleaner.
 struct Campaign {
   backend::StackKind kind;
   cleaner::CleanerMode cleaner;
+  bool group;
   const char* label;
 };
 
 constexpr Campaign kCampaigns[] = {
-    {backend::StackKind::kTinca, cleaner::CleanerMode::kDisabled, "Tinca"},
-    {backend::StackKind::kClassic, cleaner::CleanerMode::kDisabled, "Classic"},
-    {backend::StackKind::kUbj, cleaner::CleanerMode::kDisabled, "UBJ"},
-    {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kDisabled,
+    {backend::StackKind::kTinca, cleaner::CleanerMode::kDisabled, false,
+     "Tinca"},
+    {backend::StackKind::kClassic, cleaner::CleanerMode::kDisabled, false,
+     "Classic"},
+    {backend::StackKind::kUbj, cleaner::CleanerMode::kDisabled, false, "UBJ"},
+    {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kDisabled, false,
      "Sharded"},
-    {backend::StackKind::kTinca, cleaner::CleanerMode::kStepped,
+    {backend::StackKind::kTinca, cleaner::CleanerMode::kStepped, false,
      "Tinca+cleaner"},
-    {backend::StackKind::kUbj, cleaner::CleanerMode::kStepped, "UBJ+cleaner"},
-    {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kStepped,
+    {backend::StackKind::kUbj, cleaner::CleanerMode::kStepped, false,
+     "UBJ+cleaner"},
+    {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kStepped, false,
      "Sharded+cleaner"},
-    {backend::StackKind::kNvLogClassic, cleaner::CleanerMode::kDisabled,
+    {backend::StackKind::kNvLogClassic, cleaner::CleanerMode::kDisabled, false,
      "NvLog"},
-    {backend::StackKind::kNvLogClassic, cleaner::CleanerMode::kStepped,
+    {backend::StackKind::kNvLogClassic, cleaner::CleanerMode::kStepped, false,
      "NvLog+cleaner"},
+    {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kDisabled, true,
+     "Sharded+group"},
 };
 
 }  // namespace
@@ -117,6 +125,7 @@ int main(int argc, char** argv) {
     fs::FsFuzzOptions opts;
     opts.kind = c.kind;
     opts.cleaner = c.cleaner;
+    opts.group_commit = c.group;
     opts.seed = seed;
     opts.schedules = static_cast<std::uint32_t>(schedules);
     opts.sabotage = sabotage;

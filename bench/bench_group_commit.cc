@@ -1,0 +1,402 @@
+// Group commit + pipelined commit path (DESIGN.md §14).
+//
+// Three sections, all deterministic in virtual time except the middle one:
+//
+//   1. Stream sweep (gated) — N independent transaction streams over one
+//      TincaCache, each txn ~2 writes with a shared 4-block hot set.  In
+//      "single" mode every txn pays its own flush pass + fence; in "group"
+//      mode each round of N txns goes through ONE commit_group() call: one
+//      coalesced LWW merge, one flush pass, one fence.  Virtual-clock
+//      advance gives throughput; per-txn commit latency comes from clock
+//      deltas around each commit call.  Single-threaded and seeded, so the
+//      CI gates below never flake on scheduling.
+//
+//   2. Threaded batcher (informational) — 8 real threads committing
+//      single-shard txns through the ShardedTinca per-shard batcher
+//      (cfg.group_commit on).  Reports the achieved batch size and
+//      fences/txn; not gated, since wall-clock scheduling decides how many
+//      co-committers each leader finds.
+//
+//   3. TPC-C-style DES (gated at 100k users) — an open-arrival queueing
+//      simulation: `users` clients with 1 s mean think time feed a storage
+//      server; while the server is busy, arrivals queue.  In "single" mode
+//      the server drains one txn at a time; in "group" mode it hands every
+//      txn that arrived during the previous service to one commit_group()
+//      (≤ 32 members).  Per-txn latency = completion − arrival, so the p95
+//      contrast shows group commit flattening the convoy at high user
+//      counts (the paper's Fig 8 regime, §5.3).
+//
+// Usage: bench_group_commit [--rounds N] [--des-txns N] [--json <path>]
+//
+// Exit status is nonzero when a gate fails:
+//   * group(8 streams) throughput ≥ 2× single(8 streams)
+//   * group(8 streams) fences/txn < 0.25
+//   * group(1 stream) commit p95 ≤ single(1 stream) p95  (no regression
+//     when there is nothing to batch)
+//   * DES group p95 < DES single p95 at 100 000 users
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_reporter.h"
+#include "bench_util.h"
+#include "blockdev/mem_block_device.h"
+#include "common/bytes.h"
+#include "common/histogram.h"
+#include "common/latency.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "nvm/nvm_device.h"
+#include "shard/sharded_tinca.h"
+#include "tinca/tinca_cache.h"
+
+using namespace tinca;
+using namespace tinca::bench;
+
+namespace {
+
+constexpr std::uint64_t kBlock = core::kBlockSize;
+
+/// Shared hot set: all streams rewrite these blocks, so a batch's LWW merge
+/// collapses most of the flush work (DESIGN.md §14 "why batching wins").
+constexpr std::uint64_t kHotBlocks = 4;
+
+struct StreamResult {
+  double txns_per_sec = 0;
+  double fences_per_txn = 0;
+  double batch_mean = 0;
+  Histogram lat;  ///< per-txn commit latency (virtual ns)
+};
+
+/// Section 1: N seeded streams over one core cache, single vs grouped.
+StreamResult run_streams(std::uint64_t streams, bool grouped,
+                         std::uint64_t rounds) {
+  sim::SimClock clock;
+  nvm::NvmDevice dev(16ull << 20, nvdimm_profile(), clock);
+  blockdev::MemBlockDevice disk(1 << 14);
+  auto cache = core::TincaCache::format(dev, disk);
+
+  Rng rng(0xC0FFEE + streams * 2 + (grouped ? 1 : 0));
+  std::vector<std::byte> buf(kBlock);
+  std::uint64_t pattern = 0;
+
+  // Each txn: one write to the shared hot set, one more write that is hot
+  // 75% of the time and stream-private otherwise (~2 writes/txn, heavy
+  // cross-stream overlap).
+  auto make_txn = [&](std::uint64_t s) {
+    core::Transaction t = cache->tinca_init_txn();
+    fill_pattern(buf, ++pattern);
+    t.add(rng.below(kHotBlocks), buf);
+    fill_pattern(buf, ++pattern);
+    const std::uint64_t second = rng.chance(0.75)
+                                     ? rng.below(kHotBlocks)
+                                     : kHotBlocks + s * 8 + rng.below(8);
+    t.add(second, buf);
+    return t;
+  };
+
+  // Warm-up: one committed txn per stream so both modes start from the same
+  // steady state (blocks installed, roles settled).
+  for (std::uint64_t s = 0; s < streams; ++s) {
+    core::Transaction t = make_txn(s);
+    cache->tinca_commit(t);
+  }
+
+  const core::TincaCacheStats before = cache->stats();
+  const sim::Ns t0 = clock.now();
+  StreamResult r;
+
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    if (grouped) {
+      std::vector<core::Transaction> txns;
+      txns.reserve(streams);
+      for (std::uint64_t s = 0; s < streams; ++s) txns.push_back(make_txn(s));
+      std::vector<core::Transaction*> ptrs;
+      ptrs.reserve(streams);
+      for (core::Transaction& t : txns) ptrs.push_back(&t);
+      const sim::Ns c0 = clock.now();
+      cache->commit_group(ptrs);
+      const sim::Ns span = clock.now() - c0;
+      // Every member becomes durable when its batch does.
+      for (std::uint64_t s = 0; s < streams; ++s)
+        r.lat.record(static_cast<double>(span));
+    } else {
+      for (std::uint64_t s = 0; s < streams; ++s) {
+        core::Transaction t = make_txn(s);
+        const sim::Ns c0 = clock.now();
+        cache->tinca_commit(t);
+        r.lat.record(static_cast<double>(clock.now() - c0));
+      }
+    }
+  }
+
+  const core::TincaCacheStats after = cache->stats();
+  const double txns = static_cast<double>(streams * rounds);
+  const double secs =
+      static_cast<double>(clock.now() - t0) / static_cast<double>(sim::kSec);
+  const double fences =
+      static_cast<double>((after.commit_fences - before.commit_fences) +
+                          (after.hint_syncs - before.hint_syncs));
+  const double batches =
+      static_cast<double>(after.commit_batches - before.commit_batches);
+  r.txns_per_sec = txns / secs;
+  r.fences_per_txn = fences / txns;
+  r.batch_mean = batches > 0 ? txns / batches : 0;
+  return r;
+}
+
+struct BatcherResult {
+  double txns = 0;
+  double batch_mean = 0;
+  double fences_per_txn = 0;
+};
+
+/// Section 2: real threads through the ShardedTinca per-shard batcher.
+BatcherResult run_batcher(std::uint32_t threads, std::uint64_t per_thread) {
+  sim::SimClock clock;
+  nvm::NvmDevice dev(1ull << 22, nvdimm_profile(), clock);
+  blockdev::MemBlockDevice disk(1 << 14);
+  shard::ShardedConfig cfg;
+  cfg.num_shards = 2;
+  cfg.group_commit = true;
+  cfg.group_linger_us = 100;
+  cfg.shard.ring_bytes = 1 << 16;
+  auto st = shard::ShardedTinca::format(dev, disk, cfg);
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::uint32_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      std::vector<std::byte> buf(kBlock);
+      for (std::uint64_t i = 0; i < per_thread; ++i) {
+        shard::ShardedTxn txn = st->init_txn();
+        fill_pattern(buf, (w << 20) + i);
+        txn.add(1000 + w * per_thread + i, buf);
+        st->commit(txn);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  const core::TincaCacheStats agg = st->aggregated_stats();
+  BatcherResult r;
+  r.txns = static_cast<double>(agg.txns_committed);
+  r.batch_mean = agg.commit_batches > 0
+                     ? r.txns / static_cast<double>(agg.commit_batches)
+                     : 0;
+  r.fences_per_txn =
+      static_cast<double>(agg.commit_fences + agg.hint_syncs) / r.txns;
+  return r;
+}
+
+struct DesResult {
+  double p50 = 0, p95 = 0, p99 = 0;  ///< per-txn latency (virtual ns)
+  double batch_mean = 0;
+};
+
+/// Section 3: open-arrival queueing DES over the core cache.  `users`
+/// clients with 1 s mean think time produce a Poisson txn stream; the
+/// storage server drains it one txn at a time or in ≤32-member groups.
+DesResult run_des(std::uint64_t users, bool grouped, std::uint64_t total) {
+  sim::SimClock clock;
+  nvm::NvmDevice dev(64ull << 20, nvdimm_profile(), clock);
+  blockdev::MemBlockDevice disk(1 << 14);
+  auto cache = core::TincaCache::format(dev, disk);
+
+  constexpr std::uint64_t kDataset = 8192;  ///< fits the cache: no evictions
+  constexpr std::uint64_t kHotSet = 512;    ///< TPC-C-ish skew target
+  constexpr std::uint64_t kMaxBatch = 32;
+  const std::uint64_t max_blocks = cache->max_txn_blocks();
+
+  Rng rng(0xDE5 + users + (grouped ? 1 : 0));
+  std::vector<std::byte> buf(kBlock);
+  std::uint64_t pattern = 0;
+
+  // TPC-C write mix, write txns only (reads don't hit the commit path):
+  // New-Order w10 49%, Payment w4 47%, Delivery w25 4% (workloads/tpcc.h).
+  auto draw_writes = [&]() -> std::uint64_t {
+    const std::uint64_t u = rng.below(100);
+    if (u < 49) return 10;
+    if (u < 96) return 4;
+    return 25;
+  };
+  auto draw_block = [&]() -> std::uint64_t {
+    return rng.chance(0.7) ? rng.below(kHotSet) : rng.below(kDataset);
+  };
+
+  // Poisson arrivals: `users` clients, 1 s mean think each.
+  const double inter_mean_ns = 1e9 / static_cast<double>(users);
+  std::vector<sim::Ns> arrival(total);
+  std::vector<std::uint64_t> nwrites(total);
+  double at = 0;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    at += rng.exponential(inter_mean_ns);
+    arrival[i] = static_cast<sim::Ns>(at);
+    nwrites[i] = draw_writes();
+  }
+
+  DesResult r;
+  Histogram lat;
+  std::uint64_t batches = 0;
+
+  std::uint64_t i = 0;
+  sim::Ns server_free = 0;
+  while (i < total) {
+    const sim::Ns start = std::max(server_free, arrival[i]);
+    // Group mode: everything queued by `start`, capped by member count and
+    // by the ring's per-batch block budget (merged distinct ≤ the sum).
+    std::uint64_t members = 1;
+    if (grouped) {
+      std::uint64_t blocks = nwrites[i];
+      while (i + members < total && members < kMaxBatch &&
+             arrival[i + members] <= start &&
+             blocks + nwrites[i + members] <= max_blocks) {
+        blocks += nwrites[i + members];
+        ++members;
+      }
+    }
+
+    std::vector<core::Transaction> txns;
+    txns.reserve(members);
+    for (std::uint64_t m = 0; m < members; ++m) {
+      core::Transaction t = cache->tinca_init_txn();
+      for (std::uint64_t w = 0; w < nwrites[i + m]; ++w) {
+        fill_pattern(buf, ++pattern);
+        t.add(draw_block(), buf);
+      }
+      txns.push_back(std::move(t));
+    }
+    std::vector<core::Transaction*> ptrs;
+    ptrs.reserve(members);
+    for (core::Transaction& t : txns) ptrs.push_back(&t);
+
+    const sim::CostProbe probe(clock);
+    cache->commit_group(ptrs);
+    const sim::Ns finish = start + probe.elapsed();
+    for (std::uint64_t m = 0; m < members; ++m)
+      lat.record(static_cast<double>(finish - arrival[i + m]));
+    server_free = finish;
+    i += members;
+    ++batches;
+  }
+
+  r.p50 = lat.quantile(0.50);
+  r.p95 = lat.quantile(0.95);
+  r.p99 = lat.quantile(0.99);
+  r.batch_mean = static_cast<double>(total) / static_cast<double>(batches);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchReporter reporter("group_commit", argc, argv);
+
+  std::uint64_t rounds = 300;
+  std::uint64_t des_txns = 3000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--des-txns") == 0 && i + 1 < argc) {
+      des_txns = std::strtoull(argv[++i], nullptr, 0);
+    } else {
+      std::cerr << "usage: bench_group_commit [--rounds N] [--des-txns N]"
+                   " [--json <path>]\n";
+      return 2;
+    }
+  }
+  reporter.config("rounds", rounds);
+  reporter.config("des_txns", des_txns);
+  reporter.config("hot_blocks", kHotBlocks);
+
+  banner("Group commit",
+         "stream sweep: single commits vs commit_group (DESIGN.md §14)");
+  Table t1({"mode", "streams", "txns/s", "fences/txn", "batch_mean",
+            "p50_us", "p95_us", "p99_us"});
+  const std::uint64_t kStreams[] = {1, 2, 4, 8, 16};
+  StreamResult single1, group1, single8, group8;
+  for (const std::uint64_t n : kStreams) {
+    for (const bool grouped : {false, true}) {
+      StreamResult r = run_streams(n, grouped, rounds);
+      const char* mode = grouped ? "group" : "single";
+      t1.add_row({mode, Table::num(n), Table::num(r.txns_per_sec, 0),
+                  Table::num(r.fences_per_txn, 3),
+                  Table::num(r.batch_mean, 2),
+                  Table::num(r.lat.quantile(0.50) / 1e3, 1),
+                  Table::num(r.lat.quantile(0.95) / 1e3, 1),
+                  Table::num(r.lat.quantile(0.99) / 1e3, 1)});
+      reporter.add_row(std::string(mode) + "/streams=" + std::to_string(n))
+          .metric("streams", static_cast<double>(n))
+          .metric("txns_per_sec", r.txns_per_sec)
+          .metric("fences_per_txn", r.fences_per_txn)
+          .metric("batch_mean_txns", r.batch_mean)
+          .latency("commit", r.lat);
+      if (n == 1) (grouped ? group1 : single1) = r;
+      if (n == 8) (grouped ? group8 : single8) = r;
+    }
+  }
+  std::cout << t1.render();
+  const double speedup8 = group8.txns_per_sec / single8.txns_per_sec;
+  std::cout << "\n8-stream group/single throughput: " << Table::num(speedup8, 2)
+            << "x, group fences/txn " << Table::num(group8.fences_per_txn, 3)
+            << "\n\n";
+
+  std::cout << "-- Per-shard batcher (8 real threads, informational) --\n";
+  const BatcherResult b = run_batcher(8, 200);
+  std::cout << "txns " << b.txns << ", achieved batch mean "
+            << Table::num(b.batch_mean, 2) << ", fences/txn "
+            << Table::num(b.fences_per_txn, 3) << "\n\n";
+  reporter.add_row("batcher/threads=8")
+      .metric("threads", 8)
+      .metric("txns", b.txns)
+      .metric("batch_mean_txns", b.batch_mean)
+      .metric("fences_per_txn", b.fences_per_txn);
+
+  std::cout << "-- TPC-C-style open-arrival DES (1 s think time) --\n";
+  Table t2({"mode", "users", "batch_mean", "p50_ms", "p95_ms", "p99_ms"});
+  const std::uint64_t kUsers[] = {1000, 10000, 100000};
+  DesResult des_single_100k, des_group_100k;
+  for (const std::uint64_t users : kUsers) {
+    for (const bool grouped : {false, true}) {
+      DesResult r = run_des(users, grouped, des_txns);
+      const char* mode = grouped ? "des-group" : "des-single";
+      t2.add_row({mode, Table::num(users), Table::num(r.batch_mean, 2),
+                  Table::num(r.p50 / 1e6, 3), Table::num(r.p95 / 1e6, 3),
+                  Table::num(r.p99 / 1e6, 3)});
+      reporter.add_row(std::string(mode) + "/users=" + std::to_string(users))
+          .metric("users", static_cast<double>(users))
+          .metric("batch_mean_txns", r.batch_mean)
+          .metric("txn_p50_ns", r.p50)
+          .metric("txn_p95_ns", r.p95)
+          .metric("txn_p99_ns", r.p99);
+      if (users == 100000) (grouped ? des_group_100k : des_single_100k) = r;
+    }
+  }
+  std::cout << t2.render() << "\n";
+
+  // --- Gates (DESIGN.md §14; ci.sh re-checks these from the JSON) ----------
+  bool ok = true;
+  auto gate = [&](bool pass, const std::string& what) {
+    std::cout << (pass ? "PASS: " : "FAIL: ") << what << "\n";
+    ok &= pass;
+  };
+  gate(speedup8 >= 2.0,
+       "group(8 streams) >= 2x single(8 streams) commit throughput (got " +
+           Table::num(speedup8, 2) + "x)");
+  gate(group8.fences_per_txn < 0.25,
+       "group(8 streams) fences/txn < 0.25 (got " +
+           Table::num(group8.fences_per_txn, 3) + ")");
+  gate(group1.lat.quantile(0.95) <= single1.lat.quantile(0.95),
+       "group(1 stream) commit p95 <= single(1 stream) p95");
+  gate(des_group_100k.p95 < des_single_100k.p95,
+       "DES group p95 < single p95 at 100k users (" +
+           Table::num(des_group_100k.p95 / 1e6, 3) + " vs " +
+           Table::num(des_single_100k.p95 / 1e6, 3) + " ms)");
+
+  if (!reporter.finish()) return 1;
+  return ok ? 0 : 1;
+}

@@ -35,12 +35,15 @@ cmake -B "$TSAN_DIR" -S . \
   -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
-  --target mvcc_stress_test shard_test cleaner_test
+  --target mvcc_stress_test shard_test cleaner_test group_commit_test
 
 "$TSAN_DIR/tests/mvcc_stress_test"
 "$TSAN_DIR/tests/shard_test"
 "$TSAN_DIR/tests/cleaner_test"
-echo "tsan stage: OK (mvcc stress + shard + cleaner suites race-free)"
+# The group-commit suite includes the multi-threaded per-shard batcher
+# stress (DESIGN.md §14): leaders coalescing concurrent committers.
+"$TSAN_DIR/tests/group_commit_test"
+echo "tsan stage: OK (mvcc stress + shard + cleaner + group-commit suites race-free)"
 
 # ---------------------------------------------------------------------------
 # Bench smoke: Release build, run two benches with --json and validate the
@@ -54,7 +57,8 @@ trap 'rm -rf "$JSON_OUT"' EXIT
 cmake -B "$BENCH_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BENCH_DIR" -j "$(nproc)" \
   --target bench_micro_primitives bench_ablation_txn_batch bench_fault_sweep \
-  bench_fs_fuzz_sweep bench_cleaner bench_mvcc_reads bench_nvlog
+  bench_fs_fuzz_sweep bench_cleaner bench_mvcc_reads bench_nvlog \
+  bench_group_commit
 
 "$BENCH_DIR/bench/bench_micro_primitives" \
   --benchmark_filter=BM_CacheEntryCodec --benchmark_min_time=0.05 \
@@ -94,6 +98,17 @@ cmake --build "$BENCH_DIR" -j "$(nproc)" \
 # absorbs fsyncs off the disk journal and its coalescing is live".
 "$BENCH_DIR/bench/bench_nvlog" --json "$JSON_OUT/nvlog.json" > /dev/null
 
+# Group-commit smoke (DESIGN.md §14): single commits vs commit_group over a
+# hot-set stream sweep plus a TPC-C-style open-arrival DES.  The binary exits
+# nonzero unless grouped commit throughput at 8 streams is >= 2x single,
+# fences/txn < 0.25, 1-stream p95 does not regress, and the DES p95 at 100k
+# users improves — so this line gates "batching actually amortizes the flush
+# pass + fence".  The schema-checked JSON is published as
+# BENCH_group_commit.json for downstream comparison.
+"$BENCH_DIR/bench/bench_group_commit" \
+  --json "$JSON_OUT/group_commit.json" > /dev/null
+cp "$JSON_OUT/group_commit.json" BENCH_group_commit.json
+
 # Oracle self-test: a sabotaged run (harness corrupts a committed data block
 # behind the backend's back) must FAIL, proving the oracle has teeth.
 if "$BENCH_DIR/bench/bench_fs_fuzz_sweep" --schedules 20 --seed 1 \
@@ -106,7 +121,7 @@ echo "fs fuzz sabotage self-test: correctly rejected"
 python3 - "$JSON_OUT/micro.json" "$JSON_OUT/txn_batch.json" \
   "$JSON_OUT/fault_sweep.json" "$JSON_OUT/fs_fuzz.json" \
   "$JSON_OUT/cleaner.json" "$JSON_OUT/mvcc.json" \
-  "$JSON_OUT/nvlog.json" <<'EOF'
+  "$JSON_OUT/nvlog.json" "$JSON_OUT/group_commit.json" <<'EOF'
 import json, numbers, sys
 
 for path in sys.argv[1:]:
@@ -124,19 +139,24 @@ for path in sys.argv[1:]:
                 f"{path}: {row['label']}/{name} is not numeric: {value!r}"
     print(f"{path}: OK ({len(doc['rows'])} rows)")
 
-# The nine fault/fs campaigns: the five bare stacks plus the four
+# The base fault/fs campaigns: the five bare stacks plus the four
 # cleaner-capable ones re-run with the background cleaner armed (§11; the
-# NvLog stack's cleaner drives the log drain, §13).
+# NvLog stack's cleaner drives the log drain, §13).  On top of that, the
+# group-commit-capable stacks re-run with batched commit_group() schedules
+# (§14) — the block-level sweep batches on every such stack, the fs-level
+# sweep arms the sharded per-shard batcher.
 CAMPAIGNS = {"Tinca", "Classic", "UBJ", "Sharded", "NvLog",
              "Tinca+cleaner", "UBJ+cleaner", "Sharded+cleaner",
              "NvLog+cleaner"}
+FAULT_CAMPAIGNS = CAMPAIGNS | {"Tinca+group", "Sharded+group", "NvLog+group"}
+FS_CAMPAIGNS = CAMPAIGNS | {"Sharded+group"}
 
 # Fault-sweep specifics: every campaign present, full schedule count, and
 # zero recovery-invariant violations.
 with open(sys.argv[3]) as f:
     sweep = json.load(f)
 labels = {row["label"] for row in sweep["rows"]}
-assert labels == CAMPAIGNS, f"campaigns ran: {labels}"
+assert labels == FAULT_CAMPAIGNS, f"campaigns ran: {labels}"
 for row in sweep["rows"]:
     m = row["metrics"]
     assert m["schedules"] >= 1000, f"{row['label']}: only {m['schedules']} schedules"
@@ -150,7 +170,7 @@ print(f"fault sweep: OK ({len(sweep['rows'])} campaigns, 0 violations)")
 with open(sys.argv[4]) as f:
     fsf = json.load(f)
 labels = {row["label"] for row in fsf["rows"]}
-assert labels == CAMPAIGNS, f"campaigns ran: {labels}"
+assert labels == FS_CAMPAIGNS, f"campaigns ran: {labels}"
 for row in fsf["rows"]:
     m = row["metrics"]
     assert m["schedules"] >= 500, f"{row['label']}: only {m['schedules']} schedules"
@@ -214,4 +234,35 @@ assert drain["drained_records"] > 0, "log drained no records"
 assert drain["segments_recycled"] > 0, "log never recycled a segment"
 print(f"nvlog: OK (speedup = {drain['speedup_vs_classic']:.2f}x, "
       f"coalesce = {drain['coalesce_ratio']:.2f})")
+
+# Group-commit smoke specifics (§14): the full stream sweep and DES user
+# sweep are present, and the headline ratios hold — >= 2x commit throughput
+# and < 0.25 fences/txn from batching at 8 streams, no 1-stream p95
+# regression, and a DES p95 win at 100k users.  The batcher row proves the
+# threaded per-shard path actually formed multi-member batches.
+with open(sys.argv[8]) as f:
+    gc = json.load(f)
+rows = {row["label"]: row["metrics"] for row in gc["rows"]}
+expect = {f"{mode}/streams={n}" for mode in ("single", "group")
+          for n in (1, 2, 4, 8, 16)}
+expect |= {f"{mode}/users={u}" for mode in ("des-single", "des-group")
+           for u in (1000, 10000, 100000)}
+expect |= {"batcher/threads=8"}
+assert set(rows) == expect, f"rows: {set(rows)}"
+ratio = rows["group/streams=8"]["txns_per_sec"] / \
+    rows["single/streams=8"]["txns_per_sec"]
+assert ratio >= 2.0, f"group commit speedup at 8 streams only {ratio:.2f}x"
+assert rows["group/streams=8"]["fences_per_txn"] < 0.25, \
+    f"group fences/txn {rows['group/streams=8']['fences_per_txn']:.3f} >= 0.25"
+assert rows["group/streams=8"]["batch_mean_txns"] > 4.0, \
+    "8-stream batches did not form"
+assert rows["group/streams=1"]["commit_p95_ns"] <= \
+    rows["single/streams=1"]["commit_p95_ns"], "1-stream commit p95 regressed"
+assert rows["des-group/users=100000"]["txn_p95_ns"] < \
+    rows["des-single/users=100000"]["txn_p95_ns"], \
+    "DES group p95 did not beat single at 100k users"
+assert rows["batcher/threads=8"]["batch_mean_txns"] > 1.0, \
+    "threaded batcher never coalesced concurrent committers"
+print(f"group commit: OK (speedup = {ratio:.2f}x, fences/txn = "
+      f"{rows['group/streams=8']['fences_per_txn']:.3f})")
 EOF

@@ -165,21 +165,54 @@ inline FuzzReport run_fault_fuzz(const FuzzOptions& opts) {
         }
 
         txn.clear();
-        const std::uint64_t nblocks = 1 + rng.below(max_blocks);
-        while (txn.size() < nblocks) {
-          const std::uint64_t blkno = rng.below(opts.data_blocks);
-          bool dup = false;
-          for (const auto& [b, v] : txn) dup |= b == blkno;
-          if (dup) continue;
-          txn.emplace_back(blkno, (sseed << 16) + ++pat);
+        if (opts.group_commit && be->supports_group_commit() &&
+            rng.chance(0.6)) {
+          // Group commit (DESIGN.md §14): hand 2–4 whole transactions to
+          // commit_group() at once.  The flattened member-order write list
+          // is the in-flight image — a batch is all-or-nothing per
+          // persistence stream, so the crash candidates below (nothing, the
+          // whole batch, or ascending-shard prefixes of this list) stay
+          // exact.  Duplicate blocks across members exercise the LWW merge;
+          // the merged distinct-block count stays within max_txn_blocks.
+          const std::uint64_t members = 2 + rng.below(3);
+          std::vector<GroupTxn> batch(members);
+          std::set<std::uint64_t> distinct;
+          for (GroupTxn& member : batch) {
+            const std::uint64_t want = 1 + rng.below(2);
+            for (std::uint64_t k = 0; k < want; ++k) {
+              const std::uint64_t blkno = rng.below(opts.data_blocks);
+              bool dup = false;
+              for (const auto& [b, v] : member.writes) dup |= b == blkno;
+              if (dup) continue;  // writes within one member stay distinct
+              if (!distinct.contains(blkno) && distinct.size() >= max_blocks)
+                continue;
+              distinct.insert(blkno);
+              const std::uint64_t value = (sseed << 16) + ++pat;
+              fill_pattern(buf, value);
+              member.writes.emplace_back(
+                  blkno, std::vector<std::byte>(buf.begin(), buf.end()));
+              txn.emplace_back(blkno, value);
+              touched.insert(blkno);
+            }
+          }
+          be->commit_group(batch);
+        } else {
+          const std::uint64_t nblocks = 1 + rng.below(max_blocks);
+          while (txn.size() < nblocks) {
+            const std::uint64_t blkno = rng.below(opts.data_blocks);
+            bool dup = false;
+            for (const auto& [b, v] : txn) dup |= b == blkno;
+            if (dup) continue;
+            txn.emplace_back(blkno, (sseed << 16) + ++pat);
+          }
+          be->begin();
+          for (const auto& [blkno, value] : txn) {
+            fill_pattern(buf, value);
+            be->stage(blkno, buf);
+            touched.insert(blkno);
+          }
+          be->commit();
         }
-        be->begin();
-        for (const auto& [blkno, value] : txn) {
-          fill_pattern(buf, value);
-          be->stage(blkno, buf);
-          touched.insert(blkno);
-        }
-        be->commit();
         for (const auto& [blkno, value] : txn) committed[blkno] = value;
         txn.clear();
         // Cleaner-armed campaigns drain between commits.  A crash inside the

@@ -84,6 +84,12 @@ struct FuzzOptions {
   std::uint32_t cleaner_low_water_pct = cleaner::CleanerConfig{}.low_water_pct;
   std::uint32_t cleaner_high_water_pct =
       cleaner::CleanerConfig{}.high_water_pct;
+  /// Group commit (DESIGN.md §14): the workload randomly commits 2–4
+  /// transactions through TxnBackend::commit_group() instead of one at a
+  /// time, and the sharded stack arms its per-shard commit batcher.  Only
+  /// backends whose supports_group_commit() is true take the batched path;
+  /// others keep single commits so their crash-candidate set stays exact.
+  bool group_commit = false;
   /// Oracle self-test hook; leave kNone outside harness self-tests.
   FuzzSabotage sabotage = FuzzSabotage::kNone;
 };
@@ -171,6 +177,11 @@ inline std::unique_ptr<TxnBackend> fuzz_build(const FuzzOptions& o,
     case StackKind::kShardedTinca: {
       shard::ShardedConfig s;
       s.num_shards = o.shards;
+      s.group_commit = o.group_commit;
+      // The harnesses are single-threaded, so lingering for co-committers
+      // only wastes wall clock; linger=0 keeps the full leader/batch commit
+      // path (the code under test) without the wait.
+      s.group_linger_us = 0;
       s.shard.ring_bytes = o.ring_bytes;
       s.shard.io = o.retry;
       s.shard.cleaner.mode = o.cleaner;

@@ -93,6 +93,34 @@ class NvLogBackend final : public TxnBackend,
     }
   }
 
+  [[nodiscard]] bool supports_group_commit() const override { return true; }
+
+  void commit_group(std::span<const GroupTxn> txns) override {
+    TINCA_EXPECT(!txn_open_, "group commit with a transaction open");
+    if (txns.empty()) return;
+    {
+      TINCA_TRACE_SPAN(trace_, site_commit_);
+      std::vector<
+          std::vector<std::pair<std::uint64_t, std::span<const std::byte>>>>
+          members;
+      members.reserve(txns.size());
+      for (const GroupTxn& t : txns) {
+        members.emplace_back();
+        members.back().reserve(t.writes.size());
+        for (const auto& [blkno, data] : t.writes) {
+          TINCA_EXPECT(blkno < data_block_limit(), "write past the data area");
+          members.back().emplace_back(blkno, data);
+        }
+      }
+      tier_->absorb_commit_group(members, *this);
+    }
+    if (cleaner_) {
+      std::vector<std::uint64_t> seqs;
+      tier_->collect_drainable(cleaner_->config().trickle_per_step, seqs);
+      for (std::uint64_t s : seqs) cleaner_->try_enqueue(s);
+    }
+  }
+
   void abort() override {
     TINCA_EXPECT(txn_open_, "abort without begin");
     txn_open_ = false;

@@ -9,6 +9,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "backend/txn_backend.h"
 #include "shard/sharded_tinca.h"
@@ -54,6 +55,23 @@ class ShardedBackend final : public TxnBackend {
     TINCA_EXPECT(txn_.has_value(), "abort without begin");
     sharded_->abort(*txn_);
     txn_.reset();
+  }
+
+  [[nodiscard]] bool supports_group_commit() const override { return true; }
+
+  void commit_group(std::span<const GroupTxn> txns) override {
+    TINCA_EXPECT(!txn_.has_value(), "group commit with a transaction open");
+    std::vector<shard::ShardedTxn> staged;
+    staged.reserve(txns.size());
+    for (const GroupTxn& t : txns) {
+      staged.emplace_back(sharded_->init_txn());
+      for (const auto& [blkno, data] : t.writes)
+        staged.back().add(blkno, data);
+    }
+    std::vector<shard::ShardedTxn*> ptrs;
+    ptrs.reserve(staged.size());
+    for (shard::ShardedTxn& t : staged) ptrs.push_back(&t);
+    sharded_->commit_batch(ptrs);
   }
 
   void read_block(std::uint64_t blkno, std::span<std::byte> dst) override {

@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "backend/txn_backend.h"
 #include "tinca/tinca_cache.h"
@@ -49,6 +50,23 @@ class TincaBackend final : public TxnBackend {
     TINCA_EXPECT(txn_.has_value(), "abort without begin");
     cache_->tinca_abort(*txn_);
     txn_.reset();
+  }
+
+  [[nodiscard]] bool supports_group_commit() const override { return true; }
+
+  void commit_group(std::span<const GroupTxn> txns) override {
+    TINCA_EXPECT(!txn_.has_value(), "group commit with a transaction open");
+    std::vector<core::Transaction> staged;
+    staged.reserve(txns.size());
+    for (const GroupTxn& t : txns) {
+      staged.emplace_back(cache_->tinca_init_txn());
+      for (const auto& [blkno, data] : t.writes)
+        staged.back().add(blkno, data);
+    }
+    std::vector<core::Transaction*> ptrs;
+    ptrs.reserve(staged.size());
+    for (core::Transaction& t : staged) ptrs.push_back(&t);
+    cache_->commit_group(ptrs);
   }
 
   void read_block(std::uint64_t blkno, std::span<std::byte> dst) override {

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace tinca::obs {
 class MetricsRegistry;
@@ -18,6 +20,13 @@ class Tracer;
 }  // namespace tinca::obs
 
 namespace tinca::backend {
+
+/// One member of a group commit: a whole transaction's write set, staged in
+/// DRAM and handed to commit_group() at once.  Duplicate block numbers
+/// inside one GroupTxn follow last-writer-wins, same as repeated stage().
+struct GroupTxn {
+  std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> writes;
+};
 
 /// Abstract transactional block backend (4 KB blocks).
 class TxnBackend {
@@ -35,6 +44,26 @@ class TxnBackend {
 
   /// Abort the running transaction; staged updates are discarded.
   virtual void abort() = 0;
+
+  // --- Group commit (DESIGN.md §14) ----------------------------------------
+
+  /// Whether commit_group() amortizes durability work (flush passes,
+  /// fences) across the batch and makes the batch atomic as a unit.
+  [[nodiscard]] virtual bool supports_group_commit() const { return false; }
+
+  /// Durably commit every transaction in `txns` as one batch.  Backends
+  /// that support group commit make the batch all-or-nothing per persistence
+  /// stream and pay one flush pass + one fence for the whole batch; the
+  /// default degrades to back-to-back single commits (each per-txn atomic)
+  /// so harnesses can drive any backend through one code path.  No
+  /// transaction may be open when this is called.
+  virtual void commit_group(std::span<const GroupTxn> txns) {
+    for (const GroupTxn& t : txns) {
+      begin();
+      for (const auto& [blkno, data] : t.writes) stage(blkno, data);
+      commit();
+    }
+  }
 
   /// Read a block.  Sees all *committed* data (staged-but-uncommitted data
   /// is the caller's to overlay — the file system's page cache does).

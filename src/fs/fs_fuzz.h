@@ -113,6 +113,11 @@ struct FsFuzzOptions {
   std::uint32_t cleaner_low_water_pct = cleaner::CleanerConfig{}.low_water_pct;
   std::uint32_t cleaner_high_water_pct =
       cleaner::CleanerConfig{}.high_water_pct;
+  /// Group commit (DESIGN.md §14): arm the sharded stack's per-shard commit
+  /// batcher, so every single-shard MiniFs commit takes the leader/batch
+  /// path and the crash sweep cuts inside its pipeline stages.  No-op on
+  /// stacks without a batcher (MiniFs drives one transaction at a time).
+  bool group_commit = false;
   /// Oracle self-test hook; leave kNone outside harness self-tests.
   FsSabotage sabotage = FsSabotage::kNone;
 };
@@ -616,6 +621,7 @@ inline backend::FuzzOptions fs_stack_opts(const FsFuzzOptions& o) {
   s.cleaner = o.cleaner;
   s.cleaner_low_water_pct = o.cleaner_low_water_pct;
   s.cleaner_high_water_pct = o.cleaner_high_water_pct;
+  s.group_commit = o.group_commit;
   if (o.sabotage == FsSabotage::kCleanerSkipsFlush)
     s.sabotage = backend::FuzzSabotage::kCleanerSkipsFlush;
   return s;

@@ -319,6 +319,35 @@ void NvLogTier::absorb_commit(
   stats_.absorbed_bytes += appended.size() * kPayloadBytes;
 }
 
+void NvLogTier::absorb_commit_group(
+    const std::vector<
+        std::vector<std::pair<std::uint64_t, std::span<const std::byte>>>>&
+        txns,
+    DrainSink& sink) {
+  TINCA_EXPECT(!txns.empty(), "group absorb of an empty batch");
+  // Last-writer-wins merge in member order: first appearance fixes the
+  // append position, later members overwrite the image in place.  The
+  // merged union then rides the ordinary one-flush-one-fence absorb path —
+  // one commit record seals the whole batch, so recovery replays all
+  // members or none.
+  std::vector<std::pair<std::uint64_t, std::span<const std::byte>>> merged;
+  std::unordered_map<std::uint64_t, std::size_t> at;
+  for (const auto& blocks : txns) {
+    for (const auto& [blkno, data] : blocks) {
+      const auto [it, inserted] = at.try_emplace(blkno, merged.size());
+      if (inserted) {
+        merged.emplace_back(blkno, data);
+      } else {
+        merged[it->second].second = data;
+        ++stats_.group_merged_records;
+      }
+    }
+  }
+  if (!merged.empty()) absorb_commit(merged, sink);
+  ++stats_.group_absorbs;
+  stats_.group_absorbed_txns += txns.size();
+}
+
 bool NvLogTier::lookup(std::uint64_t blkno, std::span<std::byte> dst) {
   TINCA_EXPECT(dst.size() == kPayloadBytes, "blocks are 4 KB");
   const auto it = index_.find(blkno);
@@ -626,6 +655,11 @@ void NvLogTier::register_metrics(obs::MetricsRegistry& reg,
   reg.add_counter(prefix + "recovery_replayed", &stats_.recovery_replayed);
   reg.add_counter(prefix + "recovery_discarded", &stats_.recovery_discarded);
   reg.add_counter(prefix + "log_hits", &stats_.log_hits);
+  reg.add_counter(prefix + "group_absorbs", &stats_.group_absorbs);
+  reg.add_counter(prefix + "group_absorbed_txns",
+                  &stats_.group_absorbed_txns);
+  reg.add_counter(prefix + "group_merged_records",
+                  &stats_.group_merged_records);
   reg.add_histogram(prefix + "drain_lag", &stats_.drain_lag);
   reg.add_gauge(prefix + "live_records", [this] { return live_records(); });
   reg.add_gauge(prefix + "free_segments", [this] { return free_segments(); });

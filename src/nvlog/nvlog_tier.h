@@ -96,6 +96,10 @@ struct NvLogStats {
   std::uint64_t recovery_replayed = 0;    ///< records re-indexed at mount
   std::uint64_t recovery_discarded = 0;   ///< torn/incomplete tail records
   std::uint64_t log_hits = 0;             ///< reads served from the log
+  // Group commit (DESIGN.md §14).
+  std::uint64_t group_absorbs = 0;        ///< absorb_commit_group calls
+  std::uint64_t group_absorbed_txns = 0;  ///< member txns absorbed in groups
+  std::uint64_t group_merged_records = 0; ///< writes absorbed by LWW merging
   /// Seal-to-drain latency per segment (virtual ns): how far the drain
   /// runs behind the foreground.
   Histogram drain_lag;
@@ -148,6 +152,17 @@ class NvLogTier {
   void absorb_commit(
       const std::vector<std::pair<std::uint64_t, std::span<const std::byte>>>&
           blocks,
+      DrainSink& sink);
+
+  /// Durably absorb a *batch* of committed transactions (DESIGN.md §14):
+  /// the members' writes are merged last-writer-wins in member order, then
+  /// appended as ONE record run sealed by ONE commit record — one clflush
+  /// pass and one sfence for the whole batch.  A block written by several
+  /// members costs a single record.  All-or-nothing per batch: recovery
+  /// surfaces either every member transaction or none of them.
+  void absorb_commit_group(
+      const std::vector<std::vector<
+          std::pair<std::uint64_t, std::span<const std::byte>>>>& txns,
       DrainSink& sink);
 
   /// Read the newest absorbed-but-undrained image of `blkno`; false when

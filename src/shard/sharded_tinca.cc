@@ -1,6 +1,7 @@
 #include "shard/sharded_tinca.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 
 #include "common/expect.h"
@@ -126,6 +127,25 @@ void ShardedTinca::commit(ShardedTxn& txn) {
     return;
   }
 
+  // With the batcher enabled, a single-shard transaction — the common case —
+  // joins its home shard's group-commit queue instead of taking the shard
+  // lock directly; concurrent committers then share one ring append, one
+  // flush pass and one fence.  Cross-shard transactions are rare and keep
+  // the legacy ascending-lock path below.
+  if (cfg_.group_commit) {
+    const std::uint32_t sid = shard_of(txn.order_.front());
+    bool single = true;
+    for (std::uint64_t blkno : txn.order_)
+      if (shard_of(blkno) != sid) {
+        single = false;
+        break;
+      }
+    if (single) {
+      commit_grouped(sid, txn);
+      return;
+    }
+  }
+
   // Group the staged blocks by home shard, preserving staging order inside
   // each group.  std::map iterates shards in ascending id — both the lock
   // acquisition order and the publication order below, so any two
@@ -163,6 +183,144 @@ void ShardedTinca::commit(ShardedTxn& txn) {
   txn.open_ = false;
   txn.blocks_.clear();
   txn.order_.clear();
+}
+
+void ShardedTinca::commit_grouped(std::uint32_t sid, ShardedTxn& txn) {
+  TINCA_TRACE_SPAN(trace_, ts_commit_);
+  Shard& sh = *shards_[sid];
+  GroupWaiter me{&txn};
+  std::unique_lock<std::mutex> bl(sh.bmu);
+  sh.queue.push_back(&me);
+
+  if (sh.leader_active) {
+    // Follower: a leader is already draining this shard's queue and will
+    // commit our transaction inside one of its batches.  Sleep until it
+    // posts the verdict; the batch is all-or-nothing, so a failure anywhere
+    // in our batch is our failure too.
+    sh.bcv.wait(bl, [&me] { return me.done; });
+    if (me.error) std::rethrow_exception(me.error);
+    return;
+  }
+
+  // Leader election is implicit: the first committer to find no active
+  // leader becomes one.  Linger briefly so concurrent committers can pile
+  // into the batch (closing early once the queue hits capacity), then drain
+  // the queue — including followers that arrive while we are committing —
+  // before stepping down.
+  sh.leader_active = true;
+  if (cfg_.group_linger_us > 0 && cfg_.group_max_batch > 1) {
+    sh.bcv.wait_for(bl, std::chrono::microseconds(cfg_.group_linger_us),
+                    [&] { return sh.queue.size() >= cfg_.group_max_batch; });
+  }
+
+  while (!sh.queue.empty()) {
+    // Close a batch: longest queue prefix that fits the batch-size cap and
+    // the shard's per-commit block budget.  The first member always joins
+    // even if oversized — tinca_commit's own contract check rejects it.
+    std::vector<GroupWaiter*> batch;
+    std::uint64_t blocks = 0;
+    const std::uint64_t cap = sh.cache->max_txn_blocks();
+    while (!sh.queue.empty() && batch.size() < cfg_.group_max_batch) {
+      GroupWaiter* w = sh.queue.front();
+      const std::uint64_t n = w->txn->order_.size();
+      if (!batch.empty() && blocks + n > cap) break;
+      sh.queue.pop_front();
+      batch.push_back(w);
+      blocks += n;
+    }
+
+    // Commit the batch outside the batcher mutex so late arrivals can keep
+    // enqueueing (they will see leader_active and wait).
+    bl.unlock();
+    std::exception_ptr err;
+    try {
+      std::unique_lock<std::mutex> lock(sh.mu, std::defer_lock);
+      {
+        TINCA_TRACE_SPAN(trace_, ts_lock_wait_);
+        lock.lock();
+      }
+      TINCA_TRACE_SPAN(trace_, ts_publish_);
+      std::vector<core::Transaction> subs;
+      subs.reserve(batch.size());
+      for (GroupWaiter* w : batch) {
+        subs.emplace_back(sh.cache->tinca_init_txn());
+        for (std::uint64_t blkno : w->txn->order_)
+          subs.back().add(blkno, w->txn->blocks_[blkno]);
+      }
+      std::vector<core::Transaction*> ptrs;
+      ptrs.reserve(subs.size());
+      for (core::Transaction& t : subs) ptrs.push_back(&t);
+      sh.cache->commit_group(ptrs);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    bl.lock();
+    for (GroupWaiter* w : batch) {
+      w->txn->open_ = false;
+      w->txn->blocks_.clear();
+      w->txn->order_.clear();
+      w->error = err;
+      w->done = true;
+    }
+    sh.bcv.notify_all();
+  }
+
+  // Step down while still holding bmu: any committer that enqueued before
+  // this point was drained above; any that arrives after sees no leader and
+  // becomes one.  No window where the queue can strand.
+  sh.leader_active = false;
+  bl.unlock();
+  if (me.error) std::rethrow_exception(me.error);
+}
+
+void ShardedTinca::commit_batch(std::span<ShardedTxn* const> txns) {
+  for (ShardedTxn* t : txns)
+    TINCA_EXPECT(t->open_, "commit of a closed transaction");
+  TINCA_TRACE_SPAN(trace_, ts_commit_);
+
+  // Split every member per home shard, then regroup by shard preserving
+  // member order — each shard commits its members' portions as one batch,
+  // in the same ascending shard order the locks are taken in.
+  std::map<std::uint32_t,
+           std::vector<std::pair<std::size_t, std::vector<std::uint64_t>>>>
+      groups;
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    std::map<std::uint32_t, std::vector<std::uint64_t>> mine;
+    for (std::uint64_t blkno : txns[i]->order_)
+      mine[shard_of(blkno)].push_back(blkno);
+    for (auto& [sid, blocks] : mine)
+      groups[sid].emplace_back(i, std::move(blocks));
+  }
+
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(groups.size());
+  {
+    TINCA_TRACE_SPAN(trace_, ts_lock_wait_);
+    for (auto& [sid, parts] : groups) locks.emplace_back(shards_[sid]->mu);
+  }
+
+  {
+    TINCA_TRACE_SPAN(trace_, ts_publish_);
+    for (auto& [sid, parts] : groups) {
+      std::vector<core::Transaction> subs;
+      subs.reserve(parts.size());
+      for (auto& [ti, blocks] : parts) {
+        subs.emplace_back(shards_[sid]->cache->tinca_init_txn());
+        for (std::uint64_t blkno : blocks)
+          subs.back().add(blkno, txns[ti]->blocks_[blkno]);
+      }
+      std::vector<core::Transaction*> ptrs;
+      ptrs.reserve(subs.size());
+      for (core::Transaction& t : subs) ptrs.push_back(&t);
+      shards_[sid]->cache->commit_group(ptrs);
+    }
+  }
+
+  for (ShardedTxn* t : txns) {
+    t->open_ = false;
+    t->blocks_.clear();
+    t->order_.clear();
+  }
 }
 
 void ShardedTinca::abort(ShardedTxn& txn) {
@@ -308,7 +466,12 @@ core::TincaCacheStats ShardedTinca::aggregated_stats() const {
     agg.io_retries += s.io_retries;
     agg.io_quarantined += s.io_quarantined;
     agg.io_degraded_writes += s.io_degraded_writes;
+    agg.commit_fences += s.commit_fences;
+    agg.commit_batches += s.commit_batches;
+    agg.hint_syncs += s.hint_syncs;
+    agg.group_merged_writes += s.group_merged_writes;
     agg.blocks_per_txn.merge(s.blocks_per_txn);
+    agg.commit_batch_size.merge(s.commit_batch_size);
   }
   return agg;
 }

@@ -32,7 +32,10 @@
 // another shard's lock.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -53,6 +56,17 @@ struct ShardedConfig {
   std::uint32_t num_shards = 4;
   /// Per-shard Tinca configuration (ring size is per shard).
   core::TincaConfig shard;
+  /// Leader/follower group commit (DESIGN.md §14): concurrent single-shard
+  /// committers targeting the same shard batch into one coalesced ring
+  /// append, one flush pass and one fence.  Cross-shard transactions always
+  /// take the legacy ascending-lock path.
+  bool group_commit = false;
+  /// How long (wall-clock µs) a batch leader lingers for followers before
+  /// closing its batch.  0 closes the batch as soon as the queue drains.
+  std::uint32_t group_linger_us = 50;
+  /// The leader closes a batch early once this many transactions are queued
+  /// (bounds commit latency under bursts).
+  std::uint32_t group_max_batch = 32;
 };
 
 /// A running sharded transaction: blocks staged in DRAM, possibly spanning
@@ -184,6 +198,15 @@ class ShardedTinca {
   /// publish each involved shard's Tail in that order (per-shard atomic).
   void commit(ShardedTxn& txn);
 
+  /// Commit several running transactions as one deterministic batch
+  /// (DESIGN.md §14): per involved shard, every member's portion joins that
+  /// shard's single commit_group() call — one coalesced ring append, one
+  /// flush pass and one fence per shard for the whole batch.  Atomicity is
+  /// per shard and covers the batch's entire portion of it.  Single-threaded
+  /// entry point (no batcher, no lingering) for backends and fuzz harnesses
+  /// that form batches themselves.  Every member is closed on return.
+  void commit_batch(std::span<ShardedTxn* const> txns);
+
   /// Abort a running transaction; staged blocks are discarded.
   void abort(ShardedTxn& txn);
 
@@ -285,6 +308,15 @@ class ShardedTinca {
  private:
   friend class ShardedSnapshot;  // release() unpins through shards_
 
+  /// One committer's slot in a shard's group-commit queue.  Lives on the
+  /// committer's stack; `done` and `error` are written by the batch leader
+  /// and read by the owner, both under the shard's batcher mutex.
+  struct GroupWaiter {
+    ShardedTxn* txn;
+    bool done = false;
+    std::exception_ptr error{};
+  };
+
   struct Shard {
     std::unique_ptr<sim::SimClock> clock;
     std::unique_ptr<nvm::NvmDevice> view;
@@ -292,10 +324,23 @@ class ShardedTinca {
     /// so it must outlive the cache during destruction.
     mutable std::mutex mu;
     std::unique_ptr<core::TincaCache> cache;
+    /// Group-commit batcher (DESIGN.md §14).  `bmu` guards the queue and
+    /// the leader flag; waiters sleep on `bcv` until the leader marks them
+    /// done.  Never held while `mu` is being acquired with waiters blocked —
+    /// the leader drops it around every cache call.
+    std::mutex bmu;
+    std::condition_variable bcv;
+    std::deque<GroupWaiter*> queue;
+    bool leader_active = false;
   };
 
   ShardedTinca(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
                ShardedConfig cfg, bool do_format);
+
+  /// The leader/follower batched commit path for a single-shard transaction
+  /// (cfg.group_commit on).  Blocks until the caller's transaction is
+  /// durable or rethrows the batch's failure.
+  void commit_grouped(std::uint32_t sid, ShardedTxn& txn);
 
   blockdev::LockedBlockDevice disk_;
   ShardedConfig cfg_;

@@ -3,7 +3,10 @@
 // Layout, least-significant byte first:
 //
 //   byte 0      flags: bit0 VALID, bit1 ROLE (1 = log block, 0 = buffer
-//               block), bit2 MODIFIED (dirty)
+//               block), bit2 MODIFIED (dirty), bit3 PREV_CLEAN (the previous
+//               version was clean — its NVM copy was never flushed, but disk
+//               holds the same bytes, so rollback must invalidate rather
+//               than revert to possibly-torn NVM data)
 //   bytes 1–7   on-disk block number (56 bits)
 //   bytes 8–11  previous NVM block number (32 bits); kFresh if the block was
 //               not cached before this transaction (write miss)
@@ -39,6 +42,11 @@ struct CacheEntry {
   bool valid = false;
   Role role = Role::kBuffer;
   bool modified = false;
+  /// The previous version's NVM copy was clean when this COW replaced it
+  /// (read fill or cleaned block): disk already holds those bytes and the
+  /// NVM copy was never flushed, so a rollback invalidates the entry (the
+  /// block is re-fetchable) instead of reverting to unflushed NVM data.
+  bool prev_clean = false;
   std::uint64_t disk_blkno = 0;
   std::uint32_t prev_nvm = kFresh;
   std::uint32_t curr_nvm = 0;
@@ -51,6 +59,7 @@ struct CacheEntry {
     if (valid) flags |= 0x01;
     if (role == Role::kLog) flags |= 0x02;
     if (modified) flags |= 0x04;
+    if (prev_clean) flags |= 0x08;
     raw[0] = static_cast<std::byte>(flags);
     store_le(raw.data() + 1, disk_blkno, 7);
     store_le(raw.data() + 8, prev_nvm, 4);
@@ -65,6 +74,7 @@ struct CacheEntry {
     e.valid = (flags & 0x01) != 0;
     e.role = (flags & 0x02) != 0 ? Role::kLog : Role::kBuffer;
     e.modified = (flags & 0x04) != 0;
+    e.prev_clean = (flags & 0x08) != 0;
     e.disk_blkno = load_le(raw.data() + 1, 7);
     e.prev_nvm = static_cast<std::uint32_t>(load_le(raw.data() + 8, 4));
     e.curr_nvm = static_cast<std::uint32_t>(load_le(raw.data() + 12, 4));

@@ -1,12 +1,17 @@
-// Tinca's NVM space layout (paper Fig 5).
+// Tinca's NVM space layout (paper Fig 5, extended for group commit).
 //
 //   [ superblock | ring buffer | cache entry table | data blocks ... ]
 //
-// The superblock keeps the format identity plus the persistent Head and Tail
-// ring pointers, each on its own cache line so flushing one never drags the
-// other along.  The ring buffer is a contiguous array of 8 B on-disk block
-// numbers (default 1 MB, §5.1).  The entry table holds one 16 B entry per
-// data block; the rest of the device is 4 KB cached data blocks.
+// The superblock keeps the format identity, a monotonic **format epoch**
+// (bumped at every format *and* every recovery so ring records from an
+// earlier life can never validate again), and the lazily-persisted **commit
+// hint** — a monotonic ring index below which everything is known fully
+// durable and role-switched.  Format v2 replaces v1's persistent Head/Tail
+// pointers: the ring is a contiguous array of 32 B self-validating records
+// (block records + batch commit records, DESIGN.md §14) and the commit
+// point of a batch is the single fence of its flush pass, not a pointer
+// publication.  The entry table holds one 16 B entry per data block; the
+// rest of the device is 4 KB cached data blocks.
 #pragma once
 
 #include <cstdint>
@@ -21,20 +26,23 @@ constexpr std::uint64_t kBlockSize = 4096;
 /// Computed byte offsets for every region of the NVM device.
 struct Layout {
   static constexpr std::uint64_t kMagic = 0x54494E43'41434845ULL;  // "TINCACHE"
-  static constexpr std::uint64_t kVersion = 1;
+  static constexpr std::uint64_t kVersion = 2;
 
-  // Superblock field offsets (each field is 8 B; Head and Tail get private
-  // cache lines).
+  /// Bytes per ring record (one block record or one batch commit record).
+  static constexpr std::uint64_t kRingSlotBytes = 32;
+
+  // Superblock field offsets (each field is 8 B; the commit hint gets a
+  // private cache line so flushing it never drags identity fields along).
   static constexpr std::uint64_t kMagicOff = 0;
   static constexpr std::uint64_t kVersionOff = 8;
   static constexpr std::uint64_t kNumBlocksOff = 16;
   static constexpr std::uint64_t kRingCapacityOff = 24;
-  static constexpr std::uint64_t kHeadOff = 64;
-  static constexpr std::uint64_t kTailOff = 128;
+  static constexpr std::uint64_t kFormatEpochOff = 32;
+  static constexpr std::uint64_t kCommitHintOff = 64;
   static constexpr std::uint64_t kSuperblockBytes = kBlockSize;
 
   std::uint64_t ring_off = 0;        ///< byte offset of the ring buffer
-  std::uint64_t ring_capacity = 0;   ///< number of 8 B ring slots
+  std::uint64_t ring_capacity = 0;   ///< number of 32 B ring records
   std::uint64_t entry_table_off = 0; ///< byte offset of the entry table
   std::uint64_t num_blocks = 0;      ///< data blocks == entry slots
   std::uint64_t data_off = 0;        ///< byte offset of the data area
@@ -50,7 +58,7 @@ struct Layout {
     Layout l;
     l.total_bytes = device_bytes;
     l.ring_off = kSuperblockBytes;
-    l.ring_capacity = ring_bytes / 8;
+    l.ring_capacity = ring_bytes / kRingSlotBytes;
     l.entry_table_off = l.ring_off + ring_bytes;
 
     const std::uint64_t remaining = device_bytes - l.entry_table_off;
@@ -80,9 +88,9 @@ struct Layout {
     return data_off + i * kBlockSize;
   }
 
-  /// Byte offset of ring slot for (monotonic) index `idx`.
+  /// Byte offset of the ring record for (monotonic) index `idx`.
   [[nodiscard]] std::uint64_t ring_slot_off(std::uint64_t idx) const {
-    return ring_off + (idx % ring_capacity) * 8;
+    return ring_off + (idx % ring_capacity) * kRingSlotBytes;
   }
 
  private:

@@ -4,49 +4,119 @@
 
 namespace tinca::core {
 
-void RingBuffer::persist_field(std::uint64_t off, std::uint64_t value) {
-  nvm_.atomic_store8(off, value);
-  nvm_.persist(off, 8);
+namespace {
+
+constexpr std::uint64_t kKindBlock = 1;
+constexpr std::uint64_t kKindCommit = 2;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t RingBuffer::checksum(std::uint64_t w0, std::uint64_t w1,
+                                   std::uint64_t w2, std::uint64_t idx,
+                                   std::uint64_t format_epoch) {
+  // Mixing the monotonic index covers the wrap lap (idx = lap * capacity +
+  // slot), and the format epoch covers earlier lives of the device: a stale
+  // record re-validated at the same physical slot always disagrees on at
+  // least one of the two.
+  return mix64(w0 ^ mix64(w1 ^ mix64(w2 ^ mix64(idx ^ mix64(format_epoch)))));
 }
 
 void RingBuffer::format() {
   head_ = 0;
   tail_ = 0;
-  persist_field(Layout::kHeadOff, 0);
-  persist_field(Layout::kTailOff, 0);
+  durable_hint_ = 0;
+  epoch_ = nvm_.load8(Layout::kFormatEpochOff);
+  nvm_.atomic_store8(Layout::kCommitHintOff, 0);
+  nvm_.persist(Layout::kCommitHintOff, 8);
 }
 
 void RingBuffer::load() {
-  head_ = nvm_.load8(Layout::kHeadOff);
-  tail_ = nvm_.load8(Layout::kTailOff);
-  TINCA_ENSURE(head_ >= tail_, "ring Head behind Tail on media");
-  TINCA_ENSURE(head_ - tail_ <= capacity(), "ring in-flight exceeds capacity");
+  durable_hint_ = nvm_.load8(Layout::kCommitHintOff);
+  head_ = durable_hint_;
+  tail_ = durable_hint_;
+  epoch_ = nvm_.load8(Layout::kFormatEpochOff);
 }
 
-void RingBuffer::record(std::uint64_t disk_blkno) {
-  TINCA_EXPECT(in_flight() < capacity(), "ring buffer full");
-  const std::uint64_t off = layout_.ring_slot_off(head_);
-  nvm_.atomic_store8(off, disk_blkno);
-  nvm_.persist(off, 8);
-}
-
-void RingBuffer::advance_head() {
+void RingBuffer::stage_record(std::uint64_t w0, std::uint64_t w1,
+                              std::uint64_t w2) {
+  std::array<std::byte, Layout::kRingSlotBytes> raw{};
+  store_le(raw.data(), w0, 8);
+  store_le(raw.data() + 8, w1, 8);
+  store_le(raw.data() + 16, w2, 8);
+  store_le(raw.data() + 24, checksum(w0, w1, w2, head_, epoch_), 8);
+  nvm_.store(layout_.ring_slot_off(head_), raw);
   ++head_;
-  persist_field(Layout::kHeadOff, head_);
 }
 
-void RingBuffer::publish_tail() {
+std::pair<std::uint64_t, std::uint64_t> RingBuffer::stage_block(
+    std::uint64_t disk_blkno, std::uint32_t curr_nvm, std::uint64_t data_fp) {
+  TINCA_EXPECT(has_room(1), "ring buffer full (hint sync required)");
+  const std::uint64_t off = layout_.ring_slot_off(head_);
+  stage_record(kKindBlock | (disk_blkno << 2), curr_nvm, data_fp);
+  return {off, Layout::kRingSlotBytes};
+}
+
+std::pair<std::uint64_t, std::uint64_t> RingBuffer::stage_commit(
+    std::uint64_t batch_start, std::uint64_t txn_count) {
+  TINCA_EXPECT(has_room(1), "ring buffer full (hint sync required)");
+  const std::uint64_t off = layout_.ring_slot_off(head_);
+  stage_record(kKindCommit | (txn_count << 2), 0, batch_start);
+  return {off, Layout::kRingSlotBytes};
+}
+
+std::pair<std::uint64_t, std::uint64_t> RingBuffer::publish(
+    std::uint64_t batch_start) {
   tail_ = head_;
-  persist_field(Layout::kTailOff, tail_);
+  staged_hint_ = batch_start;
+  // 8 B atomic so a crash can only keep or lose the whole value — a torn
+  // hint would send recovery scanning from a garbage index.
+  nvm_.atomic_store8(Layout::kCommitHintOff, batch_start);
+  return {Layout::kCommitHintOff, 8};
 }
 
-void RingBuffer::reset_head_to_tail() {
-  head_ = tail_;
-  persist_field(Layout::kHeadOff, head_);
+void RingBuffer::note_staged_hint_durable() {
+  if (staged_hint_ > durable_hint_) durable_hint_ = staged_hint_;
 }
 
-std::uint64_t RingBuffer::slot(std::uint64_t idx) const {
-  return nvm_.load8(layout_.ring_slot_off(idx));
+void RingBuffer::persist_hint() {
+  staged_hint_ = tail_;
+  nvm_.atomic_store8(Layout::kCommitHintOff, tail_);
+  nvm_.persist(Layout::kCommitHintOff, 8);
+  durable_hint_ = tail_;
+}
+
+std::optional<RingRecord> RingBuffer::scan(std::uint64_t idx,
+                                           std::uint64_t format_epoch) const {
+  const std::uint64_t off = layout_.ring_slot_off(idx);
+  std::array<std::byte, Layout::kRingSlotBytes> raw{};
+  nvm_.load(off, raw);
+  const std::uint64_t w0 = load_le(raw.data(), 8);
+  const std::uint64_t w1 = load_le(raw.data() + 8, 8);
+  const std::uint64_t w2 = load_le(raw.data() + 16, 8);
+  const std::uint64_t ck = load_le(raw.data() + 24, 8);
+  if (ck != checksum(w0, w1, w2, idx, format_epoch)) return std::nullopt;
+  const std::uint64_t kind = w0 & 0x3;
+  RingRecord rec;
+  if (kind == kKindBlock) {
+    rec.kind = RingRecord::Kind::kBlock;
+    rec.disk_blkno = w0 >> 2;
+    rec.curr_nvm = static_cast<std::uint32_t>(w1);
+    rec.payload_fp = w2;
+  } else if (kind == kKindCommit) {
+    rec.kind = RingRecord::Kind::kCommit;
+    rec.txn_count = w0 >> 2;
+    rec.payload_fp = w2;  // batch_start
+  } else {
+    return std::nullopt;
+  }
+  return rec;
 }
 
 }  // namespace tinca::core

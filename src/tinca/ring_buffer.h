@@ -1,67 +1,147 @@
-// Persistent ring buffer regulating transaction commits (paper §4.4).
+// Persistent ring of self-validating commit records (paper §4.4, reworked
+// for group commit — DESIGN.md §14).
 //
-// The ring replaces JBD2's descriptor and commit blocks: committing a block
-// appends its on-disk block number (one 8 B atomic store + clflush + sfence)
-// and advances the persistent Head pointer; the atomic publication of
-// Tail := Head is the commit point of the whole transaction.  Head and Tail
-// are monotonically increasing indices; the slot is index mod capacity.
+// Format v1 gave every transaction its own persistent Head/Tail pointer
+// updates: each committed block cost a record flush + fence plus two more
+// pointer persists.  Format v2 removes every per-record fence from the ring:
+//
+//   * a **block record** (32 B: kind, disk blkno, NVM block, stored payload
+//     fingerprint, checksum) is *staged* with a plain store — no flush;
+//   * a **batch commit record** seals a batch of block records; the whole
+//     batch (data, entries, records) becomes durable with ONE clflush pass
+//     and ONE sfence issued by the cache's commit path — that fence is the
+//     batch's commit point;
+//   * records validate by a 64-bit checksum mixing the record fields with
+//     the record's monotonic index (which encodes its wrap lap) and the
+//     superblock's format epoch, so stale slots — earlier laps, earlier
+//     lives of the device — can never splice into a recovery scan;
+//   * instead of a fenced Tail publication, a lazily-persisted **commit
+//     hint** (one 8 B superblock field, stored without a flush at batch
+//     publish and swept out by the *next* batch's flush pass) tells recovery
+//     where to start scanning.  Everything below the durable hint is fully
+//     durable and role-switched; recovery re-validates everything above it.
+//
+// Head and Tail are DRAM-only monotonic indices here (head = next record to
+// stage, tail = end of the newest published batch); nothing per-commit is
+// fenced by this class at all.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <optional>
+#include <utility>
 
+#include "common/bytes.h"
 #include "nvm/nvm_device.h"
 #include "tinca/layout.h"
 
 namespace tinca::core {
 
-/// Wrapper over the NVM ring region and the superblock Head/Tail fields.
+/// A decoded, validated ring record.
+struct RingRecord {
+  enum class Kind : std::uint8_t { kBlock = 1, kCommit = 2 };
+
+  Kind kind = Kind::kBlock;
+  std::uint64_t disk_blkno = 0;  ///< block records
+  std::uint32_t curr_nvm = 0;    ///< block records: committed NVM block
+  std::uint64_t payload_fp = 0;  ///< block: data fingerprint; commit: batch start
+  std::uint64_t txn_count = 0;   ///< commit records: transactions in the batch
+
+  /// Commit records store the monotonic index of the batch's first record.
+  [[nodiscard]] std::uint64_t batch_start() const { return payload_fp; }
+};
+
+/// Wrapper over the NVM ring region and the superblock hint/epoch fields.
 class RingBuffer {
  public:
   RingBuffer(nvm::NvmDevice& nvm, const Layout& layout)
       : nvm_(nvm), layout_(layout) {}
 
-  /// Initialize a fresh ring: Head = Tail = 0, persisted.
+  /// Initialize a fresh ring: hint = 0 persisted, epoch bumped (the caller
+  /// formats the epoch field; this just resets the indices).
   void format();
 
-  /// Reload Head/Tail from NVM (mount / recovery path).
+  /// Mount path: load the durable commit hint and start head/tail from it.
+  /// Recovery advances head/tail as it scans and calls reset() when done.
   void load();
 
-  /// Monotonic head index (next slot to fill).
+  /// Monotonic head index (next record to stage).
   [[nodiscard]] std::uint64_t head() const { return head_; }
 
-  /// Monotonic tail index (commit horizon).
+  /// Monotonic tail index (end of the newest published batch).
   [[nodiscard]] std::uint64_t tail() const { return tail_; }
 
-  /// Number of slots between tail and head (in-flight records).
+  /// Records staged but not yet published (the open batch).
   [[nodiscard]] std::uint64_t in_flight() const { return head_ - tail_; }
 
-  /// Slot capacity.
+  /// Record capacity.
   [[nodiscard]] std::uint64_t capacity() const { return layout_.ring_capacity; }
 
-  /// Step 2 of the commit protocol: record `disk_blkno` at the Head slot
-  /// (8 B atomic store, then clflush + sfence).  Does not move Head.
-  void record(std::uint64_t disk_blkno);
+  /// The durable commit hint (start of recovery's scan window).
+  [[nodiscard]] std::uint64_t durable_hint() const { return durable_hint_; }
 
-  /// Step 3: advance Head by one, persisted.
-  void advance_head();
+  /// Whether `n` more records fit without overwriting the scan window
+  /// [durable_hint, head).  When false the owner must hint_sync() first.
+  [[nodiscard]] bool has_room(std::uint64_t n) const {
+    return head_ + n - durable_hint_ <= capacity();
+  }
 
-  /// Step 5: publish Tail := Head, persisted.  This is the commit point.
-  void publish_tail();
+  /// Stage a block record at head (plain store, no flush).  Returns the
+  /// stored byte range for the caller's batch flush pass.
+  std::pair<std::uint64_t, std::uint64_t> stage_block(std::uint64_t disk_blkno,
+                                                      std::uint32_t curr_nvm,
+                                                      std::uint64_t data_fp);
 
-  /// Abort path: retract Head back to Tail, persisted.
-  void reset_head_to_tail();
+  /// Stage the batch commit record sealing [batch_start, head) for
+  /// `txn_count` merged transactions.  Returns the stored byte range.
+  std::pair<std::uint64_t, std::uint64_t> stage_commit(std::uint64_t batch_start,
+                                                       std::uint64_t txn_count);
 
-  /// Read the on-disk block number recorded at monotonic index `idx`
-  /// (recovery scan).
-  [[nodiscard]] std::uint64_t slot(std::uint64_t idx) const;
+  /// Publish the staged batch: tail := head (DRAM) and stage the commit
+  /// hint := batch start (8 B atomic store, no flush).  Returns the hint
+  /// field's byte range, to be swept out by the NEXT batch's flush pass.
+  std::pair<std::uint64_t, std::uint64_t> publish(std::uint64_t batch_start);
+
+  /// The owner's flush pass covered the hint line staged by the previous
+  /// publish() and fenced: the staged hint value is now the durable one.
+  void note_staged_hint_durable();
+
+  /// Durably persist hint := tail now (flush + fence).  Slow path: ring-full
+  /// backpressure, eviction of a newest-batch block, recovery epilogue.
+  void persist_hint();
+
+  /// Abort/revoke path: retract head to the published tail (DRAM only —
+  /// staged records above tail are garbage no scan can validate once they
+  /// are superseded, and recovery discards unsealed runs anyway).
+  void reset_head_to_tail() { head_ = tail_; }
+
+  /// Recovery: force both indices (e.g. to the end of the validated scan).
+  void set_indices(std::uint64_t head, std::uint64_t tail) {
+    head_ = head;
+    tail_ = tail;
+  }
+
+  /// Decode and validate the record at monotonic index `idx` against
+  /// `format_epoch`; nullopt when the slot does not hold a valid record for
+  /// exactly that index/lap/epoch.
+  [[nodiscard]] std::optional<RingRecord> scan(std::uint64_t idx,
+                                               std::uint64_t format_epoch) const;
+
+  /// The record checksum (exposed for verify_media and tests).
+  static std::uint64_t checksum(std::uint64_t w0, std::uint64_t w1,
+                                std::uint64_t w2, std::uint64_t idx,
+                                std::uint64_t format_epoch);
 
  private:
-  void persist_field(std::uint64_t off, std::uint64_t value);
+  void stage_record(std::uint64_t w0, std::uint64_t w1, std::uint64_t w2);
 
   nvm::NvmDevice& nvm_;
   const Layout& layout_;
   std::uint64_t head_ = 0;
   std::uint64_t tail_ = 0;
+  std::uint64_t durable_hint_ = 0;
+  std::uint64_t staged_hint_ = 0;  ///< hint value stored but not yet fenced
+  std::uint64_t epoch_ = 0;        ///< cached superblock format epoch
 };
 
 }  // namespace tinca::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/bytes.h"
 #include "common/expect.h"
 #include "obs/metrics.h"
 
@@ -48,7 +49,10 @@ TincaCache::TincaCache(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
       ts_writeback_(trace_.site("writeback")),
       ts_recovery_(trace_.site("recovery")),
       ts_read_(trace_.site("read")),
-      ts_io_retry_(trace_.site("io_retry")) {
+      ts_io_retry_(trace_.site("io_retry")),
+      ts_batch_append_(trace_.site("batch_append")),
+      ts_batch_flush_(trace_.site("batch_flush")),
+      ts_batch_publish_(trace_.site("batch_publish")) {
   if (cfg_.cleaner.mode != cleaner::CleanerMode::kDisabled) {
     cleaner::CleanerConfig cc = cfg_.cleaner;
     cc.trace_tid = cfg_.trace_tid;
@@ -89,7 +93,12 @@ void TincaCache::format_media() {
   nvm_.atomic_store8(Layout::kVersionOff, Layout::kVersion);
   nvm_.atomic_store8(Layout::kNumBlocksOff, layout_.num_blocks);
   nvm_.atomic_store8(Layout::kRingCapacityOff, layout_.ring_capacity);
-  nvm_.persist(0, 32);
+  // Bump (never reset) the format epoch: it feeds every ring-record checksum,
+  // so records staged by an earlier life of this device can never validate
+  // again even when they land at the same slot and index.
+  format_epoch_ = nvm_.load8(Layout::kFormatEpochOff) + 1;
+  nvm_.atomic_store8(Layout::kFormatEpochOff, format_epoch_);
+  nvm_.persist(0, 40);
   ring_.format();
   // Invalidate the whole entry table (flag byte 0 == invalid).
   const std::vector<std::byte> zeros(kBlockSize, std::byte{0});
@@ -112,8 +121,9 @@ void TincaCache::run_recovery() {
                "cache geometry changed since format");
   TINCA_EXPECT(nvm_.load8(Layout::kRingCapacityOff) == layout_.ring_capacity,
                "ring geometry changed since format");
+  format_epoch_ = nvm_.load8(Layout::kFormatEpochOff);
 
-  // 2. Load Head/Tail and the whole entry table.
+  // 2. Load the durable commit hint and the whole entry table.
   ring_.load();
   dirty_count_ = 0;
   for (std::uint32_t slot = 0; slot < layout_.num_blocks; ++slot) {
@@ -127,19 +137,119 @@ void TincaCache::run_recovery() {
   for (std::uint32_t slot = 0; slot < layout_.num_blocks; ++slot)
     if (mirror_[slot].valid) index_.emplace(mirror_[slot].disk_blkno, slot);
 
-  // 3. Head != Tail: the crash hit mid-commit.  Revoke every block recorded
-  //    in the ring between Tail and Head (§4.5).
-  if (ring_.head() != ring_.tail()) {
-    for (std::uint64_t idx = ring_.tail(); idx < ring_.head(); ++idx) {
-      const std::uint64_t blkno = ring_.slot(idx);
-      auto it = index_.find(blkno);
-      if (it != index_.end()) revoke_slot(it->second);
+  // 3. Scan validated ring records upward from the durable hint (DESIGN.md
+  //    §14).  Everything below the hint is fully durable AND role-switched;
+  //    above it live at most the newest committed batches (whose role
+  //    switches may not have been swept out yet) and the batch that was open
+  //    at the crash.  A batch commit record whose batch_start matches the
+  //    current run's first index closes a committed batch; the first invalid
+  //    record (or an incoherent seal) ends the scan, leaving a trailing run
+  //    of in-flight block records.
+  struct ScannedBatch {
+    std::vector<RingRecord> records;
+    std::uint64_t txns = 0;
+  };
+  std::vector<ScannedBatch> batches;
+  std::vector<RingRecord> run;  // block records not yet sealed by a commit
+  {
+    std::uint64_t idx = ring_.durable_hint();
+    const std::uint64_t scan_end = idx + layout_.ring_capacity;
+    std::uint64_t run_start = idx;
+    while (idx < scan_end) {
+      const auto rec = ring_.scan(idx, format_epoch_);
+      if (!rec) break;
+      if (rec->kind == RingRecord::Kind::kBlock) {
+        run.push_back(*rec);
+      } else {
+        if (rec->batch_start() != run_start) break;  // stale seal from an
+                                                     // earlier lap's batch
+        batches.push_back({std::move(run), rec->txn_count});
+        run.clear();
+        run_start = idx + 1;
+      }
+      ++idx;
     }
   }
 
-  // 4. Full entry scan: catches the record-before-Head-move window (§4.5's
-  //    Head == Tail case) and any log-role leftovers; also sheds clean
-  //    entries, whose data was never explicitly flushed (DESIGN.md §5).
+  const auto block_fp = [&](std::uint32_t nb) {
+    std::vector<std::byte> buf(kBlockSize);
+    nvm_.load(layout_.data_block_off(nb), buf);
+    return fingerprint(buf);
+  };
+
+  // 4. All-or-nothing check of the NEWEST committed batch.  Its fence ran
+  //    (the commit record validated), but if any of its blocks was since
+  //    evicted and its NVM block recycled by the open batch — possible only
+  //    when the eviction hint-sync was itself cut short by the crash — the
+  //    batch can no longer be surfaced whole, so the entire batch demotes to
+  //    in-flight and is revoked.  A block still counts as placed when a
+  //    LATER in-flight COW moved the entry onward (entry log-role with
+  //    prev == the record's block).  Older committed batches need no check:
+  //    a batch only loses newest status once its successor's fence ran, and
+  //    that sweep also made its role switches durable.
+  if (!batches.empty()) {
+    const auto placed = [&](const RingRecord& r) {
+      if (r.curr_nvm >= layout_.num_blocks) return false;
+      const auto it = index_.find(r.disk_blkno);
+      if (it == index_.end()) return false;
+      const CacheEntry& e = mirror_[it->second];
+      const bool entry_ok =
+          e.curr_nvm == r.curr_nvm ||
+          (e.role == Role::kLog && e.prev_nvm == r.curr_nvm);
+      return entry_ok && block_fp(r.curr_nvm) == r.payload_fp;
+    };
+    ScannedBatch& newest = batches.back();
+    bool ok = true;
+    for (const RingRecord& r : newest.records) ok = ok && placed(r);
+    if (!ok) {
+      std::vector<RingRecord> demoted = std::move(newest.records);
+      batches.pop_back();
+      demoted.insert(demoted.end(), run.begin(), run.end());
+      run = std::move(demoted);
+    }
+  }
+
+  // 5. Roll committed batches forward, oldest first: a log-role entry still
+  //    holding a committed record's block is a role switch the crash beat to
+  //    the media — flip it to buffer.  The stored-fingerprint check screens
+  //    out the one confusable state: the entry's slot recycled by an
+  //    in-flight install into a reused NVM block (whose staged data cannot
+  //    match the committed record's fingerprint, as committed data was
+  //    fenced and its block never rewritten while referenced).
+  for (const ScannedBatch& b : batches) {
+    for (const RingRecord& r : b.records) {
+      if (r.curr_nvm >= layout_.num_blocks) continue;
+      const auto it = index_.find(r.disk_blkno);
+      if (it == index_.end()) continue;
+      const std::uint32_t slot = it->second;
+      CacheEntry e = mirror_[slot];
+      if (!e.valid || e.role != Role::kLog || e.curr_nvm != r.curr_nvm)
+        continue;
+      if (block_fp(r.curr_nvm) != r.payload_fp) continue;
+      e.role = Role::kBuffer;
+      e.prev_clean = false;
+      write_entry(slot, e);
+      ++stats_.role_switches;
+    }
+  }
+
+  // 6. Revoke the in-flight run: every block the open batch recorded whose
+  //    staged entry reached the media is rolled back (marker rollback to
+  //    prev, or invalidation for write misses and clean-prev COWs).
+  for (const RingRecord& r : run) {
+    if (r.kind != RingRecord::Kind::kBlock) continue;
+    const auto it = index_.find(r.disk_blkno);
+    if (it == index_.end()) continue;
+    const CacheEntry& e = mirror_[it->second];
+    if (e.valid && e.role == Role::kLog && e.curr_nvm == r.curr_nvm)
+      revoke_slot(it->second);
+  }
+
+  // 7. Full entry scan: catches staged installs whose entry line survived
+  //    but whose ring record did not (record and entry are both unfenced
+  //    until the batch flush, so either can reach the media alone); also
+  //    sheds clean entries, whose data was never explicitly flushed
+  //    (DESIGN.md §5).
   for (std::uint32_t slot = 0; slot < layout_.num_blocks; ++slot) {
     CacheEntry& e = mirror_[slot];
     if (!e.valid) continue;
@@ -151,10 +261,29 @@ void TincaCache::run_recovery() {
     }
   }
 
-  // 5. Void the in-flight ring records.
-  ring_.reset_head_to_tail();
+  // 8. Durably pin the adjudicated entry table.  A *clean* remount arrives
+  //    with the previous life's staged publish metadata still unflushed: the
+  //    accepted (volatile) side of such an entry line is a role switch whose
+  //    durable side is still the log-role install.  The epoch bump below
+  //    retires the ring records that explain that log side, so if a later
+  //    power cut reverted the line, the sweep would roll the entry back to a
+  //    previous version whose NVM block may long since have been recycled.
+  //    One flush pass over the table closes the hole.
+  nvm_.clflush(layout_.entry_table_off,
+               layout_.data_off - layout_.entry_table_off);
+  nvm_.sfence();
 
-  // 6. Rebuild DRAM structures from the surviving entries.
+  //    Epilogue.  Bump the format epoch FIRST (a crash before the bump
+  //    rescans with the old epoch and redoes the idempotent rewrites above;
+  //    a crash after it finds only invalid records), then reset the ring —
+  //    with the new epoch no stale record can validate, so the indices and
+  //    the hint restart from zero.
+  ++format_epoch_;
+  nvm_.atomic_store8(Layout::kFormatEpochOff, format_epoch_);
+  nvm_.persist(Layout::kFormatEpochOff, 8);
+  ring_.format();
+
+  // 9. Rebuild DRAM structures from the surviving entries.
   index_.clear();
   free_entries_.clear();
   free_blocks_.clear();
@@ -176,7 +305,7 @@ void TincaCache::run_recovery() {
     if (!block_used[i]) free_blocks_.give(i);
   }
 
-  // 7. Seed the (DRAM-only) version chains: every survivor is dirty, i.e.
+  // 10. Seed the (DRAM-only) version chains: every survivor is dirty, i.e.
   //    its NVM copy is ahead of disk, so snapshot readers must find it in a
   //    chain — a disk fallback would hand them stale bytes the moment the
   //    cleaner starts advancing disk again (DESIGN.md §12).
@@ -227,6 +356,31 @@ void TincaCache::write_data_block(std::uint32_t nvm_block,
   const std::uint64_t off = layout_.data_block_off(nvm_block);
   nvm_.store(off, data);
   nvm_.persist(off, kBlockSize);
+}
+
+// Staged variants (DESIGN.md §14): same stores and DRAM bookkeeping, but no
+// clflush/sfence — the dirtied range is queued for the batch flush pass, so a
+// whole batch pays one fence instead of one per store.
+
+void TincaCache::write_entry_staged(
+    std::uint32_t slot, const CacheEntry& e,
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>& ranges) {
+  const bool was_dirty = mirror_[slot].valid && mirror_[slot].modified;
+  const bool now_dirty = e.valid && e.modified;
+  if (was_dirty && !now_dirty) --dirty_count_;
+  if (!was_dirty && now_dirty) ++dirty_count_;
+  mirror_[slot] = e;
+  const auto raw = e.encode();
+  const std::uint64_t off = layout_.entry_off(slot);
+  nvm_.atomic_store16(off, raw);
+  ranges.emplace_back(off, 16);
+}
+
+void TincaCache::write_data_block_staged(std::uint32_t nvm_block,
+                                         std::span<const std::byte> data) {
+  const std::uint64_t off = layout_.data_block_off(nvm_block);
+  nvm_.store(off, data);
+  flush_ranges_.emplace_back(off, kBlockSize);
 }
 
 // ---------------------------------------------------------------------------
@@ -368,6 +522,11 @@ std::uint32_t TincaCache::evict_one(std::uint32_t scan_from) {
     const std::uint32_t next = lru_.newer(victim);
     const CacheEntry e = mirror_[victim];
     if (wrote_back) ++stats_.dirty_writebacks;
+    // Evicting a block of the newest published batch while the durable hint
+    // still points below that batch would let recovery find one of its
+    // records unplaced and demote the whole (acked!) batch.  Push the hint
+    // past the batch first — slow path, but eviction is already a disk write.
+    if (last_batch_blocks_.contains(e.disk_blkno)) hint_sync();
     invalidate_entry(victim);
     index_.erase(e.disk_blkno);
     lru_.remove(victim);
@@ -522,9 +681,10 @@ void TincaCache::assert_dirty_count() const {
 
 std::uint64_t TincaCache::max_txn_blocks() const {
   // Worst case every block is a write hit needing both versions resident,
-  // and nothing else may be evictable; keep a margin of 2 blocks.
+  // and nothing else may be evictable; keep a margin of 2 blocks.  The ring
+  // must fit the whole batch plus its commit record after a hint sync.
   const std::uint64_t cap = layout_.num_blocks / 2;
-  const std::uint64_t by_ring = ring_.capacity();
+  const std::uint64_t by_ring = ring_.capacity() - 1;
   return std::min(cap > 2 ? cap - 2 : 1, by_ring);
 }
 
@@ -543,21 +703,21 @@ void TincaCache::tinca_abort(Transaction& txn) {
   ++stats_.txns_aborted;
 }
 
-void TincaCache::commit_block(std::uint64_t disk_blkno,
-                              std::span<const std::byte> data) {
+// Stage one merged block's install (pipeline stage A, DESIGN.md §14): the
+// COW/miss install of v1's commit_block, but every store staged (unflushed)
+// with its byte range queued for the batch flush pass, plus a self-validating
+// ring block record carrying the data's fingerprint.
+void TincaCache::stage_block_install(std::uint64_t disk_blkno,
+                                     std::span<const std::byte> data) {
   nvm_.injector.point();  // CP: before this block touches NVM
   nvm_.clock().advance(cfg_.cpu_op_ns);
 
   // Reserve exactly what each path consumes.  A COW hit takes one free NVM
-  // block but *no* entry slot; a miss takes one of each.  The old
-  // unconditional ensure_free(1, 1) over-reserved on hits, and because it
-  // ran before the lookup its eviction would pick the LRU victim — on a full
-  // cache often the very block being written — turning every write hit into
-  // an eviction, a writeback and a write miss.  Making the target MRU first
-  // steers eviction elsewhere; should it still get evicted (everything else
-  // pinned by the committing transaction), it cleanly degrades to a write
-  // miss — its last committed contents are on disk, so rollback stays
-  // correct.
+  // block but *no* entry slot; a miss takes one of each.  Making the target
+  // MRU first steers eviction elsewhere; should it still get evicted
+  // (everything else pinned by the committing batch), it cleanly degrades to
+  // a write miss — its last committed contents are on disk, so rollback
+  // stays correct.
   auto it = index_.find(disk_blkno);
   if (it != index_.end()) {
     lru_.touch(it->second);
@@ -566,10 +726,11 @@ void TincaCache::commit_block(std::uint64_t disk_blkno,
   }
   if (it == index_.end()) ensure_free(1, 1);
 
+  std::uint32_t nb = 0;
   {
     TINCA_TRACE_SPAN(trace_, ts_cow_);
     if (it != index_.end()) {
-      // Write hit: COW block write (§4.3).
+      // Write hit: COW block write (§4.3), staged.
       const std::uint32_t slot = it->second;
       ++stats_.write_hits;
       ++stats_.cow_writes;
@@ -579,24 +740,28 @@ void TincaCache::commit_block(std::uint64_t disk_blkno,
       // cleaner may advance).  The chain takes ownership of the block.
       if (!mvcc_.owns(disk_blkno, mirror_[slot].curr_nvm))
         mvcc_baseline(disk_blkno, mirror_[slot].curr_nvm);
-      const std::uint32_t nb = free_blocks_.take();
-      write_data_block(nb, data);
-      nvm_.injector.point();  // CP: new version durable, entry still old
+      nb = free_blocks_.take();
+      write_data_block_staged(nb, data);
+      nvm_.injector.point();  // CP: new version staged, entry still old
 
       CacheEntry e = mirror_[slot];
+      // A clean previous version was never flushed (read fill / cleaned
+      // block) — its NVM copy may be torn after a crash, but disk holds the
+      // same bytes, so rollback must invalidate instead of reverting.
+      e.prev_clean = !e.modified;
       e.prev_nvm = e.curr_nvm;  // keep the old version reachable for rollback
       e.curr_nvm = nb;
       e.role = Role::kLog;
       e.modified = true;
-      write_entry(slot, e);  // 16 B atomic + clflush + sfence
-      nvm_.injector.point();  // CP: entry switched to the new version
+      write_entry_staged(slot, e, flush_ranges_);
+      nvm_.injector.point();  // CP: entry staged to the new version
     } else {
       // Write miss: create a new entry whose previous version is FRESH.
       ++stats_.write_misses;
       const std::uint32_t slot = free_entries_.take();
-      const std::uint32_t nb = free_blocks_.take();
-      write_data_block(nb, data);
-      nvm_.injector.point();  // CP: data durable, entry absent
+      nb = free_blocks_.take();
+      write_data_block_staged(nb, data);
+      nvm_.injector.point();  // CP: data staged, entry absent
 
       CacheEntry e;
       e.valid = true;
@@ -605,24 +770,22 @@ void TincaCache::commit_block(std::uint64_t disk_blkno,
       e.disk_blkno = disk_blkno;
       e.prev_nvm = CacheEntry::kFresh;
       e.curr_nvm = nb;
-      write_entry(slot, e);
+      write_entry_staged(slot, e, flush_ranges_);
       index_.emplace(disk_blkno, slot);
       lru_.push_mru(slot);  // listed, but pinned by the log role
-      nvm_.injector.point();  // CP: entry created
+      nvm_.injector.point();  // CP: entry created (staged)
     }
   }
 
   TINCA_TRACE_SPAN(trace_, ts_ring_);
-  // §4.4 step 2: record the block number at the Head slot.
-  ring_.record(disk_blkno);
-  nvm_.injector.point();  // CP: recorded, Head not yet moved
-
-  // §4.4 step 3: move Head.
-  ring_.advance_head();
-  nvm_.injector.point();  // CP: Head moved
+  flush_ranges_.push_back(ring_.stage_block(disk_blkno, nb, fingerprint(data)));
+  nvm_.injector.point();  // CP: block record staged
 }
 
-void TincaCache::role_switch_all(const std::vector<std::uint64_t>& blocks) {
+// Pipeline stage D (publish): stage every role switch — the dirtied entry
+// lines go to pending_ranges_, swept out by the NEXT batch's flush pass or by
+// hint_sync(), never by this batch.
+void TincaCache::publish_switches(const std::vector<std::uint64_t>& blocks) {
   TINCA_TRACE_SPAN(trace_, ts_role_switch_);
   for (std::uint64_t blkno : blocks) {
     auto it = index_.find(blkno);
@@ -631,14 +794,14 @@ void TincaCache::role_switch_all(const std::vector<std::uint64_t>& blocks) {
     CacheEntry e = mirror_[slot];
     TINCA_ENSURE(e.role == Role::kLog, "role switch on a buffer block");
     e.role = Role::kBuffer;
-    // NOTE: prev_nvm is deliberately *kept*: if we crash after this switch
-    // but before Tail is published, recovery still rolls this block back via
-    // prev (DESIGN.md §5).  The stale prev is harmless afterwards.
-    write_entry(slot, e);
-    nvm_.injector.point();  // CP: this block switched
+    e.prev_clean = false;
+    // NOTE: prev_nvm is deliberately *kept*: recovery can still identify the
+    // entry whichever side of the switch reached the media (DESIGN.md §14).
+    write_entry_staged(slot, e, pending_ranges_);
+    nvm_.injector.point();  // CP: this switch staged
 
     // The previous version usually lives on as the head of the block's
-    // version chain (commit_block guarantees a chain for every write hit);
+    // version chain (the COW path guarantees a chain for every write hit);
     // then the chain owns the NVM block and reclamation frees it once no
     // pinned reader can resolve to it.  Only a chainless prev (impossible
     // today, but cheap to keep correct) goes straight back to the pool.
@@ -649,39 +812,123 @@ void TincaCache::role_switch_all(const std::vector<std::uint64_t>& blocks) {
   }
 }
 
+// Durably advance the commit hint past the newest published batch: flush its
+// staged role switches, then persist hint := tail (the persist's fence also
+// covers the switch flushes, so this costs one fence total).  After this,
+// recovery's scan window is empty — nothing gets re-validated.
+void TincaCache::hint_sync() {
+  for (const auto& [off, len] : pending_ranges_) nvm_.clflush(off, len);
+  pending_ranges_.clear();
+  ring_.persist_hint();
+  last_batch_blocks_.clear();
+  ++stats_.hint_syncs;
+}
+
 void TincaCache::tinca_commit(Transaction& txn) {
+  Transaction* const one[] = {&txn};
+  commit_group(one);
+}
+
+void TincaCache::commit_group(std::span<Transaction* const> txns) {
   TINCA_TRACE_SPAN(trace_, ts_commit_);
-  TINCA_EXPECT(txn.open_, "commit of a closed transaction");
-  const std::size_t n = txn.order_.size();
-  if (n == 0) {
-    txn.open_ = false;
+  for (Transaction* t : txns)
+    TINCA_EXPECT(t != nullptr && t->open_, "commit of a closed transaction");
+
+  // Merge the batch last-writer-wins, in span order: one install, one ring
+  // record and one flushed data block per distinct disk block, however many
+  // transactions staged it.  (Required for correctness, not just speed: two
+  // COWs of the same block in one batch would leave the middle version
+  // unreachable for rollback.)
+  std::vector<std::uint64_t> order;
+  std::unordered_map<std::uint64_t, std::span<const std::byte>> merged;
+  for (Transaction* t : txns) {
+    for (std::uint64_t blkno : t->order_) {
+      const auto [mit, fresh] = merged.insert_or_assign(
+          blkno, std::span<const std::byte>(t->blocks_[blkno]));
+      if (fresh)
+        order.push_back(blkno);
+      else
+        ++stats_.group_merged_writes;
+    }
+  }
+
+  const auto close = [&](Transaction& t) {
+    stats_.blocks_per_txn.record(t.order_.size());
     ++stats_.txns_committed;
+    t.open_ = false;
+    t.blocks_.clear();
+    t.order_.clear();
+  };
+
+  const std::size_t n = order.size();
+  if (n == 0) {
+    for (Transaction* t : txns) close(*t);
+    if (!txns.empty()) {
+      ++stats_.commit_batches;
+      stats_.commit_batch_size.record(txns.size());
+    }
     return;
   }
   TINCA_EXPECT(n <= max_txn_blocks(),
-               "transaction exceeds the cache's committable size");
-  TINCA_ENSURE(ring_.head() == ring_.tail(),
-               "a previous commit left the ring open");
+               "batch exceeds the cache's committable size");
+  TINCA_ENSURE(ring_.in_flight() == 0, "a previous commit left the ring open");
+  // Ring backpressure: the scan window [durable hint, head) must keep the
+  // whole batch plus its commit record.  Syncing the hint empties the window.
+  if (!ring_.has_room(n + 1)) hint_sync();
+  TINCA_ENSURE(ring_.has_room(n + 1), "batch exceeds the ring capacity");
 
-  // §4.4 steps 1–3, repeated per block.
-  for (std::uint64_t blkno : txn.order_) commit_block(blkno, txn.blocks_[blkno]);
+  const std::uint64_t batch_start = ring_.head();
 
-  // §4.4 step 4: role switches.
-  role_switch_all(txn.order_);
+  // Stage A+B — append + seal: staged installs and ring records for every
+  // merged block, then the batch commit record.  Nothing flushed yet.
+  {
+    TINCA_TRACE_SPAN(trace_, ts_batch_append_);
+    for (std::uint64_t blkno : order) stage_block_install(blkno, merged[blkno]);
+    flush_ranges_.push_back(ring_.stage_commit(batch_start, txns.size()));
+  }
+  nvm_.injector.point();  // CP: batch staged and sealed, nothing fenced
 
-  // §4.4 step 5: Tail := Head — the transaction's atomic commit point.
-  ring_.publish_tail();
-  nvm_.injector.point();  // CP: transaction durable
+  // Stage C — flush: ONE clflush pass + ONE sfence for the whole batch; the
+  // fence is the batch's commit point.  The PREVIOUS batch's staged role
+  // switches and hint line ride the same pass (the pipeline overlap), so
+  // they are durable before this batch's hint value could ever supersede
+  // them.
+  {
+    TINCA_TRACE_SPAN(trace_, ts_batch_flush_);
+    for (const auto& [off, len] : pending_ranges_) nvm_.clflush(off, len);
+    for (const auto& [off, len] : flush_ranges_) {
+      nvm_.injector.point();  // CP: mid-flush — this range not yet durable
+      nvm_.clflush(off, len);
+    }
+    nvm_.sfence();
+    pending_ranges_.clear();
+    flush_ranges_.clear();
+    ++stats_.commit_fences;
+    ring_.note_staged_hint_durable();
+  }
+  nvm_.injector.point();  // CP: batch durable (fence passed), not published
+
+  // Stage D — publish: stage the role switches and the new commit hint
+  // (start of this batch); both ride the NEXT batch's flush pass.
+  {
+    TINCA_TRACE_SPAN(trace_, ts_batch_publish_);
+    publish_switches(order);
+    pending_ranges_.push_back(ring_.publish(batch_start));
+    last_batch_blocks_.clear();
+    last_batch_blocks_.insert(order.begin(), order.end());
+  }
+  nvm_.injector.point();  // CP: published (switches + hint staged, unfenced)
 
   // MVCC publication (DESIGN.md §12): append each block's new version to its
-  // chain at epoch E+1, then bump the commit epoch — readers pinned at E
-  // resolve past these recs, readers pinning afterwards see all of them.
-  // Strictly after the Tail publication so a visible epoch never exposes a
-  // transaction that is not yet durable.
-  for (std::uint64_t blkno : txn.order_)
+  // chain at epoch E+1, then bump the commit epoch ONCE for the batch —
+  // strictly after the fence so a visible epoch never exposes a transaction
+  // that is not yet durable.
+  for (std::uint64_t blkno : order)
     mvcc_publish(blkno, mirror_[index_.at(blkno)].curr_nvm);
   mvcc_.bump();
 
+  // Stage E — durable-ack and post-commit work.
+  //
   // Write-through mode: propagate to disk now and mark clean.  Crash-safe
   // at any point — until the entry is rewritten clean, the block simply
   // stays dirty in NVM and recovery keeps it.  A degraded cache (bad sector
@@ -693,9 +940,9 @@ void TincaCache::tinca_commit(Transaction& txn) {
       // Forced (degradation-driven) write-through with a cleaner: the commit
       // only *enqueues*; retries and backoff against the sick disk run on
       // the cleaner's budget, not this commit's latency.
-      for (std::uint64_t blkno : txn.order_) cleaner_->try_enqueue(blkno);
+      for (std::uint64_t blkno : order) cleaner_->try_enqueue(blkno);
     } else {
-      for (std::uint64_t blkno : txn.order_) {
+      for (std::uint64_t blkno : order) {
         const std::uint32_t slot = index_.at(blkno);
         if (!writeback(slot)) continue;
         ++stats_.writethrough_writes;
@@ -708,14 +955,12 @@ void TincaCache::tinca_commit(Transaction& txn) {
   }
 
   stats_.blocks_committed += n;
-  stats_.blocks_per_txn.record(n);
-  ++stats_.txns_committed;
-  txn.open_ = false;
-  txn.blocks_.clear();
-  txn.order_.clear();
+  ++stats_.commit_batches;
+  stats_.commit_batch_size.record(txns.size());
+  for (Transaction* t : txns) close(*t);
 
   clean_to_threshold();
-  mvcc_reclaim();  // amortized: trims versions this commit superseded
+  mvcc_reclaim();  // amortized: trims versions this batch superseded
   assert_dirty_count();
 }
 
@@ -793,8 +1038,13 @@ void TincaCache::revoke_slot(std::uint32_t slot) {
   if (!e.valid) return;           // already deleted by an earlier pass
   if (e.revoke_marker()) return;  // already rolled back (idempotence)
 
-  if (e.prev_nvm == CacheEntry::kFresh) {
-    // Write-miss block: revert to "not cached".
+  if (e.prev_nvm == CacheEntry::kFresh || e.prev_clean) {
+    // Write-miss block, or a COW over a CLEAN previous version: revert to
+    // "not cached".  Both have disk as the authoritative copy — a miss was
+    // never cached before, and a clean prev's NVM copy was installed without
+    // a flush (read fill) or matches disk by definition (cleaned block), so
+    // reverting the entry to a possibly-torn unflushed NVM block would be
+    // wrong where invalidation is provably safe.
     //
     // Deliberate asymmetry with the marker below: revoke_marker() requires
     // prev != kFresh, so a FRESH entry can never carry it — and never needs
@@ -929,7 +1179,12 @@ void TincaCache::register_metrics(obs::MetricsRegistry& reg,
   reg.add_counter(prefix + "io.retries", &stats_.io_retries);
   reg.add_counter(prefix + "io.quarantined", &stats_.io_quarantined);
   reg.add_counter(prefix + "io.degraded_writes", &stats_.io_degraded_writes);
+  reg.add_counter(prefix + "commit.fences", &stats_.commit_fences);
+  reg.add_counter(prefix + "commit.batches", &stats_.commit_batches);
+  reg.add_counter(prefix + "commit.hint_syncs", &stats_.hint_syncs);
+  reg.add_counter(prefix + "commit.merged_writes", &stats_.group_merged_writes);
   reg.add_histogram(prefix + "blocks_per_txn", &stats_.blocks_per_txn);
+  reg.add_histogram(prefix + "commit.batch_size", &stats_.commit_batch_size);
   reg.add_gauge(prefix + "capacity_blocks",
                 [this] { return capacity_blocks(); });
   reg.add_gauge(prefix + "cached_blocks", [this] { return cached_blocks(); });

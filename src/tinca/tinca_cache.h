@@ -11,13 +11,16 @@
 //     freshly allocated NVM block and the 16 B cache entry — holding both the
 //     previous and the current NVM block number — is installed with one
 //     atomic 16 B store + clflush + sfence;
-//   * committing a transaction (§4.4) records each block's on-disk number in
-//     a persistent ring buffer and moves the Head pointer; after all blocks
-//     are in, every entry is **role-switched** from log block to buffer
-//     block and Tail := Head publishes the commit atomically;
-//   * recovery (§4.5) compares Head with Tail, revokes in-flight blocks via
-//     the ring and a full entry-table scan, and rebuilds the DRAM index, LRU
-//     list and free-block monitor from the entry table;
+//   * committing (§4.4, reworked for group commit — DESIGN.md §14) merges a
+//     batch of transactions last-writer-wins, stages their COW installs and
+//     self-validating ring records with plain stores, and makes the whole
+//     batch durable with ONE clflush pass + ONE sfence — that fence is the
+//     batch's commit point; role switches and the recovery hint are staged at
+//     publish and swept out by the NEXT batch's flush pass (pipelining);
+//   * recovery (§4.5) scans validated ring records upward from the durable
+//     hint, rolls committed batches' lost role switches forward, revokes the
+//     in-flight batch all-or-nothing, and rebuilds the DRAM index, LRU list
+//     and free-block monitor from the entry table;
 //   * replacement (§4.6) is LRU with one extra rule: blocks involved in the
 //     committing transaction (log role — and therefore also their previous
 //     versions) are never evicted; dirty victims are written back to disk.
@@ -117,7 +120,14 @@ struct TincaCacheStats {
   std::uint64_t io_retries = 0;           ///< disk I/O retry attempts
   std::uint64_t io_quarantined = 0;       ///< blocks quarantined (bad sector)
   std::uint64_t io_degraded_writes = 0;   ///< forced write-through disk writes
-  Histogram blocks_per_txn;               ///< Fig 13 source data
+  // Group commit (DESIGN.md §14).
+  std::uint64_t commit_fences = 0;   ///< sfences issued by batch flush passes
+  std::uint64_t commit_batches = 0;  ///< batches committed (>= 1 txn each)
+  std::uint64_t hint_syncs = 0;      ///< forced durable-hint publications
+  std::uint64_t group_merged_writes = 0;  ///< staged writes absorbed by
+                                          ///< last-writer-wins batch merging
+  Histogram blocks_per_txn;        ///< Fig 13 source data
+  Histogram commit_batch_size;     ///< transactions per committed batch
 };
 
 /// A running transaction: blocks staged in DRAM (paper Fig 6a).
@@ -172,11 +182,29 @@ class TincaCache : private cleaner::CleanerClient {
 
   /// Convert `txn` to the committing transaction and commit all its blocks
   /// into the NVM cache (§4.4).  On return the transaction is durable.
+  /// Equivalent to a commit_group() of one.
   void tinca_commit(Transaction& txn);
+
+  /// Group commit (DESIGN.md §14): commit several running transactions as
+  /// ONE batch — their staged blocks are merged last-writer-wins (in span
+  /// order), installed with staged (unflushed) stores, sealed by a single
+  /// ring commit record, and made durable by ONE clflush pass + ONE sfence
+  /// for the whole batch.  Role switches and the commit hint are published
+  /// as staged stores swept out by the NEXT batch's flush pass (the
+  /// pipelining).  The batch is atomic: a crash surfaces either every
+  /// transaction in it or none.  On return every transaction is durable.
+  void commit_group(std::span<Transaction* const> txns);
 
   /// Abort a *running* transaction: staged blocks are discarded; nothing has
   /// reached the cache.
   void tinca_abort(Transaction& txn);
+
+  /// Durably sweep out the lazily-published commit metadata (the newest
+  /// batch's staged role switches and the commit hint) with one fence.
+  /// Commits are already durable without this — recovery replays the role
+  /// switches from the ring — so it is purely a quiesce: after it returns,
+  /// the media carries no staged commit state at all.
+  void sync_metadata() { hint_sync(); }
 
   // --- Cached block I/O ----------------------------------------------------
 
@@ -324,15 +352,28 @@ class TincaCache : private cleaner::CleanerClient {
   /// Seed the free-block pool least-worn first (no-op unless wear_level).
   void order_free_blocks_by_wear();
 
-  // Commit-protocol steps.
-  void commit_block(std::uint64_t disk_blkno, std::span<const std::byte> data);
-  void role_switch_all(const std::vector<std::uint64_t>& blocks);
+  // Commit-protocol stages (DESIGN.md §14).  stage_block_install stages one
+  // merged block's COW/miss install (unflushed stores, ranges collected into
+  // flush_ranges_); publish_switches stages the batch's role switches into
+  // pending_ranges_ (swept out by the NEXT batch's flush pass).
+  void stage_block_install(std::uint64_t disk_blkno,
+                           std::span<const std::byte> data);
+  void publish_switches(const std::vector<std::uint64_t>& blocks);
+  // Flush pending_ranges_ (the newest batch's role switches + hint line) and
+  // durably publish hint := tail, so recovery never re-validates that batch.
+  // Forced by ring-full backpressure and by eviction of a newest-batch block.
+  void hint_sync();
 
-  // Entry plumbing.
+  // Entry plumbing.  The _staged variants store without flushing and append
+  // the dirtied byte range to `ranges` for a later batch flush pass.
   void write_entry(std::uint32_t slot, const CacheEntry& e);
+  void write_entry_staged(std::uint32_t slot, const CacheEntry& e,
+                          std::vector<std::pair<std::uint64_t, std::uint64_t>>& ranges);
   void invalidate_entry(std::uint32_t slot);
   [[nodiscard]] CacheEntry read_entry_from_nvm(std::uint32_t slot) const;
   void write_data_block(std::uint32_t nvm_block, std::span<const std::byte> data);
+  void write_data_block_staged(std::uint32_t nvm_block,
+                               std::span<const std::byte> data);
 
   // Replacement.  evict_one scans from `scan_from` (SlotLru::kNil → the LRU
   // end) and returns the slot to resume scanning from, so that one
@@ -397,6 +438,20 @@ class TincaCache : private cleaner::CleanerClient {
 
   std::uint64_t next_txn_id_ = 1;
   std::uint64_t dirty_count_ = 0;  ///< valid+modified entries (incremental)
+  std::uint64_t format_epoch_ = 0;  ///< cached superblock format epoch
+
+  // Group-commit pipeline state (DESIGN.md §14).
+  /// Byte ranges dirtied by the OPEN batch (staged data, entries, ring
+  /// records); flushed and cleared by its own flush pass.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> flush_ranges_;
+  /// Byte ranges staged at the last publish (role-switched entries + the
+  /// commit hint line); swept out by the NEXT batch's flush pass or by
+  /// hint_sync().
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pending_ranges_;
+  /// Disk blocks of the newest published batch.  Evicting or invalidating
+  /// one of these before the durable hint has moved past the batch would let
+  /// recovery demote an acked batch, so eviction hint_sync()s first.
+  std::unordered_set<std::uint64_t> last_batch_blocks_;
   /// Disk blocks with permanent write failures; their data stays pinned
   /// dirty in NVM.  DRAM-only: quarantined blocks remain dirty, recovery
   /// keeps dirty entries, and the next writeback attempt re-discovers the
@@ -421,6 +476,11 @@ class TincaCache : private cleaner::CleanerClient {
   obs::Tracer::Site* ts_recovery_;
   obs::Tracer::Site* ts_read_;
   obs::Tracer::Site* ts_io_retry_;
+  // Pipeline-stage spans (DESIGN.md §14): append / flush / publish phases of
+  // commit_group, so traces show how much of a batch overlaps its successor.
+  obs::Tracer::Site* ts_batch_append_;
+  obs::Tracer::Site* ts_batch_flush_;
+  obs::Tracer::Site* ts_batch_publish_;
 
   /// Background cleaner (DESIGN.md §11); null when cfg_.cleaner.mode is
   /// kDisabled.  Declared last: it references this cache as its client, so

@@ -1,9 +1,12 @@
 #include "tinca/verify.h"
 
+#include <array>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/bytes.h"
 #include "tinca/cache_entry.h"
+#include "tinca/ring_buffer.h"
 
 namespace tinca::core {
 
@@ -26,13 +29,52 @@ MediaReport verify_media(const nvm::NvmDevice& nvm, const Layout& layout) {
   if (nvm.load8(Layout::kRingCapacityOff) != layout.ring_capacity)
     complain("superblock ring capacity disagrees with layout");
 
-  // Ring pointers.
-  const std::uint64_t head = nvm.load8(Layout::kHeadOff);
-  const std::uint64_t tail = nvm.load8(Layout::kTailOff);
-  if (head < tail) complain("ring Head behind Tail");
-  if (head - tail > layout.ring_capacity)
-    complain("ring in-flight region exceeds capacity");
-  report.in_flight = head >= tail ? head - tail : 0;
+  // Validated ring scan from the durable commit hint (the same walk recovery
+  // performs): count sealed batches and the trailing in-flight run, and flag
+  // incoherent seals.  A checksum failure is not corruption — it is simply
+  // the end of the log — so only structural incoherence complains.
+  const std::uint64_t epoch = nvm.load8(Layout::kFormatEpochOff);
+  const std::uint64_t hint = nvm.load8(Layout::kCommitHintOff);
+  {
+    std::uint64_t idx = hint;
+    const std::uint64_t scan_end = hint + layout.ring_capacity;
+    std::uint64_t run_start = hint;
+    std::uint64_t run_len = 0;
+    while (idx < scan_end) {
+      std::array<std::byte, Layout::kRingSlotBytes> raw{};
+      nvm.load(layout.ring_slot_off(idx), raw);
+      const std::uint64_t w0 = load_le(raw.data(), 8);
+      const std::uint64_t w1 = load_le(raw.data() + 8, 8);
+      const std::uint64_t w2 = load_le(raw.data() + 16, 8);
+      const std::uint64_t ck = load_le(raw.data() + 24, 8);
+      if (ck != RingBuffer::checksum(w0, w1, w2, idx, epoch)) break;
+      const std::uint64_t kind = w0 & 0x3;
+      if (kind == 1) {  // block record
+        if (static_cast<std::uint32_t>(w1) >= layout.num_blocks)
+          complain("ring record " + std::to_string(idx) +
+                   ": NVM block out of range");
+        ++run_len;
+      } else if (kind == 2) {  // batch commit record
+        if (w2 != run_start) {
+          // A seal that does not close the run before it can only be a stale
+          // slot from an earlier lap that happens to checksum-validate at
+          // this index — astronomically unlikely, hence a complaint.
+          complain("ring record " + std::to_string(idx) +
+                   ": commit record seals batch start " + std::to_string(w2) +
+                   " but the current run starts at " +
+                   std::to_string(run_start));
+          break;
+        }
+        ++report.committed_batches;
+        run_start = idx + 1;
+        run_len = 0;
+      } else {
+        break;  // validated checksum over an unknown kind cannot happen
+      }
+      ++idx;
+    }
+    report.in_flight = run_len;
+  }
 
   // Entry table.
   std::unordered_map<std::uint64_t, std::uint32_t> by_disk;
@@ -60,15 +102,6 @@ MediaReport verify_media(const nvm::NvmDevice& nvm, const Layout& layout) {
       complain("NVM block " + std::to_string(e.curr_nvm) +
                " owned by two entries");
   }
-
-  // Log-role entries are only legitimate while a commit is in flight.  The
-  // record-before-Head-move window allows log entries to exceed the ring's
-  // in-flight count by at most one.
-  if (head == tail && report.log_entries > 1)
-    complain("multiple log-role entries with a closed ring (only the "
-             "record-before-Head-move window of one block is legal)");
-  if (head != tail && report.log_entries > report.in_flight + 1)
-    complain("log-role entries exceed the in-flight ring region");
 
   return report;
 }

@@ -1,7 +1,7 @@
 // Offline structural verifier for Tinca's persistent media — the cache-level
 // analogue of fsck.  Used by tests to assert that no operation or crash can
-// leave the entry table or ring pointers structurally corrupt, and usable by
-// operators before mounting a suspect device.
+// leave the entry table or ring structurally corrupt, and usable by operators
+// before mounting a suspect device.
 #pragma once
 
 #include <string>
@@ -19,19 +19,24 @@ struct MediaReport {
   std::uint64_t valid_entries = 0;
   std::uint64_t log_entries = 0;     ///< entries still in log role
   std::uint64_t revoke_markers = 0;  ///< rolled-back entries (prev == curr)
-  std::uint64_t in_flight = 0;       ///< ring records between Tail and Head
+  std::uint64_t committed_batches = 0;  ///< sealed batches in the scan window
+  std::uint64_t in_flight = 0;  ///< trailing unsealed (in-flight) ring records
 };
 
-/// Check the structural invariants of a Tinca device:
+/// Check the structural invariants of a Tinca v2 device:
 ///   - superblock magic/version/geometry match `layout`;
-///   - Head >= Tail and Head - Tail <= ring capacity;
+///   - the validated ring scan from the durable commit hint is coherent
+///     (every batch commit record seals exactly the run before it; the scan
+///     window fits the ring capacity) — the scan's batch/in-flight counts are
+///     reported;
 ///   - every valid entry's current (and non-FRESH previous) NVM block is in
 ///     range;
 ///   - no two valid entries map the same disk block;
-///   - no two valid entries own the same current NVM block;
-///   - log-role entries exist only if a transaction is in flight (Head !=
-///     Tail) or could be the record-before-Head-move window (at most the
-///     blocks of one transaction).
+///   - no two valid entries own the same current NVM block.
+/// Log-role entries are counted but not flagged: before recovery an open
+/// batch legitimately leaves up to a whole batch of staged log-role entries
+/// whose (unfenced) ring records were lost with the crash; after recovery
+/// callers assert log_entries == 0 themselves.
 /// Read-only; never mutates the device.  Charges read latency like a real
 /// scan would.
 MediaReport verify_media(const nvm::NvmDevice& nvm, const Layout& layout);

@@ -116,8 +116,12 @@ TEST(TincaEdge, RecoveryStatsReportWork) {
   {
     auto cache = TincaCache::format(dev, disk, cfg);
     for (std::uint64_t i = 0; i < 10; ++i) cache->write_block(i, block_of(i));
-    // Leave a transaction torn right after its first ring record.
-    dev.injector.arm(6);
+    // Cut mid-flush, just before the batch's commit record goes durable:
+    // the staged installs (2 blocks x data+entry+record ranges) are already
+    // flushed, the seal is not, so recovery must revoke both blocks.
+    // Crash points: 4 per COW install (x2) + 1 batch seal + 7 mid-flush
+    // ranges; the 16th fires before the last (commit-record) flush.
+    dev.injector.arm(16);
     try {
       auto txn = cache->tinca_init_txn();
       txn.add(0, block_of(99));

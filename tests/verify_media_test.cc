@@ -59,10 +59,20 @@ TEST(VerifyMedia, DetectsForeignDevice) {
 
 TEST(VerifyMedia, DetectsRingCorruption) {
   Fixture f;
-  f.dev.atomic_store8(Layout::kHeadOff, 1);
-  f.dev.atomic_store8(Layout::kTailOff, 7);
-  f.dev.persist(Layout::kHeadOff, 8);
-  f.dev.persist(Layout::kTailOff, 8);
+  // Forge a checksum-valid commit record at the scan start (index 0, hint 0)
+  // whose batch_start does not seal the run before it — the one ring state
+  // no crash can produce.
+  const std::uint64_t epoch = f.dev.load8(Layout::kFormatEpochOff);
+  const std::uint64_t w0 = 2u | (1u << 2);  // commit record, txn_count 1
+  const std::uint64_t w1 = 0;
+  const std::uint64_t w2 = 5;  // claims the batch started at index 5
+  std::array<std::byte, Layout::kRingSlotBytes> raw{};
+  store_le(raw.data(), w0, 8);
+  store_le(raw.data() + 8, w1, 8);
+  store_le(raw.data() + 16, w2, 8);
+  store_le(raw.data() + 24, RingBuffer::checksum(w0, w1, w2, 0, epoch), 8);
+  f.dev.store(f.cache->layout().ring_slot_off(0), raw);
+  f.dev.persist(f.cache->layout().ring_slot_off(0), Layout::kRingSlotBytes);
   const MediaReport r = verify_media(f.dev, f.cache->layout());
   EXPECT_FALSE(r.ok);
 }
