@@ -34,33 +34,41 @@ struct Campaign {
   backend::StackKind kind;
   cleaner::CleanerMode cleaner;
   bool group;
+  std::uint32_t streams;  ///< commit streams per shard (DESIGN.md §15)
   const char* label;
 };
 
 constexpr Campaign kCampaigns[] = {
-    {backend::StackKind::kTinca, cleaner::CleanerMode::kDisabled, false,
+    {backend::StackKind::kTinca, cleaner::CleanerMode::kDisabled, false, 1,
      "Tinca"},
-    {backend::StackKind::kClassic, cleaner::CleanerMode::kDisabled, false,
+    {backend::StackKind::kClassic, cleaner::CleanerMode::kDisabled, false, 1,
      "Classic"},
-    {backend::StackKind::kUbj, cleaner::CleanerMode::kDisabled, false, "UBJ"},
+    {backend::StackKind::kUbj, cleaner::CleanerMode::kDisabled, false, 1,
+     "UBJ"},
     {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kDisabled, false,
-     "Sharded"},
-    {backend::StackKind::kTinca, cleaner::CleanerMode::kStepped, false,
+     1, "Sharded"},
+    {backend::StackKind::kTinca, cleaner::CleanerMode::kStepped, false, 1,
      "Tinca+cleaner"},
-    {backend::StackKind::kUbj, cleaner::CleanerMode::kStepped, false,
+    {backend::StackKind::kUbj, cleaner::CleanerMode::kStepped, false, 1,
      "UBJ+cleaner"},
     {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kStepped, false,
-     "Sharded+cleaner"},
+     1, "Sharded+cleaner"},
     {backend::StackKind::kNvLogClassic, cleaner::CleanerMode::kDisabled, false,
-     "NvLog"},
+     1, "NvLog"},
     {backend::StackKind::kNvLogClassic, cleaner::CleanerMode::kStepped, false,
-     "NvLog+cleaner"},
-    {backend::StackKind::kTinca, cleaner::CleanerMode::kDisabled, true,
+     1, "NvLog+cleaner"},
+    {backend::StackKind::kTinca, cleaner::CleanerMode::kDisabled, true, 1,
      "Tinca+group"},
     {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kDisabled, true,
-     "Sharded+group"},
+     1, "Sharded+group"},
     {backend::StackKind::kNvLogClassic, cleaner::CleanerMode::kDisabled, true,
-     "NvLog+group"},
+     1, "NvLog+group"},
+    // Multi-stream rings (DESIGN.md §15): cross-shard txns anchor to one
+    // atomic cross-stream commit record, cuts land at every protocol step.
+    {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kDisabled, false,
+     2, "Sharded+streams"},
+    {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kDisabled, true,
+     2, "Sharded+streams+group"},
 };
 
 }  // namespace
@@ -102,6 +110,7 @@ int main(int argc, char** argv) {
     opts.kind = c.kind;
     opts.cleaner = c.cleaner;
     opts.group_commit = c.group;
+    opts.streams = c.streams;
     opts.seed = seed;
     opts.schedules = static_cast<std::uint32_t>(schedules);
     const backend::FuzzReport r = backend::run_fault_fuzz(opts);

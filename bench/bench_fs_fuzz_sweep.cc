@@ -40,29 +40,37 @@ struct Campaign {
   backend::StackKind kind;
   cleaner::CleanerMode cleaner;
   bool group;
+  std::uint32_t streams;  ///< commit streams per shard (DESIGN.md §15)
   const char* label;
 };
 
 constexpr Campaign kCampaigns[] = {
-    {backend::StackKind::kTinca, cleaner::CleanerMode::kDisabled, false,
+    {backend::StackKind::kTinca, cleaner::CleanerMode::kDisabled, false, 1,
      "Tinca"},
-    {backend::StackKind::kClassic, cleaner::CleanerMode::kDisabled, false,
+    {backend::StackKind::kClassic, cleaner::CleanerMode::kDisabled, false, 1,
      "Classic"},
-    {backend::StackKind::kUbj, cleaner::CleanerMode::kDisabled, false, "UBJ"},
+    {backend::StackKind::kUbj, cleaner::CleanerMode::kDisabled, false, 1,
+     "UBJ"},
     {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kDisabled, false,
-     "Sharded"},
-    {backend::StackKind::kTinca, cleaner::CleanerMode::kStepped, false,
+     1, "Sharded"},
+    {backend::StackKind::kTinca, cleaner::CleanerMode::kStepped, false, 1,
      "Tinca+cleaner"},
-    {backend::StackKind::kUbj, cleaner::CleanerMode::kStepped, false,
+    {backend::StackKind::kUbj, cleaner::CleanerMode::kStepped, false, 1,
      "UBJ+cleaner"},
     {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kStepped, false,
-     "Sharded+cleaner"},
+     1, "Sharded+cleaner"},
     {backend::StackKind::kNvLogClassic, cleaner::CleanerMode::kDisabled, false,
-     "NvLog"},
+     1, "NvLog"},
     {backend::StackKind::kNvLogClassic, cleaner::CleanerMode::kStepped, false,
-     "NvLog+cleaner"},
+     1, "NvLog+cleaner"},
     {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kDisabled, true,
-     "Sharded+group"},
+     1, "Sharded+group"},
+    // Multi-stream rings (DESIGN.md §15): fs txns spanning shards commit
+    // through one atomic cross-stream record; fsync semantics must hold.
+    {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kDisabled, false,
+     2, "Sharded+streams"},
+    {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kDisabled, true,
+     2, "Sharded+streams+group"},
 };
 
 }  // namespace
@@ -116,7 +124,7 @@ int main(int argc, char** argv) {
                                                   : "")
             << "\n\n";
 
-  Table t({"stack", "ops", "txns", "crashes", "remounts", "prefix_cuts",
+  Table t({"stack", "ops", "txns", "crashes", "remounts",
            "fscks", "dirty", "sweep_pts", "sweep_torn", "violations"});
   std::uint64_t total_violations = 0;
   std::uint64_t total_dirty = 0;
@@ -126,6 +134,7 @@ int main(int argc, char** argv) {
     opts.kind = c.kind;
     opts.cleaner = c.cleaner;
     opts.group_commit = c.group;
+    opts.streams = c.streams;
     opts.seed = seed;
     opts.schedules = static_cast<std::uint32_t>(schedules);
     opts.sabotage = sabotage;
@@ -142,7 +151,6 @@ int main(int argc, char** argv) {
     t.add_row({c.label, Table::num(r.ops_executed),
                Table::num(r.txns_committed), Table::num(r.crashes + s.crashes),
                Table::num(r.clean_remounts + s.clean_remounts),
-               Table::num(r.shard_prefix_cuts + s.shard_prefix_cuts),
                Table::num(r.fsck_runs + s.fsck_runs), Table::num(dirty),
                Table::num(s.sweep_points), Table::num(s.sweep_torn_points),
                Table::num(violations)});
@@ -154,8 +162,6 @@ int main(int argc, char** argv) {
         .metric("mkfs_crashes", static_cast<double>(r.mkfs_crashes))
         .metric("clean_remounts",
                 static_cast<double>(r.clean_remounts + s.clean_remounts))
-        .metric("shard_prefix_cuts",
-                static_cast<double>(r.shard_prefix_cuts + s.shard_prefix_cuts))
         .metric("io_errors", static_cast<double>(r.io_errors + s.io_errors))
         .metric("io_retries", static_cast<double>(r.io_retries))
         .metric("wedges", static_cast<double>(r.wedges + s.wedges))

@@ -1,0 +1,347 @@
+// Multi-stream commit rings + atomic cross-stream commit records
+// (DESIGN.md §15).
+//
+// Two sections, both deterministic in virtual time:
+//
+//   1. Stream sweep (gated) — a pipeline model over REAL measured commit
+//      costs.  A 2-shard ShardedTinca is formatted with `num_streams`
+//      per-stream rings per shard; a seeded workload (90% single-shard,
+//      ~10% cross-shard) is committed one txn at a time and each commit's
+//      virtual NVM cost is read off the per-shard SimClocks.  The model
+//      then replays those costs on (shard, stream) lanes: commits on
+//      distinct lanes overlap — exactly the independence the per-stream
+//      Head/Tail/hint lines provide, since their ring traffic touches
+//      disjoint NVM lines — while commits on the same lane serialize.  A
+//      cross-stream transaction occupies one lane on EVERY participant
+//      shard for max(per-shard cost): its flush passes proceed in
+//      parallel and one 64 B commit record (flushed with shard 0's pass,
+//      one fence) makes the whole set durable, so the OTHER streams keep
+//      flowing — the single-ring baseline (streams=1) instead serializes
+//      every commit behind the one Head per shard.  Throughput = txns /
+//      modeled makespan.  Single-threaded and seeded: the gates never
+//      flake on scheduling.
+//
+//   2. Fence accounting (gated) — §15 must not cost fences over the §14
+//      group path: rounds of 8-txn commit_group() batches on one
+//      TincaCache, streams=1 (the §14 baseline ring) vs streams=8.  A
+//      batch lands on ONE stream either way — same single flush pass,
+//      same single fence — so fences/txn must not grow.
+//
+// Usage: bench_multistream [--txns N] [--rounds N] [--json <path>]
+//
+// Exit status is nonzero when a gate fails:
+//   * modeled throughput at 8 streams ≥ 3× the single-ring baseline
+//   * fences/txn with 8 streams ≤ §14 group path (streams=1) + 5%
+//   * the sweep's cross-shard mix actually took the commit-record path
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_reporter.h"
+#include "bench_util.h"
+#include "blockdev/mem_block_device.h"
+#include "common/bytes.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "nvm/nvm_device.h"
+#include "shard/sharded_tinca.h"
+#include "tinca/tinca_cache.h"
+
+using namespace tinca;
+using namespace tinca::bench;
+
+namespace {
+
+constexpr std::uint64_t kBlock = core::kBlockSize;
+constexpr std::uint32_t kShards = 2;
+constexpr std::uint64_t kDataset = 1024;  ///< fits the cache: no evictions
+constexpr double kCrossShare = 0.10;      ///< ~10% cross-shard mix
+
+struct SweepResult {
+  double txns_per_sec = 0;    ///< modeled pipeline throughput
+  double fences_per_txn = 0;  ///< real fences over real txns
+  double cross_share = 0;     ///< achieved cross-shard fraction
+  std::uint64_t xstream_commits = 0;
+  Histogram svc;  ///< per-commit virtual service cost (ns)
+};
+
+/// One designated block per shard (lowest block numbers), for the
+/// cross-shard transactions.
+std::vector<std::uint64_t> one_block_per_shard(const shard::ShardedTinca& st) {
+  std::vector<std::uint64_t> home(st.shard_count(), UINT64_MAX);
+  std::uint32_t found = 0;
+  for (std::uint64_t b = 0; found < st.shard_count(); ++b) {
+    const std::uint32_t s = st.shard_of(b);
+    if (home[s] == UINT64_MAX) {
+      home[s] = b;
+      ++found;
+    }
+  }
+  return home;
+}
+
+/// Section 1: measure per-commit costs on a real §15 stack, then replay
+/// them on (shard, stream) lanes.
+SweepResult run_sweep(std::uint32_t streams, std::uint64_t txns) {
+  sim::SimClock root_clock;
+  nvm::NvmDevice dev(16ull << 20, nvdimm_profile(), root_clock);
+  blockdev::MemBlockDevice disk(1 << 14);
+
+  shard::ShardedConfig cfg;
+  cfg.num_shards = kShards;
+  cfg.shard.ring_bytes = 16 * 1024;  // 16 slots/stream even at 16 streams
+  cfg.shard.num_streams = streams;
+  auto st = shard::ShardedTinca::format(dev, disk, cfg);
+
+  const auto home = one_block_per_shard(*st);
+  // One fixed seed: every stream count replays the identical txn sequence,
+  // so the sweep isolates the lane count.
+  Rng rng(0x515EA);
+  std::vector<std::byte> buf(kBlock);
+  std::uint64_t pattern = 0;
+
+  // Warm-up: touch the designated blocks and a spread of singles so every
+  // stream count starts from the same installed state.
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    auto t = st->init_txn();
+    fill_pattern(buf, ++pattern);
+    t.add(kShards + i, buf);
+    st->commit(t);
+  }
+  {
+    auto t = st->init_txn();
+    for (std::uint32_t s = 0; s < kShards; ++s) {
+      fill_pattern(buf, ++pattern);
+      t.add(home[s], buf);
+    }
+    st->commit(t);
+  }
+
+  // Lane model state: one virtual-time cursor per (shard, stream), fed
+  // round-robin per shard like the cache's own stream rotation.
+  std::vector<std::vector<sim::Ns>> lane_free(kShards,
+                                              std::vector<sim::Ns>(streams, 0));
+  std::vector<std::uint32_t> rr(kShards, 0);
+  sim::Ns makespan = 0;
+
+  const core::TincaCacheStats before = st->aggregated_stats();
+  SweepResult r;
+  std::uint64_t cross = 0;
+
+  for (std::uint64_t i = 0; i < txns; ++i) {
+    const bool is_cross = rng.chance(kCrossShare);
+    const std::uint64_t single_blk = kShards + rng.below(kDataset);
+    auto t = st->init_txn();
+    if (is_cross) {
+      // One block on every shard, same payload: the §15 atomic unit.
+      ++cross;
+      for (std::uint32_t s = 0; s < kShards; ++s) {
+        fill_pattern(buf, pattern);
+        t.add(home[s], buf);
+      }
+      ++pattern;
+    } else {
+      fill_pattern(buf, ++pattern);
+      t.add(single_blk, buf);
+    }
+
+    std::array<sim::Ns, kShards> t0{};
+    for (std::uint32_t s = 0; s < kShards; ++s)
+      t0[s] = st->shard_clock(s).now();
+    st->commit(t);
+
+    sim::Ns svc = 0;
+    sim::Ns start = 0;
+    sim::Ns end = 0;
+    if (is_cross) {
+      // Participant flush passes overlap (disjoint NVM); the shared record
+      // + fence ride shard 0's pass, so service = max of per-shard costs.
+      // One lane per participant shard is held for the duration.
+      std::array<std::uint32_t, kShards> lanes{};
+      for (std::uint32_t s = 0; s < kShards; ++s) {
+        svc = std::max(svc, st->shard_clock(s).now() - t0[s]);
+        lanes[s] = rr[s]++ % streams;
+        start = std::max(start, lane_free[s][lanes[s]]);
+      }
+      end = start + svc;
+      for (std::uint32_t s = 0; s < kShards; ++s) lane_free[s][lanes[s]] = end;
+    } else {
+      const std::uint32_t s = st->shard_of(single_blk);
+      svc = st->shard_clock(s).now() - t0[s];
+      const std::uint32_t lane = rr[s]++ % streams;
+      start = lane_free[s][lane];
+      end = start + svc;
+      lane_free[s][lane] = end;
+    }
+    makespan = std::max(makespan, end);
+    r.svc.record(static_cast<double>(svc));
+  }
+
+  const core::TincaCacheStats after = st->aggregated_stats();
+  r.fences_per_txn =
+      static_cast<double>((after.commit_fences - before.commit_fences) +
+                          (after.hint_syncs - before.hint_syncs)) /
+      static_cast<double>(txns);
+  r.cross_share = static_cast<double>(cross) / static_cast<double>(txns);
+  r.xstream_commits = after.xstream_commits - before.xstream_commits;
+  r.txns_per_sec =
+      static_cast<double>(txns) /
+      (static_cast<double>(makespan) / static_cast<double>(sim::kSec));
+  return r;
+}
+
+struct FenceResult {
+  double fences_per_txn = 0;
+  double batch_mean = 0;
+};
+
+/// Section 2: §14 group-commit rounds on one core cache, parameterized by
+/// stream count.  Mirrors bench_group_commit's stream sweep so the two
+/// benches measure the same fence budget.
+FenceResult run_group_fences(std::uint32_t streams, std::uint64_t rounds) {
+  sim::SimClock clock;
+  nvm::NvmDevice dev(16ull << 20, nvdimm_profile(), clock);
+  blockdev::MemBlockDevice disk(1 << 14);
+  core::TincaConfig cfg;
+  cfg.ring_bytes = 64 * 1024;  // generous per-stream slack at 8 streams
+  cfg.num_streams = streams;
+  auto cache = core::TincaCache::format(dev, disk, cfg);
+
+  constexpr std::uint64_t kBatch = 8;
+  Rng rng(0xFE9CE + streams);
+  std::vector<std::byte> buf(kBlock);
+  std::uint64_t pattern = 0;
+
+  auto make_txn = [&] {
+    core::Transaction t = cache->tinca_init_txn();
+    fill_pattern(buf, ++pattern);
+    t.add(rng.below(64), buf);
+    return t;
+  };
+  // Warm-up round, excluded from the counters.
+  for (std::uint64_t i = 0; i < kBatch; ++i) {
+    core::Transaction t = make_txn();
+    cache->tinca_commit(t);
+  }
+
+  const core::TincaCacheStats before = cache->stats();
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    std::vector<core::Transaction> txns;
+    txns.reserve(kBatch);
+    for (std::uint64_t i = 0; i < kBatch; ++i) txns.push_back(make_txn());
+    std::vector<core::Transaction*> ptrs;
+    ptrs.reserve(kBatch);
+    for (core::Transaction& t : txns) ptrs.push_back(&t);
+    cache->commit_group(ptrs);
+  }
+  const core::TincaCacheStats after = cache->stats();
+
+  FenceResult r;
+  const double txns = static_cast<double>(rounds * kBatch);
+  r.fences_per_txn =
+      static_cast<double>((after.commit_fences - before.commit_fences) +
+                          (after.hint_syncs - before.hint_syncs)) /
+      txns;
+  const double batches =
+      static_cast<double>(after.commit_batches - before.commit_batches);
+  r.batch_mean = batches > 0 ? txns / batches : 0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchReporter reporter("multistream", argc, argv);
+
+  std::uint64_t txns = 2000;
+  std::uint64_t rounds = 300;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--txns") == 0 && i + 1 < argc) {
+      txns = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds = std::strtoull(argv[++i], nullptr, 0);
+    } else {
+      std::cerr << "usage: bench_multistream [--txns N] [--rounds N]"
+                   " [--json <path>]\n";
+      return 2;
+    }
+  }
+  reporter.config("txns", txns);
+  reporter.config("rounds", rounds);
+  reporter.config("shards", static_cast<std::uint64_t>(kShards));
+  reporter.config("cross_share_target", kCrossShare);
+
+  banner("Multi-stream commit rings",
+         "per-stream lanes vs the single-ring baseline (DESIGN.md §15)");
+  Table t1({"streams", "txns/s", "speedup", "fences/txn", "cross%",
+            "xstream", "svc_p50_us", "svc_p95_us"});
+  const std::uint32_t kStreamCounts[] = {1, 2, 4, 8, 16};
+  SweepResult base, eight;
+  for (const std::uint32_t n : kStreamCounts) {
+    SweepResult r = run_sweep(n, txns);
+    if (n == 1) base = r;
+    if (n == 8) eight = r;
+    const double speedup = n == 1 ? 1.0 : r.txns_per_sec / base.txns_per_sec;
+    t1.add_row({Table::num(static_cast<std::uint64_t>(n)), Table::num(r.txns_per_sec, 0),
+                Table::num(speedup, 2), Table::num(r.fences_per_txn, 3),
+                Table::num(r.cross_share * 100, 1),
+                Table::num(r.xstream_commits),
+                Table::num(r.svc.quantile(0.50) / 1e3, 1),
+                Table::num(r.svc.quantile(0.95) / 1e3, 1)});
+    reporter.add_row("sweep/streams=" + std::to_string(n))
+        .metric("streams", static_cast<double>(n))
+        .metric("txns_per_sec", r.txns_per_sec)
+        .metric("speedup_vs_single_ring", speedup)
+        .metric("fences_per_txn", r.fences_per_txn)
+        .metric("cross_shard_share", r.cross_share)
+        .metric("xstream_commits", static_cast<double>(r.xstream_commits))
+        .latency("service", r.svc);
+  }
+  std::cout << t1.render();
+  const double speedup8 = eight.txns_per_sec / base.txns_per_sec;
+  std::cout << "\n8-stream/single-ring modeled throughput: "
+            << Table::num(speedup8, 2) << "x\n\n";
+
+  std::cout << "-- Fence accounting vs the §14 group path --\n";
+  Table t2({"streams", "fences/txn", "batch_mean"});
+  const FenceResult g1 = run_group_fences(1, rounds);
+  const FenceResult g8 = run_group_fences(8, rounds);
+  const std::uint32_t group_streams[] = {1, 8};
+  const FenceResult* group_results[] = {&g1, &g8};
+  for (std::size_t i = 0; i < 2; ++i) {
+    const std::uint32_t n = group_streams[i];
+    const FenceResult& g = *group_results[i];
+    t2.add_row({Table::num(static_cast<std::uint64_t>(n)), Table::num(g.fences_per_txn, 3),
+                Table::num(g.batch_mean, 2)});
+    reporter.add_row("group/streams=" + std::to_string(n))
+        .metric("streams", static_cast<double>(n))
+        .metric("fences_per_txn", g.fences_per_txn)
+        .metric("batch_mean_txns", g.batch_mean);
+  }
+  std::cout << t2.render() << "\n";
+
+  // --- Gates (DESIGN.md §15; ci.sh re-checks these from the JSON) ----------
+  bool ok = true;
+  auto gate = [&](bool pass, const std::string& what) {
+    std::cout << (pass ? "PASS: " : "FAIL: ") << what << "\n";
+    ok &= pass;
+  };
+  gate(speedup8 >= 3.0,
+       "8 streams >= 3x single-ring modeled throughput (got " +
+           Table::num(speedup8, 2) + "x)");
+  gate(g8.fences_per_txn <= g1.fences_per_txn * 1.05,
+       "group fences/txn at 8 streams <= single-ring group path (" +
+           Table::num(g8.fences_per_txn, 3) + " vs " +
+           Table::num(g1.fences_per_txn, 3) + ")");
+  gate(eight.xstream_commits > 0,
+       "cross-shard mix exercised the cross-stream commit record path");
+
+  if (!reporter.finish()) return 1;
+  return ok ? 0 : 1;
+}

@@ -35,7 +35,8 @@ cmake -B "$TSAN_DIR" -S . \
   -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
-  --target mvcc_stress_test shard_test cleaner_test group_commit_test
+  --target mvcc_stress_test shard_test cleaner_test group_commit_test \
+  multistream_stress_test
 
 "$TSAN_DIR/tests/mvcc_stress_test"
 "$TSAN_DIR/tests/shard_test"
@@ -43,7 +44,12 @@ cmake --build "$TSAN_DIR" -j "$(nproc)" \
 # The group-commit suite includes the multi-threaded per-shard batcher
 # stress (DESIGN.md §14): leaders coalescing concurrent committers.
 "$TSAN_DIR/tests/group_commit_test"
-echo "tsan stage: OK (mvcc stress + shard + cleaner + group-commit suites race-free)"
+# Multi-stream cross-shard stress (DESIGN.md §15): writers mixing
+# single-shard and cross-shard txns while MVCC readers check that no
+# snapshot ever observes half a cross-stream transaction.
+"$TSAN_DIR/tests/multistream_stress_test"
+echo "tsan stage: OK (mvcc stress + shard + cleaner + group-commit +" \
+  "multistream suites race-free)"
 
 # ---------------------------------------------------------------------------
 # Bench smoke: Release build, run two benches with --json and validate the
@@ -58,7 +64,7 @@ cmake -B "$BENCH_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BENCH_DIR" -j "$(nproc)" \
   --target bench_micro_primitives bench_ablation_txn_batch bench_fault_sweep \
   bench_fs_fuzz_sweep bench_cleaner bench_mvcc_reads bench_nvlog \
-  bench_group_commit
+  bench_group_commit bench_multistream
 
 "$BENCH_DIR/bench/bench_micro_primitives" \
   --benchmark_filter=BM_CacheEntryCodec --benchmark_min_time=0.05 \
@@ -109,6 +115,19 @@ cmake --build "$BENCH_DIR" -j "$(nproc)" \
   --json "$JSON_OUT/group_commit.json" > /dev/null
 cp "$JSON_OUT/group_commit.json" BENCH_group_commit.json
 
+# Multi-stream smoke (DESIGN.md §15): per-stream commit rings vs the
+# single-ring baseline over real measured commit costs, plus fence
+# accounting against the §14 group path.  The binary exits nonzero unless
+# the 8-stream modeled throughput is >= 3x single-ring, group fences/txn
+# does not grow with streams, and the ~10% cross-shard mix actually went
+# through the atomic cross-stream commit record — so this line gates "the
+# per-stream rings buy pipeline headroom without costing fences or
+# atomicity".  The schema-checked JSON is published as
+# BENCH_multistream.json for downstream comparison.
+"$BENCH_DIR/bench/bench_multistream" \
+  --json "$JSON_OUT/multistream.json" > /dev/null
+cp "$JSON_OUT/multistream.json" BENCH_multistream.json
+
 # Oracle self-test: a sabotaged run (harness corrupts a committed data block
 # behind the backend's back) must FAIL, proving the oracle has teeth.
 if "$BENCH_DIR/bench/bench_fs_fuzz_sweep" --schedules 20 --seed 1 \
@@ -121,7 +140,8 @@ echo "fs fuzz sabotage self-test: correctly rejected"
 python3 - "$JSON_OUT/micro.json" "$JSON_OUT/txn_batch.json" \
   "$JSON_OUT/fault_sweep.json" "$JSON_OUT/fs_fuzz.json" \
   "$JSON_OUT/cleaner.json" "$JSON_OUT/mvcc.json" \
-  "$JSON_OUT/nvlog.json" "$JSON_OUT/group_commit.json" <<'EOF'
+  "$JSON_OUT/nvlog.json" "$JSON_OUT/group_commit.json" \
+  "$JSON_OUT/multistream.json" <<'EOF'
 import json, numbers, sys
 
 for path in sys.argv[1:]:
@@ -144,12 +164,16 @@ for path in sys.argv[1:]:
 # NvLog stack's cleaner drives the log drain, §13).  On top of that, the
 # group-commit-capable stacks re-run with batched commit_group() schedules
 # (§14) — the block-level sweep batches on every such stack, the fs-level
-# sweep arms the sharded per-shard batcher.
+# sweep arms the sharded per-shard batcher — and the sharded stack re-runs
+# with 2 commit streams per shard (§15), alone and combined with group
+# commit, so crash cuts land inside the cross-stream commit-record protocol.
 CAMPAIGNS = {"Tinca", "Classic", "UBJ", "Sharded", "NvLog",
              "Tinca+cleaner", "UBJ+cleaner", "Sharded+cleaner",
              "NvLog+cleaner"}
-FAULT_CAMPAIGNS = CAMPAIGNS | {"Tinca+group", "Sharded+group", "NvLog+group"}
-FS_CAMPAIGNS = CAMPAIGNS | {"Sharded+group"}
+STREAM_CAMPAIGNS = {"Sharded+streams", "Sharded+streams+group"}
+FAULT_CAMPAIGNS = CAMPAIGNS | {"Tinca+group", "Sharded+group",
+                               "NvLog+group"} | STREAM_CAMPAIGNS
+FS_CAMPAIGNS = CAMPAIGNS | {"Sharded+group"} | STREAM_CAMPAIGNS
 
 # Fault-sweep specifics: every campaign present, full schedule count, and
 # zero recovery-invariant violations.
@@ -265,4 +289,28 @@ assert rows["batcher/threads=8"]["batch_mean_txns"] > 1.0, \
     "threaded batcher never coalesced concurrent committers"
 print(f"group commit: OK (speedup = {ratio:.2f}x, fences/txn = "
       f"{rows['group/streams=8']['fences_per_txn']:.3f})")
+
+# Multi-stream smoke specifics (§15): the full stream sweep is present, the
+# 8-stream modeled throughput gate holds, fences/txn never grows with the
+# stream count on the group path, and the cross-shard mix really went
+# through the atomic cross-stream commit record.
+with open(sys.argv[9]) as f:
+    ms = json.load(f)
+rows = {row["label"]: row["metrics"] for row in ms["rows"]}
+expect = {f"sweep/streams={n}" for n in (1, 2, 4, 8, 16)}
+expect |= {"group/streams=1", "group/streams=8"}
+assert set(rows) == expect, f"rows: {set(rows)}"
+speedup = rows["sweep/streams=8"]["speedup_vs_single_ring"]
+assert speedup >= 3.0, f"8-stream speedup only {speedup:.2f}x"
+assert rows["group/streams=8"]["fences_per_txn"] <= \
+    rows["group/streams=1"]["fences_per_txn"] * 1.05, \
+    "fences/txn grew with the stream count on the group path"
+for n in (1, 2, 4, 8, 16):
+    m = rows[f"sweep/streams={n}"]
+    assert m["xstream_commits"] > 0, \
+        f"streams={n}: no cross-stream commit record was ever staged"
+    assert m["cross_shard_share"] > 0.05, \
+        f"streams={n}: cross-shard mix only {m['cross_shard_share']:.3f}"
+print(f"multistream: OK (8-stream speedup = {speedup:.2f}x, group fences/txn "
+      f"= {rows['group/streams=8']['fences_per_txn']:.3f})")
 EOF

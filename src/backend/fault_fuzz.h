@@ -169,11 +169,11 @@ inline FuzzReport run_fault_fuzz(const FuzzOptions& opts) {
             rng.chance(0.6)) {
           // Group commit (DESIGN.md §14): hand 2–4 whole transactions to
           // commit_group() at once.  The flattened member-order write list
-          // is the in-flight image — a batch is all-or-nothing per
-          // persistence stream, so the crash candidates below (nothing, the
-          // whole batch, or ascending-shard prefixes of this list) stay
-          // exact.  Duplicate blocks across members exercise the LWW merge;
-          // the merged distinct-block count stays within max_txn_blocks.
+          // is the in-flight image — a batch is all-or-nothing even across
+          // shards (the cross-stream commit record, DESIGN.md §15), so the
+          // crash candidates below (nothing or the whole batch) stay exact.
+          // Duplicate blocks across members exercise the LWW merge; the
+          // merged distinct-block count stays within max_txn_blocks.
           const std::uint64_t members = 2 + rng.below(3);
           std::vector<GroupTxn> batch(members);
           std::set<std::uint64_t> distinct;
@@ -306,12 +306,11 @@ inline FuzzReport run_fault_fuzz(const FuzzOptions& opts) {
 
     // --- Verification ------------------------------------------------------
     // Acceptable states: committed history, or (crash during commit only)
-    // committed history + the in-flight transaction.  The sharded stack's
-    // documented contract (DESIGN.md §7) is per-shard all-or-nothing with
-    // ascending-shard publication, so there an ascending-shard *prefix* of
-    // the in-flight transaction is also acceptable.  Anything else — a torn
-    // block, a lost committed block, a half-applied shard portion — is a
-    // violation.
+    // committed history + the in-flight transaction — for EVERY backend,
+    // including the sharded stack.  A cross-shard transaction is anchored to
+    // one atomic commit record (DESIGN.md §15), so no shard-prefix states
+    // are acceptable any more: anything else — a torn block, a lost
+    // committed block, a half-applied shard portion — is a violation.
     try {
       const auto matches =
           [&](const std::map<std::uint64_t, std::uint64_t>& expect,
@@ -333,24 +332,9 @@ inline FuzzReport run_fault_fuzz(const FuzzOptions& opts) {
       std::vector<std::map<std::uint64_t, std::uint64_t>> candidates;
       candidates.push_back(committed);
       if (!txn.empty()) {
-        if (opts.kind == StackKind::kShardedTinca) {
-          const shard::ShardedTinca& st =
-              static_cast<ShardedBackend&>(*be).sharded();
-          std::map<std::uint32_t,
-                   std::vector<std::pair<std::uint64_t, std::uint64_t>>>
-              by_shard;
-          for (const auto& [blkno, value] : txn)
-            by_shard[st.shard_of(blkno)].emplace_back(blkno, value);
-          std::map<std::uint64_t, std::uint64_t> acc = committed;
-          for (const auto& [sid, part] : by_shard) {  // ascending shard id
-            for (const auto& [blkno, value] : part) acc[blkno] = value;
-            candidates.push_back(acc);
-          }
-        } else {
-          std::map<std::uint64_t, std::uint64_t> with_txn = committed;
-          for (const auto& [blkno, value] : txn) with_txn[blkno] = value;
-          candidates.push_back(with_txn);
-        }
+        std::map<std::uint64_t, std::uint64_t> with_txn = committed;
+        for (const auto& [blkno, value] : txn) with_txn[blkno] = value;
+        candidates.push_back(with_txn);
       }
 
       bool ok = false;

@@ -41,6 +41,11 @@ enum class FuzzSabotage : std::uint8_t {
   /// (DESIGN.md §13) — "committed" txns are only cache-resident.  Any
   /// crash then loses acknowledged commits, and the oracle must flag it.
   kNvLogSkipsCommitFlush,
+  /// The sharded stack stages its cross-stream commit record WITHOUT the
+  /// clflush that makes it the atomic commit point (DESIGN.md §15).  A
+  /// crash then rolls back an acknowledged cross-shard transaction, and
+  /// the oracle must flag the lost commit.
+  kSkipCommitRecordFlush,
 };
 
 /// Parameters of one fuzz campaign (one backend kind, many schedules).
@@ -73,6 +78,10 @@ struct FuzzOptions {
   std::uint64_t ring_bytes = 64 * 1024;    ///< Tinca ring (per shard)
   std::uint64_t journal_blocks = 512;      ///< Classic journal reservation
   std::uint32_t shards = 2;                ///< kShardedTinca only
+  /// Per-shard commit streams (DESIGN.md §15).  1 keeps the single-ring
+  /// layout; >1 splits each shard's ring region into per-stream rings and
+  /// lets cross-shard transactions anchor to the commit directory.
+  std::uint32_t streams = 1;
   blockdev::RetryPolicy retry{};
   /// Background cleaner mode for the cache under test (kStepped arms the
   /// cleaner deterministically: the harness calls cleaner_step() after each
@@ -145,6 +154,7 @@ inline std::unique_ptr<TxnBackend> fuzz_build(const FuzzOptions& o,
     case StackKind::kTinca: {
       core::TincaConfig c;
       c.ring_bytes = o.ring_bytes;
+      c.num_streams = o.streams;
       c.io = o.retry;
       c.cleaner.mode = o.cleaner;
       c.cleaner.low_water_pct = o.cleaner_low_water_pct;
@@ -182,7 +192,10 @@ inline std::unique_ptr<TxnBackend> fuzz_build(const FuzzOptions& o,
       // only wastes wall clock; linger=0 keeps the full leader/batch commit
       // path (the code under test) without the wait.
       s.group_linger_us = 0;
+      s.sabotage_skip_commit_record_flush =
+          o.sabotage == FuzzSabotage::kSkipCommitRecordFlush;
       s.shard.ring_bytes = o.ring_bytes;
+      s.shard.num_streams = o.streams;
       s.shard.io = o.retry;
       s.shard.cleaner.mode = o.cleaner;
       s.shard.cleaner.low_water_pct = o.cleaner_low_water_pct;

@@ -52,8 +52,10 @@ class TxnBackend {
   [[nodiscard]] virtual bool supports_group_commit() const { return false; }
 
   /// Durably commit every transaction in `txns` as one batch.  Backends
-  /// that support group commit make the batch all-or-nothing per persistence
-  /// stream and pay one flush pass + one fence for the whole batch; the
+  /// that support group commit make the batch all-or-nothing — a transaction
+  /// spanning several persistence streams (shards) is anchored to one atomic
+  /// cross-stream commit record, so a crash either keeps all of its writes or
+  /// none — and pay one flush pass + one fence per stream touched.  The
   /// default degrades to back-to-back single commits (each per-txn atomic)
   /// so harnesses can drive any backend through one code path.  No
   /// transaction may be open when this is called.

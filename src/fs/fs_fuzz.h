@@ -21,14 +21,12 @@
 // backend recovers, and the harness:
 //
 //   1. matches the recovered *block image* against the acceptable histories
-//      (committed, committed + in-flight txn, or — sharded stack only — an
-//      ascending-shard prefix of the in-flight txn, DESIGN.md §7);
-//   2. for a full-boundary match, mounts the file system and checks the
-//      recovered tree against the corresponding model snapshot, and runs
-//      the strengthened fsck() which must be clean;
-//   3. counts strict shard-prefix matches as `shard_prefix_cuts` telemetry —
-//      a documented mid-commit state that is block-consistent but not an
-//      fsync boundary, so the tree oracle does not apply.
+//      (committed, or committed + in-flight txn) — for EVERY backend: a
+//      cross-shard transaction is anchored to one atomic commit record
+//      (DESIGN.md §15), so no shard-prefix states are acceptable;
+//   2. for a match, mounts the file system and checks the recovered tree
+//      against the corresponding model snapshot, and runs the strengthened
+//      fsck() which must be clean.
 //
 // A sweep mode (run_fs_crash_sweep) replays one fixed op script and steps
 // the injector through every NVM-store point and every torn disk-write site
@@ -73,6 +71,12 @@ enum class FsSabotage : std::uint8_t {
   /// data surfaces after remount and the image check must flag it.  Requires
   /// a cleaner mode other than kDisabled.
   kCleanerSkipsFlush,
+  /// Arm the stack-level cross-stream commit-record sabotage
+  /// (FuzzSabotage::kSkipCommitRecordFlush): the sharded stack stages its
+  /// §15 commit record without the clflush that makes it the atomic commit
+  /// point, so a crash rolls back acked cross-shard transactions and the
+  /// image check must flag the missing state.  Sharded stacks only.
+  kSkipCommitRecordFlush,
 };
 
 /// Parameters of one fs-level fuzz campaign (one stack kind, many schedules).
@@ -100,6 +104,9 @@ struct FsFuzzOptions {
   std::uint64_t ring_bytes = 64 * 1024;
   std::uint64_t journal_blocks = 512;
   std::uint32_t shards = 2;
+  /// Per-shard commit streams (DESIGN.md §15); 1 keeps the single-ring
+  /// layout.
+  std::uint32_t streams = 1;
   blockdev::RetryPolicy retry{};
   /// MiniFs knobs: small inode table (fast mkfs) and a short group-commit
   /// window (many small compound txns → many commit boundaries to cut).
@@ -131,7 +138,6 @@ struct FsFuzzReport {
   std::uint64_t clean_remounts = 0;  ///< crash-free recover+mount round trips
   std::uint64_t io_errors = 0;       ///< unrecoverable-read IoError throws
   std::uint64_t wedges = 0;          ///< documented capacity wedges hit
-  std::uint64_t shard_prefix_cuts = 0;  ///< mid-commit ascending-shard states
   std::uint64_t fsck_runs = 0;
   std::uint64_t fsck_dirty = 0;      ///< fsck reports with problems (must be 0)
   std::uint64_t violations = 0;      ///< model/image violations (must be 0)
@@ -617,6 +623,7 @@ inline backend::FuzzOptions fs_stack_opts(const FsFuzzOptions& o) {
   s.ring_bytes = o.ring_bytes;
   s.journal_blocks = o.journal_blocks;
   s.shards = o.shards;
+  s.streams = o.streams;
   s.retry = o.retry;
   s.cleaner = o.cleaner;
   s.cleaner_low_water_pct = o.cleaner_low_water_pct;
@@ -624,6 +631,8 @@ inline backend::FuzzOptions fs_stack_opts(const FsFuzzOptions& o) {
   s.group_commit = o.group_commit;
   if (o.sabotage == FsSabotage::kCleanerSkipsFlush)
     s.sabotage = backend::FuzzSabotage::kCleanerSkipsFlush;
+  if (o.sabotage == FsSabotage::kSkipCommitRecordFlush)
+    s.sabotage = backend::FuzzSabotage::kSkipCommitRecordFlush;
   return s;
 }
 
@@ -953,8 +962,10 @@ inline ScheduleOutcome run_fs_schedule(const FsFuzzOptions& opts,
   // --- verification ---------------------------------------------------------
   try {
     // Candidate block images, most-committed first.  role: 0 = committed
-    // boundary, 1 = committed + interrupted txn (also a boundary), 2 =
-    // ascending-shard strict prefix (block-consistent, not a boundary).
+    // boundary, 1 = committed + interrupted txn (also a boundary).  Both
+    // are fsync boundaries — there are no block-consistent-but-mid-commit
+    // states any more: a cross-shard transaction commits atomically through
+    // the §15 commit record, so shard-prefix images are violations.
     struct Cand {
       std::map<std::uint64_t, std::uint64_t> image;
       int role;
@@ -965,23 +976,6 @@ inline ScheduleOutcome run_fs_schedule(const FsFuzzOptions& opts,
       std::map<std::uint64_t, std::uint64_t> full = shim.committed();
       for (const auto& [blkno, fp] : shim.pending()) full[blkno] = fp;
       cands.push_back({std::move(full), 1});
-      if (opts.kind == backend::StackKind::kShardedTinca) {
-        const shard::ShardedTinca& st =
-            static_cast<backend::ShardedBackend&>(*be).sharded();
-        std::map<std::uint32_t, std::vector<std::pair<std::uint64_t,
-                                                      std::uint64_t>>>
-            by_shard;
-        for (const auto& [blkno, fp] : shim.pending())
-          by_shard[st.shard_of(blkno)].emplace_back(blkno, fp);
-        std::map<std::uint64_t, std::uint64_t> acc = shim.committed();
-        std::size_t taken = 0;
-        for (const auto& [sid, part] : by_shard) {  // ascending shard id
-          taken += part.size();
-          if (taken == shim.pending().size()) break;  // == full, already in
-          for (const auto& [blkno, fp] : part) acc[blkno] = fp;
-          cands.push_back({acc, 2});
-        }
-      }
     }
 
     int matched_role = -1;
@@ -1009,27 +1003,14 @@ inline ScheduleOutcome run_fs_schedule(const FsFuzzOptions& opts,
         ++rep.fsck_runs;
         const FsckReport fr = m->fsck();
         if (!fr.ok) {
-          if (matched_role == 2) {
-            ++rep.shard_prefix_cuts;
-          } else {
-            ++rep.fsck_dirty;
-            record_violation("fsck dirty after mkfs crash: " + fr.summary());
-          }
+          ++rep.fsck_dirty;
+          record_violation("fsck dirty after mkfs crash: " + fr.summary());
         } else if (!m->list("/").empty()) {
           record_violation("mkfs crash recovered to a non-empty root");
         }
       } catch (const ContractViolation&) {
         // Not a mountable MiniFs volume — acceptable for a torn format.
       }
-      backend::detail::fuzz_fold_faults(rep.faults, disk.fault_stats());
-      return out;
-    }
-
-    if (matched_role == 2) {
-      // Documented sharded mid-commit state (DESIGN.md §7): block-level
-      // consistent but between fsync boundaries; the tree oracle does not
-      // apply.  Counted so campaigns show how often the cut landed there.
-      ++rep.shard_prefix_cuts;
       backend::detail::fuzz_fold_faults(rep.faults, disk.fault_stats());
       return out;
     }

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
-#include <map>
+#include <thread>
+#include <unordered_set>
 
 #include "common/expect.h"
 #include "obs/metrics.h"
+#include "tinca/commit_directory.h"
 
 namespace tinca::shard {
 
@@ -30,6 +32,12 @@ ShardedTinca::ShardedTinca(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
                            ShardedConfig cfg, bool do_format)
     : disk_(disk), cfg_(cfg) {
   TINCA_EXPECT(cfg.num_shards >= 1, "at least one shard required");
+  // The cross-stream commit record names participants as (shard, stream)
+  // bits of one 64-bit mask (DESIGN.md §15).
+  TINCA_EXPECT(static_cast<std::uint64_t>(cfg.num_shards) *
+                       std::max(1u, cfg.shard.num_streams) <=
+                   64,
+               "shards × streams must fit the 64-bit commit-record mask");
   // Equal 4 KB-aligned partitions; the tail remainder (< one partition) is
   // left unused.  Geometry is a pure function of (device size, num_shards),
   // so recovery reconstructs identical views without any extra metadata —
@@ -58,9 +66,64 @@ ShardedTinca::ShardedTinca(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
     shard_cfg.trace_tid = static_cast<int>(s);  // own Chrome track per shard
     sh->cache = do_format
                     ? core::TincaCache::format(*sh->view, disk_, shard_cfg)
-                    : core::TincaCache::recover(*sh->view, disk_, shard_cfg);
+                    : core::TincaCache::mount_for_recovery(*sh->view, disk_,
+                                                           shard_cfg);
     shards_.push_back(std::move(sh));
   }
+
+  if (!do_format) {
+    // Coordinated crash recovery (DESIGN.md §15).  A shard recovering alone
+    // cannot adjudicate an anchored batch — the commit record lives in
+    // shard 0's directory and names OTHER shards' batches — so recovery is
+    // three-phase across the set: scan every shard (no mutation), decide
+    // which cross-stream commit ids are effective globally, then apply.
+    std::vector<core::TincaCache::RecoveryScan> scans;
+    scans.reserve(shards_.size());
+    for (auto& sh : shards_) scans.push_back(sh->cache->recovery_scan());
+
+    // Read the directory under the PRE-recovery epoch: records were salted
+    // with the epoch in force when they were written, and recovery_apply
+    // bumps it.
+    const std::uint64_t pre_epoch =
+        shards_[0]->view->load8(core::Layout::kFormatEpochOff);
+    const std::uint32_t streams = shards_[0]->cache->num_streams();
+    std::unordered_set<std::uint32_t> effective;
+    for (const core::CommitRecord& rec :
+         core::CommitDirectory::scan(*shards_[0]->view, pre_epoch)) {
+      // A durable record proves every participant's batch is durable: the
+      // record is staged strictly AFTER every participant's flush pass, and
+      // a flush is the simulated media's durability point.  So the record's
+      // presence alone makes the commit id effective.  A participant whose
+      // scan window no longer contains the id is equally fine — its durable
+      // hint only ever advances past durably-placed batches.  The one check
+      // kept is defensive: a participant whose NEWEST batch carries this id
+      // but is not fully placed contradicts the protocol order, and the
+      // commit is withheld rather than half-applied.
+      bool ok = true;
+      for (std::uint32_t bit = 0; bit < 64 && ok; ++bit) {
+        if ((rec.stream_mask >> bit & 1) == 0) continue;
+        const std::uint32_t sid = bit / streams;
+        if (sid >= shards_.size()) {
+          ok = false;
+          break;
+        }
+        for (const auto& ab : scans[sid].anchored) {
+          if (ab.commit_id != rec.commit_id) continue;
+          ok = !ab.is_last || ab.placed;
+          break;
+        }
+      }
+      if (ok) effective.insert(static_cast<std::uint32_t>(rec.commit_id));
+    }
+
+    for (auto& sh : shards_) sh->cache->recovery_apply(effective);
+  }
+
+  // Dedicated directory view + clock (offsets within shard 0's partition).
+  dir_clock_ = std::make_unique<sim::SimClock>();
+  dir_view_ = std::make_unique<nvm::NvmDevice>(
+      nvm, 0, core::Layout::kSuperblockBytes, *dir_clock_);
+  dir_epoch_ = dir_view_->load8(core::Layout::kFormatEpochOff);
 }
 
 std::unique_ptr<ShardedTinca> ShardedTinca::format(nvm::NvmDevice& nvm,
@@ -152,32 +215,35 @@ void ShardedTinca::commit(ShardedTxn& txn) {
   // transactions contending on several shards acquire them in the same
   // global total order (no deadlocks).
   TINCA_TRACE_SPAN(trace_, ts_commit_);
-  std::map<std::uint32_t, std::vector<std::uint64_t>> groups;
-  for (std::uint64_t blkno : txn.order_)
-    groups[shard_of(blkno)].push_back(blkno);
-
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(groups.size());
+  XShardGroups groups;
   {
-    // Lock-wait span: under contention this is where commit time goes, and
-    // it is invisible to the shards' virtual clocks (lock waits charge no
-    // device time) — hence the wall-clock tracer.
-    TINCA_TRACE_SPAN(trace_, ts_lock_wait_);
-    for (auto& [sid, blocks] : groups) locks.emplace_back(shards_[sid]->mu);
+    std::map<std::uint32_t, std::vector<std::uint64_t>> by_shard;
+    for (std::uint64_t blkno : txn.order_)
+      by_shard[shard_of(blkno)].push_back(blkno);
+    for (auto& [sid, blocks] : by_shard)
+      groups[sid].emplace_back(&txn, std::move(blocks));
   }
 
-  // Per-shard ring phase and per-shard Tail publication, in shard order.
-  // Each shard runs the paper's full commit protocol over its portion, so
-  // that portion is atomic through that shard's Tail; a crash between two
-  // publications leaves earlier shards committed and later ones rolled back
-  // — per-shard all-or-nothing (DESIGN.md §7).
-  {
-    TINCA_TRACE_SPAN(trace_, ts_publish_);
-    for (auto& [sid, blocks] : groups) {
-      core::Transaction sub = shards_[sid]->cache->tinca_init_txn();
-      for (std::uint64_t blkno : blocks) sub.add(blkno, txn.blocks_[blkno]);
-      shards_[sid]->cache->tinca_commit(sub);
+  if (groups.size() == 1) {
+    // Single home shard: one lock, the paper's exact protocol.
+    const std::uint32_t sid = groups.begin()->first;
+    Shard& sh = *shards_[sid];
+    std::unique_lock<std::mutex> lock(sh.mu, std::defer_lock);
+    {
+      // Lock-wait span: under contention this is where commit time goes,
+      // and it is invisible to the shards' virtual clocks (lock waits
+      // charge no device time) — hence the wall-clock tracer.
+      TINCA_TRACE_SPAN(trace_, ts_lock_wait_);
+      lock.lock();
     }
+    TINCA_TRACE_SPAN(trace_, ts_publish_);
+    core::Transaction sub = sh.cache->tinca_init_txn();
+    for (std::uint64_t blkno : groups.begin()->second.front().second)
+      sub.add(blkno, txn.blocks_[blkno]);
+    sh.cache->tinca_commit(sub);
+  } else {
+    // Cross-shard: atomic through one commit-directory record (§15).
+    commit_across_shards(groups, /*member_count=*/1);
   }
 
   txn.open_ = false;
@@ -281,16 +347,103 @@ void ShardedTinca::commit_batch(std::span<ShardedTxn* const> txns) {
   // Split every member per home shard, then regroup by shard preserving
   // member order — each shard commits its members' portions as one batch,
   // in the same ascending shard order the locks are taken in.
-  std::map<std::uint32_t,
-           std::vector<std::pair<std::size_t, std::vector<std::uint64_t>>>>
-      groups;
-  for (std::size_t i = 0; i < txns.size(); ++i) {
+  XShardGroups groups;
+  for (ShardedTxn* t : txns) {
     std::map<std::uint32_t, std::vector<std::uint64_t>> mine;
-    for (std::uint64_t blkno : txns[i]->order_)
+    for (std::uint64_t blkno : t->order_)
       mine[shard_of(blkno)].push_back(blkno);
     for (auto& [sid, blocks] : mine)
-      groups[sid].emplace_back(i, std::move(blocks));
+      groups[sid].emplace_back(t, std::move(blocks));
   }
+
+  if (groups.size() > 1) {
+    // The batch spans shards: commit every shard's portion atomically
+    // through one cross-stream commit record (§15).
+    commit_across_shards(groups, txns.size());
+  } else if (!groups.empty()) {
+    auto& [sid, parts] = *groups.begin();
+    Shard& sh = *shards_[sid];
+    std::unique_lock<std::mutex> lock(sh.mu, std::defer_lock);
+    {
+      TINCA_TRACE_SPAN(trace_, ts_lock_wait_);
+      lock.lock();
+    }
+    TINCA_TRACE_SPAN(trace_, ts_publish_);
+    std::vector<core::Transaction> subs;
+    subs.reserve(parts.size());
+    for (auto& [t, blocks] : parts) {
+      subs.emplace_back(sh.cache->tinca_init_txn());
+      for (std::uint64_t blkno : blocks)
+        subs.back().add(blkno, t->blocks_[blkno]);
+    }
+    std::vector<core::Transaction*> ptrs;
+    ptrs.reserve(subs.size());
+    for (core::Transaction& t : subs) ptrs.push_back(&t);
+    sh.cache->commit_group(ptrs);
+  }
+
+  for (ShardedTxn* t : txns) {
+    t->open_ = false;
+    t->blocks_.clear();
+    t->order_.clear();
+  }
+}
+
+std::uint64_t ShardedTinca::dir_acquire_slot(std::uint32_t& cid_out) {
+  for (;;) {
+    std::vector<DirDep> blocking;
+    {
+      std::lock_guard<std::mutex> lk(dir_mu_);
+      // Retire every slot whose anchored batches all participants' durable
+      // hints have passed: recovery's scan windows no longer reach those
+      // batches, so the records are unreachable and the slots reusable.
+      for (DirSlot& slot : dir_slots_) {
+        if (!slot.used) continue;
+        bool retirable = true;
+        for (const DirDep& d : slot.deps) {
+          if (shards_[d.shard]->cache->stream_ring(d.stream).durable_hint() <
+              d.end) {
+            retirable = false;
+            break;
+          }
+        }
+        if (retirable) {
+          slot.used = false;
+          slot.deps.clear();
+        }
+      }
+      for (std::uint64_t i = 0; i < dir_slots_.size(); ++i) {
+        if (!dir_slots_[i].used) {
+          dir_slots_[i].used = true;
+          cid_out = next_commit_id_++;
+          TINCA_ENSURE(cid_out != 0, "commit-id space exhausted");
+          return i;
+        }
+      }
+      // Every slot is pinned by a still-scannable batch.  Collect the
+      // blockers, then force their hints forward OUTSIDE dir_mu_ — each
+      // sync takes one shard mutex as a leaf, so no lock cycle.
+      for (const DirSlot& slot : dir_slots_)
+        blocking.insert(blocking.end(), slot.deps.begin(), slot.deps.end());
+    }
+    std::unordered_set<std::uint32_t> synced;
+    for (const DirDep& d : blocking) {
+      if (!synced.insert(d.shard).second) continue;
+      Shard& sh = *shards_[d.shard];
+      std::lock_guard<std::mutex> lock(sh.mu);
+      sh.cache->sync_commit_hints();
+    }
+  }
+}
+
+void ShardedTinca::commit_across_shards(const XShardGroups& groups,
+                                        std::uint64_t member_count) {
+  TINCA_EXPECT(groups.size() >= 2, "cross-shard commit needs two shards");
+
+  // Directory slot + commit id first, while holding NO shard locks — the
+  // slow path inside (forcing hint syncs) takes shard mutexes itself.
+  std::uint32_t cid = 0;
+  const std::uint64_t slot = dir_acquire_slot(cid);
 
   std::vector<std::unique_lock<std::mutex>> locks;
   locks.reserve(groups.size());
@@ -299,27 +452,65 @@ void ShardedTinca::commit_batch(std::span<ShardedTxn* const> txns) {
     for (auto& [sid, parts] : groups) locks.emplace_back(shards_[sid]->mu);
   }
 
-  {
-    TINCA_TRACE_SPAN(trace_, ts_publish_);
-    for (auto& [sid, parts] : groups) {
-      std::vector<core::Transaction> subs;
-      subs.reserve(parts.size());
-      for (auto& [ti, blocks] : parts) {
-        subs.emplace_back(shards_[sid]->cache->tinca_init_txn());
-        for (std::uint64_t blkno : blocks)
-          subs.back().add(blkno, txns[ti]->blocks_[blkno]);
-      }
-      std::vector<core::Transaction*> ptrs;
-      ptrs.reserve(subs.size());
-      for (core::Transaction& t : subs) ptrs.push_back(&t);
-      shards_[sid]->cache->commit_group(ptrs);
+  TINCA_TRACE_SPAN(trace_, ts_publish_);
+  const std::uint32_t streams = shards_[0]->cache->num_streams();
+
+  // Phase 1 — stage: one anchored batch per shard, each on one of that
+  // shard's commit streams.  The sub-transactions must outlive publish
+  // (which closes them), hence the per-shard store.
+  std::uint64_t mask = 0;
+  std::vector<DirDep> deps;
+  deps.reserve(groups.size());
+  std::vector<std::vector<core::Transaction>> subs_store;
+  subs_store.reserve(groups.size());
+  for (auto& [sid, parts] : groups) {
+    core::TincaCache& cache = *shards_[sid]->cache;
+    std::vector<core::Transaction> subs;
+    subs.reserve(parts.size());
+    for (const auto& [t, blocks] : parts) {
+      subs.emplace_back(cache.tinca_init_txn());
+      for (std::uint64_t blkno : blocks)
+        subs.back().add(blkno, t->blocks_.at(blkno));
     }
+    std::vector<core::Transaction*> ptrs;
+    ptrs.reserve(subs.size());
+    for (core::Transaction& t : subs) ptrs.push_back(&t);
+    const bool staged = cache.batch_stage(ptrs, cid);
+    TINCA_ENSURE(staged, "cross-shard member with no blocks on its shard");
+    mask |= 1ull << (static_cast<std::uint64_t>(sid) * streams +
+                     cache.batch_stream());
+    deps.push_back({sid, cache.batch_stream(), cache.batch_end()});
+    subs_store.push_back(std::move(subs));
   }
 
-  for (ShardedTxn* t : txns) {
-    t->open_ = false;
-    t->blocks_.clear();
-    t->order_.clear();
+  // Phase 2 — flush every participant's batch (no fences yet).
+  for (auto& [sid, parts] : groups) shards_[sid]->cache->batch_flush();
+
+  // Phase 3 — the commit record: ONE 64 B line naming every participating
+  // (shard, stream), flushed in the same pass, then ONE sfence for the
+  // whole transaction.  The record's flush is the atomic commit point: a
+  // crash before it rolls every shard back, after it commits every shard.
+  const core::CommitRecord rec{cid, mask, member_count};
+  const auto [rec_off, rec_len] =
+      core::CommitDirectory::stage(*dir_view_, slot, rec, dir_epoch_);
+  dir_view_->injector.point();  // CP: batches flushed, record staged only
+  if (!cfg_.sabotage_skip_commit_record_flush)
+    dir_view_->clflush(rec_off, rec_len);
+  dir_view_->injector.point();  // CP: record durable, nothing published
+  shards_[groups.begin()->first]->view->sfence();
+  shards_[groups.begin()->first]->cache->note_shared_fence();
+
+  // Phase 4 — publish all participants inside the seqlock's odd window, so
+  // open_snapshot() can never pin a cut between two shards' epoch bumps.
+  xshard_seq_.fetch_add(1, std::memory_order_acq_rel);
+  for (auto& [sid, parts] : groups) shards_[sid]->cache->batch_publish();
+  xshard_seq_.fetch_add(1, std::memory_order_release);
+
+  // Register the slot's reuse gate: the record must stay until every
+  // participant's durable hint passes its anchored batch.
+  {
+    std::lock_guard<std::mutex> lk(dir_mu_);
+    dir_slots_[slot].deps = std::move(deps);
   }
 }
 
@@ -373,7 +564,22 @@ void ShardedSnapshot::release() noexcept {
 ShardedSnapshot ShardedTinca::open_snapshot() {
   ShardedSnapshot snap;
   snap.pins_.reserve(shards_.size());
-  for (auto& sh : shards_) snap.pins_.push_back(sh->cache->snapshot_pin());
+  // Seqlock against the cross-shard publish window: retry whenever the pins
+  // were taken while (or across) a cross-stream commit was publishing its
+  // per-shard epoch bumps, so the snapshot can never hold shard A's epoch
+  // from after an atomic transaction and shard B's from before it.
+  for (;;) {
+    const std::uint64_t seq = xshard_seq_.load(std::memory_order_acquire);
+    if (seq & 1) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (auto& sh : shards_) snap.pins_.push_back(sh->cache->snapshot_pin());
+    if (xshard_seq_.load(std::memory_order_acquire) == seq) break;
+    for (std::uint32_t s = 0; s < shards_.size(); ++s)
+      shards_[s]->cache->snapshot_unpin(snap.pins_[s]);
+    snap.pins_.clear();
+  }
   snap.owner_ = this;
   snap.open_ = true;
   return snap;
@@ -470,6 +676,7 @@ core::TincaCacheStats ShardedTinca::aggregated_stats() const {
     agg.commit_batches += s.commit_batches;
     agg.hint_syncs += s.hint_syncs;
     agg.group_merged_writes += s.group_merged_writes;
+    agg.xstream_commits += s.xstream_commits;
     agg.blocks_per_txn.merge(s.blocks_per_txn);
     agg.commit_batch_size.merge(s.commit_batch_size);
   }

@@ -19,28 +19,34 @@
 //
 // Cross-shard transactions acquire the locks of every involved shard in
 // ascending shard-id order (a global total order, hence no deadlocks), then
-// run the full per-shard protocol — ring records, Head moves, role switches
-// and the per-shard Tail publication — shard by shard in that same order.
-// Durability and atomicity are therefore *per shard*: each shard's portion
-// commits all-or-nothing through its own Tail, exactly the paper's
-// single-cache argument applied per partition (DESIGN.md §7 discusses why a
-// crash between two shards' publications is equivalent to two back-to-back
-// single-shard transactions).
+// commit ATOMICALLY across shards (DESIGN.md §15): each involved shard
+// stages one anchored batch on one of its commit streams, every batch is
+// flushed, and the whole set becomes durable through ONE cross-stream
+// commit record — a single 64 B line in shard 0's commit directory naming
+// the participating (shard, stream) pairs, flushed in the same pass and
+// covered by the same single sfence.  Recovery keeps the anchored batches
+// only when the record landed AND every participant's batch survived, so a
+// crash anywhere in the protocol is all-or-nothing for the transaction —
+// the old ascending-shard-prefix contract is retired.
 //
 // The shared backing disk is serialized behind a LockedBlockDevice; shards
 // only reach it for misses, evictions and flushes, never while holding
 // another shard's lock.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "blockdev/locked_block_device.h"
@@ -67,6 +73,11 @@ struct ShardedConfig {
   /// The leader closes a batch early once this many transactions are queued
   /// (bounds commit latency under bursts).
   std::uint32_t group_max_batch = 32;
+  /// Fault-injection self-test hook: skip the clflush of the cross-stream
+  /// commit record.  A sabotaged stack must FAIL the crash oracles (an acked
+  /// cross-shard transaction rolls back), proving the record's flush is
+  /// what the atomicity argument actually rests on.
+  bool sabotage_skip_commit_record_flush = false;
 };
 
 /// A running sharded transaction: blocks staged in DRAM, possibly spanning
@@ -194,17 +205,19 @@ class ShardedTinca {
   [[nodiscard]] ShardedTxn init_txn() const { return ShardedTxn(); }
 
   /// Durably commit `txn`.  Single-shard transactions take one lock and the
-  /// paper's exact protocol; cross-shard transactions lock ascending and
-  /// publish each involved shard's Tail in that order (per-shard atomic).
+  /// paper's exact protocol; cross-shard transactions lock ascending, stage
+  /// one anchored batch per involved shard and commit them all atomically
+  /// through one cross-stream commit record (DESIGN.md §15).
   void commit(ShardedTxn& txn);
 
   /// Commit several running transactions as one deterministic batch
   /// (DESIGN.md §14): per involved shard, every member's portion joins that
-  /// shard's single commit_group() call — one coalesced ring append, one
-  /// flush pass and one fence per shard for the whole batch.  Atomicity is
-  /// per shard and covers the batch's entire portion of it.  Single-threaded
-  /// entry point (no batcher, no lingering) for backends and fuzz harnesses
-  /// that form batches themselves.  Every member is closed on return.
+  /// shard's single batch — one coalesced ring append, one flush pass, and
+  /// one fence for the WHOLE batch.  A batch spanning several shards commits
+  /// atomically across all of them through one cross-stream commit record
+  /// (§15).  Single-threaded entry point (no batcher, no lingering) for
+  /// backends and fuzz harnesses that form batches themselves.  Every member
+  /// is closed on return.
   void commit_batch(std::span<ShardedTxn* const> txns);
 
   /// Abort a running transaction; staged blocks are discarded.
@@ -228,7 +241,10 @@ class ShardedTinca {
 
   /// Pin every shard's current commit epoch.  Lock-free; a shard whose pin
   /// registry is full is marked in the snapshot and its reads degrade to
-  /// the locked path (counted in that shard's mvcc.lock_fallbacks).
+  /// the locked path (counted in that shard's mvcc.lock_fallbacks).  A
+  /// seqlock against the cross-shard publish window guarantees the pins
+  /// never straddle a cross-stream commit: a snapshot either sees ALL of an
+  /// atomic cross-shard transaction or none of it (DESIGN.md §15).
   [[nodiscard]] ShardedSnapshot open_snapshot();
 
   /// Read `disk_blkno` as of the snapshot.  Lock-free on shards with a
@@ -342,9 +358,57 @@ class ShardedTinca {
   /// durable or rethrows the batch's failure.
   void commit_grouped(std::uint32_t sid, ShardedTxn& txn);
 
+  /// Per-shard member portions of a cross-shard commit: shard id → the
+  /// member transactions contributing there, each with its block list for
+  /// that shard (ascending shard order, hence lock order).
+  using XShardGroups =
+      std::map<std::uint32_t,
+               std::vector<std::pair<ShardedTxn*, std::vector<std::uint64_t>>>>;
+
+  /// Atomic cross-shard commit (DESIGN.md §15): one anchored batch per
+  /// involved shard, one commit-directory record, ONE fence.  `groups` must
+  /// span at least two shards; `member_count` is the number of member
+  /// transactions (recorded in the commit record).
+  void commit_across_shards(const XShardGroups& groups,
+                            std::uint64_t member_count);
+
+  /// Allocate a free commit-directory slot and a fresh nonzero commit id.
+  /// Retires slots whose anchored batches every participant's durable hint
+  /// has passed; when none is retirable, forces hint syncs on the blocking
+  /// shards (dir_mu_ dropped first — shard mutexes are only ever taken as
+  /// leaves).  Called holding NO shard locks.
+  std::uint64_t dir_acquire_slot(std::uint32_t& cid_out);
+
   blockdev::LockedBlockDevice disk_;
   ShardedConfig cfg_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Cross-stream commit directory state (DESIGN.md §15).  The directory
+  // region lives in shard 0's superblock; this dedicated view (own clock and
+  // op counters, shared media and injector) touches ONLY the directory
+  // lines, which shard 0's cache never writes after format — so dir stores
+  // under dir_mu_ never race shard 0's own commits.
+  std::unique_ptr<sim::SimClock> dir_clock_;
+  std::unique_ptr<nvm::NvmDevice> dir_view_;
+  std::uint64_t dir_epoch_ = 0;  ///< shard 0's format epoch (record salt)
+  mutable std::mutex dir_mu_;    ///< guards the slot table + id counter
+  std::uint32_t next_commit_id_ = 1;
+  /// What blocks a slot's reuse: recovery stops scanning an anchored batch
+  /// only once its stream's durable hint passed the batch's end.
+  struct DirDep {
+    std::uint32_t shard;
+    std::uint32_t stream;
+    std::uint64_t end;  ///< ring index one past the batch's seal record
+  };
+  struct DirSlot {
+    bool used = false;
+    std::vector<DirDep> deps;
+  };
+  std::array<DirSlot, core::Layout::kDirSlots> dir_slots_;
+  /// Seqlock over the cross-shard publish window: odd while a cross-stream
+  /// commit is publishing its per-shard epoch bumps, so open_snapshot()
+  /// never pins a cut that splits an atomic transaction.
+  std::atomic<std::uint64_t> xshard_seq_{0};
 
   obs::Tracer trace_{"shard."};  ///< wall-clock tracer (many threads)
   obs::Tracer::Site* ts_commit_ = trace_.site("commit");

@@ -1,0 +1,129 @@
+// Cross-stream commit directory (DESIGN.md §15).
+//
+// A multi-cache transaction stages one batch per participating cache (each
+// on one of that cache's commit streams), flushes them all, then makes the
+// whole set durable with ONE atomic **commit record**: a single 64 B NVM
+// line in the superblock's directory region naming the participating
+// streams, flushed in the same pass and covered by the same single sfence as
+// the batch payloads.  Recovery treats an anchored batch (commit_id != 0 in
+// its ring seal) as committed only when the directory record exists AND
+// every named participant's batch survived — all-or-nothing across caches,
+// replacing the ascending-shard-prefix contract.
+//
+// Record format (one cache line, so a crash keeps the whole record or none):
+//
+//   w0  commit_id      (nonzero; DRAM-monotonic per mount)
+//   w1  participant mask (bit b = global stream shard*streams_per_shard+s)
+//   w2  transactions in the cross-stream commit
+//   w3  checksum over (w0, w1, w2, slot, format_epoch)
+//
+// Records validate against the owning superblock's format epoch; recovery
+// bumps that epoch, so every record from an earlier life is dead on arrival
+// and slots never need explicit scrubbing.  Slot reuse is gated by the
+// caller: a slot may be overwritten only once every participant stream's
+// durable hint has passed the anchored batch (recovery then never scans the
+// batch, so the record is unreachable).
+//
+// This class is pure media access — slot allocation, retirement deps, and
+// locking live in the owner (ShardedTinca).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/expect.h"
+#include "nvm/nvm_device.h"
+#include "tinca/layout.h"
+
+namespace tinca::core {
+
+/// A decoded, validated cross-stream commit record.
+struct CommitRecord {
+  std::uint64_t commit_id = 0;
+  std::uint64_t stream_mask = 0;
+  std::uint64_t txn_count = 0;
+};
+
+class CommitDirectory {
+ public:
+  /// The record checksum (exposed for verify_media and tests).
+  static std::uint64_t checksum(std::uint64_t w0, std::uint64_t w1,
+                                std::uint64_t w2, std::uint64_t slot,
+                                std::uint64_t format_epoch) {
+    return mix(w0 ^ mix(w1 ^ mix(w2 ^ mix(slot ^ mix(format_epoch ^
+                                                     0x6469722D736C6F74ULL)))));
+  }
+
+  /// Store `rec` into directory slot `slot` with plain stores (no flush).
+  /// Returns the byte range for the caller's flush pass.  The whole record
+  /// sits in one cache line, so the simulated NVM never tears it.
+  static std::pair<std::uint64_t, std::uint64_t> stage(
+      nvm::NvmDevice& nvm, std::uint64_t slot, const CommitRecord& rec,
+      std::uint64_t format_epoch) {
+    TINCA_EXPECT(slot < Layout::kDirSlots, "directory slot out of range");
+    TINCA_EXPECT(rec.commit_id != 0 && rec.stream_mask != 0,
+                 "commit record needs a nonzero id and mask");
+    std::array<std::byte, Layout::kDirSlotBytes> raw{};
+    store_le(raw.data(), rec.commit_id, 8);
+    store_le(raw.data() + 8, rec.stream_mask, 8);
+    store_le(raw.data() + 16, rec.txn_count, 8);
+    store_le(raw.data() + 24,
+             checksum(rec.commit_id, rec.stream_mask, rec.txn_count, slot,
+                      format_epoch),
+             8);
+    nvm.store(Layout::dir_slot_off(slot), raw);
+    return {Layout::dir_slot_off(slot), Layout::kDirSlotBytes};
+  }
+
+  /// Decode and validate slot `slot`; returns commit_id == 0 when the slot
+  /// holds no valid record for this epoch.
+  static CommitRecord read_slot(const nvm::NvmDevice& nvm, std::uint64_t slot,
+                                std::uint64_t format_epoch) {
+    std::array<std::byte, Layout::kDirSlotBytes> raw{};
+    nvm.load(Layout::dir_slot_off(slot), raw);
+    const std::uint64_t w0 = load_le(raw.data(), 8);
+    const std::uint64_t w1 = load_le(raw.data() + 8, 8);
+    const std::uint64_t w2 = load_le(raw.data() + 16, 8);
+    const std::uint64_t ck = load_le(raw.data() + 24, 8);
+    CommitRecord rec;
+    if (w0 != 0 && w1 != 0 && ck == checksum(w0, w1, w2, slot, format_epoch)) {
+      rec.commit_id = w0;
+      rec.stream_mask = w1;
+      rec.txn_count = w2;
+    }
+    return rec;
+  }
+
+  /// All valid records on media for this epoch (recovery / verify_media).
+  static std::vector<CommitRecord> scan(const nvm::NvmDevice& nvm,
+                                        std::uint64_t format_epoch) {
+    std::vector<CommitRecord> out;
+    for (std::uint64_t s = 0; s < Layout::kDirSlots; ++s) {
+      const CommitRecord rec = read_slot(nvm, s, format_epoch);
+      if (rec.commit_id != 0) out.push_back(rec);
+    }
+    return out;
+  }
+
+  /// Format path: zero the whole directory region (plain stores; the
+  /// caller's format flush covers it).
+  static void format(nvm::NvmDevice& nvm) {
+    const std::array<std::byte, Layout::kDirSlotBytes> zero{};
+    for (std::uint64_t s = 0; s < Layout::kDirSlots; ++s) {
+      nvm.store(Layout::dir_slot_off(s), zero);
+    }
+  }
+
+ private:
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+};
+
+}  // namespace tinca::core

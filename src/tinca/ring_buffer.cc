@@ -20,27 +20,34 @@ std::uint64_t mix64(std::uint64_t x) {
 
 std::uint64_t RingBuffer::checksum(std::uint64_t w0, std::uint64_t w1,
                                    std::uint64_t w2, std::uint64_t idx,
-                                   std::uint64_t format_epoch) {
+                                   std::uint64_t format_epoch,
+                                   std::uint32_t stream) {
   // Mixing the monotonic index covers the wrap lap (idx = lap * capacity +
-  // slot), and the format epoch covers earlier lives of the device: a stale
-  // record re-validated at the same physical slot always disagrees on at
-  // least one of the two.
-  return mix64(w0 ^ mix64(w1 ^ mix64(w2 ^ mix64(idx ^ mix64(format_epoch)))));
+  // slot), the format epoch covers earlier lives of the device, and the
+  // stream id covers a slot re-carved into a different stream by a
+  // num_streams change: a stale record re-validated at the same physical
+  // slot always disagrees on at least one of the three.
+  return mix64(w0 ^
+               mix64(w1 ^ mix64(w2 ^ mix64(idx ^ mix64(format_epoch ^
+                                                       mix64(stream))))));
 }
 
 void RingBuffer::format() {
   head_ = 0;
   tail_ = 0;
-  durable_hint_ = 0;
+  durable_hint_.store(0, std::memory_order_relaxed);
+  staged_hint_ = 0;
   epoch_ = nvm_.load8(Layout::kFormatEpochOff);
-  nvm_.atomic_store8(Layout::kCommitHintOff, 0);
-  nvm_.persist(Layout::kCommitHintOff, 8);
+  nvm_.atomic_store8(hint_off(), 0);
+  nvm_.persist(hint_off(), 8);
 }
 
 void RingBuffer::load() {
-  durable_hint_ = nvm_.load8(Layout::kCommitHintOff);
-  head_ = durable_hint_;
-  tail_ = durable_hint_;
+  const std::uint64_t hint = nvm_.load8(hint_off());
+  durable_hint_.store(hint, std::memory_order_relaxed);
+  staged_hint_ = hint;
+  head_ = hint;
+  tail_ = hint;
   epoch_ = nvm_.load8(Layout::kFormatEpochOff);
 }
 
@@ -50,24 +57,25 @@ void RingBuffer::stage_record(std::uint64_t w0, std::uint64_t w1,
   store_le(raw.data(), w0, 8);
   store_le(raw.data() + 8, w1, 8);
   store_le(raw.data() + 16, w2, 8);
-  store_le(raw.data() + 24, checksum(w0, w1, w2, head_, epoch_), 8);
-  nvm_.store(layout_.ring_slot_off(head_), raw);
+  store_le(raw.data() + 24, checksum(w0, w1, w2, head_, epoch_, stream_), 8);
+  nvm_.store(layout_.ring_slot_off(stream_, head_), raw);
   ++head_;
 }
 
 std::pair<std::uint64_t, std::uint64_t> RingBuffer::stage_block(
     std::uint64_t disk_blkno, std::uint32_t curr_nvm, std::uint64_t data_fp) {
   TINCA_EXPECT(has_room(1), "ring buffer full (hint sync required)");
-  const std::uint64_t off = layout_.ring_slot_off(head_);
+  const std::uint64_t off = layout_.ring_slot_off(stream_, head_);
   stage_record(kKindBlock | (disk_blkno << 2), curr_nvm, data_fp);
   return {off, Layout::kRingSlotBytes};
 }
 
 std::pair<std::uint64_t, std::uint64_t> RingBuffer::stage_commit(
-    std::uint64_t batch_start, std::uint64_t txn_count) {
+    std::uint64_t batch_start, std::uint64_t txn_count,
+    std::uint64_t commit_tag) {
   TINCA_EXPECT(has_room(1), "ring buffer full (hint sync required)");
-  const std::uint64_t off = layout_.ring_slot_off(head_);
-  stage_record(kKindCommit | (txn_count << 2), 0, batch_start);
+  const std::uint64_t off = layout_.ring_slot_off(stream_, head_);
+  stage_record(kKindCommit | (txn_count << 2), commit_tag, batch_start);
   return {off, Layout::kRingSlotBytes};
 }
 
@@ -77,31 +85,35 @@ std::pair<std::uint64_t, std::uint64_t> RingBuffer::publish(
   staged_hint_ = batch_start;
   // 8 B atomic so a crash can only keep or lose the whole value — a torn
   // hint would send recovery scanning from a garbage index.
-  nvm_.atomic_store8(Layout::kCommitHintOff, batch_start);
-  return {Layout::kCommitHintOff, 8};
+  nvm_.atomic_store8(hint_off(), batch_start);
+  return {hint_off(), 8};
 }
 
 void RingBuffer::note_staged_hint_durable() {
-  if (staged_hint_ > durable_hint_) durable_hint_ = staged_hint_;
+  if (staged_hint_ > durable_hint()) {
+    durable_hint_.store(staged_hint_, std::memory_order_relaxed);
+  }
 }
 
 void RingBuffer::persist_hint() {
   staged_hint_ = tail_;
-  nvm_.atomic_store8(Layout::kCommitHintOff, tail_);
-  nvm_.persist(Layout::kCommitHintOff, 8);
-  durable_hint_ = tail_;
+  nvm_.atomic_store8(hint_off(), tail_);
+  nvm_.persist(hint_off(), 8);
+  durable_hint_.store(tail_, std::memory_order_relaxed);
 }
 
 std::optional<RingRecord> RingBuffer::scan(std::uint64_t idx,
                                            std::uint64_t format_epoch) const {
-  const std::uint64_t off = layout_.ring_slot_off(idx);
+  const std::uint64_t off = layout_.ring_slot_off(stream_, idx);
   std::array<std::byte, Layout::kRingSlotBytes> raw{};
   nvm_.load(off, raw);
   const std::uint64_t w0 = load_le(raw.data(), 8);
   const std::uint64_t w1 = load_le(raw.data() + 8, 8);
   const std::uint64_t w2 = load_le(raw.data() + 16, 8);
   const std::uint64_t ck = load_le(raw.data() + 24, 8);
-  if (ck != checksum(w0, w1, w2, idx, format_epoch)) return std::nullopt;
+  if (ck != checksum(w0, w1, w2, idx, format_epoch, stream_)) {
+    return std::nullopt;
+  }
   const std::uint64_t kind = w0 & 0x3;
   RingRecord rec;
   if (kind == kKindBlock) {
@@ -112,6 +124,7 @@ std::optional<RingRecord> RingBuffer::scan(std::uint64_t idx,
   } else if (kind == kKindCommit) {
     rec.kind = RingRecord::Kind::kCommit;
     rec.txn_count = w0 >> 2;
+    rec.commit_tag = w1;
     rec.payload_fp = w2;  // batch_start
   } else {
     return std::nullopt;

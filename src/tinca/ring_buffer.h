@@ -1,5 +1,5 @@
 // Persistent ring of self-validating commit records (paper §4.4, reworked
-// for group commit — DESIGN.md §14).
+// for group commit — DESIGN.md §14 — and multi-stream commit — §15).
 //
 // Format v1 gave every transaction its own persistent Head/Tail pointer
 // updates: each committed block cost a record flush + fence plus two more
@@ -12,14 +12,25 @@
 //     and ONE sfence issued by the cache's commit path — that fence is the
 //     batch's commit point;
 //   * records validate by a 64-bit checksum mixing the record fields with
-//     the record's monotonic index (which encodes its wrap lap) and the
-//     superblock's format epoch, so stale slots — earlier laps, earlier
-//     lives of the device — can never splice into a recovery scan;
+//     the record's monotonic index (which encodes its wrap lap), the stream
+//     id, and the superblock's format epoch, so stale slots — earlier laps,
+//     earlier lives of the device, a neighbouring stream — can never splice
+//     into a recovery scan;
 //   * instead of a fenced Tail publication, a lazily-persisted **commit
-//     hint** (one 8 B superblock field, stored without a flush at batch
-//     publish and swept out by the *next* batch's flush pass) tells recovery
-//     where to start scanning.  Everything below the durable hint is fully
-//     durable and role-switched; recovery re-validates everything above it.
+//     hint** (one 8 B superblock field per stream, stored without a flush at
+//     batch publish and swept out by the *next* batch's flush pass) tells
+//     recovery where to start scanning.  Everything below the durable hint
+//     is fully durable and role-switched; recovery re-validates everything
+//     above it.
+//
+// Format v3 (DESIGN.md §15) instantiates one RingBuffer per commit stream
+// over an equal slice of the ring region; each stream owns a private hint
+// line so concurrent streams share no metadata cache line.  The batch commit
+// record carries a **commit tag** in w1: the low 32 bits are the cache's
+// monotonic batch sequence (so recovery can identify THE newest batch across
+// all streams — the only one whose fence may not have completed), the high
+// 32 bits an optional cross-stream commit id anchoring the batch to a commit
+// directory record (0 = plain self-committing batch).
 //
 // Head and Tail are DRAM-only monotonic indices here (head = next record to
 // stage, tail = end of the newest published batch); nothing per-commit is
@@ -27,6 +38,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <utility>
@@ -42,28 +54,58 @@ struct RingRecord {
   enum class Kind : std::uint8_t { kBlock = 1, kCommit = 2 };
 
   Kind kind = Kind::kBlock;
-  std::uint64_t disk_blkno = 0;  ///< block records
-  std::uint32_t curr_nvm = 0;    ///< block records: committed NVM block
-  std::uint64_t payload_fp = 0;  ///< block: data fingerprint; commit: batch start
-  std::uint64_t txn_count = 0;   ///< commit records: transactions in the batch
+  std::uint64_t disk_blkno = 0;   ///< block records
+  std::uint32_t curr_nvm = 0;     ///< block records: committed NVM block
+  std::uint64_t payload_fp = 0;   ///< block: data fingerprint; commit: batch start
+  std::uint64_t txn_count = 0;    ///< commit records: transactions in the batch
+  std::uint64_t commit_tag = 0;   ///< commit records: seq | commit_id << 32
 
   /// Commit records store the monotonic index of the batch's first record.
   [[nodiscard]] std::uint64_t batch_start() const { return payload_fp; }
+
+  /// Commit records: the cache-wide monotonic batch sequence number.
+  [[nodiscard]] std::uint32_t commit_seq() const {
+    return static_cast<std::uint32_t>(commit_tag);
+  }
+
+  /// Commit records: cross-stream commit id (0 = plain batch).
+  [[nodiscard]] std::uint32_t commit_id() const {
+    return static_cast<std::uint32_t>(commit_tag >> 32);
+  }
 };
 
-/// Wrapper over the NVM ring region and the superblock hint/epoch fields.
+/// Wrapper over one stream's slice of the NVM ring region and its
+/// superblock hint line.  Stream 0 with a single-stream layout is exactly
+/// the v2 ring.
 class RingBuffer {
  public:
-  RingBuffer(nvm::NvmDevice& nvm, const Layout& layout)
-      : nvm_(nvm), layout_(layout) {}
+  RingBuffer(nvm::NvmDevice& nvm, const Layout& layout,
+             std::uint32_t stream = 0)
+      : nvm_(nvm), layout_(layout), stream_(stream) {
+    TINCA_EXPECT(stream < layout.num_streams, "stream out of range");
+  }
 
-  /// Initialize a fresh ring: hint = 0 persisted, epoch bumped (the caller
+  RingBuffer(RingBuffer&& o) noexcept
+      : nvm_(o.nvm_),
+        layout_(o.layout_),
+        stream_(o.stream_),
+        head_(o.head_),
+        tail_(o.tail_),
+        durable_hint_(o.durable_hint_.load(std::memory_order_relaxed)),
+        staged_hint_(o.staged_hint_),
+        epoch_(o.epoch_) {}
+
+  /// Initialize a fresh ring: hint = 0 persisted, epoch re-read (the caller
   /// formats the epoch field; this just resets the indices).
   void format();
 
   /// Mount path: load the durable commit hint and start head/tail from it.
-  /// Recovery advances head/tail as it scans and calls reset() when done.
+  /// Recovery advances head/tail as it scans and calls set_indices() when
+  /// done.
   void load();
+
+  /// This ring's stream id.
+  [[nodiscard]] std::uint32_t stream() const { return stream_; }
 
   /// Monotonic head index (next record to stage).
   [[nodiscard]] std::uint64_t head() const { return head_; }
@@ -74,16 +116,25 @@ class RingBuffer {
   /// Records staged but not yet published (the open batch).
   [[nodiscard]] std::uint64_t in_flight() const { return head_ - tail_; }
 
-  /// Record capacity.
-  [[nodiscard]] std::uint64_t capacity() const { return layout_.ring_capacity; }
+  /// Record capacity of THIS stream's ring slice.
+  [[nodiscard]] std::uint64_t capacity() const {
+    return layout_.stream_capacity;
+  }
 
-  /// The durable commit hint (start of recovery's scan window).
-  [[nodiscard]] std::uint64_t durable_hint() const { return durable_hint_; }
+  /// The durable commit hint (start of recovery's scan window).  Atomic so
+  /// commit-directory slot retirement can poll it without the owner lock.
+  [[nodiscard]] std::uint64_t durable_hint() const {
+    return durable_hint_.load(std::memory_order_relaxed);
+  }
+
+  /// Whether the hint line is behind tail (a persist_hint would make
+  /// progress).
+  [[nodiscard]] bool hint_dirty() const { return durable_hint() < tail_; }
 
   /// Whether `n` more records fit without overwriting the scan window
   /// [durable_hint, head).  When false the owner must hint_sync() first.
   [[nodiscard]] bool has_room(std::uint64_t n) const {
-    return head_ + n - durable_hint_ <= capacity();
+    return head_ + n - durable_hint() <= capacity();
   }
 
   /// Stage a block record at head (plain store, no flush).  Returns the
@@ -93,13 +144,15 @@ class RingBuffer {
                                                       std::uint64_t data_fp);
 
   /// Stage the batch commit record sealing [batch_start, head) for
-  /// `txn_count` merged transactions.  Returns the stored byte range.
+  /// `txn_count` merged transactions, tagged with `commit_tag`
+  /// (seq | commit_id << 32).  Returns the stored byte range.
   std::pair<std::uint64_t, std::uint64_t> stage_commit(std::uint64_t batch_start,
-                                                       std::uint64_t txn_count);
+                                                       std::uint64_t txn_count,
+                                                       std::uint64_t commit_tag);
 
   /// Publish the staged batch: tail := head (DRAM) and stage the commit
   /// hint := batch start (8 B atomic store, no flush).  Returns the hint
-  /// field's byte range, to be swept out by the NEXT batch's flush pass.
+  /// line's byte range, to be swept out by the NEXT batch's flush pass.
   std::pair<std::uint64_t, std::uint64_t> publish(std::uint64_t batch_start);
 
   /// The owner's flush pass covered the hint line staged by the previous
@@ -123,23 +176,29 @@ class RingBuffer {
 
   /// Decode and validate the record at monotonic index `idx` against
   /// `format_epoch`; nullopt when the slot does not hold a valid record for
-  /// exactly that index/lap/epoch.
+  /// exactly that index/lap/stream/epoch.
   [[nodiscard]] std::optional<RingRecord> scan(std::uint64_t idx,
                                                std::uint64_t format_epoch) const;
 
   /// The record checksum (exposed for verify_media and tests).
   static std::uint64_t checksum(std::uint64_t w0, std::uint64_t w1,
                                 std::uint64_t w2, std::uint64_t idx,
-                                std::uint64_t format_epoch);
+                                std::uint64_t format_epoch,
+                                std::uint32_t stream = 0);
 
  private:
   void stage_record(std::uint64_t w0, std::uint64_t w1, std::uint64_t w2);
 
+  [[nodiscard]] std::uint64_t hint_off() const {
+    return Layout::stream_hint_off(stream_);
+  }
+
   nvm::NvmDevice& nvm_;
   const Layout& layout_;
+  std::uint32_t stream_ = 0;
   std::uint64_t head_ = 0;
   std::uint64_t tail_ = 0;
-  std::uint64_t durable_hint_ = 0;
+  std::atomic<std::uint64_t> durable_hint_{0};
   std::uint64_t staged_hint_ = 0;  ///< hint value stored but not yet fenced
   std::uint64_t epoch_ = 0;        ///< cached superblock format epoch
 };

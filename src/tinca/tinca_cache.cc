@@ -6,6 +6,7 @@
 #include "common/bytes.h"
 #include "common/expect.h"
 #include "obs/metrics.h"
+#include "tinca/commit_directory.h"
 
 namespace tinca::core {
 
@@ -31,8 +32,7 @@ TincaCache::TincaCache(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
     : nvm_(nvm),
       disk_(disk),
       cfg_(cfg),
-      layout_(Layout::compute(nvm.size(), cfg.ring_bytes)),
-      ring_(nvm_, layout_),
+      layout_(Layout::compute(nvm.size(), cfg.ring_bytes, cfg.num_streams)),
       mirror_(layout_.num_blocks),
       lru_(static_cast<std::uint32_t>(layout_.num_blocks)),
       free_entries_(static_cast<std::uint32_t>(layout_.num_blocks)),
@@ -53,6 +53,9 @@ TincaCache::TincaCache(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk,
       ts_batch_append_(trace_.site("batch_append")),
       ts_batch_flush_(trace_.site("batch_flush")),
       ts_batch_publish_(trace_.site("batch_publish")) {
+  rings_.reserve(layout_.num_streams);
+  for (std::uint32_t s = 0; s < layout_.num_streams; ++s)
+    rings_.emplace_back(nvm_, layout_, s);
   if (cfg_.cleaner.mode != cleaner::CleanerMode::kDisabled) {
     cleaner::CleanerConfig cc = cfg_.cleaner;
     cc.trace_tid = cfg_.trace_tid;
@@ -73,9 +76,29 @@ std::unique_ptr<TincaCache> TincaCache::format(nvm::NvmDevice& nvm,
 std::unique_ptr<TincaCache> TincaCache::recover(nvm::NvmDevice& nvm,
                                                 blockdev::BlockDevice& disk,
                                                 TincaConfig cfg) {
+  auto cache = mount_for_recovery(nvm, disk, cfg);
+  const RecoveryScan scan = cache->recovery_scan();
+  // Standalone adjudication: an anchored batch survives iff its commit
+  // record exists in THIS cache's directory and the batch itself survived
+  // whole.  (The sharded front-end instead coordinates all caches against
+  // shard 0's directory — see ShardedTinca::recover.)
+  std::unordered_set<std::uint32_t> effective;
+  if (!scan.anchored.empty()) {
+    for (const CommitRecord& rec :
+         CommitDirectory::scan(nvm, cache->format_epoch_)) {
+      for (const AnchoredBatch& ab : scan.anchored)
+        if (ab.commit_id == rec.commit_id && ab.placed)
+          effective.insert(ab.commit_id);
+    }
+  }
+  cache->recovery_apply(effective);
+  return cache;
+}
+
+std::unique_ptr<TincaCache> TincaCache::mount_for_recovery(
+    nvm::NvmDevice& nvm, blockdev::BlockDevice& disk, TincaConfig cfg) {
   auto cache = std::unique_ptr<TincaCache>(new TincaCache(nvm, disk, cfg));
-  cache->run_recovery();
-  cache->order_free_blocks_by_wear();
+  cache->load_for_recovery();
   return cache;
 }
 
@@ -98,8 +121,13 @@ void TincaCache::format_media() {
   // again even when they land at the same slot and index.
   format_epoch_ = nvm_.load8(Layout::kFormatEpochOff) + 1;
   nvm_.atomic_store8(Layout::kFormatEpochOff, format_epoch_);
-  nvm_.persist(0, 40);
-  ring_.format();
+  nvm_.atomic_store8(Layout::kNumStreamsOff, layout_.num_streams);
+  nvm_.persist(0, 48);
+  for (RingBuffer& ring : rings_) ring.format();
+  // Zero the commit directory (stale records are already dead under the new
+  // epoch; zeroing keeps verify_media's slot accounting clean).
+  CommitDirectory::format(nvm_);
+  nvm_.clflush(Layout::kDirOff, Layout::kDirSlots * Layout::kDirSlotBytes);
   // Invalidate the whole entry table (flag byte 0 == invalid).
   const std::vector<std::byte> zeros(kBlockSize, std::byte{0});
   for (std::uint64_t off = layout_.entry_table_off; off < layout_.data_off;
@@ -110,8 +138,7 @@ void TincaCache::format_media() {
   nvm_.sfence();
 }
 
-void TincaCache::run_recovery() {
-  TINCA_TRACE_SPAN(trace_, ts_recovery_);
+void TincaCache::load_for_recovery() {
   // 1. Validate the format identity.
   TINCA_EXPECT(nvm_.load8(Layout::kMagicOff) == Layout::kMagic,
                "NVM device is not a Tinca cache");
@@ -121,10 +148,12 @@ void TincaCache::run_recovery() {
                "cache geometry changed since format");
   TINCA_EXPECT(nvm_.load8(Layout::kRingCapacityOff) == layout_.ring_capacity,
                "ring geometry changed since format");
+  TINCA_EXPECT(nvm_.load8(Layout::kNumStreamsOff) == layout_.num_streams,
+               "stream count changed since format");
   format_epoch_ = nvm_.load8(Layout::kFormatEpochOff);
 
-  // 2. Load the durable commit hint and the whole entry table.
-  ring_.load();
+  // 2. Load every stream's durable commit hint and the whole entry table.
+  for (RingBuffer& ring : rings_) ring.load();
   dirty_count_ = 0;
   for (std::uint32_t slot = 0; slot < layout_.num_blocks; ++slot) {
     mirror_[slot] = read_entry_from_nvm(slot);
@@ -132,38 +161,60 @@ void TincaCache::run_recovery() {
   }
 
   // Temporary disk-block index over the raw table (DRAM index is rebuilt
-  // from scratch below).
+  // from scratch in recovery_apply).
   index_.clear();
   for (std::uint32_t slot = 0; slot < layout_.num_blocks; ++slot)
     if (mirror_[slot].valid) index_.emplace(mirror_[slot].disk_blkno, slot);
+}
 
-  // 3. Scan validated ring records upward from the durable hint (DESIGN.md
-  //    §14).  Everything below the hint is fully durable AND role-switched;
-  //    above it live at most the newest committed batches (whose role
-  //    switches may not have been swept out yet) and the batch that was open
-  //    at the crash.  A batch commit record whose batch_start matches the
-  //    current run's first index closes a committed batch; the first invalid
-  //    record (or an incoherent seal) ends the scan, leaving a trailing run
-  //    of in-flight block records.
-  struct ScannedBatch {
-    std::vector<RingRecord> records;
-    std::uint64_t txns = 0;
-  };
-  std::vector<ScannedBatch> batches;
-  std::vector<RingRecord> run;  // block records not yet sealed by a commit
-  {
-    std::uint64_t idx = ring_.durable_hint();
-    const std::uint64_t scan_end = idx + layout_.ring_capacity;
+std::uint64_t TincaCache::block_fp(std::uint32_t nvm_block) const {
+  std::vector<std::byte> buf(kBlockSize);
+  nvm_.load(layout_.data_block_off(nvm_block), buf);
+  return fingerprint(buf);
+}
+
+// Whether a committed record's block can still be surfaced whole: the entry
+// still points at it (or a LATER in-flight COW moved the entry onward —
+// log-role with prev == the record's block) and the data matches the sealed
+// fingerprint.
+bool TincaCache::record_placed(const RingRecord& r) const {
+  if (r.curr_nvm >= layout_.num_blocks) return false;
+  const auto it = index_.find(r.disk_blkno);
+  if (it == index_.end()) return false;
+  const CacheEntry& e = mirror_[it->second];
+  const bool entry_ok = e.curr_nvm == r.curr_nvm ||
+                        (e.role == Role::kLog && e.prev_nvm == r.curr_nvm);
+  return entry_ok && block_fp(r.curr_nvm) == r.payload_fp;
+}
+
+TincaCache::RecoveryScan TincaCache::recovery_scan() {
+  TINCA_TRACE_SPAN(trace_, ts_recovery_);
+  // 3. Scan each stream's validated ring records upward from its durable
+  //    hint (DESIGN.md §14/§15).  Everything below a hint is fully durable
+  //    AND role-switched; above it live at most the newest committed batches
+  //    (whose role switches may not have been swept out yet) and the batch
+  //    that was open at the crash.  A batch commit record whose batch_start
+  //    matches the current run's first index closes a committed batch; the
+  //    first invalid record (or an incoherent seal) ends that stream's scan,
+  //    leaving a trailing run of in-flight block records.
+  recovery_ = std::make_unique<RecoveryState>();
+  recovery_->runs.resize(layout_.num_streams);
+  for (std::uint32_t s = 0; s < layout_.num_streams; ++s) {
+    const RingBuffer& ring = rings_[s];
+    std::vector<RingRecord>& run = recovery_->runs[s];
+    std::uint64_t idx = ring.durable_hint();
+    const std::uint64_t scan_end = idx + layout_.stream_capacity;
     std::uint64_t run_start = idx;
     while (idx < scan_end) {
-      const auto rec = ring_.scan(idx, format_epoch_);
+      const auto rec = ring.scan(idx, format_epoch_);
       if (!rec) break;
       if (rec->kind == RingRecord::Kind::kBlock) {
         run.push_back(*rec);
       } else {
         if (rec->batch_start() != run_start) break;  // stale seal from an
                                                      // earlier lap's batch
-        batches.push_back({std::move(run), rec->txn_count});
+        recovery_->batches.push_back(
+            {std::move(run), rec->commit_seq(), rec->commit_id(), s});
         run.clear();
         run_start = idx + 1;
       }
@@ -171,52 +222,78 @@ void TincaCache::run_recovery() {
     }
   }
 
-  const auto block_fp = [&](std::uint32_t nb) {
-    std::vector<std::byte> buf(kBlockSize);
-    nvm_.load(layout_.data_block_off(nb), buf);
-    return fingerprint(buf);
-  };
+  // Identify THE newest batch across all streams by its sealed sequence
+  // number.  Per cache at most ONE batch can be un-fenced at a crash (the
+  // owner mutex serializes commits, and a batch's fence completes before its
+  // successor stages), so only the max-seq batch needs the all-or-nothing
+  // placement check; every older sealed batch provably completed its fence —
+  // a later seal exists — and commits unconditionally.
+  for (std::size_t i = 0; i < recovery_->batches.size(); ++i) {
+    if (recovery_->last < 0 ||
+        recovery_->batches[i].seq >
+            recovery_->batches[static_cast<std::size_t>(recovery_->last)].seq)
+      recovery_->last = static_cast<int>(i);
+  }
+  if (recovery_->last >= 0) {
+    const RecoveredBatch& newest =
+        recovery_->batches[static_cast<std::size_t>(recovery_->last)];
+    recovery_->last_placed = true;
+    for (const RingRecord& r : newest.records)
+      recovery_->last_placed = recovery_->last_placed && record_placed(r);
+  }
 
-  // 4. All-or-nothing check of the NEWEST committed batch.  Its fence ran
-  //    (the commit record validated), but if any of its blocks was since
-  //    evicted and its NVM block recycled by the open batch — possible only
-  //    when the eviction hint-sync was itself cut short by the crash — the
-  //    batch can no longer be surfaced whole, so the entire batch demotes to
-  //    in-flight and is revoked.  A block still counts as placed when a
-  //    LATER in-flight COW moved the entry onward (entry log-role with
-  //    prev == the record's block).  Older committed batches need no check:
-  //    a batch only loses newest status once its successor's fence ran, and
-  //    that sweep also made its role switches durable.
-  if (!batches.empty()) {
-    const auto placed = [&](const RingRecord& r) {
-      if (r.curr_nvm >= layout_.num_blocks) return false;
-      const auto it = index_.find(r.disk_blkno);
-      if (it == index_.end()) return false;
-      const CacheEntry& e = mirror_[it->second];
-      const bool entry_ok =
-          e.curr_nvm == r.curr_nvm ||
-          (e.role == Role::kLog && e.prev_nvm == r.curr_nvm);
-      return entry_ok && block_fp(r.curr_nvm) == r.payload_fp;
-    };
-    ScannedBatch& newest = batches.back();
-    bool ok = true;
-    for (const RingRecord& r : newest.records) ok = ok && placed(r);
-    if (!ok) {
+  // Report the anchored batches for the coordinator's adjudication.
+  RecoveryScan out;
+  for (std::size_t i = 0; i < recovery_->batches.size(); ++i) {
+    const RecoveredBatch& b = recovery_->batches[i];
+    if (b.commit_id == 0) continue;
+    const bool is_last = static_cast<int>(i) == recovery_->last;
+    out.anchored.push_back(
+        {b.commit_id, is_last, is_last ? recovery_->last_placed : true});
+  }
+  return out;
+}
+
+void TincaCache::recovery_apply(
+    const std::unordered_set<std::uint32_t>& effective_commits) {
+  TINCA_TRACE_SPAN(trace_, ts_recovery_);
+  TINCA_EXPECT(recovery_ != nullptr, "recovery_apply without a scan");
+  const std::unique_ptr<RecoveryState> st = std::move(recovery_);
+
+  // 4. All-or-nothing adjudication of the NEWEST batch.  A plain batch
+  //    (commit_id == 0) survives iff every record is placed — its fence ran
+  //    (the seal validated), but an eviction hint-sync cut short by the
+  //    crash can leave a block unplaceable, demoting the whole batch.  An
+  //    anchored batch survives iff the coordinator adjudicated its commit id
+  //    effective (directory record present AND every participant cache's
+  //    part survived) — all-or-nothing ACROSS caches.  A demoted batch joins
+  //    its stream's in-flight run and is revoked below.
+  if (st->last >= 0) {
+    RecoveredBatch& newest = st->batches[static_cast<std::size_t>(st->last)];
+    const bool keep = newest.commit_id != 0
+                          ? effective_commits.contains(newest.commit_id)
+                          : st->last_placed;
+    if (newest.commit_id != 0 && keep)
+      TINCA_ENSURE(st->last_placed,
+                   "effective cross-stream commit not placed whole");
+    if (!keep) {
       std::vector<RingRecord> demoted = std::move(newest.records);
-      batches.pop_back();
+      std::vector<RingRecord>& run = st->runs[newest.stream];
       demoted.insert(demoted.end(), run.begin(), run.end());
       run = std::move(demoted);
+      newest.records.clear();
     }
   }
 
-  // 5. Roll committed batches forward, oldest first: a log-role entry still
-  //    holding a committed record's block is a role switch the crash beat to
-  //    the media — flip it to buffer.  The stored-fingerprint check screens
-  //    out the one confusable state: the entry's slot recycled by an
-  //    in-flight install into a reused NVM block (whose staged data cannot
-  //    match the committed record's fingerprint, as committed data was
-  //    fenced and its block never rewritten while referenced).
-  for (const ScannedBatch& b : batches) {
+  // 5. Roll committed batches forward: a log-role entry still holding a
+  //    committed record's block is a role switch the crash beat to the
+  //    media — flip it to buffer.  The stored-fingerprint check screens out
+  //    the one confusable state: the entry's slot recycled by an in-flight
+  //    install into a reused NVM block (whose staged data cannot match the
+  //    committed record's fingerprint, as committed data was fenced and its
+  //    block never rewritten while referenced).  Cross-stream order is
+  //    irrelevant: only the newest install of a block matches the entry.
+  for (const RecoveredBatch& b : st->batches) {
     for (const RingRecord& r : b.records) {
       if (r.curr_nvm >= layout_.num_blocks) continue;
       const auto it = index_.find(r.disk_blkno);
@@ -233,16 +310,19 @@ void TincaCache::run_recovery() {
     }
   }
 
-  // 6. Revoke the in-flight run: every block the open batch recorded whose
-  //    staged entry reached the media is rolled back (marker rollback to
-  //    prev, or invalidation for write misses and clean-prev COWs).
-  for (const RingRecord& r : run) {
-    if (r.kind != RingRecord::Kind::kBlock) continue;
-    const auto it = index_.find(r.disk_blkno);
-    if (it == index_.end()) continue;
-    const CacheEntry& e = mirror_[it->second];
-    if (e.valid && e.role == Role::kLog && e.curr_nvm == r.curr_nvm)
-      revoke_slot(it->second);
+  // 6. Revoke every stream's in-flight run: every block an open or demoted
+  //    batch recorded whose staged entry reached the media is rolled back
+  //    (marker rollback to prev, or invalidation for write misses and
+  //    clean-prev COWs).
+  for (const std::vector<RingRecord>& run : st->runs) {
+    for (const RingRecord& r : run) {
+      if (r.kind != RingRecord::Kind::kBlock) continue;
+      const auto it = index_.find(r.disk_blkno);
+      if (it == index_.end()) continue;
+      const CacheEntry& e = mirror_[it->second];
+      if (e.valid && e.role == Role::kLog && e.curr_nvm == r.curr_nvm)
+        revoke_slot(it->second);
+    }
   }
 
   // 7. Full entry scan: catches staged installs whose entry line survived
@@ -275,13 +355,14 @@ void TincaCache::run_recovery() {
 
   //    Epilogue.  Bump the format epoch FIRST (a crash before the bump
   //    rescans with the old epoch and redoes the idempotent rewrites above;
-  //    a crash after it finds only invalid records), then reset the ring —
-  //    with the new epoch no stale record can validate, so the indices and
-  //    the hint restart from zero.
+  //    a crash after it finds only invalid records), then reset every
+  //    stream's ring — with the new epoch no stale ring record OR commit
+  //    directory record can validate, so indices and hints restart from
+  //    zero and directory slots are free for reuse.
   ++format_epoch_;
   nvm_.atomic_store8(Layout::kFormatEpochOff, format_epoch_);
   nvm_.persist(Layout::kFormatEpochOff, 8);
-  ring_.format();
+  for (RingBuffer& ring : rings_) ring.format();
 
   // 9. Rebuild DRAM structures from the surviving entries.
   index_.clear();
@@ -315,6 +396,8 @@ void TincaCache::run_recovery() {
     mvcc_.publish_baseline(e.disk_blkno, e.curr_nvm);
     mvcc_.stats.recovery_seeded.fetch_add(1, std::memory_order_relaxed);
   }
+
+  order_free_blocks_by_wear();
 }
 
 // ---------------------------------------------------------------------------
@@ -681,10 +764,11 @@ void TincaCache::assert_dirty_count() const {
 
 std::uint64_t TincaCache::max_txn_blocks() const {
   // Worst case every block is a write hit needing both versions resident,
-  // and nothing else may be evictable; keep a margin of 2 blocks.  The ring
-  // must fit the whole batch plus its commit record after a hint sync.
+  // and nothing else may be evictable; keep a margin of 2 blocks.  One
+  // stream's ring must fit the whole batch plus its commit record after a
+  // hint sync (batches never span streams).
   const std::uint64_t cap = layout_.num_blocks / 2;
-  const std::uint64_t by_ring = ring_.capacity() - 1;
+  const std::uint64_t by_ring = layout_.stream_capacity - 1;
   return std::min(cap > 2 ? cap - 2 : 1, by_ring);
 }
 
@@ -778,7 +862,8 @@ void TincaCache::stage_block_install(std::uint64_t disk_blkno,
   }
 
   TINCA_TRACE_SPAN(trace_, ts_ring_);
-  flush_ranges_.push_back(ring_.stage_block(disk_blkno, nb, fingerprint(data)));
+  flush_ranges_.push_back(
+      rings_[batch_.stream].stage_block(disk_blkno, nb, fingerprint(data)));
   nvm_.injector.point();  // CP: block record staged
 }
 
@@ -812,14 +897,16 @@ void TincaCache::publish_switches(const std::vector<std::uint64_t>& blocks) {
   }
 }
 
-// Durably advance the commit hint past the newest published batch: flush its
-// staged role switches, then persist hint := tail (the persist's fence also
-// covers the switch flushes, so this costs one fence total).  After this,
-// recovery's scan window is empty — nothing gets re-validated.
+// Durably advance every dirty stream's commit hint past its newest published
+// batch: flush the staged role switches, then persist hint := tail per dirty
+// stream (each persist's fence also covers the preceding flushes).  After
+// this, recovery's scan windows are all empty — nothing gets re-validated.
+// In the common case exactly one stream is dirty, so this costs one fence.
 void TincaCache::hint_sync() {
   for (const auto& [off, len] : pending_ranges_) nvm_.clflush(off, len);
   pending_ranges_.clear();
-  ring_.persist_hint();
+  for (RingBuffer& ring : rings_)
+    if (ring.hint_dirty()) ring.persist_hint();
   last_batch_blocks_.clear();
   ++stats_.hint_syncs;
 }
@@ -829,8 +916,29 @@ void TincaCache::tinca_commit(Transaction& txn) {
   commit_group(one);
 }
 
+void TincaCache::close_committed(Transaction& t) {
+  stats_.blocks_per_txn.record(t.order_.size());
+  ++stats_.txns_committed;
+  t.open_ = false;
+  t.blocks_.clear();
+  t.order_.clear();
+}
+
 void TincaCache::commit_group(std::span<Transaction* const> txns) {
   TINCA_TRACE_SPAN(trace_, ts_commit_);
+  if (!batch_stage(txns, 0)) return;
+  batch_flush();
+  // The single sfence is the batch's commit point.
+  nvm_.sfence();
+  ++stats_.commit_fences;
+  batch_publish();
+}
+
+// Phase 1 (stages A+B of DESIGN.md §14): merge, install and seal on the next
+// round-robin stream.  Nothing flushed yet.
+bool TincaCache::batch_stage(std::span<Transaction* const> txns,
+                             std::uint32_t commit_id) {
+  TINCA_ENSURE(!batch_.active, "a batch is already staged");
   for (Transaction* t : txns)
     TINCA_EXPECT(t != nullptr && t->open_, "commit of a closed transaction");
 
@@ -852,68 +960,91 @@ void TincaCache::commit_group(std::span<Transaction* const> txns) {
     }
   }
 
-  const auto close = [&](Transaction& t) {
-    stats_.blocks_per_txn.record(t.order_.size());
-    ++stats_.txns_committed;
-    t.open_ = false;
-    t.blocks_.clear();
-    t.order_.clear();
-  };
-
   const std::size_t n = order.size();
   if (n == 0) {
-    for (Transaction* t : txns) close(*t);
+    for (Transaction* t : txns) close_committed(*t);
     if (!txns.empty()) {
       ++stats_.commit_batches;
       stats_.commit_batch_size.record(txns.size());
     }
-    return;
+    return false;
   }
   TINCA_EXPECT(n <= max_txn_blocks(),
                "batch exceeds the cache's committable size");
-  TINCA_ENSURE(ring_.in_flight() == 0, "a previous commit left the ring open");
-  // Ring backpressure: the scan window [durable hint, head) must keep the
-  // whole batch plus its commit record.  Syncing the hint empties the window.
-  if (!ring_.has_room(n + 1)) hint_sync();
-  TINCA_ENSURE(ring_.has_room(n + 1), "batch exceeds the ring capacity");
 
-  const std::uint64_t batch_start = ring_.head();
+  // Stream assignment: plain round-robin — batches never span streams, and
+  // the owner mutex serializes commits, so rotation alone spreads the ring
+  // and hint-line traffic evenly with no cross-stream coordination.
+  batch_.stream = next_stream_;
+  next_stream_ = (next_stream_ + 1) % layout_.num_streams;
+  RingBuffer& ring = rings_[batch_.stream];
+  TINCA_ENSURE(ring.in_flight() == 0, "a previous commit left the ring open");
+  // Ring backpressure: this stream's scan window [durable hint, head) must
+  // keep the whole batch plus its commit record.  Syncing the hints empties
+  // every stream's window; the other streams are untouched otherwise.
+  if (!ring.has_room(n + 1)) hint_sync();
+  TINCA_ENSURE(ring.has_room(n + 1), "batch exceeds the ring capacity");
 
-  // Stage A+B — append + seal: staged installs and ring records for every
-  // merged block, then the batch commit record.  Nothing flushed yet.
+  batch_.start = ring.head();
+  batch_.commit_id = commit_id;
+
+  // Stages A+B — append + seal: staged installs and ring records for every
+  // merged block, then the batch commit record tagged with the cache-wide
+  // batch sequence and the (possibly zero) cross-stream commit id.
   {
     TINCA_TRACE_SPAN(trace_, ts_batch_append_);
     for (std::uint64_t blkno : order) stage_block_install(blkno, merged[blkno]);
-    flush_ranges_.push_back(ring_.stage_commit(batch_start, txns.size()));
+    const std::uint64_t tag =
+        static_cast<std::uint64_t>(batch_seq_++) |
+        (static_cast<std::uint64_t>(commit_id) << 32);
+    flush_ranges_.push_back(ring.stage_commit(batch_.start, txns.size(), tag));
   }
+  batch_.end = ring.head();
   nvm_.injector.point();  // CP: batch staged and sealed, nothing fenced
 
-  // Stage C — flush: ONE clflush pass + ONE sfence for the whole batch; the
-  // fence is the batch's commit point.  The PREVIOUS batch's staged role
-  // switches and hint line ride the same pass (the pipeline overlap), so
-  // they are durable before this batch's hint value could ever supersede
-  // them.
-  {
-    TINCA_TRACE_SPAN(trace_, ts_batch_flush_);
-    for (const auto& [off, len] : pending_ranges_) nvm_.clflush(off, len);
-    for (const auto& [off, len] : flush_ranges_) {
-      nvm_.injector.point();  // CP: mid-flush — this range not yet durable
-      nvm_.clflush(off, len);
-    }
-    nvm_.sfence();
-    pending_ranges_.clear();
-    flush_ranges_.clear();
-    ++stats_.commit_fences;
-    ring_.note_staged_hint_durable();
+  batch_.order = std::move(order);
+  batch_.txns.assign(txns.begin(), txns.end());
+  batch_.active = true;
+  return true;
+}
+
+// Phase 2 (stage C minus the fence): ONE clflush pass for the whole batch;
+// the PREVIOUS batch's staged role switches and hint lines ride the same
+// pass (the pipeline overlap), so they are durable before this batch's hint
+// value could ever supersede them.  The caller issues the single sfence —
+// the batch's commit point — after this returns (a cross-cache coordinator
+// flushes every participant plus the commit record first).
+void TincaCache::batch_flush() {
+  TINCA_ENSURE(batch_.active, "flush without a staged batch");
+  TINCA_TRACE_SPAN(trace_, ts_batch_flush_);
+  for (const auto& [off, len] : pending_ranges_) nvm_.clflush(off, len);
+  for (const auto& [off, len] : flush_ranges_) {
+    nvm_.injector.point();  // CP: mid-flush — this range not yet durable
+    nvm_.clflush(off, len);
   }
+  pending_ranges_.clear();
+  flush_ranges_.clear();
+}
+
+// Phase 3 (stages D+E): after the commit fence.  Publishes role switches,
+// the stream's commit hint and the MVCC versions, then closes the batch.
+void TincaCache::batch_publish() {
+  TINCA_ENSURE(batch_.active, "publish without a staged batch");
+  // The fence just ran and the flush pass covered every staged hint line
+  // (publish appends them to pending_ranges_, which only a full flush
+  // clears) — so every stream's staged hint is now the durable one.
+  for (RingBuffer& ring : rings_) ring.note_staged_hint_durable();
   nvm_.injector.point();  // CP: batch durable (fence passed), not published
 
-  // Stage D — publish: stage the role switches and the new commit hint
-  // (start of this batch); both ride the NEXT batch's flush pass.
+  const std::vector<std::uint64_t>& order = batch_.order;
+  RingBuffer& ring = rings_[batch_.stream];
+
+  // Stage D — publish: stage the role switches and the stream's new commit
+  // hint (start of this batch); both ride the NEXT batch's flush pass.
   {
     TINCA_TRACE_SPAN(trace_, ts_batch_publish_);
     publish_switches(order);
-    pending_ranges_.push_back(ring_.publish(batch_start));
+    pending_ranges_.push_back(ring.publish(batch_.start));
     last_batch_blocks_.clear();
     last_batch_blocks_.insert(order.begin(), order.end());
   }
@@ -954,10 +1085,15 @@ void TincaCache::commit_group(std::span<Transaction* const> txns) {
     }
   }
 
-  stats_.blocks_committed += n;
+  stats_.blocks_committed += order.size();
   ++stats_.commit_batches;
-  stats_.commit_batch_size.record(txns.size());
-  for (Transaction* t : txns) close(*t);
+  stats_.commit_batch_size.record(batch_.txns.size());
+  if (batch_.commit_id != 0) ++stats_.xstream_commits;
+  for (Transaction* t : batch_.txns) close_committed(*t);
+
+  batch_.active = false;
+  batch_.order.clear();
+  batch_.txns.clear();
 
   clean_to_threshold();
   mvcc_reclaim();  // amortized: trims versions this batch superseded
@@ -1183,6 +1319,7 @@ void TincaCache::register_metrics(obs::MetricsRegistry& reg,
   reg.add_counter(prefix + "commit.batches", &stats_.commit_batches);
   reg.add_counter(prefix + "commit.hint_syncs", &stats_.hint_syncs);
   reg.add_counter(prefix + "commit.merged_writes", &stats_.group_merged_writes);
+  reg.add_counter(prefix + "commit.xstream", &stats_.xstream_commits);
   reg.add_histogram(prefix + "blocks_per_txn", &stats_.blocks_per_txn);
   reg.add_histogram(prefix + "commit.batch_size", &stats_.commit_batch_size);
   reg.add_gauge(prefix + "capacity_blocks",

@@ -58,6 +58,12 @@ namespace tinca::core {
 struct TincaConfig {
   /// Ring buffer bytes (paper default 1 MB, §5.1).  Must be 4 KB aligned.
   std::uint64_t ring_bytes = 1 << 20;
+  /// Commit streams (DESIGN.md §15): the ring region is split into this many
+  /// equal per-stream rings over the one shared entry table; batches are
+  /// assigned to streams round-robin, and each stream has its own hint line,
+  /// so commit metadata never contends across streams.  1 = the paper's
+  /// single-ring layout.  Max Layout::kMaxStreams.
+  std::uint32_t num_streams = 1;
   /// Whether read misses populate the cache (paper: Tinca caches for both
   /// write and read requests, §4.6).
   bool cache_reads = true;
@@ -126,6 +132,9 @@ struct TincaCacheStats {
   std::uint64_t hint_syncs = 0;      ///< forced durable-hint publications
   std::uint64_t group_merged_writes = 0;  ///< staged writes absorbed by
                                           ///< last-writer-wins batch merging
+  // Multi-stream commit (DESIGN.md §15).
+  std::uint64_t xstream_commits = 0;  ///< batches anchored to a cross-stream
+                                      ///< commit-directory record
   Histogram blocks_per_txn;        ///< Fig 13 source data
   Histogram commit_batch_size;     ///< transactions per committed batch
 };
@@ -170,10 +179,103 @@ class TincaCache : private cleaner::CleanerClient {
                                             TincaConfig cfg = {});
 
   /// Mount an existing cache, running crash recovery (§4.5).  This is both
-  /// the clean-restart and the after-crash path.
+  /// the clean-restart and the after-crash path.  Anchored batches (staged
+  /// by a cross-cache coordinator) are adjudicated against this cache's own
+  /// commit directory; a multi-cache mount must instead use the three-phase
+  /// API below so one directory adjudicates every participant.
   static std::unique_ptr<TincaCache> recover(nvm::NvmDevice& nvm,
                                              blockdev::BlockDevice& disk,
                                              TincaConfig cfg = {});
+
+  // --- Coordinated recovery (DESIGN.md §15) --------------------------------
+  //
+  // The sharded front-end recovers its caches in three phases so a single
+  // commit directory can adjudicate cross-cache transactions all-or-nothing:
+  // mount every cache without mutating media, scan every ring, decide which
+  // anchored commit ids survived on EVERY participant, then apply.
+
+  /// An anchored batch (commit_id != 0 in its ring seal) found by the scan.
+  struct AnchoredBatch {
+    std::uint32_t commit_id = 0;
+    /// Whether this is the cache's newest batch — the only one whose commit
+    /// fence may not have completed, hence the only one needing `placed`.
+    bool is_last = false;
+    /// Whether every record of the batch survived whole (always true for a
+    /// non-last batch: a successor batch proves its fence completed).
+    bool placed = false;
+  };
+  struct RecoveryScan {
+    std::vector<AnchoredBatch> anchored;
+  };
+
+  /// Phase 1: construct against existing media and load the entry table and
+  /// ring state.  No media mutation.
+  static std::unique_ptr<TincaCache> mount_for_recovery(
+      nvm::NvmDevice& nvm, blockdev::BlockDevice& disk, TincaConfig cfg = {});
+
+  /// Phase 2: scan every stream's ring from its durable hint, collecting
+  /// sealed batches and trailing in-flight runs; reports the anchored
+  /// batches the coordinator must adjudicate.  No media mutation.
+  RecoveryScan recovery_scan();
+
+  /// Phase 3: demote the newest batch unless it survives adjudication (a
+  /// plain batch must be placed whole; an anchored batch must be in
+  /// `effective_commits`), roll committed batches forward, revoke in-flight
+  /// runs, and rebuild the DRAM state.  Ends with the epoch bump + ring
+  /// formats that invalidate every scanned record.
+  void recovery_apply(
+      const std::unordered_set<std::uint32_t>& effective_commits);
+
+  // --- Multi-stream commit phases (DESIGN.md §15) --------------------------
+  //
+  // tinca_commit / commit_group compose these internally (stage → flush →
+  // one sfence → publish).  A cross-cache coordinator drives them directly:
+  // it stages one batch per participating cache (each tagged with a shared
+  // nonzero commit id), flushes them all, stages + flushes the commit
+  // directory record, issues ONE sfence, then publishes every batch.  All
+  // calls owner-locked, like tinca_commit.
+
+  /// Stage a batch: merge `txns` last-writer-wins, install every block and
+  /// seal the batch on the next round-robin stream, tagged with `commit_id`
+  /// (0 = plain self-committing batch).  Returns false when the merge is
+  /// empty (the transactions are closed; no batch is open).
+  bool batch_stage(std::span<Transaction* const> txns, std::uint32_t commit_id);
+
+  /// Flush the staged batch's dirtied ranges (and the previous batch's
+  /// pending publish metadata).  NO fence — the caller's single sfence is
+  /// the commit point.
+  void batch_flush();
+
+  /// After the commit fence: publish role switches, the stream's commit
+  /// hint, and the MVCC versions (one epoch bump), then close the batch's
+  /// transactions.
+  void batch_publish();
+
+  /// The coordinator issued the batch's single sfence on some participant's
+  /// device; account it against this cache's commit-fence counter.
+  void note_shared_fence() { ++stats_.commit_fences; }
+
+  /// Stream the currently staged batch was sealed on.
+  [[nodiscard]] std::uint32_t batch_stream() const { return batch_.stream; }
+
+  /// Ring index one past the staged batch's seal record (commit-directory
+  /// slot retirement waits for the stream's durable hint to pass this).
+  [[nodiscard]] std::uint64_t batch_end() const { return batch_.end; }
+
+  /// Commit streams of this cache.
+  [[nodiscard]] std::uint32_t num_streams() const { return layout_.num_streams; }
+
+  /// Per-stream ring introspection (tests, coordinator retirement polls —
+  /// durable_hint() is safe to read without the owner lock).
+  [[nodiscard]] const RingBuffer& stream_ring(std::uint32_t s) const {
+    return rings_[s];
+  }
+
+  /// Durably sync every stream's commit hint now (flush + fence).  Public
+  /// for the cross-shard coordinator: retiring a commit-directory slot
+  /// needs the participants' durable hints past the anchored batches.
+  /// Owner-locked, like tinca_commit.
+  void sync_commit_hints() { hint_sync(); }
 
   // --- Transactional primitives (paper §4.1) -------------------------------
 
@@ -348,9 +450,26 @@ class TincaCache : private cleaner::CleanerClient {
   TincaCache(nvm::NvmDevice& nvm, blockdev::BlockDevice& disk, TincaConfig cfg);
 
   void format_media();
-  void run_recovery();
+  /// Recovery phase 1 body: identity checks + ring/table load, no mutation.
+  void load_for_recovery();
   /// Seed the free-block pool least-worn first (no-op unless wear_level).
   void order_free_blocks_by_wear();
+
+  // Recovery scratch carried from recovery_scan() to recovery_apply().
+  struct RecoveredBatch {
+    std::vector<RingRecord> records;
+    std::uint32_t seq = 0;
+    std::uint32_t commit_id = 0;
+    std::uint32_t stream = 0;
+  };
+  struct RecoveryState {
+    std::vector<RecoveredBatch> batches;          ///< sealed, all streams
+    std::vector<std::vector<RingRecord>> runs;    ///< per-stream in-flight
+    int last = -1;          ///< index of the max-seq (newest) batch
+    bool last_placed = false;
+  };
+  [[nodiscard]] std::uint64_t block_fp(std::uint32_t nvm_block) const;
+  [[nodiscard]] bool record_placed(const RingRecord& r) const;
 
   // Commit-protocol stages (DESIGN.md §14).  stage_block_install stages one
   // merged block's COW/miss install (unflushed stores, ranges collected into
@@ -359,6 +478,8 @@ class TincaCache : private cleaner::CleanerClient {
   void stage_block_install(std::uint64_t disk_blkno,
                            std::span<const std::byte> data);
   void publish_switches(const std::vector<std::uint64_t>& blocks);
+  // Close a transaction whose blocks just committed (stats + reset).
+  void close_committed(Transaction& t);
   // Flush pending_ranges_ (the newest batch's role switches + hint line) and
   // durably publish hint := tail, so recovery never re-validates that batch.
   // Forced by ring-full backpressure and by eviction of a newest-batch block.
@@ -428,7 +549,7 @@ class TincaCache : private cleaner::CleanerClient {
   blockdev::BlockDevice& disk_;
   TincaConfig cfg_;
   Layout layout_;
-  RingBuffer ring_;
+  std::vector<RingBuffer> rings_;  ///< one per commit stream (§15)
 
   std::vector<CacheEntry> mirror_;                       ///< DRAM copy of entries
   std::unordered_map<std::uint64_t, std::uint32_t> index_;  ///< disk blk → slot
@@ -439,6 +560,27 @@ class TincaCache : private cleaner::CleanerClient {
   std::uint64_t next_txn_id_ = 1;
   std::uint64_t dirty_count_ = 0;  ///< valid+modified entries (incremental)
   std::uint64_t format_epoch_ = 0;  ///< cached superblock format epoch
+
+  // Multi-stream commit state (DESIGN.md §15).
+  std::uint32_t next_stream_ = 0;  ///< round-robin batch → stream assignment
+  /// Cache-wide monotonic batch sequence, carried in every seal's commit
+  /// tag: recovery uses it to identify THE newest batch across all streams —
+  /// the only one whose fence may not have completed.  DRAM; restarts at 1
+  /// per mount (the epoch bump retires all earlier records).
+  std::uint32_t batch_seq_ = 1;
+  /// The staged-but-unpublished batch (at most one per cache: the owner
+  /// mutex serializes commits).
+  struct OpenBatch {
+    bool active = false;
+    std::uint32_t stream = 0;
+    std::uint32_t commit_id = 0;
+    std::uint64_t start = 0;  ///< ring index of the batch's first record
+    std::uint64_t end = 0;    ///< ring index one past the seal record
+    std::vector<std::uint64_t> order;    ///< merged block order
+    std::vector<Transaction*> txns;      ///< closed at publish
+  };
+  OpenBatch batch_;
+  std::unique_ptr<RecoveryState> recovery_;  ///< scan → apply scratch
 
   // Group-commit pipeline state (DESIGN.md §14).
   /// Byte ranges dirtied by the OPEN batch (staged data, entries, ring

@@ -6,6 +6,7 @@
 
 #include "common/bytes.h"
 #include "tinca/cache_entry.h"
+#include "tinca/commit_directory.h"
 #include "tinca/ring_buffer.h"
 
 namespace tinca::core {
@@ -28,40 +29,43 @@ MediaReport verify_media(const nvm::NvmDevice& nvm, const Layout& layout) {
     complain("superblock block count disagrees with layout");
   if (nvm.load8(Layout::kRingCapacityOff) != layout.ring_capacity)
     complain("superblock ring capacity disagrees with layout");
+  if (nvm.load8(Layout::kNumStreamsOff) != layout.num_streams)
+    complain("superblock stream count disagrees with layout");
 
-  // Validated ring scan from the durable commit hint (the same walk recovery
-  // performs): count sealed batches and the trailing in-flight run, and flag
-  // incoherent seals.  A checksum failure is not corruption — it is simply
-  // the end of the log — so only structural incoherence complains.
+  // Validated per-stream ring scans, each from its own durable commit hint
+  // (the same walks recovery performs): count sealed batches and trailing
+  // in-flight runs, and flag incoherent seals.  A checksum failure is not
+  // corruption — it is simply the end of that stream's log — so only
+  // structural incoherence complains.
   const std::uint64_t epoch = nvm.load8(Layout::kFormatEpochOff);
-  const std::uint64_t hint = nvm.load8(Layout::kCommitHintOff);
-  {
+  for (std::uint32_t stream = 0; stream < layout.num_streams; ++stream) {
+    const std::uint64_t hint = nvm.load8(Layout::stream_hint_off(stream));
     std::uint64_t idx = hint;
-    const std::uint64_t scan_end = hint + layout.ring_capacity;
+    const std::uint64_t scan_end = hint + layout.stream_capacity;
     std::uint64_t run_start = hint;
     std::uint64_t run_len = 0;
     while (idx < scan_end) {
       std::array<std::byte, Layout::kRingSlotBytes> raw{};
-      nvm.load(layout.ring_slot_off(idx), raw);
+      nvm.load(layout.ring_slot_off(stream, idx), raw);
       const std::uint64_t w0 = load_le(raw.data(), 8);
       const std::uint64_t w1 = load_le(raw.data() + 8, 8);
       const std::uint64_t w2 = load_le(raw.data() + 16, 8);
       const std::uint64_t ck = load_le(raw.data() + 24, 8);
-      if (ck != RingBuffer::checksum(w0, w1, w2, idx, epoch)) break;
+      if (ck != RingBuffer::checksum(w0, w1, w2, idx, epoch, stream)) break;
       const std::uint64_t kind = w0 & 0x3;
       if (kind == 1) {  // block record
         if (static_cast<std::uint32_t>(w1) >= layout.num_blocks)
-          complain("ring record " + std::to_string(idx) +
-                   ": NVM block out of range");
+          complain("stream " + std::to_string(stream) + " ring record " +
+                   std::to_string(idx) + ": NVM block out of range");
         ++run_len;
       } else if (kind == 2) {  // batch commit record
         if (w2 != run_start) {
           // A seal that does not close the run before it can only be a stale
           // slot from an earlier lap that happens to checksum-validate at
           // this index — astronomically unlikely, hence a complaint.
-          complain("ring record " + std::to_string(idx) +
-                   ": commit record seals batch start " + std::to_string(w2) +
-                   " but the current run starts at " +
+          complain("stream " + std::to_string(stream) + " ring record " +
+                   std::to_string(idx) + ": commit record seals batch start " +
+                   std::to_string(w2) + " but the current run starts at " +
                    std::to_string(run_start));
           break;
         }
@@ -73,8 +77,14 @@ MediaReport verify_media(const nvm::NvmDevice& nvm, const Layout& layout) {
       }
       ++idx;
     }
-    report.in_flight = run_len;
+    report.in_flight += run_len;
   }
+
+  // Cross-stream commit directory: count records that validate under the
+  // current format epoch (stale-epoch slots are dead by construction).
+  for (std::uint64_t slot = 0; slot < Layout::kDirSlots; ++slot)
+    if (CommitDirectory::read_slot(nvm, slot, epoch).commit_id != 0)
+      ++report.dir_records;
 
   // Entry table.
   std::unordered_map<std::uint64_t, std::uint32_t> by_disk;

@@ -19,16 +19,19 @@ struct MediaReport {
   std::uint64_t valid_entries = 0;
   std::uint64_t log_entries = 0;     ///< entries still in log role
   std::uint64_t revoke_markers = 0;  ///< rolled-back entries (prev == curr)
-  std::uint64_t committed_batches = 0;  ///< sealed batches in the scan window
+  std::uint64_t committed_batches = 0;  ///< sealed batches across all streams
   std::uint64_t in_flight = 0;  ///< trailing unsealed (in-flight) ring records
+  std::uint64_t dir_records = 0;  ///< valid cross-stream commit records
 };
 
-/// Check the structural invariants of a Tinca v2 device:
-///   - superblock magic/version/geometry match `layout`;
-///   - the validated ring scan from the durable commit hint is coherent
-///     (every batch commit record seals exactly the run before it; the scan
-///     window fits the ring capacity) — the scan's batch/in-flight counts are
-///     reported;
+/// Check the structural invariants of a Tinca v3 device:
+///   - superblock magic/version/geometry/stream count match `layout`;
+///   - every stream's validated ring scan from its own durable commit hint is
+///     coherent (every batch commit record seals exactly the run before it;
+///     each scan window fits its stream's capacity) — the scans' batch and
+///     in-flight counts are reported, summed across streams;
+///   - commit-directory records that validate under the current format epoch
+///     are counted;
 ///   - every valid entry's current (and non-FRESH previous) NVM block is in
 ///     range;
 ///   - no two valid entries map the same disk block;

@@ -194,6 +194,67 @@ TEST(FaultFuzzScripted, NvLogDrainSkippingApplyIsCaught) {
       << describe(rep);
 }
 
+// Multi-stream campaigns (DESIGN.md §15): per-shard commit streams with
+// cross-shard transactions anchored to the atomic commit record, with and
+// without the group batcher.  The oracle carries NO shard-prefix exemption
+// any more — a half-applied cross-shard transaction at any cut is a
+// violation — so these runs prove the record really is the commit point.
+TEST(FaultFuzzScripted, MultiStreamShardedSchedulesUpholdInvariants) {
+  FuzzOptions opts;
+  opts.kind = StackKind::kShardedTinca;
+  opts.streams = 2;
+  opts.seed = env_u64("TINCA_FUZZ_SEED", 20260807);
+  opts.schedules =
+      static_cast<std::uint32_t>(env_u64("TINCA_FUZZ_SCHEDULES", 120));
+
+  const FuzzReport rep = run_fault_fuzz(opts);
+  EXPECT_EQ(rep.violations, 0u)
+      << describe(rep) << "reproduce: TINCA_FUZZ_SEED=" << opts.seed
+      << " TINCA_FUZZ_SCHEDULES=" << opts.schedules;
+  EXPECT_GT(rep.crashes, 0u) << describe(rep);
+}
+
+TEST(FaultFuzzScripted, MultiStreamGroupCommitSchedulesUpholdInvariants) {
+  FuzzOptions opts;
+  opts.kind = StackKind::kShardedTinca;
+  opts.streams = 2;
+  opts.group_commit = true;
+  opts.seed = env_u64("TINCA_FUZZ_SEED", 20260807);
+  opts.schedules =
+      static_cast<std::uint32_t>(env_u64("TINCA_FUZZ_SCHEDULES", 120));
+
+  const FuzzReport rep = run_fault_fuzz(opts);
+  EXPECT_EQ(rep.violations, 0u)
+      << describe(rep) << "reproduce: TINCA_FUZZ_SEED=" << opts.seed
+      << " TINCA_FUZZ_SCHEDULES=" << opts.schedules;
+  EXPECT_GT(rep.crashes, 0u) << describe(rep);
+}
+
+// Oracle self-test for the cross-stream commit record: a sharded stack
+// that stages the record WITHOUT its clflush rolls back acknowledged
+// cross-shard transactions on a power cut, and the (prefix-exemption-free)
+// oracle must flag the missing state.  Crash-heavy, fault-free schedules:
+// the skipped flush is the only bug in play.
+TEST(FaultFuzzScripted, SkippedCommitRecordFlushIsCaught) {
+  FuzzOptions opts;
+  opts.kind = StackKind::kShardedTinca;
+  opts.streams = 2;
+  opts.sabotage = FuzzSabotage::kSkipCommitRecordFlush;
+  opts.seed = 717171;
+  opts.schedules = 40;
+  opts.crash_prob = 0.8;  // the lie only shows when the power goes out
+  opts.transient_read_rate = 0.0;
+  opts.transient_write_rate = 0.0;
+  opts.bad_sector_rate = 0.0;
+  opts.torn_write_rate = 0.0;
+
+  const FuzzReport rep = run_fault_fuzz(opts);
+  EXPECT_GT(rep.violations, 0u)
+      << "oracle has no teeth: a commit record staged without its flush "
+         "went unnoticed\n"
+      << describe(rep);
+}
+
 // A hand-scripted torn write through the full stack: the Nth disk write
 // tears (half new, half old), the machine dies, and recovery must still
 // present exactly the committed history — the §9 "torn write" row.

@@ -27,7 +27,6 @@ std::string describe(const FsFuzzReport& rep) {
                   " txns=" + std::to_string(rep.txns_committed) +
                   " crashes=" + std::to_string(rep.crashes) +
                   " remounts=" + std::to_string(rep.clean_remounts) +
-                  " prefix_cuts=" + std::to_string(rep.shard_prefix_cuts) +
                   " fscks=" + std::to_string(rep.fsck_runs) +
                   " dirty=" + std::to_string(rep.fsck_dirty) +
                   " wedges=" + std::to_string(rep.wedges) + "\n";
@@ -127,6 +126,51 @@ INSTANTIATE_TEST_SUITE_P(CleanerBackends, FsFuzzCleaner,
                          });
 
 // --- Oracle self-tests: the harness must catch corruption it didn't cause.
+
+// Multi-stream sharded stack under the file-system workload (DESIGN.md
+// §15): per-shard commit streams, cross-shard compound commits anchored to
+// the atomic commit record, and an oracle with NO shard-prefix exemption —
+// every recovered image must be an fsync boundary, full stop.
+TEST(FsFuzzMultiStream, StreamedShardedHistoriesRecoverToAnFsyncBoundary) {
+  FsFuzzOptions opts;
+  opts.kind = StackKind::kShardedTinca;
+  opts.streams = 2;
+  opts.seed = env_u64("TINCA_FS_FUZZ_SEED", 20260807);
+  opts.schedules =
+      static_cast<std::uint32_t>(env_u64("TINCA_FS_FUZZ_SCHEDULES", 30));
+
+  const FsFuzzReport rep = run_fs_fuzz(opts);
+  EXPECT_EQ(rep.violations, 0u)
+      << describe(rep) << "reproduce: TINCA_FS_FUZZ_SEED=" << opts.seed
+      << " TINCA_FS_FUZZ_SCHEDULES=" << opts.schedules << " (streams=2)";
+  EXPECT_EQ(rep.fsck_dirty, 0u) << describe(rep);
+  EXPECT_GT(rep.crashes, 0u) << describe(rep);
+  EXPECT_GT(rep.fsck_runs, 0u) << describe(rep);
+}
+
+// The fs-level commit-record self-test: a sharded stack that skips the
+// record's clflush loses acked cross-shard compound commits on a power cut,
+// and the image/tree oracle must notice the rollback past an acknowledged
+// fsync boundary.
+TEST(FsFuzzSabotage, SkippedCommitRecordFlushIsCaught) {
+  FsFuzzOptions opts;
+  opts.kind = StackKind::kShardedTinca;
+  opts.streams = 2;
+  opts.sabotage = FsSabotage::kSkipCommitRecordFlush;
+  opts.seed = 409;
+  opts.schedules = 20;
+  opts.crash_prob = 0.9;  // the lie only shows when the power goes out
+  opts.transient_read_rate = 0.0;
+  opts.transient_write_rate = 0.0;
+  opts.bad_sector_rate = 0.0;
+  opts.torn_write_rate = 0.0;
+
+  const FsFuzzReport rep = run_fs_fuzz(opts);
+  EXPECT_GT(rep.violations + rep.fsck_dirty, 0u)
+      << "oracle has no teeth: a commit record staged without its flush "
+         "went unnoticed\n"
+      << describe(rep);
+}
 
 // A cleaner that marks cache blocks clean WITHOUT their pre-writeback disk
 // flush: stale disk data then surfaces through the file system after

@@ -8,8 +8,8 @@
 //     none of the batch or all of it (exhaustive crash-point sweep);
 //   - an acked batch survives total loss of unflushed lines (the publish
 //     hint is lazy, the commit record is not);
-//   - the sharded commit_batch keeps the ascending-shard prefix contract
-//     across cut points;
+//   - the sharded commit_batch is atomic across shards at every cut point
+//     (the §15 cross-stream commit record: all shard portions or none);
 //   - an aborted transaction never disturbs batched commits around it;
 //   - concurrent committers drain through the per-shard batcher without
 //     losing a transaction (the TSan stress in ci.sh).
@@ -347,10 +347,11 @@ TEST(ShardedGroupCommit, CommitBatchSpansShardsAndCountsBatches) {
   EXPECT_GT(agg.commit_batch_size.max(), 1u);
 }
 
-// Crash sweep over commit_batch: a cut at any persistence point leaves an
-// ascending-shard prefix of the batch — each shard's whole portion or none
-// of it, lower shard ids first (DESIGN.md §7 extended to batches in §14).
-TEST(ShardedGroupCommitCrash, CommitBatchCutsLeaveAscendingShardPrefixes) {
+// Crash sweep over commit_batch: a cut at any persistence point leaves the
+// batch all-or-nothing ACROSS shards — the cross-stream commit record
+// (DESIGN.md §15) retired the old ascending-shard prefix contract, so a
+// recovered state carrying one shard's portion without the others is a bug.
+TEST(ShardedGroupCommitCrash, CommitBatchCutsAreAtomicAcrossShards) {
   // Member writes: shard portions are {100+m} and {200+m} per member; find
   // the shard of each block dynamically since the hash is opaque.
   const auto run = [](nvm::NvmDevice& dev, blockdev::MemBlockDevice& disk,
@@ -401,18 +402,14 @@ TEST(ShardedGroupCommitCrash, CommitBatchCutsLeaveAscendingShardPrefixes) {
     dev.crash(rng, 0.5);
     auto st = ShardedTinca::recover(dev, disk, grouped_cfg());
 
-    // Acceptable states: base, then cumulative ascending-shard portions.
+    // Acceptable states: base, or base + the WHOLE batch.  Nothing between.
     std::map<std::uint64_t, std::uint64_t> state = {{100, 1}};
     std::vector<std::map<std::uint64_t, std::uint64_t>> candidates = {state};
-    std::map<std::uint32_t, std::map<std::uint64_t, std::uint64_t>> by_shard;
     for (std::uint64_t m = 0; m < 3; ++m) {
-      by_shard[st->shard_of(100 + m)][100 + m] = 10 + m;
-      by_shard[st->shard_of(200 + m)][200 + m] = 20 + m;
+      state[100 + m] = 10 + m;
+      state[200 + m] = 20 + m;
     }
-    for (const auto& [sid, part] : by_shard) {  // ascending shard id
-      for (const auto& [blkno, seed] : part) state[blkno] = seed;
-      candidates.push_back(state);
-    }
+    candidates.push_back(state);
 
     std::vector<std::byte> buf(kBlockSize);
     const std::vector<std::byte> zero(kBlockSize, std::byte{0});
@@ -432,7 +429,7 @@ TEST(ShardedGroupCommitCrash, CommitBatchCutsLeaveAscendingShardPrefixes) {
       if (ok) break;
     }
     ASSERT_TRUE(ok) << "cut at step " << k
-                    << " left a non-prefix batch state";
+                    << " left a non-atomic cross-shard batch state";
   }
 }
 

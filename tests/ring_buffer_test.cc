@@ -83,7 +83,8 @@ TEST(RingBuffer, StageSealScanRoundTrip) {
   rs.push_back(f.ring.stage_block(101, 7, 0xABCDu));
   rs.push_back(f.ring.stage_block(202, 9, 0x1234u));
   EXPECT_EQ(f.ring.in_flight(), 2u);
-  rs.push_back(f.ring.stage_commit(/*batch_start=*/0, /*txn_count=*/2));
+  rs.push_back(
+      f.ring.stage_commit(/*batch_start=*/0, /*txn_count=*/2, /*tag=*/1));
   f.flush(rs);
   f.ring.publish(0);
   EXPECT_EQ(f.ring.in_flight(), 0u);
@@ -110,7 +111,7 @@ TEST(RingBuffer, StageSealScanRoundTrip) {
 TEST(RingBuffer, StagedRecordsDieWithACrash) {
   Fixture f;
   f.ring.stage_block(7, 1, 0x1u);
-  f.ring.stage_commit(0, 1);
+  f.ring.stage_commit(0, 1, 1);
   f.dev.crash_discard_all();  // nothing was flushed
   RingBuffer other(f.dev, f.layout);
   other.load();
@@ -123,7 +124,7 @@ TEST(RingBuffer, FencedRecordsSurviveACrash) {
   Fixture f;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> rs;
   rs.push_back(f.ring.stage_block(7, 1, 0x1u));
-  rs.push_back(f.ring.stage_commit(0, 1));
+  rs.push_back(f.ring.stage_commit(0, 1, 1));
   f.flush(rs);
   f.dev.crash_discard_all();
   RingBuffer other(f.dev, f.layout);
@@ -146,7 +147,7 @@ TEST(RingBuffer, HintStagedAtPublishSweptByNextFlush) {
     const std::uint64_t start = 2 * b;
     if (b > 0) rs.push_back(hint_range);  // sweep the previous publish
     rs.push_back(f.ring.stage_block(7 + b, 1 + b, 0x1u + b));
-    rs.push_back(f.ring.stage_commit(start, 1));
+    rs.push_back(f.ring.stage_commit(start, 1, b + 1));
     f.flush(rs);
     rs.clear();
     hint_range = f.ring.publish(start);
@@ -171,7 +172,7 @@ TEST(RingBuffer, PersistHintAdvancesDurably) {
   Fixture f;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> rs;
   rs.push_back(f.ring.stage_block(7, 1, 0x1u));
-  rs.push_back(f.ring.stage_commit(0, 1));
+  rs.push_back(f.ring.stage_commit(0, 1, 1));
   f.flush(rs);
   f.ring.publish(0);
   f.ring.persist_hint();  // hint := tail = 2
@@ -190,7 +191,7 @@ TEST(RingBuffer, StaleLapRecordsDoNotValidate) {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> rs;
   for (std::uint64_t i = 0; i < cap / 2; ++i) {
     rs.push_back(f.ring.stage_block(i, 1, i));
-    rs.push_back(f.ring.stage_commit(2 * i, 1));
+    rs.push_back(f.ring.stage_commit(2 * i, 1, i + 1));
     f.flush(rs);
     rs.clear();
     rs.push_back(f.ring.publish(2 * i));
@@ -214,7 +215,7 @@ TEST(RingBuffer, HasRoomTracksDurableHint) {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> rs;
   for (std::uint64_t i = 0; i < cap - 1; ++i)
     rs.push_back(f.ring.stage_block(i, 1, i));
-  rs.push_back(f.ring.stage_commit(0, 1));
+  rs.push_back(f.ring.stage_commit(0, 1, 1));
   f.flush(rs);
   f.ring.publish(0);
   // The hint still sits at 0: the full lap is the scan window.

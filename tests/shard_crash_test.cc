@@ -6,9 +6,10 @@
 // crash point of that sequence, simulates power loss, recovers every shard,
 // and asserts the sharded atomicity contract:
 //
-//   each shard's portion is all-or-nothing (its own Tail decides), and
-//   because publications happen in ascending shard order, the later shard's
-//   portion can only be durable if the earlier shard's portion is too;
+//   the transaction is all-or-nothing ACROSS shards: it is anchored to one
+//   cross-stream commit record (DESIGN.md §15), so after recovery either
+//   every shard's portion is durable or none is — the old ascending-shard
+//   prefix contract is retired;
 //
 // plus structural health: verify_media is clean on every shard after every
 // recovery, and recovery leaves no unflushed lines behind.
@@ -142,10 +143,11 @@ TEST(ShardCrashSweep, EveryStepOfATwoShardCommitRecoversPerShardAtomically) {
       committed[s] = (got == new_fp);
     }
 
-    // Publication order: shard 0's Tail moves before shard 1's, so shard 1
-    // committed implies shard 0 committed.
-    EXPECT_TRUE(!committed[1] || committed[0])
-        << "later shard durable before earlier shard at step " << step;
+    // Cross-shard atomicity: the commit record decides for BOTH shards, so
+    // the two portions must agree at every cut point (strictly stronger
+    // than the old "later implies earlier" publication-order contract).
+    EXPECT_EQ(committed[0], committed[1])
+        << "cross-shard txn half-applied at step " << step;
   }
 }
 
@@ -168,6 +170,7 @@ TEST(ShardCrashSweep, RecoveryAfterTotalLineLossIsStillConsistent) {
     auto st = ShardedTinca::recover(dev, disk, two_shards());
 
     const auto home = one_block_per_shard(*st);
+    std::vector<bool> committed(2);
     std::vector<std::byte> buf(core::kBlockSize);
     for (std::uint32_t s = 0; s < 2; ++s) {
       st->read_block(home[s], buf);
@@ -175,7 +178,11 @@ TEST(ShardCrashSweep, RecoveryAfterTotalLineLossIsStillConsistent) {
       ASSERT_TRUE(got == fingerprint(block_of(kOldSeedBase + s)) ||
                   got == fingerprint(block_of(kNewSeedBase + s)))
           << "shard " << s << " lost the prelude after crash at step " << step;
+      committed[s] = got == fingerprint(block_of(kNewSeedBase + s));
     }
+    EXPECT_EQ(committed[0], committed[1])
+        << "cross-shard txn half-applied after total line loss at step "
+        << step;
   }
 }
 
