@@ -69,6 +69,15 @@ constexpr Campaign kCampaigns[] = {
      2, "Sharded+streams"},
     {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kDisabled, true,
      2, "Sharded+streams+group"},
+    // Deep-stacked NvLog tiers (DESIGN.md §16): the write-ahead log drains
+    // into a full transactional cache, so cuts land mid-drain with both the
+    // tier's watermark ring and the inner cache's commit protocol in flight.
+    {backend::StackKind::kNvLogTinca, cleaner::CleanerMode::kStepped, false, 1,
+     "NvLogTinca"},
+    {backend::StackKind::kNvLogSharded, cleaner::CleanerMode::kStepped, false,
+     1, "NvLogSharded"},
+    {backend::StackKind::kNvLogSharded, cleaner::CleanerMode::kDisabled, true,
+     1, "NvLogSharded+group"},
 };
 
 }  // namespace

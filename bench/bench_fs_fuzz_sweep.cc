@@ -71,6 +71,14 @@ constexpr Campaign kCampaigns[] = {
      2, "Sharded+streams"},
     {backend::StackKind::kShardedTinca, cleaner::CleanerMode::kDisabled, true,
      2, "Sharded+streams+group"},
+    // Deep-stacked NvLog tiers (DESIGN.md §16): MiniFs compound commits
+    // absorb into the log and drain into a full transactional cache inner.
+    {backend::StackKind::kNvLogTinca, cleaner::CleanerMode::kStepped, false, 1,
+     "NvLogTinca"},
+    {backend::StackKind::kNvLogSharded, cleaner::CleanerMode::kStepped, false,
+     1, "NvLogSharded"},
+    {backend::StackKind::kNvLogSharded, cleaner::CleanerMode::kDisabled, true,
+     1, "NvLogSharded+group"},
 };
 
 }  // namespace

@@ -36,7 +36,7 @@ cmake -B "$TSAN_DIR" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
   --target mvcc_stress_test shard_test cleaner_test group_commit_test \
-  multistream_stress_test
+  multistream_stress_test nvlog_stress_test
 
 "$TSAN_DIR/tests/mvcc_stress_test"
 "$TSAN_DIR/tests/shard_test"
@@ -48,8 +48,12 @@ cmake --build "$TSAN_DIR" -j "$(nproc)" \
 # single-shard and cross-shard txns while MVCC readers check that no
 # snapshot ever observes half a cross-stream transaction.
 "$TSAN_DIR/tests/multistream_stress_test"
+# Deep-stacked NvLog stress (DESIGN.md §16): concurrent absorbers + a
+# drain_pass() loop whose shard-affine batches run on real per-shard
+# threads (drain_threads=true) into the sharded inner.
+"$TSAN_DIR/tests/nvlog_stress_test"
 echo "tsan stage: OK (mvcc stress + shard + cleaner + group-commit +" \
-  "multistream suites race-free)"
+  "multistream + nvlog-stacked suites race-free)"
 
 # ---------------------------------------------------------------------------
 # Bench smoke: Release build, run two benches with --json and validate the
@@ -97,12 +101,17 @@ cmake --build "$BENCH_DIR" -j "$(nproc)" \
 # take the shard mutex" — a fast path regressed onto the lock fails here.
 "$BENCH_DIR/bench/bench_mvcc_reads" --json "$JSON_OUT/mvcc.json" > /dev/null
 
-# NVM write-ahead tier smoke (DESIGN.md §13): fsync-heavy 1-block commits on
-# NvLog-Classic vs classic-journal vs Tinca.  The binary exits nonzero unless
+# NVM write-ahead tier smoke (DESIGN.md §13 + §16): fsync-heavy 1-block
+# commits on NvLog-Classic vs classic-journal vs Tinca, then the deep-stacked
+# tiers (NvLog over Tinca / Sharded inners).  The binary exits nonzero unless
 # NvLog-Classic's throughput is >= 2x classic-journal's AND its drain
-# coalesced at least one superseded record, so this line gates "the log tier
-# absorbs fsyncs off the disk journal and its coalescing is live".
+# coalesced at least one superseded record AND the §16 gates hold —
+# NvLog-Sharded >= 2x Sharded on the fsync-heavy commit window, parallel
+# drain-lag p95 <= 0.5x sequential, and watermark-ring rotation cools the
+# hot metadata line >= 10x.  The schema-checked JSON is published as
+# BENCH_nvlog_stacked.json for downstream comparison.
 "$BENCH_DIR/bench/bench_nvlog" --json "$JSON_OUT/nvlog.json" > /dev/null
+cp "$JSON_OUT/nvlog.json" BENCH_nvlog_stacked.json
 
 # Group-commit smoke (DESIGN.md §14): single commits vs commit_group over a
 # hot-set stream sweep plus a TPC-C-style open-arrival DES.  The binary exits
@@ -167,13 +176,18 @@ for path in sys.argv[1:]:
 # sweep arms the sharded per-shard batcher — and the sharded stack re-runs
 # with 2 commit streams per shard (§15), alone and combined with group
 # commit, so crash cuts land inside the cross-stream commit-record protocol.
+# The deep-stacked NvLog tiers (§16) run in both sweeps too, so crash cuts
+# land inside parallel shard-affine drains and watermark-ring rotation.
 CAMPAIGNS = {"Tinca", "Classic", "UBJ", "Sharded", "NvLog",
              "Tinca+cleaner", "UBJ+cleaner", "Sharded+cleaner",
              "NvLog+cleaner"}
 STREAM_CAMPAIGNS = {"Sharded+streams", "Sharded+streams+group"}
+STACKED_CAMPAIGNS = {"NvLogTinca", "NvLogSharded", "NvLogSharded+group"}
 FAULT_CAMPAIGNS = CAMPAIGNS | {"Tinca+group", "Sharded+group",
-                               "NvLog+group"} | STREAM_CAMPAIGNS
-FS_CAMPAIGNS = CAMPAIGNS | {"Sharded+group"} | STREAM_CAMPAIGNS
+                               "NvLog+group"} | STREAM_CAMPAIGNS \
+    | STACKED_CAMPAIGNS
+FS_CAMPAIGNS = CAMPAIGNS | {"Sharded+group"} | STREAM_CAMPAIGNS \
+    | STACKED_CAMPAIGNS
 
 # Fault-sweep specifics: every campaign present, full schedule count, and
 # zero recovery-invariant violations.
@@ -248,7 +262,9 @@ with open(sys.argv[7]) as f:
     nv = json.load(f)
 rows = {row["label"]: row["metrics"] for row in nv["rows"]}
 assert set(rows) == {"Classic-journal", "NvLog-Classic", "Tinca",
-                     "NvLog-drain"}, f"rows: {set(rows)}"
+                     "NvLog-drain", "Sharded", "NvLog-Tinca",
+                     "NvLog-Sharded", "NvLog-stacked", "NvLog-meta-wear"}, \
+    f"rows: {set(rows)}"
 drain = rows["NvLog-drain"]
 assert drain["speedup_vs_classic"] >= 2.0, \
     f"NvLog speedup only {drain['speedup_vs_classic']:.2f}x"
@@ -256,8 +272,26 @@ assert drain["coalesce_ratio"] > 0, "drain never coalesced a record"
 assert drain["absorbed_txns"] > 0, "log absorbed no commits"
 assert drain["drained_records"] > 0, "log drained no records"
 assert drain["segments_recycled"] > 0, "log never recycled a segment"
+# Deep-stacked gates (§16): the log tier over the Sharded inner must win
+# the fsync-heavy commit window >= 2x, shard-affine parallel drains must
+# at least halve the drain-lag p95, and the drains must actually have been
+# partitioned by inner shard (not one flat batch).
+stacked = rows["NvLog-stacked"]
+assert stacked["speedup_vs_sharded"] >= 2.0, \
+    f"NvLog-Sharded speedup only {stacked['speedup_vs_sharded']:.2f}x"
+assert stacked["drain_lag_ratio"] <= 0.5, \
+    f"parallel drain-lag ratio {stacked['drain_lag_ratio']:.2f} > 0.5"
+assert stacked["partitioned_drains"] > 0, "no drain was shard-partitioned"
+assert stacked["shard_batches"] > stacked["partitioned_drains"], \
+    "partitioned drains never produced more than one shard batch"
+wear = rows["NvLog-meta-wear"]
+assert wear["wear_improvement"] >= 10.0, \
+    f"watermark-ring wear improvement only {wear['wear_improvement']:.1f}x"
 print(f"nvlog: OK (speedup = {drain['speedup_vs_classic']:.2f}x, "
-      f"coalesce = {drain['coalesce_ratio']:.2f})")
+      f"coalesce = {drain['coalesce_ratio']:.2f}, "
+      f"stacked = {stacked['speedup_vs_sharded']:.2f}x, "
+      f"lag ratio = {stacked['drain_lag_ratio']:.2f}, "
+      f"wear = {wear['wear_improvement']:.1f}x)")
 
 # Group-commit smoke specifics (§14): the full stream sweep and DES user
 # sweep are present, and the headline ratios hold — >= 2x commit throughput

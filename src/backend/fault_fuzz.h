@@ -89,7 +89,7 @@ inline FuzzReport run_fault_fuzz(const FuzzOptions& opts) {
     // power at an NVM persistence point, the rest tear a disk write.
     if (rng.chance(opts.crash_prob)) {
       if (rng.chance(0.5)) {
-        const std::uint64_t step = 1 + rng.below(300);
+        const std::uint64_t step = 1 + rng.below(opts.crash_point_range);
         nvm.injector.arm(step);
         armed = "point@" + std::to_string(step);
       } else {
@@ -358,6 +358,23 @@ inline FuzzReport run_fault_fuzz(const FuzzOptions& opts) {
           record_violation("verify_media: " + (mr.problems.empty()
                                                    ? std::string("not ok")
                                                    : mr.problems.front()));
+        }
+      }
+      // NvLog stacks: after every crash the log tier's metadata — the
+      // superblock and the watermark record ring (DESIGN.md §16) — must
+      // still decode and hold a mountable winning record.  This is the
+      // structural check for the rotated hot-line metadata: a torn record
+      // cut is acceptable only because an older valid record survives.
+      if (ok && crashed &&
+          (opts.kind == StackKind::kNvLogClassic ||
+           opts.kind == StackKind::kNvLogTinca ||
+           opts.kind == StackKind::kNvLogSharded)) {
+        nvm::NvmDevice logv(nvm, 0, detail::kFuzzLogBytes, clock);
+        const core::MediaReport mr = core::verify_nvlog_media(logv);
+        if (!mr.ok) {
+          record_violation("verify_nvlog_media: " +
+                           (mr.problems.empty() ? std::string("not ok")
+                                                : mr.problems.front()));
         }
       }
       if (crashed) detail::fuzz_collect(opts, *be, rep);

@@ -46,6 +46,12 @@ enum class FuzzSabotage : std::uint8_t {
   /// crash then rolls back an acknowledged cross-shard transaction, and
   /// the oracle must flag the lost commit.
   kSkipCommitRecordFlush,
+  /// The NvLog tier stores its watermark ring records WITHOUT the flush
+  /// that makes them durable (DESIGN.md §16).  A crash then mounts a stale
+  /// watermark whose oldest_live_seq can name a recycled-and-reused
+  /// segment; the chain scan finds a gap at its head and every younger
+  /// committed txn is lost — the oracle must flag it.
+  kSkipWatermarkRecordFlush,
 };
 
 /// Parameters of one fuzz campaign (one backend kind, many schedules).
@@ -67,6 +73,11 @@ struct FuzzOptions {
   /// Probability a schedule arms a deterministic crash (power cut or torn
   /// write); random torn writes can still crash unarmed schedules.
   double crash_prob = 0.6;
+  /// Armed power cuts land uniformly on NVM crash points [1, this].  The
+  /// default covers the first few transactions of every stack; self-tests
+  /// whose bug needs a LONG history first (e.g. the watermark-ring sabotage,
+  /// which only bites after the log wraps) raise it so late cuts happen.
+  std::uint64_t crash_point_range = 300;
   /// Disk fault rates (per operation).
   double transient_read_rate = 0.01;
   double transient_write_rate = 0.02;
@@ -121,6 +132,10 @@ struct FuzzReport {
 
 namespace detail {
 
+/// Log-tier carve-out shared by every NvLog fuzz stack (and by the harness'
+/// post-crash verify_nvlog_media sweep, which must view the same range).
+inline constexpr std::uint64_t kFuzzLogBytes = 1ull << 19;  // 512 KB
+
 inline std::uint64_t fuzz_mix(std::uint64_t a, std::uint64_t b) {
   std::uint64_t z = a + 0x9E3779B97F4A7C15ULL * (b + 1);
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
@@ -140,7 +155,11 @@ inline std::uint64_t fuzz_nvm_bytes(StackKind kind, std::uint64_t override) {
     case StackKind::kShardedTinca:
       return (1ull << 19) * 2;  // two 512 KB shards
     case StackKind::kNvLogClassic:
-      return (3ull << 19) + (1ull << 19);  // classic cache + 512 KB log
+      return (3ull << 19) + kFuzzLogBytes;  // classic cache + 512 KB log
+    case StackKind::kNvLogTinca:
+      return (1ull << 19) + kFuzzLogBytes;  // Tinca cache + 512 KB log
+    case StackKind::kNvLogSharded:
+      return (1ull << 19) * 2 + kFuzzLogBytes;  // two shards + 512 KB log
     default:
       return 1ull << 19;  // 512 KB → ~100 Tinca/UBJ blocks
   }
@@ -207,7 +226,7 @@ inline std::unique_ptr<TxnBackend> fuzz_build(const FuzzOptions& o,
     }
     case StackKind::kNvLogClassic: {
       NvLogStackConfig c;
-      c.log_bytes = 1ull << 19;      // 512 KB log in front of the cache
+      c.log_bytes = kFuzzLogBytes;   // 512 KB log in front of the cache
       c.log.segment_bytes = 64 * 1024;  // 7 segments → frequent wrap + drain
       c.inner.journal_blocks = o.journal_blocks;  // same data area as Classic
       c.inner.cache.io = o.retry;
@@ -218,8 +237,41 @@ inline std::unique_ptr<TxnBackend> fuzz_build(const FuzzOptions& o,
           o.sabotage == FuzzSabotage::kCleanerSkipsFlush;
       c.log.sabotage_skip_commit_flush =
           o.sabotage == FuzzSabotage::kNvLogSkipsCommitFlush;
+      c.log.sabotage_skip_watermark_flush =
+          o.sabotage == FuzzSabotage::kSkipWatermarkRecordFlush;
       return recover ? NvLogBackend::recover(nvm, disk, c)
                      : NvLogBackend::format(nvm, disk, c);
+    }
+    case StackKind::kNvLogTinca:
+    case StackKind::kNvLogSharded: {
+      NvLogStackedConfig c;
+      c.log_bytes = kFuzzLogBytes;      // 512 KB log in front of the cache
+      c.log.segment_bytes = 64 * 1024;  // 7 segments → frequent wrap + drain
+      c.inner = o.kind == StackKind::kNvLogSharded ? NvLogInner::kSharded
+                                                   : NvLogInner::kTinca;
+      c.shards = o.shards;
+      c.tinca.ring_bytes = o.ring_bytes;
+      c.tinca.num_streams = o.streams;
+      c.tinca.io = o.retry;
+      // The inner cache keeps its own threshold cleaner on the harness'
+      // settings; the *log* cleaner (segment drains) is the one the stepped
+      // campaigns arm and crash-sweep.
+      c.tinca.cleaner.mode = o.cleaner;
+      c.tinca.cleaner.low_water_pct = o.cleaner_low_water_pct;
+      c.tinca.cleaner.high_water_pct = o.cleaner_high_water_pct;
+      c.tinca.cleaner.sabotage_skip_write =
+          o.sabotage == FuzzSabotage::kCleanerSkipsFlush;
+      c.cleaner.mode = o.cleaner;
+      c.cleaner.low_water_pct = o.cleaner_low_water_pct;
+      c.cleaner.high_water_pct = o.cleaner_high_water_pct;
+      c.cleaner.sabotage_skip_write =
+          o.sabotage == FuzzSabotage::kCleanerSkipsFlush;
+      c.log.sabotage_skip_commit_flush =
+          o.sabotage == FuzzSabotage::kNvLogSkipsCommitFlush;
+      c.log.sabotage_skip_watermark_flush =
+          o.sabotage == FuzzSabotage::kSkipWatermarkRecordFlush;
+      return recover ? NvLogStackedBackend::recover(nvm, disk, c)
+                     : NvLogStackedBackend::format(nvm, disk, c);
     }
   }
   TINCA_ENSURE(false, "unknown StackKind");
@@ -263,6 +315,20 @@ inline void fuzz_collect(const FuzzOptions& o, TxnBackend& be,
     case StackKind::kNvLogClassic: {
       const classic::FlashCacheStats& s =
           static_cast<NvLogBackend&>(be).inner().stack().cache().stats();
+      add(s.io_retries, s.io_quarantined, s.io_degraded_writes);
+      break;
+    }
+    case StackKind::kNvLogTinca: {
+      const core::TincaCacheStats& s =
+          static_cast<NvLogStackedBackend&>(be).inner_tinca()->cache().stats();
+      add(s.io_retries, s.io_quarantined, s.io_degraded_writes);
+      break;
+    }
+    case StackKind::kNvLogSharded: {
+      const core::TincaCacheStats s = static_cast<NvLogStackedBackend&>(be)
+                                          .inner_sharded()
+                                          ->sharded()
+                                          .aggregated_stats();
       add(s.io_retries, s.io_quarantined, s.io_degraded_writes);
       break;
     }

@@ -9,6 +9,7 @@
 
 #include "backend/classic_backend.h"
 #include "backend/nvlog_backend.h"
+#include "backend/nvlog_stacked_backend.h"
 #include "backend/sharded_backend.h"
 #include "backend/tinca_backend.h"
 #include "backend/txn_backend.h"
@@ -30,6 +31,8 @@ enum class StackKind : std::uint8_t {
   kUbj,                ///< UBJ unioned buffer cache + journal (§5.4.4)
   kShardedTinca,       ///< N-way sharded concurrent Tinca front-end
   kNvLogClassic,       ///< NVM write-ahead log tier over journal-less Classic
+  kNvLogTinca,         ///< log tier draining into a full TincaCache (§16)
+  kNvLogSharded,       ///< log tier + shard-affine drains into ShardedTinca
 };
 
 /// Assembly parameters.
@@ -53,6 +56,10 @@ struct StackConfig {
   /// NvLog tier + inner store for kNvLogClassic (`nvlog.inner` is the inner
   /// Classic config; the top-level `classic` field is ignored there).
   NvLogStackConfig nvlog;
+  /// NvLog tier over the real stacks for kNvLogTinca / kNvLogSharded
+  /// (DESIGN.md §16).  The inner cache config and shard count are copied
+  /// from the top-level `tinca` / `tinca_shards` fields at assembly time.
+  NvLogStackedConfig nvlog_stacked;
   /// Shard count for kShardedTinca (per-shard config comes from `tinca`).
   std::uint32_t tinca_shards = 4;
   /// Disk fault schedule (DESIGN.md §9).  The defaults inject nothing, so
@@ -117,6 +124,17 @@ class Stack {
         NvLogStackConfig c = cfg.nvlog;
         c.inner.cache.io = cfg.disk_retry;
         backend_ = NvLogBackend::format(nvm_, disk_, c);
+        break;
+      }
+      case StackKind::kNvLogTinca:
+      case StackKind::kNvLogSharded: {
+        NvLogStackedConfig c = cfg.nvlog_stacked;
+        c.inner = cfg.kind == StackKind::kNvLogSharded ? NvLogInner::kSharded
+                                                       : NvLogInner::kTinca;
+        c.tinca = cfg.tinca;
+        c.tinca.io = cfg.disk_retry;
+        c.shards = cfg.tinca_shards;
+        backend_ = NvLogStackedBackend::format(nvm_, disk_, c);
         break;
       }
     }

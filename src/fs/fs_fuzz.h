@@ -51,6 +51,7 @@
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "fs/minifs.h"
+#include "tinca/verify.h"
 
 namespace tinca::fs {
 
@@ -172,6 +173,10 @@ inline std::uint64_t fs_nvm_bytes(backend::StackKind kind,
       return 2ull << 20;  // two 1 MB shards
     case backend::StackKind::kNvLogClassic:
       return (3ull << 19) + (1ull << 19);  // classic cache + 512 KB log
+    case backend::StackKind::kNvLogTinca:
+      return (1ull << 20) + (1ull << 19);  // 1 MB Tinca cache + 512 KB log
+    case backend::StackKind::kNvLogSharded:
+      return (2ull << 20) + (1ull << 19);  // two 1 MB shards + 512 KB log
     default:
       return 1ull << 20;  // 1 MB → ~230 Tinca/UBJ blocks, budget ~110
   }
@@ -924,6 +929,22 @@ inline ScheduleOutcome run_fs_schedule(const FsFuzzOptions& opts,
       return out;
     }
     remounted = true;
+    // NvLog stacks: the log tier's metadata — superblock + watermark record
+    // ring (DESIGN.md §16) — must still decode and hold a mountable winning
+    // record after the crash.  A torn record cut is acceptable only because
+    // an older valid record survives in another ring slot.
+    if (end == ScheduleEnd::kCrashed &&
+        (opts.kind == backend::StackKind::kNvLogClassic ||
+         opts.kind == backend::StackKind::kNvLogTinca ||
+         opts.kind == backend::StackKind::kNvLogSharded)) {
+      nvm::NvmDevice logv(nvm, 0, backend::detail::kFuzzLogBytes, clock);
+      const core::MediaReport mr = core::verify_nvlog_media(logv);
+      if (!mr.ok) {
+        record_violation("verify_nvlog_media: " +
+                         (mr.problems.empty() ? std::string("not ok")
+                                              : mr.problems.front()));
+      }
+    }
   }
 
   // --- sabotage (oracle self-test, clean schedules only) --------------------

@@ -6,21 +6,18 @@
 #include "blockdev/block_device.h"
 #include "common/bytes.h"
 #include "common/expect.h"
+#include "nvlog/log_meta.h"
 #include "obs/metrics.h"
 
 namespace tinca::nvlog {
 
 namespace {
 
-constexpr std::uint64_t kSuperMagic = 0x4E564C4F47535550ULL;  // "NVLOGSUP"
 constexpr std::uint64_t kSegMagic = 0x4E564C4F47534547ULL;    // "NVLOGSEG"
 constexpr std::uint64_t kRecMagic = 0x4E564C4F47524543ULL;    // "NVLOGREC"
-constexpr std::uint64_t kVersion = 1;
 
 constexpr std::uint64_t kSuperOff = 0;
-constexpr std::uint64_t kOldestLiveOff = 64;
-constexpr std::uint64_t kDrainedUptoOff = 72;  // same line as oldest_live
-constexpr std::uint64_t kSegmentsBase = 4096;
+constexpr std::uint64_t kSegmentsBase = kLogMetaBytes;
 constexpr std::uint64_t kSegHeaderBytes = 64;
 constexpr std::uint64_t kRecHeaderBytes = 64;
 constexpr std::uint64_t kPayloadBytes = blockdev::kBlockSize;
@@ -39,17 +36,11 @@ constexpr std::size_t kRecBlknoAt = 40;
 constexpr std::size_t kRecPayloadFpAt = 48;
 constexpr std::size_t kRecCrcAt = 56;      // fingerprint of bytes [0, 56)
 
-// Segment header fields.
+// Segment header fields.  (Superblock + watermark ring codecs live in
+// log_meta.h, shared with core::verify_nvlog_media.)
 constexpr std::size_t kSegMagicAt = 0;
 constexpr std::size_t kSegSeqAt = 8;
 constexpr std::size_t kSegCrcAt = 16;      // fingerprint of bytes [0, 16)
-
-// Superblock fields.
-constexpr std::size_t kSupMagicAt = 0;
-constexpr std::size_t kSupVersionAt = 8;
-constexpr std::size_t kSupSegBytesAt = 16;
-constexpr std::size_t kSupNumSegsAt = 24;
-constexpr std::size_t kSupCrcAt = 32;      // fingerprint of bytes [0, 32)
 
 /// A decoded record header plus its validity against the expected epoch.
 struct RecordView {
@@ -89,6 +80,9 @@ NvLogTier::NvLogTier(nvm::NvmDevice& nvm, NvLogConfig cfg)
       "segment too small for one block record plus a commit record");
   TINCA_EXPECT(nvm_.size() >= kSegmentsBase + 2 * cfg_.segment_bytes,
                "log range too small for two segments");
+  TINCA_EXPECT(cfg_.watermark_slots >= 1 &&
+                   cfg_.watermark_slots <= kMaxWatermarkSlots,
+               "watermark ring must fit the metadata region (1..63 slots)");
   num_segments_ = (nvm_.size() - kSegmentsBase) / cfg_.segment_bytes;
   segs_.resize(num_segments_);
 }
@@ -123,21 +117,46 @@ std::uint64_t NvLogTier::sealed_segments() const {
 std::unique_ptr<NvLogTier> NvLogTier::format(nvm::NvmDevice& nvm,
                                              NvLogConfig cfg) {
   auto t = std::unique_ptr<NvLogTier>(new NvLogTier(nvm, cfg));
-  std::array<std::byte, kSegHeaderBytes> sup{};
-  store_le(sup.data() + kSupMagicAt, kSuperMagic, 8);
-  store_le(sup.data() + kSupVersionAt, kVersion, 8);
-  store_le(sup.data() + kSupSegBytesAt, cfg.segment_bytes, 8);
-  store_le(sup.data() + kSupNumSegsAt, t->num_segments_, 8);
-  store_le(sup.data() + kSupCrcAt,
-           fingerprint(std::span<const std::byte>(sup.data(), kSupCrcAt)), 8);
+
+  // The format nonce bumps across reformats of the same device: it salts
+  // every watermark record's checksum, so ring records from a previous life
+  // of the log can never win recovery's adjudication (log_meta.h).
+  std::uint64_t nonce = 1;
+  {
+    std::array<std::byte, kLogSuperBytes> old{};
+    nvm.load(kSuperOff, old);
+    LogSuperblock prev;
+    if (decode_superblock(old, &prev)) nonce = prev.format_nonce + 1;
+  }
+  t->format_nonce_ = nonce;
+
+  std::array<std::byte, kLogSuperBytes> sup{};
+  encode_superblock(sup, LogSuperblock{cfg.segment_bytes, t->num_segments_,
+                                       cfg.watermark_slots, nonce});
   nvm.store(kSuperOff, sup);
   nvm.persist(kSuperOff, sup.size());
-  nvm.atomic_store8(kOldestLiveOff, 1);
-  nvm.atomic_store8(kDrainedUptoOff, 0);
-  nvm.persist(kOldestLiveOff, 16);
+  t->persist_watermark();  // epoch 1: oldest_live 1, drained_upto 0
+  // The format-time record is flushed even under the watermark-flush
+  // sabotage (which targets the runtime advance path): a mount must always
+  // find at least one valid ring record.
+  nvm.persist(watermark_slot_off(watermark_slot_of(1, cfg.watermark_slots)),
+              kWatermarkSlotBytes);
   // Segments stay unformatted: garbage headers never validate, and the
   // first absorb acquires (and stamps) the least-worn one.
   return t;
+}
+
+void NvLogTier::persist_watermark() {
+  ++wm_epoch_;
+  const std::uint64_t off = watermark_slot_off(
+      watermark_slot_of(wm_epoch_, cfg_.watermark_slots));
+  std::array<std::byte, kWatermarkSlotBytes> rec{};
+  encode_watermark(
+      rec, WatermarkRecord{wm_epoch_, oldest_live_seq_, drained_upto_lsn_},
+      format_nonce_);
+  nvm_.store(off, rec);
+  if (!cfg_.sabotage_skip_watermark_flush) nvm_.persist(off, rec.size());
+  ++stats_.watermark_records;
 }
 
 void NvLogTier::seal_active() {
@@ -410,8 +429,33 @@ NvLogTier::DrainResult NvLogTier::drain_segment(std::uint64_t seq,
   // Ascending runs hit the disk's sequential fast path.
   std::sort(batch.begin(), batch.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  if (!batch.empty() && !cfg_.sabotage_skip_drain_apply)
-    sink.drain_apply(batch);
+  const std::uint32_t shards = sink.drain_shard_count();
+  const std::uint64_t apply_t0 = nvm_.clock().now();
+  std::uint64_t modeled_apply_ns = 0;
+  if (!batch.empty() && !cfg_.sabotage_skip_drain_apply) {
+    if (shards <= 1) {
+      sink.drain_apply(batch);
+    } else {
+      // Shard-affine partition (DESIGN.md §16): split the coalesced run by
+      // the inner's placement so the sink can drain the batches
+      // concurrently.  A stable split of a sorted run keeps every per-shard
+      // batch ascending.  The watermark advance below happens strictly
+      // after drain_apply_shards returns — the all-shards-durable barrier.
+      std::vector<DrainSink::DrainBatch> parts(shards);
+      for (auto& rec : batch) {
+        const std::uint32_t s = sink.drain_shard_of(rec.first);
+        TINCA_EXPECT(s < shards, "drain_shard_of out of range");
+        parts[s].push_back(std::move(rec));
+      }
+      ++stats_.partitioned_drains;
+      for (const DrainSink::DrainBatch& p : parts)
+        stats_.shard_batches += p.empty() ? 0 : 1;
+      modeled_apply_ns = sink.drain_apply_shards(parts);
+    }
+  }
+  stats_.drain_apply.record(modeled_apply_ns != 0
+                                ? modeled_apply_ns
+                                : nvm_.clock().now() - apply_t0);
 
   nvm_.injector.point();  // CP: batch durable, prefix not yet advanced
 
@@ -449,12 +493,12 @@ void NvLogTier::advance_drained_prefix() {
   }
   if (advanced) {
     nvm_.injector.point();  // CP: prefix advanced in DRAM, not yet persisted
-    // Both fields share one line, so the persisted pair advances atomically
-    // (a crash keeps the whole line or none of it).
-    nvm_.atomic_store8(kOldestLiveOff, oldest_live_seq_);
-    nvm_.atomic_store8(kDrainedUptoOff, drained_upto_lsn_);
-    nvm_.persist(kOldestLiveOff, 16);
-    nvm_.injector.point();  // CP: drained prefix persisted
+    // One fresh 64 B ring record carries both fields (DESIGN.md §16): the
+    // persisted pair advances atomically — a torn record fails its checksum
+    // and recovery falls back to the previous record, which merely
+    // re-drains segments already applied.
+    persist_watermark();
+    nvm_.injector.point();  // CP: watermark record cut — ring slot persisted
   }
 }
 
@@ -485,20 +529,35 @@ std::unique_ptr<NvLogTier> NvLogTier::recover(nvm::NvmDevice& nvm,
                                               NvLogConfig cfg) {
   auto t = std::unique_ptr<NvLogTier>(new NvLogTier(nvm, cfg));
 
-  std::array<std::byte, kSegHeaderBytes> sup{};
+  std::array<std::byte, kLogSuperBytes> sup{};
   nvm.load(kSuperOff, sup);
-  TINCA_EXPECT(load_le(sup.data() + kSupMagicAt, 8) == kSuperMagic &&
-                   load_le(sup.data() + kSupCrcAt, 8) ==
-                       fingerprint(std::span<const std::byte>(sup.data(),
-                                                              kSupCrcAt)),
+  LogSuperblock sb;
+  TINCA_EXPECT(decode_superblock(sup, &sb),
                "nvlog superblock invalid — not a formatted log");
-  TINCA_EXPECT(load_le(sup.data() + kSupVersionAt, 8) == kVersion,
-               "nvlog version mismatch");
-  TINCA_EXPECT(load_le(sup.data() + kSupSegBytesAt, 8) == cfg.segment_bytes &&
-                   load_le(sup.data() + kSupNumSegsAt, 8) == t->num_segments_,
+  TINCA_EXPECT(sb.segment_bytes == cfg.segment_bytes &&
+                   sb.num_segments == t->num_segments_ &&
+                   sb.watermark_slots == cfg.watermark_slots,
                "nvlog geometry mismatch — wrong config for this device");
-  t->oldest_live_seq_ = nvm.load8(kOldestLiveOff);
-  t->drained_upto_lsn_ = nvm.load8(kDrainedUptoOff);
+  t->format_nonce_ = sb.format_nonce;
+
+  // Watermark adjudication (DESIGN.md §16): scan every ring slot and mount
+  // the record with the highest valid epoch.  A record torn by the crash
+  // fails its checksum, so the previous advance's record wins — strictly
+  // older watermarks are always safe to mount (the tier re-drains segments
+  // it had already applied; drains are idempotent).
+  std::optional<WatermarkRecord> winner;
+  for (std::uint32_t s = 0; s < cfg.watermark_slots; ++s) {
+    std::array<std::byte, kWatermarkSlotBytes> slot{};
+    nvm.load(watermark_slot_off(s), slot);
+    WatermarkRecord rec;
+    if (!decode_watermark(slot, sb.format_nonce, &rec)) continue;
+    if (!winner.has_value() || rec.epoch > winner->epoch) winner = rec;
+  }
+  TINCA_EXPECT(winner.has_value(),
+               "nvlog watermark ring holds no valid record");
+  t->wm_epoch_ = winner->epoch;
+  t->oldest_live_seq_ = winner->oldest_live_seq;
+  t->drained_upto_lsn_ = winner->drained_upto_lsn;
 
   // Valid segment headers at or past the drained prefix, then the
   // contiguous seq chain from oldest_live (a gap ends the chain; seqs are
@@ -660,13 +719,22 @@ void NvLogTier::register_metrics(obs::MetricsRegistry& reg,
                   &stats_.group_absorbed_txns);
   reg.add_counter(prefix + "group_merged_records",
                   &stats_.group_merged_records);
+  reg.add_counter(prefix + "watermark_records", &stats_.watermark_records);
+  reg.add_counter(prefix + "partitioned_drains", &stats_.partitioned_drains);
+  reg.add_counter(prefix + "shard_batches", &stats_.shard_batches);
   reg.add_histogram(prefix + "drain_lag", &stats_.drain_lag);
+  reg.add_histogram(prefix + "drain_apply", &stats_.drain_apply);
   reg.add_gauge(prefix + "live_records", [this] { return live_records(); });
   reg.add_gauge(prefix + "free_segments", [this] { return free_segments(); });
   reg.add_gauge(prefix + "sealed_segments",
                 [this] { return sealed_segments(); });
   reg.add_gauge(prefix + "oldest_live_seq",
                 [this] { return oldest_live_seq_; });
+  // Hottest line in the log's metadata region (superblock + watermark
+  // ring): the wear the ring rotation is meant to flatten (DESIGN.md §16).
+  reg.add_gauge(prefix + "meta_line_wear", [this] {
+    return nvm_.wear(0, kLogMetaBytes).max_line_writes;
+  });
 }
 
 }  // namespace tinca::nvlog

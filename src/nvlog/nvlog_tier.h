@@ -11,11 +11,15 @@
 // Persistent layout of the log range (all offsets line-aligned):
 //
 //   [0, 64)        superblock line: magic, version, segment_bytes,
-//                  num_segments, checksum — written once at format
-//   [64, 128)      oldest_live_seq (8 B) and drained_upto_lsn (8 B, at 72):
-//                  both updated with atomic stores + one line persist when
-//                  the drained prefix advances — same line, so a crash
-//                  keeps or loses them together
+//                  num_segments, watermark_slots, format nonce, checksum —
+//                  written once at format (src/nvlog/log_meta.h)
+//   [64, 64+S·64)  watermark record ring (DESIGN.md §16): S = watermark_slots
+//                  epoch-salted, checksummed 64 B records; each drained-
+//                  prefix advance writes (oldest_live_seq, drained_upto_lsn)
+//                  into slot epoch % S, and recovery mounts the record with
+//                  the highest valid epoch — a torn record fails its
+//                  checksum and the previous record wins (safe: the tier
+//                  merely re-drains already-applied segments)
 //   [4096, ...)    num_segments segments of segment_bytes each
 //
 // Each segment opens with a 64 B header (magic, seq, checksum) written when
@@ -71,6 +75,12 @@ struct NvLogConfig {
   /// Bytes per log segment (line-aligned, at least header + one block
   /// record).  Smaller segments drain sooner; larger ones coalesce more.
   std::uint64_t segment_bytes = 256 * 1024;
+  /// Watermark record ring slots (DESIGN.md §16).  Each drained-prefix
+  /// advance writes one 64 B record into slot epoch % watermark_slots, so
+  /// the metadata write load spreads over `watermark_slots` lines instead
+  /// of hammering one.  1 reproduces the legacy single-hot-line behaviour;
+  /// the ring must fit the 4 KB metadata region (max 63).
+  std::uint32_t watermark_slots = 32;
   /// Oracle self-test only (fuzz harness): commit() returns WITHOUT its
   /// clflush + sfence.  The recovery oracle must catch the lost txns.
   bool sabotage_skip_commit_flush = false;
@@ -79,6 +89,12 @@ struct NvLogConfig {
   /// cleaner's sabotage_skip_write).  Stale backing-store data then leaks
   /// into reads and the oracle must flag it.
   bool sabotage_skip_drain_apply = false;
+  /// Oracle self-test only: watermark records are stored but never
+  /// flushed.  A crash then mounts a stale watermark whose oldest_live_seq
+  /// may name a segment that was recycled AND re-acquired — the chain scan
+  /// finds a seq gap right at its head and every younger committed txn is
+  /// lost.  The recovery oracle must catch that.
+  bool sabotage_skip_watermark_flush = false;
 };
 
 /// Tier counters (registered under "nvlog.").
@@ -100,9 +116,17 @@ struct NvLogStats {
   std::uint64_t group_absorbs = 0;        ///< absorb_commit_group calls
   std::uint64_t group_absorbed_txns = 0;  ///< member txns absorbed in groups
   std::uint64_t group_merged_records = 0; ///< writes absorbed by LWW merging
+  // Stacked sinks + parallel drains (DESIGN.md §16).
+  std::uint64_t watermark_records = 0;     ///< ring records written
+  std::uint64_t partitioned_drains = 0;    ///< drains split by inner shard
+  std::uint64_t shard_batches = 0;         ///< per-shard batches handed out
   /// Seal-to-drain latency per segment (virtual ns): how far the drain
   /// runs behind the foreground.
   Histogram drain_lag;
+  /// Duration of the drain *apply* phase per segment (virtual ns).  When
+  /// the sink drains shard batches concurrently it reports the modeled
+  /// barrier time (max over shards); sequential sinks report the sum.
+  Histogram drain_apply;
 };
 
 /// The append-only staging log.  Single-threaded like every per-cache
@@ -114,11 +138,45 @@ class NvLogTier {
   /// durable (that ordering is the whole crash-safety contract of draining).
   class DrainSink {
    public:
+    /// One coalesced record run, ascending by blkno, whole 4 KB payloads.
+    using DrainBatch =
+        std::vector<std::pair<std::uint64_t, std::vector<std::byte>>>;
+
     virtual ~DrainSink() = default;
+
     /// Apply `blocks` — ascending by blkno, whole 4 KB payloads — durably.
-    virtual void drain_apply(
-        const std::vector<std::pair<std::uint64_t, std::vector<std::byte>>>&
-            blocks) = 0;
+    virtual void drain_apply(const DrainBatch& blocks) = 0;
+
+    // Shard-affine parallel drains (DESIGN.md §16).  A sink over a sharded
+    // inner exposes its partition so the tier can split a segment's
+    // coalesced run into per-shard batches and the sink can drain them
+    // concurrently.  The tier advances the persisted watermark only after
+    // drain_apply_shards returns, i.e. strictly after the barrier where
+    // EVERY shard's batch is durable — a crash anywhere inside the apply
+    // re-drains the whole segment (idempotent, last-writer-wins blocks).
+
+    /// Number of inner shards (1 = unsharded; partitioning disabled).
+    [[nodiscard]] virtual std::uint32_t drain_shard_count() const { return 1; }
+
+    /// Home shard of a block (must match the inner's placement).
+    [[nodiscard]] virtual std::uint32_t drain_shard_of(
+        std::uint64_t blkno) const {
+      (void)blkno;
+      return 0;
+    }
+
+    /// Apply one batch per shard (indexed by shard, empty batches allowed);
+    /// each batch stays ascending.  Returns only once every batch is
+    /// durable.  The return value is the modeled apply duration in virtual
+    /// ns (max over shards when the sink drains them concurrently, sum when
+    /// sequential) recorded in NvLogStats::drain_apply; 0 means "no model —
+    /// use the clock delta the apply actually charged".
+    virtual std::uint64_t drain_apply_shards(
+        const std::vector<DrainBatch>& shard_batches) {
+      for (const DrainBatch& b : shard_batches)
+        if (!b.empty()) drain_apply(b);
+      return 0;
+    }
   };
 
   /// Outcome of one drain attempt (mirrors cleaner::CleanOutcome).
@@ -206,6 +264,10 @@ class NvLogTier {
     return oldest_live_seq_;
   }
 
+  /// Epoch of the newest watermark record written (ring slot rotation
+  /// counter; recovery resumes from the highest valid epoch it mounted).
+  [[nodiscard]] std::uint64_t watermark_epoch() const { return wm_epoch_; }
+
   [[nodiscard]] const NvLogStats& stats() const { return stats_; }
   [[nodiscard]] const NvLogConfig& config() const { return cfg_; }
 
@@ -266,6 +328,10 @@ class NvLogTier {
   /// them, and persist the new value.
   void advance_drained_prefix();
 
+  /// Write + persist the next watermark record into its ring slot
+  /// (DESIGN.md §16): epoch++, slot = epoch % watermark_slots.
+  void persist_watermark();
+
   /// Append one record into the active segment (room guaranteed); collects
   /// the stored range into `flush_ranges_`.  `txn_first_lsn` stamps the
   /// record's txn field (the lsn of the txn's first record), which recovery
@@ -295,6 +361,12 @@ class NvLogTier {
   /// segments can be drained and recycled while newer ones still hold the
   /// txn's tail; anything missing *above* this watermark is a torn txn.
   std::uint64_t drained_upto_lsn_ = 0;
+  /// Epoch of the newest watermark record (see log_meta.h); slot rotation
+  /// counter.  Recovery resumes it from the mounted record.
+  std::uint64_t wm_epoch_ = 0;
+  /// The superblock's format generation, salting every watermark record's
+  /// checksum so records from a previous life of the device never validate.
+  std::uint64_t format_nonce_ = 0;
 
   /// Ranges stored by the in-flight absorb, flushed in one pass at commit.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> flush_ranges_;

@@ -1,10 +1,12 @@
 #include "tinca/verify.h"
 
 #include <array>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/bytes.h"
+#include "nvlog/log_meta.h"
 #include "tinca/cache_entry.h"
 #include "tinca/commit_directory.h"
 #include "tinca/ring_buffer.h"
@@ -113,6 +115,67 @@ MediaReport verify_media(const nvm::NvmDevice& nvm, const Layout& layout) {
                " owned by two entries");
   }
 
+  return report;
+}
+
+MediaReport verify_nvlog_media(const nvm::NvmDevice& nvm) {
+  MediaReport report;
+  auto complain = [&](std::string msg) {
+    report.ok = false;
+    report.problems.push_back(std::move(msg));
+  };
+
+  // Superblock: self-describing — geometry, ring size and the format nonce
+  // that salts every watermark record all come off the media.
+  std::array<std::byte, nvlog::kLogSuperBytes> sup{};
+  nvm.load(0, sup);
+  nvlog::LogSuperblock sb;
+  if (!decode_superblock(sup, &sb)) {
+    complain("nvlog superblock invalid (not a formatted log)");
+    return report;  // ring offsets are meaningless without it
+  }
+  if (sb.num_segments < 2) complain("nvlog superblock: fewer than 2 segments");
+
+  // Walk the watermark record ring (DESIGN.md §16): every slot, counting
+  // records that validate under the current format nonce.  The highest
+  // valid epoch is exactly the record recovery adjudication mounts; every
+  // other valid record is a stale leftover from an earlier advance.
+  std::optional<nvlog::WatermarkRecord> winner;
+  std::uint64_t winner_slot = 0;
+  std::uint64_t valid_records = 0;
+  for (std::uint64_t s = 0; s < sb.watermark_slots; ++s) {
+    std::array<std::byte, nvlog::kWatermarkSlotBytes> slot{};
+    nvm.load(nvlog::watermark_slot_off(s), slot);
+    nvlog::WatermarkRecord rec;
+    if (!decode_watermark(slot, sb.format_nonce, &rec)) continue;
+    ++valid_records;
+    if (winner.has_value() && rec.epoch == winner->epoch)
+      complain("duplicate watermark epoch " + std::to_string(rec.epoch) +
+               " in slots " + std::to_string(winner_slot) + " and " +
+               std::to_string(s));
+    if (!winner.has_value() || rec.epoch > winner->epoch) {
+      winner = rec;
+      winner_slot = s;
+    }
+  }
+  if (!winner.has_value()) {
+    complain("watermark ring holds no valid record — log cannot mount");
+    return report;
+  }
+  report.wm_winning_epoch = winner->epoch;
+  report.wm_winning_slot = winner_slot;
+  report.wm_oldest_live_seq = winner->oldest_live_seq;
+  report.wm_drained_upto_lsn = winner->drained_upto_lsn;
+  report.wm_stale_records = valid_records - 1;
+  if (winner->oldest_live_seq == 0)
+    complain("winning watermark names oldest_live_seq 0 (seqs start at 1)");
+  if (nvlog::watermark_slot_of(winner->epoch, sb.watermark_slots) !=
+      winner_slot)
+    complain("winning watermark epoch " + std::to_string(winner->epoch) +
+             " found in slot " + std::to_string(winner_slot) +
+             " but rotation maps it to slot " +
+             std::to_string(nvlog::watermark_slot_of(winner->epoch,
+                                                     sb.watermark_slots)));
   return report;
 }
 

@@ -22,6 +22,13 @@ struct MediaReport {
   std::uint64_t committed_batches = 0;  ///< sealed batches across all streams
   std::uint64_t in_flight = 0;  ///< trailing unsealed (in-flight) ring records
   std::uint64_t dir_records = 0;  ///< valid cross-stream commit records
+  // NvLog watermark record ring (DESIGN.md §16) — filled only by
+  // verify_nvlog_media; verify_media leaves them zero.
+  std::uint64_t wm_winning_epoch = 0;  ///< epoch of the record recovery mounts
+  std::uint64_t wm_winning_slot = 0;   ///< ring slot holding that record
+  std::uint64_t wm_oldest_live_seq = 0;
+  std::uint64_t wm_drained_upto_lsn = 0;
+  std::uint64_t wm_stale_records = 0;  ///< valid but outdated ring records
 };
 
 /// Check the structural invariants of a Tinca v3 device:
@@ -43,5 +50,18 @@ struct MediaReport {
 /// Read-only; never mutates the device.  Charges read latency like a real
 /// scan would.
 MediaReport verify_media(const nvm::NvmDevice& nvm, const Layout& layout);
+
+/// Check the metadata region of an NvLog tier device/view (the log range an
+/// NvLogTier was formatted over — see src/nvlog/log_meta.h):
+///   - the superblock decodes (magic/version/checksum) and carries a sane
+///     watermark ring size;
+///   - at least one watermark ring record validates under the superblock's
+///     format nonce (recovery would otherwise refuse to mount);
+///   - the winning record (highest valid epoch — exactly the one recovery
+///     adjudication mounts) plus the count of valid-but-stale records are
+///     reported in the wm_* fields.
+/// Self-describing: geometry and ring size come from the superblock itself.
+/// Read-only; charges read latency like a real scan would.
+MediaReport verify_nvlog_media(const nvm::NvmDevice& nvm);
 
 }  // namespace tinca::core

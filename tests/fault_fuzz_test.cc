@@ -71,7 +71,9 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, FaultFuzz,
                                            StackKind::kClassic,
                                            StackKind::kUbj,
                                            StackKind::kShardedTinca,
-                                           StackKind::kNvLogClassic),
+                                           StackKind::kNvLogClassic,
+                                           StackKind::kNvLogTinca,
+                                           StackKind::kNvLogSharded),
                          [](const auto& pinfo) {
                            switch (pinfo.param) {
                              case StackKind::kTinca: return "Tinca";
@@ -79,6 +81,9 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, FaultFuzz,
                              case StackKind::kUbj: return "Ubj";
                              case StackKind::kShardedTinca: return "Sharded";
                              case StackKind::kNvLogClassic: return "NvLog";
+                             case StackKind::kNvLogTinca: return "NvLogTinca";
+                             case StackKind::kNvLogSharded:
+                               return "NvLogSharded";
                              default: return "Other";
                            }
                          });
@@ -111,13 +116,18 @@ INSTANTIATE_TEST_SUITE_P(CleanerBackends, FaultFuzzCleaner,
                          ::testing::Values(StackKind::kTinca,
                                            StackKind::kUbj,
                                            StackKind::kShardedTinca,
-                                           StackKind::kNvLogClassic),
+                                           StackKind::kNvLogClassic,
+                                           StackKind::kNvLogTinca,
+                                           StackKind::kNvLogSharded),
                          [](const auto& pinfo) {
                            switch (pinfo.param) {
                              case StackKind::kTinca: return "Tinca";
                              case StackKind::kUbj: return "Ubj";
                              case StackKind::kShardedTinca: return "Sharded";
                              case StackKind::kNvLogClassic: return "NvLog";
+                             case StackKind::kNvLogTinca: return "NvLogTinca";
+                             case StackKind::kNvLogSharded:
+                               return "NvLogSharded";
                              default: return "Other";
                            }
                          });
@@ -191,6 +201,37 @@ TEST(FaultFuzzScripted, NvLogDrainSkippingApplyIsCaught) {
   EXPECT_GT(rep.violations, 0u)
       << "oracle has no teeth: an NvLog drain that skips its apply "
          "went unnoticed\n"
+      << describe(rep);
+}
+
+// Oracle self-test for the watermark record ring (DESIGN.md §16): a tier
+// that stores watermark records WITHOUT their flush mounts a stale
+// watermark after a power cut.  The stale oldest_live_seq is harmless
+// until the log WRAPS — once a drained segment has been recycled and
+// re-acquired, the stale watermark chains recovery from a segment whose
+// header now carries a different seq, the scan finds nothing, and every
+// committed log-resident txn is lost.  Deep, crash-heavy, fault-free
+// schedules force that wrap; the oracle must flag the losses.
+TEST(FaultFuzzScripted, SkippedWatermarkFlushIsCaught) {
+  FuzzOptions opts;
+  opts.kind = StackKind::kNvLogTinca;
+  opts.cleaner = cleaner::CleanerMode::kStepped;
+  opts.sabotage = FuzzSabotage::kSkipWatermarkRecordFlush;
+  opts.seed = 818181;
+  opts.schedules = 40;
+  opts.txns_per_schedule = 40;
+  opts.max_blocks_per_txn = 24;   // fat txns wrap the 7-segment log fast
+  opts.crash_prob = 0.8;          // the lie only shows when the power goes out
+  opts.crash_point_range = 4000;  // ...and only on cuts AFTER the wrap
+  opts.transient_read_rate = 0.0;
+  opts.transient_write_rate = 0.0;
+  opts.bad_sector_rate = 0.0;
+  opts.torn_write_rate = 0.0;
+
+  const FuzzReport rep = run_fault_fuzz(opts);
+  EXPECT_GT(rep.violations, 0u)
+      << "oracle has no teeth: watermark records stored without their "
+         "flush went unnoticed\n"
       << describe(rep);
 }
 

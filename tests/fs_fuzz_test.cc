@@ -75,7 +75,9 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, FsFuzz,
                                            StackKind::kClassic,
                                            StackKind::kUbj,
                                            StackKind::kShardedTinca,
-                                           StackKind::kNvLogClassic),
+                                           StackKind::kNvLogClassic,
+                                           StackKind::kNvLogTinca,
+                                           StackKind::kNvLogSharded),
                          [](const auto& pinfo) {
                            switch (pinfo.param) {
                              case StackKind::kTinca: return "Tinca";
@@ -83,6 +85,9 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, FsFuzz,
                              case StackKind::kUbj: return "Ubj";
                              case StackKind::kShardedTinca: return "Sharded";
                              case StackKind::kNvLogClassic: return "NvLog";
+                             case StackKind::kNvLogTinca: return "NvLogTinca";
+                             case StackKind::kNvLogSharded:
+                               return "NvLogSharded";
                              default: return "Other";
                            }
                          });
@@ -114,13 +119,18 @@ INSTANTIATE_TEST_SUITE_P(CleanerBackends, FsFuzzCleaner,
                          ::testing::Values(StackKind::kTinca,
                                            StackKind::kUbj,
                                            StackKind::kShardedTinca,
-                                           StackKind::kNvLogClassic),
+                                           StackKind::kNvLogClassic,
+                                           StackKind::kNvLogTinca,
+                                           StackKind::kNvLogSharded),
                          [](const auto& pinfo) {
                            switch (pinfo.param) {
                              case StackKind::kTinca: return "Tinca";
                              case StackKind::kUbj: return "Ubj";
                              case StackKind::kShardedTinca: return "Sharded";
                              case StackKind::kNvLogClassic: return "NvLog";
+                             case StackKind::kNvLogTinca: return "NvLogTinca";
+                             case StackKind::kNvLogSharded:
+                               return "NvLogSharded";
                              default: return "Other";
                            }
                          });

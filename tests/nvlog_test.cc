@@ -14,6 +14,7 @@
 #include "backend/nvlog_backend.h"
 #include "blockdev/mem_block_device.h"
 #include "common/bytes.h"
+#include "nvlog/log_meta.h"
 #include "nvlog/nvlog_tier.h"
 #include "obs/metrics.h"
 #include "tinca/slot_lru.h"
@@ -243,6 +244,109 @@ TEST(NvLogTier, SegmentWrapAroundKeepsLiveUnreplayedPrefix) {
     EXPECT_EQ(fingerprint(sink.applied[blkno]), fingerprint(block_of(want)));
 }
 
+TEST(NvLogTier, WatermarkRingRotatesAndRecoveryMountsHighestEpoch) {
+  sim::SimClock clock;
+  nvm::NvmDevice nvm(kLogBytes, nvdimm_profile(), clock);
+  MapSink sink;
+  auto tier = NvLogTier::format(nvm, small_cfg());
+  EXPECT_EQ(tier->watermark_epoch(), 1u);  // format's birth record
+
+  // Each absorb + full drain recycles one segment: one fresh ring record,
+  // rotated into the next slot.
+  for (int i = 0; i < 5; ++i) {
+    absorb_one(*tier, sink, {{1, 40u + static_cast<std::uint64_t>(i)}});
+    tier->drain_all(sink);
+  }
+  EXPECT_EQ(tier->watermark_epoch(), 6u);
+  EXPECT_EQ(tier->stats().watermark_records, 6u);
+  const std::uint64_t oldest = tier->oldest_live_seq();
+  EXPECT_GT(oldest, 1u);
+
+  // Recovery adjudicates the ring: it must mount the HIGHEST valid epoch,
+  // not slot 0 or whatever a fixed hot line would have said.
+  nvm.crash_discard_all();
+  auto rec = NvLogTier::recover(nvm, small_cfg());
+  EXPECT_EQ(rec->watermark_epoch(), 6u);
+  EXPECT_EQ(rec->oldest_live_seq(), oldest);
+
+  // The next advance continues the epoch sequence past the mount.
+  absorb_one(*rec, sink, {{2, 60}});
+  rec->drain_all(sink);
+  EXPECT_EQ(rec->watermark_epoch(), 7u);
+}
+
+TEST(NvLogTier, WatermarkRotationSpreadsMetaLineWear) {
+  // The §16 wear claim at tier level: with one slot every advance hammers
+  // the same 64 B line; with the rotating ring the writes spread across all
+  // slots and the hottest metadata line cools by an order of magnitude.
+  std::uint64_t hot_single = 0, hot_rotated = 0;
+  for (const std::uint32_t slots : {1u, 32u}) {
+    sim::SimClock clock;
+    nvm::NvmDevice nvm(kLogBytes, nvdimm_profile(), clock);
+    MapSink sink;
+    NvLogConfig cfg = small_cfg();
+    cfg.watermark_slots = slots;
+    auto tier = NvLogTier::format(nvm, cfg);
+    for (int i = 0; i < 64; ++i) {
+      absorb_one(*tier, sink, {{1, 70u + static_cast<std::uint64_t>(i)}});
+      tier->drain_all(sink);
+    }
+    // Hottest line in the watermark ring region (the superblock line at
+    // offset 0 is written once at format and never again).
+    const auto wear =
+        nvm.wear(kWatermarkBase, kLogMetaBytes - kWatermarkBase);
+    (slots == 1 ? hot_single : hot_rotated) = wear.max_line_writes;
+  }
+  EXPECT_GE(hot_single, 65u);  // every advance on the one line
+  EXPECT_GE(hot_single, hot_rotated * 10) << "rotation must spread wear";
+}
+
+TEST(NvLogTier, SkippedWatermarkFlushLosesLiveTxnsAfterWrap) {
+  // Sabotage self-test pair for the watermark-record flush: an unflushed
+  // ring record is harmless until the log WRAPS — once the segment the
+  // stale watermark points at has been recycled and rewritten, recovery's
+  // contiguous chain scan from the stale oldest_live_seq finds nothing and
+  // every live log-resident txn silently vanishes.
+  for (const bool sabotage : {true, false}) {
+    sim::SimClock clock;
+    nvm::NvmDevice nvm(kLogBytes, nvdimm_profile(), clock);
+    MapSink sink;
+    NvLogConfig cfg = small_cfg();
+    cfg.sabotage_skip_watermark_flush = sabotage;
+    std::uint64_t seed = 900, last4 = 0;
+    {
+      auto tier = NvLogTier::format(nvm, cfg);
+      // Fat commits over a tiny working set wrap the 7-segment log several
+      // times; backpressure drains recycle and rewrite the early segments.
+      for (int round = 0; round < 40; ++round) {
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> spec;
+        for (std::uint64_t b = 1; b <= 4; ++b) {
+          spec.emplace_back(b, seed);
+          if (b == 4) last4 = seed;
+          ++seed;
+        }
+        absorb_one(*tier, sink, spec);
+      }
+      ASSERT_GT(tier->oldest_live_seq(), 1u) << "log never wrapped";
+      ASSERT_GT(tier->stats().segments_recycled, 0u);
+    }
+    nvm.crash_discard_all();  // unflushed watermark records evaporate
+
+    auto rec = NvLogTier::recover(nvm, small_cfg());
+    std::vector<std::byte> buf(kBlock);
+    if (sabotage) {
+      // The stale epoch-1 record won adjudication; seq 1's segment has been
+      // recycled, so the chain is empty and the live txns are gone.
+      EXPECT_EQ(rec->stats().recovery_replayed, 0u);
+      EXPECT_FALSE(rec->contains(4));
+    } else {
+      EXPECT_GT(rec->stats().recovery_replayed, 0u);
+      ASSERT_TRUE(rec->lookup(4, buf));
+      EXPECT_EQ(fingerprint(buf), fingerprint(block_of(last4)));
+    }
+  }
+}
+
 TEST(NvLogTier, MetricsRegistration) {
   sim::SimClock clock;
   nvm::NvmDevice nvm(kLogBytes, nvdimm_profile(), clock);
@@ -254,7 +358,10 @@ TEST(NvLogTier, MetricsRegistration) {
   EXPECT_TRUE(reg.has("nvlog.segments_recycled"));
   EXPECT_TRUE(reg.has("nvlog.recovery_replayed"));
   EXPECT_TRUE(reg.has("nvlog.live_records"));
+  EXPECT_TRUE(reg.has("nvlog.watermark_records"));
+  EXPECT_TRUE(reg.has("nvlog.meta_line_wear"));
   EXPECT_NE(reg.histogram("nvlog.drain_lag"), nullptr);
+  EXPECT_NE(reg.histogram("nvlog.drain_apply"), nullptr);
 }
 
 // ---------------------------------------------------------------------------

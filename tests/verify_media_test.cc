@@ -6,6 +6,8 @@
 
 #include "blockdev/mem_block_device.h"
 #include "common/bytes.h"
+#include "nvlog/log_meta.h"
+#include "nvlog/nvlog_tier.h"
 #include "tinca/tinca_cache.h"
 #include "tinca/verify.h"
 
@@ -170,6 +172,104 @@ TEST(VerifyMedia, HoldsAtEveryCrashPointAndAfterRecovery) {
     ASSERT_EQ(clean.log_entries, 0u) << "log entry survived recovery, step " << step;
     ASSERT_EQ(clean.in_flight, 0u) << "ring left open by recovery, step " << step;
   }
+}
+
+// --- NvLog watermark-ring walk (verify_nvlog_media, DESIGN.md §16). ---
+
+struct NvLogFixture {
+  static constexpr std::size_t kLogBytes = 1 << 19;
+  sim::SimClock clock;
+  nvm::NvmDevice dev{kLogBytes, nvdimm_profile(), clock};
+  struct Sink : nvlog::NvLogTier::DrainSink {
+    void drain_apply(const DrainBatch& blocks) override { (void)blocks; }
+  } sink;
+  nvlog::NvLogConfig cfg;
+  std::unique_ptr<nvlog::NvLogTier> tier;
+  std::uint64_t seed = 1;
+
+  NvLogFixture() {
+    cfg.segment_bytes = 64 * 1024;
+    tier = nvlog::NvLogTier::format(dev, cfg);
+  }
+
+  /// Absorb one block and immediately drain everything: seals the active
+  /// segment, recycles it, and persists one fresh watermark ring record —
+  /// each call advances the watermark epoch by exactly one.
+  void rotate_once() {
+    std::vector<std::byte> b(blockdev::kBlockSize);
+    fill_pattern(b, seed++);
+    std::vector<std::pair<std::uint64_t, std::span<const std::byte>>> blocks;
+    blocks.emplace_back(seed, b);
+    tier->absorb_commit(blocks, sink);
+    tier->drain_all(sink);
+  }
+
+  void corrupt_slot(std::uint64_t slot) {
+    std::array<std::byte, nvlog::kWatermarkSlotBytes> raw{};
+    dev.load(nvlog::watermark_slot_off(slot), raw);
+    raw[nvlog::kWmCrcAt] ^= std::byte{0xFF};
+    dev.store(nvlog::watermark_slot_off(slot), raw);
+    dev.persist(nvlog::watermark_slot_off(slot), raw.size());
+  }
+};
+
+TEST(VerifyNvLogMedia, FreshFormatMountsEpochOne) {
+  NvLogFixture f;
+  const MediaReport r = verify_nvlog_media(f.dev);
+  EXPECT_TRUE(r.ok) << (r.problems.empty() ? "" : r.problems[0]);
+  EXPECT_EQ(r.wm_winning_epoch, 1u);
+  EXPECT_EQ(r.wm_winning_slot, nvlog::watermark_slot_of(1, f.cfg.watermark_slots));
+  EXPECT_EQ(r.wm_oldest_live_seq, 1u);
+  EXPECT_EQ(r.wm_stale_records, 0u);
+}
+
+TEST(VerifyNvLogMedia, RotationReportsWinnerAndStaleRecords) {
+  NvLogFixture f;
+  for (int i = 0; i < 4; ++i) f.rotate_once();
+  const std::uint64_t epoch = f.tier->watermark_epoch();
+  ASSERT_EQ(epoch, 5u);  // format's epoch 1 + four advances
+
+  const MediaReport r = verify_nvlog_media(f.dev);
+  EXPECT_TRUE(r.ok) << (r.problems.empty() ? "" : r.problems[0]);
+  EXPECT_EQ(r.wm_winning_epoch, epoch);
+  EXPECT_EQ(r.wm_winning_slot,
+            nvlog::watermark_slot_of(epoch, f.cfg.watermark_slots));
+  EXPECT_EQ(r.wm_oldest_live_seq, f.tier->oldest_live_seq());
+  // Earlier epochs still sit in their own slots, valid but outdated.
+  EXPECT_EQ(r.wm_stale_records, epoch - 1);
+}
+
+TEST(VerifyNvLogMedia, TornWinnerFallsBackToPreviousEpoch) {
+  NvLogFixture f;
+  for (int i = 0; i < 4; ++i) f.rotate_once();
+  const std::uint64_t epoch = f.tier->watermark_epoch();
+  f.corrupt_slot(nvlog::watermark_slot_of(epoch, f.cfg.watermark_slots));
+
+  // A torn record fails closed: the walk (like recovery) mounts the
+  // previous epoch instead of flagging the device.
+  const MediaReport r = verify_nvlog_media(f.dev);
+  EXPECT_TRUE(r.ok) << (r.problems.empty() ? "" : r.problems[0]);
+  EXPECT_EQ(r.wm_winning_epoch, epoch - 1);
+  EXPECT_EQ(r.wm_stale_records, epoch - 2);
+}
+
+TEST(VerifyNvLogMedia, NoValidRecordIsFatal) {
+  NvLogFixture f;
+  for (std::uint64_t s = 0; s < f.cfg.watermark_slots; ++s) f.corrupt_slot(s);
+  const MediaReport r = verify_nvlog_media(f.dev);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(VerifyNvLogMedia, ReformatSaltsOutThePreviousLife) {
+  NvLogFixture f;
+  for (int i = 0; i < 4; ++i) f.rotate_once();
+  // Reformat the same device: the nonce bump must invalidate every record
+  // the previous life left in the ring, even though the bytes are intact.
+  f.tier = nvlog::NvLogTier::format(f.dev, f.cfg);
+  const MediaReport r = verify_nvlog_media(f.dev);
+  EXPECT_TRUE(r.ok) << (r.problems.empty() ? "" : r.problems[0]);
+  EXPECT_EQ(r.wm_winning_epoch, 1u);
+  EXPECT_EQ(r.wm_stale_records, 0u);
 }
 
 }  // namespace
